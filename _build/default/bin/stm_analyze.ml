@@ -1,0 +1,101 @@
+(* CLI: run the whole-program analyses (Section 5) on a Jt source file or
+   a built-in benchmark, and report barrier-removal results.
+
+   Examples:
+     stm_analyze -b tsp                 # Figure 13 row for tsp
+     stm_analyze -b all                 # the whole Figure 13 table
+     stm_analyze program.jt --verbose   # per-site decisions for a file
+     stm_analyze -b oo7 --dump-ir       # lowered IR with barrier notes *)
+
+open Cmdliner
+open Stm_analysis
+
+let builtin name =
+  let all =
+    Stm_workloads.Jvm98.all
+    @ [ Stm_workloads.Tsp.tsp; Stm_workloads.Oo7.oo7; Stm_workloads.Jbb.jbb ]
+  in
+  List.find_opt (fun (w : Stm_workloads.Workload.t) -> w.name = name) all
+
+let report_verbose prog =
+  let pta = Pta.analyze prog in
+  Fmt.pr "abstract objects: %d@." (Pta.n_objects pta);
+  Fmt.pr "reachable method contexts:@.";
+  List.iter
+    (fun (k, c) ->
+      Fmt.pr "  %-40s %s@." k
+        (match c with Pta.Txn -> "in-txn" | Pta.Nontxn -> "not-in-txn"))
+    (List.sort compare (Pta.reachable_methods pta));
+  Fmt.pr "@.per-site decisions (non-transactional code):@.";
+  Pta.iter_sites pta (fun info ->
+      if Pta.site_reachable pta Pta.Nontxn info.Pta.site then begin
+        let n = Nait.decide pta info in
+        let t = Thread_local.decide pta info in
+        Fmt.pr "  site %-4d %-24s %-5s nait=%-12s tl=%s@." info.Pta.site
+          (info.Pta.meth.Stm_ir.Ir.mcls ^ "::" ^ info.Pta.meth.Stm_ir.Ir.mname)
+          (match info.Pta.kind with `Read -> "read" | `Write -> "write")
+          (if n.Nait.removable then "remove(" ^ n.Nait.reason ^ ")"
+           else "keep")
+          (if t.Thread_local.removable then "remove" else "keep")
+      end)
+
+let main source bench verbose dump_ir =
+  let progs =
+    match (source, bench) with
+    | Some path, _ ->
+        let src = In_channel.with_open_text path In_channel.input_all in
+        [ (Filename.basename path, Stm_jtlang.Jt.compile ~name:path src) ]
+    | None, Some "all" ->
+        List.map
+          (fun (w : Stm_workloads.Workload.t) ->
+            (w.name, Stm_workloads.Workload.program w))
+          (Stm_workloads.Jvm98.all
+          @ [ Stm_workloads.Tsp.tsp; Stm_workloads.Oo7.oo7; Stm_workloads.Jbb.jbb ])
+    | None, Some b -> (
+        match builtin b with
+        | Some w -> [ (b, Stm_workloads.Workload.program w) ]
+        | None ->
+            Fmt.epr "unknown benchmark %s@." b;
+            exit 2)
+    | None, None ->
+        Fmt.epr "give a Jt file or -b BENCH (or -b all)@.";
+        exit 2
+  in
+  List.iter
+    (fun (name, prog) ->
+      if dump_ir then begin
+        ignore (Stm_jit.Opt.optimize Stm_jit.Opt.O2 prog);
+        let pta = Pta.analyze prog in
+        ignore (Nait.apply prog pta : int);
+        Stm_ir.Ir.iter_methods prog (fun m -> Fmt.pr "%a@." Stm_ir.Ir.pp_meth m)
+      end
+      else begin
+        Fmt.pr "%a" Barrier_stats.pp_table (Barrier_stats.count ~name prog);
+        if verbose then report_verbose prog
+      end)
+    progs;
+  0
+
+let source_arg =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE.jt")
+
+let bench_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "b"; "bench" ] ~docv:"NAME"
+        ~doc:"Analyze a built-in benchmark (compress, jess, db, javac, mpegaudio, mtrt, jack, tsp, oo7, jbb, or all).")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Per-site decisions.")
+
+let dump_arg =
+  Arg.(value & flag & info [ "dump-ir" ] ~doc:"Dump lowered IR with barrier notes after O2 + NAIT.")
+
+let cmd =
+  let doc = "whole-program NAIT / thread-local barrier analysis (PLDI 2007 Section 5)" in
+  Cmd.v
+    (Cmd.info "stm_analyze" ~doc)
+    Term.(const main $ source_arg $ bench_arg $ verbose_arg $ dump_arg)
+
+let () = exit (Cmd.eval' cmd)

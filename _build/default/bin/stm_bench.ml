@@ -1,0 +1,91 @@
+(* CLI: regenerate individual evaluation figures.
+
+   Examples:
+     stm_bench fig6
+     stm_bench fig15 --scale 0.5
+     stm_bench fig18 --threads 1,2,4,8,16
+     stm_bench all *)
+
+open Cmdliner
+
+let parse_threads s =
+  String.split_on_char ',' s |> List.map int_of_string
+
+let run_figure name scale threads =
+  let threads = Option.map parse_threads threads in
+  match name with
+  | "fig6" ->
+      let cells = Stm_harness.Figures.fig6 () in
+      Fmt.pr "%a" Stm_harness.Figures.pp_fig6 cells;
+      Fmt.pr "matches the paper: %b@." (Stm_litmus.Matrix.all_match cells)
+  | "privatization" ->
+      let cells = Stm_litmus.Matrix.privatization_row () in
+      Fmt.pr "%a" Stm_litmus.Matrix.pp_table cells
+  | "fig13" ->
+      Fmt.pr "%a" Stm_analysis.Barrier_stats.pp_table
+        (Stm_harness.Figures.fig13 ())
+  | "fig15" ->
+      Fmt.pr "%a" Stm_harness.Figures.pp_overhead
+        (Stm_harness.Figures.fig15 ?scale ())
+  | "fig16" ->
+      Fmt.pr "%a" Stm_harness.Figures.pp_overhead
+        (Stm_harness.Figures.fig16 ?scale ())
+  | "fig17" ->
+      Fmt.pr "%a" Stm_harness.Figures.pp_overhead
+        (Stm_harness.Figures.fig17 ?scale ())
+  | "fig18" ->
+      Fmt.pr "%a" Stm_harness.Figures.pp_scaling
+        (Stm_harness.Figures.fig18 ?threads ?scale ())
+  | "fig19" ->
+      Fmt.pr "%a" Stm_harness.Figures.pp_scaling
+        (Stm_harness.Figures.fig19 ?threads ?scale ())
+  | "fig20" ->
+      Fmt.pr "%a" Stm_harness.Figures.pp_scaling
+        (Stm_harness.Figures.fig20 ?threads ?scale ())
+  | other -> Fmt.failwith "unknown figure %s" other
+
+let all_figures =
+  [ "fig6"; "privatization"; "fig13"; "fig15"; "fig16"; "fig17"; "fig18";
+    "fig19"; "fig20" ]
+
+let main name scale threads =
+  (try
+     if name = "all" then
+       List.iter
+         (fun f ->
+           Fmt.pr "== %s ==@." f;
+           run_figure f scale threads)
+         all_figures
+     else run_figure name scale threads
+   with Failure m ->
+     Fmt.epr "%s@." m;
+     exit 2);
+  0
+
+let name_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FIGURE"
+        ~doc:"One of fig6, privatization, fig13, fig15, fig16, fig17, fig18, fig19, fig20, all.")
+
+let scale_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "scale" ] ~docv:"F" ~doc:"Workload scale factor (default 1.0).")
+
+let threads_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "threads" ] ~docv:"LIST"
+        ~doc:"Comma-separated simulated processor counts for fig18-20.")
+
+let cmd =
+  let doc = "regenerate the PLDI 2007 evaluation figures" in
+  Cmd.v
+    (Cmd.info "stm_bench" ~doc)
+    Term.(const main $ name_arg $ scale_arg $ threads_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,232 @@
+(* CLI: compile and execute a Jt source file under a chosen STM
+   configuration and optimization level.
+
+   Examples:
+     stm_run examples/jt/counter.jt
+     stm_run examples/jt/counter.jt --config strong-eager --opt O2 --nait
+     stm_run examples/jt/philosophers.jt -P threads=5 -P rounds=30
+     stm_run prog.jt --detect-races        # barriers raise on data races *)
+
+open Cmdliner
+
+let config_of_string detect_races s =
+  let base =
+    match s with
+    | "weak-eager" -> Ok Stm_core.Config.eager_weak
+    | "weak-lazy" -> Ok Stm_core.Config.lazy_weak
+    | "strong-eager" -> Ok Stm_core.Config.eager_strong
+    | "strong-lazy" -> Ok Stm_core.Config.lazy_strong
+    | "strong-eager-dea" -> Ok Stm_core.Config.(with_dea eager_strong)
+    | "strong-lazy-dea" -> Ok Stm_core.Config.(with_dea lazy_strong)
+    | "quiesce-eager" -> Ok Stm_core.Config.(with_quiescence eager_weak)
+    | "quiesce-lazy" -> Ok Stm_core.Config.(with_quiescence lazy_weak)
+    | other -> Error ("unknown config " ^ other)
+  in
+  Result.map
+    (fun c ->
+      if detect_races then
+        { c with Stm_core.Config.conflict = Stm_core.Config.Raise_error }
+      else c)
+    base
+
+let parse_param s =
+  match String.index_opt s '=' with
+  | Some i ->
+      let k = String.sub s 0 i in
+      let v = String.sub s (i + 1) (String.length s - i - 1) in
+      (k, int_of_string v)
+  | None -> failwith ("bad -P " ^ s ^ " (expected name=value)")
+
+let explore_program prog params cfg bound pct_runs =
+  let make () =
+    let main, observe = Stm_ir.Interp.explorer_instance ~params prog in
+    { Stm_litmus.Explorer.main; observe }
+  in
+  let e =
+    if pct_runs > 0 then
+      Stm_litmus.Explorer.explore_pct ~runs:pct_runs ~cfg ~make ()
+    else
+      Stm_litmus.Explorer.explore ~preemption_bound:bound ~max_runs:20_000
+        ~cfg ~make ()
+  in
+  Fmt.pr "schedules explored : %d%s@." e.Stm_litmus.Explorer.runs
+    (if e.Stm_litmus.Explorer.truncated then " (budget exhausted)" else "");
+  if e.Stm_litmus.Explorer.livelocks > 0 || e.Stm_litmus.Explorer.deadlocks > 0
+  then
+    Fmt.pr "livelocks/deadlocks: %d/%d@." e.Stm_litmus.Explorer.livelocks
+      e.Stm_litmus.Explorer.deadlocks;
+  Fmt.pr "distinct outcomes  : %d@." (List.length e.Stm_litmus.Explorer.outcomes);
+  List.iter
+    (fun (o, n) -> Fmt.pr "  %-50s x%d@." (if o = "" then "(no output)" else o) n)
+    e.Stm_litmus.Explorer.outcomes;
+  if List.length e.Stm_litmus.Explorer.outcomes > 1 then begin
+    Fmt.pr "@.the printed outcome is SCHEDULE-DEPENDENT@.";
+    1
+  end
+  else 0
+
+let main file config opt nait params verbose detect_races granule trace profile
+    explore pct =
+  match config_of_string detect_races config with
+  | Error m ->
+      Fmt.epr "%s@." m;
+      2
+  | Ok cfg -> (
+      let cfg = { cfg with Stm_core.Config.granule } in
+      let src = In_channel.with_open_text file In_channel.input_all in
+      match Stm_jtlang.Jt.compile ~name:file src with
+      | exception Stm_jtlang.Jt.Error (msg, line) ->
+          Fmt.epr "%s:%d: %s@." file line msg;
+          2
+      | prog ->
+          let level =
+            match opt with
+            | "O0" -> Stm_jit.Opt.O0
+            | "O1" -> Stm_jit.Opt.O1
+            | _ -> Stm_jit.Opt.O2
+          in
+          let report = Stm_jit.Opt.optimize level prog in
+          let removed =
+            if nait then begin
+              let pta = Stm_analysis.Pta.analyze prog in
+              let n = Stm_analysis.Nait.apply prog pta in
+              ignore (Stm_analysis.Thread_local.apply prog pta : int);
+              n
+            end
+            else 0
+          in
+          let params = List.map parse_param params in
+          if explore || pct > 0 then
+            explore_program prog params cfg 2 pct
+          else begin
+          if trace then
+            Stm_core.Trace.set_sink
+              (Some
+                 (fun ev ->
+                   Fmt.epr "[%8d] %a@."
+                     (if Stm_runtime.Sched.running () then
+                        Stm_runtime.Sched.time ()
+                      else 0)
+                     Stm_core.Trace.pp_event ev));
+          let out = Stm_ir.Interp.run ~cfg ~params ~profile prog in
+          Stm_core.Trace.set_sink None;
+          List.iter print_endline out.Stm_ir.Interp.prints;
+          let r = out.Stm_ir.Interp.result in
+          (match r.Stm_runtime.Sched.exns with
+          | [] -> ()
+          | (tid, e) :: _ ->
+              Fmt.epr "thread %d died: %s@." tid (Printexc.to_string e));
+          if verbose then begin
+            Fmt.epr "status    : %s@."
+              (match r.Stm_runtime.Sched.status with
+              | Stm_runtime.Sched.Completed -> "completed"
+              | Stm_runtime.Sched.Deadlock _ -> "deadlock"
+              | Stm_runtime.Sched.Fuel_exhausted -> "out of fuel");
+            Fmt.epr "config    : %s, %s%s@." (Stm_core.Config.describe cfg)
+              (Stm_jit.Opt.level_name level)
+              (if nait then Fmt.str " + NAIT (%d barriers removed)" removed
+               else "");
+            Fmt.epr "jit       : %d immutable, %d escape, %d aggregated@."
+              report.Stm_jit.Opt.immutable report.Stm_jit.Opt.escape
+              report.Stm_jit.Opt.aggregated;
+            Fmt.epr "cycles    : %d@." r.Stm_runtime.Sched.makespan;
+            Fmt.epr "instrs    : %d@." out.Stm_ir.Interp.instrs;
+            Fmt.epr "stats     : %a@." Stm_core.Stats.pp out.Stm_ir.Interp.stats
+          end;
+          if profile then begin
+            (* map site ids back to methods for the report *)
+            let site_meth = Hashtbl.create 64 in
+            Stm_ir.Ir.iter_methods prog (fun m ->
+                Stm_ir.Ir.iter_access_notes m (fun ins note ->
+                    Hashtbl.replace site_meth note.Stm_ir.Ir.site (m, ins)));
+            Fmt.epr "hottest barrier sites:@.";
+            List.iteri
+              (fun i (site, hits) ->
+                if i < 15 then
+                  match Hashtbl.find_opt site_meth site with
+                  | Some (m, ins) ->
+                      Fmt.epr "  %8d  %s::%s  %a@." hits m.Stm_ir.Ir.mcls
+                        m.Stm_ir.Ir.mname Stm_ir.Ir.pp_instr ins
+                  | None -> Fmt.epr "  %8d  site %d@." hits site)
+              out.Stm_ir.Interp.site_profile
+          end;
+          (match
+             ( r.Stm_runtime.Sched.status,
+               r.Stm_runtime.Sched.exns )
+           with
+          | Stm_runtime.Sched.Completed, [] -> 0
+          | _ -> 1)
+          end)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.jt")
+
+let config_arg =
+  Arg.(
+    value & opt string "strong-eager-dea"
+    & info [ "c"; "config" ] ~docv:"CFG"
+        ~doc:
+          "STM configuration: weak-eager, weak-lazy, strong-eager, strong-lazy, strong-eager-dea, strong-lazy-dea, quiesce-eager, quiesce-lazy.")
+
+let opt_arg =
+  Arg.(
+    value & opt string "O2"
+    & info [ "O"; "opt" ] ~docv:"LEVEL" ~doc:"JIT level: O0, O1, O2.")
+
+let nait_arg =
+  Arg.(value & flag & info [ "nait" ] ~doc:"Run the whole-program NAIT + TL barrier removal.")
+
+let params_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "P"; "param" ] ~docv:"NAME=INT"
+        ~doc:"Value for the program's param(\"name\") builtin; repeatable.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print execution statistics.")
+
+let races_arg =
+  Arg.(
+    value & flag
+    & info [ "detect-races" ]
+        ~doc:
+          "Isolation barriers raise on transactional/non-transactional conflicts instead of backing off (the paper's debugging mode).")
+
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:"Count executions of each access site's non-transactional path and report the hottest sites.")
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ] ~doc:"Print STM events (txn lifecycle, conflicts, publications) to stderr.")
+
+let granule_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "granule" ] ~docv:"N" ~doc:"Versioning granularity (fields per granule).")
+
+let explore_arg =
+  Arg.(
+    value & flag
+    & info [ "explore" ]
+        ~doc:
+          "Systematically explore schedules (preemption-bounded DFS) instead of one run; reports every distinct printed outcome. Non-zero exit if the outcome is schedule-dependent.")
+
+let pct_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "pct" ] ~docv:"RUNS"
+        ~doc:"Explore with probabilistic concurrency testing for RUNS randomized runs.")
+
+let cmd =
+  let doc = "run a Jt program on the strong-atomicity STM" in
+  Cmd.v (Cmd.info "stm_run" ~doc)
+    Term.(
+      const main $ file_arg $ config_arg $ opt_arg $ nait_arg $ params_arg
+      $ verbose_arg $ races_arg $ granule_arg $ trace_arg $ profile_arg
+      $ explore_arg $ pct_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,116 @@
+(* Data handoff: the motivating scenario for the NAIT analysis
+   (Section 5) - objects transferred between threads through a
+   transactional queue. The queue needs isolation barriers; the items
+   passed through it do not, but only NAIT can prove that: the items are
+   thread-SHARED (they move between threads), so thread-local analysis
+   keeps every barrier on them.
+
+   Run with:  dune exec examples/data_handoff.exe *)
+
+open Stm_analysis
+
+let src =
+  {|
+class Item { int payload; int checksum; }
+class Queue {
+  static Item[] slots;
+  static int head;
+  static int tail;
+}
+class Producer extends Thread {
+  int count;
+  void run() {
+    for (int i = 0; i < count; i++) {
+      Item it = new Item();
+      it.payload = i * 3;            // plain stores: never in a txn
+      it.checksum = i * 3 + 1;
+      atomic {
+        Queue.slots[Queue.tail % Queue.slots.length] = it;
+        Queue.tail = Queue.tail + 1;
+      }
+    }
+  }
+}
+class Consumer extends Thread {
+  int count;
+  int sum;
+  void run() {
+    int got = 0;
+    while (got < count) {
+      Item it = null;
+      atomic {
+        if (Queue.head < Queue.tail) {
+          it = Queue.slots[Queue.head % Queue.slots.length];
+          Queue.head = Queue.head + 1;
+        }
+      }
+      if (it != null) {
+        assert(it.checksum == it.payload + 1);   // plain loads
+        sum = sum + it.payload;
+        got = got + 1;
+      } else {
+        tick(60);  // polling back-off while the queue is empty
+      }
+    }
+  }
+}
+class Main {
+  static void main() {
+    int n = param("items");
+    Queue.slots = new Item[64];
+    Producer p = new Producer();
+    p.count = n;
+    Consumer c = new Consumer();
+    c.count = n;
+    // hand the items off in two phases so the makespan comparison is
+    // not dominated by queue-polling dynamics
+    int pt = spawn(p);
+    join(pt);
+    int ct = spawn(c);
+    join(ct);
+    print(c.sum);
+  }
+}
+|}
+
+let barrier_stats prog cfg =
+  let out =
+    Stm_ir.Interp.run ~cfg ~params:[ ("items", 50) ] prog
+  in
+  (match out.Stm_ir.Interp.result.Stm_runtime.Sched.exns with
+  | [] -> ()
+  | (tid, e) :: _ ->
+      Fmt.failwith "thread %d raised %s" tid (Printexc.to_string e));
+  out
+
+let () =
+  Fmt.pr "Producer/consumer data handoff through a transactional queue@.@.";
+
+  (* static picture: what each analysis removes *)
+  let prog = Stm_jtlang.Jt.compile ~name:"data_handoff" src in
+  Fmt.pr "%a@." Barrier_stats.pp_table
+    (Barrier_stats.count ~name:"handoff" prog);
+
+  (* dynamic picture: barriers actually executed *)
+  let cfg = Stm_core.Config.eager_strong in
+  let baseline = barrier_stats (Stm_jtlang.Jt.compile src) cfg in
+  let optimized_prog = Stm_jtlang.Jt.compile src in
+  let pta = Pta.analyze optimized_prog in
+  let removed = Nait.apply optimized_prog pta in
+  let optimized = barrier_stats optimized_prog cfg in
+  let b s = s.Stm_core.Stats.barrier_reads + s.Stm_core.Stats.barrier_writes in
+  Fmt.pr "checksum (both runs): %s = %s@."
+    (String.concat "," baseline.Stm_ir.Interp.prints)
+    (String.concat "," optimized.Stm_ir.Interp.prints);
+  Fmt.pr "barriers executed, strong atomicity unoptimized : %d@."
+    (b baseline.Stm_ir.Interp.stats);
+  Fmt.pr "barriers executed, after NAIT (%d sites removed) : %d@." removed
+    (b optimized.Stm_ir.Interp.stats);
+  Fmt.pr "cycles: %d -> %d@."
+    baseline.Stm_ir.Interp.result.Stm_runtime.Sched.makespan
+    optimized.Stm_ir.Interp.result.Stm_runtime.Sched.makespan;
+  Fmt.pr
+    "@.NAIT removes the barriers on the items' fields (they are never@.\
+     accessed inside a transaction) while keeping the queue protected;@.\
+     the thread-local analysis can remove none of them, because the items@.\
+     are reachable from two threads (TL-NAIT column = 0, NAIT-TL > 0).@."

@@ -1,0 +1,1 @@
+lib/analysis/barrier_stats.ml: Fmt Hashtbl List Nait Option Pta Thread_local

@@ -1,0 +1,1 @@
+lib/analysis/barrier_stats.mli: Format Stm_ir

@@ -1,0 +1,1 @@
+lib/analysis/nait.ml: Hashtbl Ir Pta Stm_ir

@@ -1,0 +1,1 @@
+lib/analysis/nait.mli: Pta Stm_ir

@@ -1,0 +1,1 @@
+lib/analysis/pta.ml: Array Hashtbl Int Ir List Option Set Stm_ir String

@@ -1,0 +1,1 @@
+lib/analysis/pta.mli: Set Stm_ir

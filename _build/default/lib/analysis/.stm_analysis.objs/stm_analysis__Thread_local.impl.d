@@ -1,0 +1,1 @@
+lib/analysis/thread_local.ml: Hashtbl Ir Pta Stm_ir

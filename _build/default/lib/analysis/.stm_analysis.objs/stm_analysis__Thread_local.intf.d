@@ -1,0 +1,1 @@
+lib/analysis/thread_local.mli: Pta Stm_ir

@@ -1,0 +1,51 @@
+type row = {
+  program : string;
+  kind : [ `Read | `Write ];
+  total : int;
+  nait_only : int;
+  tl_only : int;
+  combined : int;
+}
+
+let count ~name prog =
+  let pta = Pta.analyze prog in
+  let totals = Hashtbl.create 2 in
+  let bump key = Hashtbl.replace totals key (1 + Option.value ~default:0 (Hashtbl.find_opt totals key)) in
+  Pta.iter_sites pta (fun info ->
+      (* count only reachable non-transactional code; skip the
+         clinit-own-statics accesses (removal there is trivially sound) *)
+      if Pta.site_reachable pta Pta.Nontxn info.Pta.site
+         && not info.Pta.clinit_own
+      then begin
+        let n = Nait.decide pta info in
+        let t = Thread_local.decide pta info in
+        bump (info.Pta.kind, `Total);
+        if n.Nait.removable && not t.Thread_local.removable then
+          bump (info.Pta.kind, `Nait_only);
+        if t.Thread_local.removable && not n.Nait.removable then
+          bump (info.Pta.kind, `Tl_only);
+        if n.Nait.removable || t.Thread_local.removable then
+          bump (info.Pta.kind, `Combined)
+      end);
+  let get kind what = Option.value ~default:0 (Hashtbl.find_opt totals (kind, what)) in
+  List.map
+    (fun kind ->
+      {
+        program = name;
+        kind;
+        total = get kind `Total;
+        nait_only = get kind `Nait_only;
+        tl_only = get kind `Tl_only;
+        combined = get kind `Combined;
+      })
+    [ `Read; `Write ]
+
+let pp_table ppf rows =
+  Fmt.pf ppf "%-12s %-6s %8s %10s %10s %10s@." "program" "type" "total"
+    "NAIT-TL" "TL-NAIT" "TL+NAIT";
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "%-12s %-6s %8d %10d %10d %10d@." r.program
+        (match r.kind with `Read -> "read" | `Write -> "write")
+        r.total r.nait_only r.tl_only r.combined)
+    rows

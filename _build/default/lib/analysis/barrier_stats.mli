@@ -1,0 +1,22 @@
+(** Static barrier-removal counting — regenerates Figure 13.
+
+    For each benchmark program, counts the non-transactional read and
+    write barriers in reachable code (excluding, as the paper does,
+    unreachable methods and clinit accesses to the class's own statics)
+    and how many are removed by NAIT but not TL, by TL but not NAIT, and
+    by the two combined. *)
+
+type row = {
+  program : string;
+  kind : [ `Read | `Write ];
+  total : int;  (** barriers in reachable non-transactional code *)
+  nait_only : int;  (** removed by NAIT but not TL *)
+  tl_only : int;  (** removed by TL but not NAIT *)
+  combined : int;  (** removed by TL + NAIT together *)
+}
+
+val count : name:string -> Stm_ir.Ir.program -> row list
+(** Analyze the program and return its read row and write row. *)
+
+val pp_table : Format.formatter -> row list -> unit
+(** Figure 13-shaped table. *)

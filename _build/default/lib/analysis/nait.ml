@@ -1,0 +1,54 @@
+open Stm_ir
+
+type decision = { removable : bool; reason : string }
+
+let decide pta (info : Pta.site_info) =
+  if info.Pta.clinit_own then { removable = true; reason = "clinit" }
+  else if not (Pta.site_reachable pta Pta.Nontxn info.Pta.site) then
+    { removable = true; reason = "unreachable" }
+  else begin
+    let objs = Pta.site_objs pta Pta.Nontxn info.Pta.site in
+    let conflicting =
+      match info.Pta.kind with
+      | `Read -> Pta.ISet.exists (fun o -> Pta.written_in_txn pta o) objs
+      | `Write ->
+          Pta.ISet.exists
+            (fun o -> Pta.written_in_txn pta o || Pta.read_in_txn pta o)
+            objs
+    in
+    if conflicting then { removable = false; reason = "txn-conflict" }
+    else { removable = true; reason = "nait" }
+  end
+
+let apply_txn_reads prog pta =
+  let marked = ref 0 in
+  let removable = Hashtbl.create 64 in
+  Pta.iter_sites pta (fun info ->
+      if info.Pta.kind = `Read && Pta.site_reachable pta Pta.Txn info.Pta.site
+      then begin
+        let objs = Pta.site_objs pta Pta.Txn info.Pta.site in
+        if not (Pta.ISet.exists (fun o -> Pta.written_in_txn pta o) objs) then
+          Hashtbl.replace removable info.Pta.site ()
+      end);
+  Ir.iter_methods prog (fun m ->
+      Ir.iter_access_notes m (fun _ note ->
+          if Hashtbl.mem removable note.Ir.site && not note.Ir.txn_unlogged
+          then begin
+            note.Ir.txn_unlogged <- true;
+            incr marked
+          end));
+  !marked
+
+let apply prog pta =
+  let removed = ref 0 in
+  let decisions = Hashtbl.create 256 in
+  Pta.iter_sites pta (fun info ->
+      Hashtbl.replace decisions info.Pta.site (decide pta info));
+  Ir.iter_methods prog (fun m ->
+      Ir.iter_access_notes m (fun _ note ->
+          match (note.Ir.barrier, Hashtbl.find_opt decisions note.Ir.site) with
+          | Ir.Bar_auto, Some { removable = true; reason } ->
+              note.Ir.barrier <- Ir.Bar_removed reason;
+              incr removed
+          | _ -> ()));
+  !removed

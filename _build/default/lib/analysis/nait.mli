@@ -1,0 +1,36 @@
+(** Static not-accessed-in-transaction analysis (paper Section 5,
+    Figure 12).
+
+    Decision rule, per non-transactional access site (using the
+    not-in-transaction points-to set):
+    - a {e load} needs no barrier if no object it may access is written
+      inside any transaction;
+    - a {e store} needs no barrier if no object it may access is read or
+      written inside any transaction;
+    - accesses to a class's own statics inside its [clinit] need no
+      barrier (class-initialization semantics).
+
+    Our conflict detection is object-granular, so the
+    accessed-in-transaction facts are tracked per abstract object —
+    automatically accounting for the versioning-granularity caveat of
+    Section 2.4. *)
+
+type decision = { removable : bool; reason : string }
+
+val decide : Pta.t -> Pta.site_info -> decision
+(** Decision for one access site. Sites unreachable as non-transactional
+    code are trivially removable with reason ["unreachable"]. *)
+
+val apply : Stm_ir.Ir.program -> Pta.t -> int
+(** Rewrite [Bar_auto] notes to [Bar_removed "nait"] for every removable
+    site. Returns the number of barriers removed. Leaves notes already
+    rewritten by other passes untouched. *)
+
+val apply_txn_reads : Stm_ir.Ir.program -> Pta.t -> int
+(** The Section 5.2 extension: mark transactional reads whose
+    in-transaction points-to set contains no object written in any
+    transaction as needing no open-for-read barrier (no version logging,
+    no validation entry). The paper notes this is sound under weak
+    atomicity only — a non-transactional writer could otherwise slip past
+    commit-time validation — and the interpreter honours the mark only in
+    weak configurations. Returns the number of sites marked. *)

@@ -1,0 +1,27 @@
+open Stm_ir
+
+type decision = { removable : bool; reason : string }
+
+let decide pta (info : Pta.site_info) =
+  if not (Pta.site_reachable pta Pta.Nontxn info.Pta.site) then
+    { removable = true; reason = "unreachable" }
+  else begin
+    let objs = Pta.site_objs pta Pta.Nontxn info.Pta.site in
+    let shared = Pta.ISet.exists (fun o -> Pta.thread_shared pta o) objs in
+    if shared then { removable = false; reason = "shared" }
+    else { removable = true; reason = "tl" }
+  end
+
+let apply prog pta =
+  let removed = ref 0 in
+  let decisions = Hashtbl.create 256 in
+  Pta.iter_sites pta (fun info ->
+      Hashtbl.replace decisions info.Pta.site (decide pta info));
+  Ir.iter_methods prog (fun m ->
+      Ir.iter_access_notes m (fun _ note ->
+          match (note.Ir.barrier, Hashtbl.find_opt decisions note.Ir.site) with
+          | Ir.Bar_auto, Some { removable = true; reason } ->
+              note.Ir.barrier <- Ir.Bar_removed reason;
+              incr removed
+          | _ -> ()));
+  !removed

@@ -1,0 +1,17 @@
+(** Thread-local (TL) analysis — the paper's comparison baseline
+    (Section 5, Figure 13).
+
+    A non-transactional access needs no barrier if every object it may
+    access is thread-local, i.e. not reachable from a static field or
+    from a thread object. This is the classic synchronization-removal
+    escape analysis; the paper shows NAIT subsumes almost all of its
+    removals and finds many more (data handed off between threads through
+    transactional queues, fields of [Thread] subclasses, ...). *)
+
+type decision = { removable : bool; reason : string }
+
+val decide : Pta.t -> Pta.site_info -> decision
+
+val apply : Stm_ir.Ir.program -> Pta.t -> int
+(** Rewrite removable sites' notes to [Bar_removed "tl"]; returns the
+    count. *)

@@ -1,0 +1,1 @@
+lib/core/barriers.ml: Atomic Config Conflict Cost Dea Heap Sched Stats Stm_runtime Txrec

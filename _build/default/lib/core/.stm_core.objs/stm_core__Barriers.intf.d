@@ -1,0 +1,1 @@
+lib/core/barriers.mli: Config Heap Stats Stm_runtime

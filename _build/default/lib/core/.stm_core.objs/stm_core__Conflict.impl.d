@@ -1,0 +1,1 @@
+lib/core/conflict.ml: Config Cost Heap Sched Stats Stm_runtime Trace

@@ -1,0 +1,1 @@
+lib/core/conflict.mli: Config Stats Stm_runtime

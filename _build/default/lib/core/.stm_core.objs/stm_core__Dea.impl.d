@@ -1,0 +1,1 @@
+lib/core/dea.ml: Array Atomic Cost Heap Sched Stats Stm_runtime Trace Txrec

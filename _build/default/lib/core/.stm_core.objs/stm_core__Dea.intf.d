@@ -1,0 +1,1 @@
+lib/core/dea.mli: Stats Stm_runtime

@@ -1,0 +1,1 @@
+lib/core/quiesce.ml: List Sched Stm_runtime

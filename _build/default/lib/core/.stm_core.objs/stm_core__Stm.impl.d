@@ -1,0 +1,1 @@
+lib/core/stm.ml: Atomic Barriers Config Conflict Cost Dea Fun Hashtbl Heap List Sched Stats Stm_runtime Txn Txrec

@@ -1,0 +1,1 @@
+lib/core/stm.mli: Config Heap Sched Stats Stm_runtime

@@ -1,0 +1,1 @@
+lib/core/txn.ml: Array Atomic Config Conflict Cost Dea Hashtbl Heap List Option Quiesce Sched Stats Stm_runtime Trace Txrec

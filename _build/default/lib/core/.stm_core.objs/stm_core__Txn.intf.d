@@ -1,0 +1,1 @@
+lib/core/txn.mli: Config Heap Quiesce Stats Stm_runtime

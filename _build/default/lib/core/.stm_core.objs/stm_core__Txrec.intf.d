@@ -1,0 +1,1 @@
+lib/core/txrec.mli: Format

@@ -1,0 +1,125 @@
+open Stm_runtime
+
+(* Figure 9a / 10a. *)
+let read (cfg : Config.t) (stats : Stats.t) (obj : Heap.obj) fld =
+  let cost = cfg.cost in
+  stats.Stats.barrier_reads <- stats.Stats.barrier_reads + 1;
+  Sched.tick cost.Cost.barrier_entry;
+  let rec loop attempt =
+    (* mov ecx, [TxRec] *)
+    let w1 = Atomic.get obj.Heap.txrec in
+    Sched.tick cost.Cost.plain_load;
+    Sched.yield ();
+    (* mov eax, [addr] *)
+    let v = Heap.get obj fld in
+    Sched.tick cost.Cost.plain_load;
+    Sched.yield ();
+    (* cmp ecx, -1 ; jeq readDone   (optional DEA fast path) *)
+    if cfg.dea && cfg.read_privacy_check && Txrec.is_private w1 then begin
+      stats.Stats.barrier_private_hits <- stats.Stats.barrier_private_hits + 1;
+      v
+    end
+    else if not (Txrec.readable_bit w1) then begin
+      (* test ecx, 2 ; jz readConflict *)
+      Conflict.handle cfg stats ~attempt ~writer:false obj;
+      loop (attempt + 1)
+    end
+    else if cfg.detect_nontxn_races && not (Txrec.btr_acquirable w1) then begin
+      (* footnote 2: bit 0 clear means some writer - transactional or
+         not - holds the record; report the race between two
+         non-transactional threads too *)
+      Conflict.handle cfg stats ~attempt ~writer:false obj;
+      loop (attempt + 1)
+    end
+    else begin
+      (* cmp ecx, [TxRec] ; jne readConflict *)
+      let w2 = Atomic.get obj.Heap.txrec in
+      Sched.tick cost.Cost.plain_load;
+      if w2 <> w1 then begin
+        Conflict.handle cfg stats ~attempt ~writer:false obj;
+        loop (attempt + 1)
+      end
+      else v
+    end
+  in
+  loop 0
+
+(* Section 3.3: test [TxRec], 2 ; jz readConflict ; mov eax, [addr]. *)
+let read_ordering (cfg : Config.t) (stats : Stats.t) (obj : Heap.obj) fld =
+  let cost = cfg.cost in
+  stats.Stats.barrier_reads <- stats.Stats.barrier_reads + 1;
+  Sched.tick cost.Cost.barrier_entry;
+  let rec loop attempt =
+    let w = Atomic.get obj.Heap.txrec in
+    Sched.tick cost.Cost.plain_load;
+    if not (Txrec.readable_bit w) then begin
+      Conflict.handle cfg stats ~attempt ~writer:false obj;
+      loop (attempt + 1)
+    end
+    else begin
+      Sched.yield ();
+      let v = Heap.get obj fld in
+      Sched.tick cost.Cost.plain_load;
+      v
+    end
+  in
+  loop 0
+
+(* The BTR acquire loop shared by the write barrier and by aggregated
+   barriers. Returns the word that was current when ownership was taken
+   (the private word if the DEA fast path hit). *)
+let acquire_anon (cfg : Config.t) (stats : Stats.t) (obj : Heap.obj) =
+  let cost = cfg.cost in
+  let rec loop attempt =
+    let w = Atomic.get obj.Heap.txrec in
+    Sched.tick cost.Cost.plain_load;
+    (* cmp [TxRec], -1 ; jeq privateWrite *)
+    if cfg.dea && Txrec.is_private w then begin
+      stats.Stats.barrier_private_hits <- stats.Stats.barrier_private_hits + 1;
+      w
+    end
+    else if Txrec.btr_acquirable w then begin
+      (* lock btr [TxRec], 0 *)
+      stats.Stats.atomic_ops <- stats.Stats.atomic_ops + 1;
+      Sched.tick cost.Cost.atomic_rmw;
+      Sched.yield ();
+      if Atomic.compare_and_set obj.Heap.txrec w (w - 1) then w - 1
+      else loop attempt
+    end
+    else begin
+      (* jnc writeConflict *)
+      Conflict.handle cfg stats ~attempt ~writer:true obj;
+      loop (attempt + 1)
+    end
+  in
+  loop 0
+
+let release_anon (cfg : Config.t) (obj : Heap.obj) w =
+  if not (Txrec.is_private w) then begin
+    (* add [TxRec], 9 *)
+    Atomic.set obj.Heap.txrec (w + Txrec.release_delta);
+    Sched.tick cfg.cost.Cost.plain_store
+  end
+
+(* Figure 9b / 10b. *)
+let write (cfg : Config.t) (stats : Stats.t) (obj : Heap.obj) fld v =
+  let cost = cfg.cost in
+  stats.Stats.barrier_writes <- stats.Stats.barrier_writes + 1;
+  Sched.tick cost.Cost.barrier_entry;
+  let w = acquire_anon cfg stats obj in
+  if Txrec.is_private w then begin
+    (* privateWrite: mov [addr], val *)
+    Heap.set obj fld v;
+    Sched.tick cost.Cost.plain_store
+  end
+  else begin
+    (* publish the stored reference if it leads to private objects
+       (asterisked instructions of Figure 10b, reference stores only) *)
+    if cfg.dea then Dea.publish_value stats cost v;
+    Sched.yield ();
+    (* mov [addr], val *)
+    Heap.set obj fld v;
+    Sched.tick cost.Cost.plain_store;
+    Sched.yield ();
+    release_anon cfg obj w
+  end

@@ -1,0 +1,61 @@
+type versioning = Eager | Lazy
+type conflict_policy = Backoff | Raise_error
+type txn_conflict_policy = Suicide | Wound_wait
+
+type t = {
+  versioning : versioning;
+  strong : bool;
+  strong_reads : bool;
+  strong_writes : bool;
+  dea : bool;
+  read_privacy_check : bool;
+  granule : int;
+  detect_nontxn_races : bool;
+  quiescence : bool;
+  conflict : conflict_policy;
+  txn_conflict : txn_conflict_policy;
+  max_txn_retries : int;
+  validate_every : int;
+  cost : Stm_runtime.Cost.t;
+}
+
+let base =
+  {
+    versioning = Eager;
+    strong = false;
+    strong_reads = true;
+    strong_writes = true;
+    dea = false;
+    read_privacy_check = true;
+    granule = 1;
+    detect_nontxn_races = false;
+    quiescence = false;
+    conflict = Backoff;
+    txn_conflict = Suicide;
+    max_txn_retries = 8;
+    validate_every = 128;
+    cost = Stm_runtime.Cost.default;
+  }
+
+let eager_weak = base
+let lazy_weak = { base with versioning = Lazy }
+let eager_strong = { base with strong = true }
+let lazy_strong = { base with versioning = Lazy; strong = true }
+let with_dea t = { t with dea = true; read_privacy_check = true }
+let with_granule granule t = { t with granule }
+let with_quiescence t = { t with quiescence = true }
+let with_wound_wait t = { t with txn_conflict = Wound_wait }
+
+let describe t =
+  let b = Buffer.create 32 in
+  Buffer.add_string b (match t.versioning with Eager -> "eager" | Lazy -> "lazy");
+  Buffer.add_string b (if t.strong then "+strong" else "+weak");
+  if t.strong && not t.strong_reads then Buffer.add_string b "(writes-only)";
+  if t.strong && not t.strong_writes then Buffer.add_string b "(reads-only)";
+  if t.dea then Buffer.add_string b "+dea";
+  if t.quiescence then Buffer.add_string b "+quiesce";
+  if t.granule > 1 then Buffer.add_string b (Printf.sprintf "+granule%d" t.granule);
+  if t.txn_conflict = Wound_wait then Buffer.add_string b "+woundwait";
+  Buffer.contents b
+
+let pp ppf t = Fmt.string ppf (describe t)

@@ -1,0 +1,83 @@
+(** STM system configuration.
+
+    A configuration picks one point in the design space the paper
+    explores: version management (eager McRT-style vs lazy), atomicity
+    (weak vs strong), the dynamic-escape-analysis barrier variants, the
+    version-management granularity (Section 2.4), and the quiescence
+    alternative (Section 3.4). *)
+
+type versioning =
+  | Eager  (** in-place updates + undo log (McRT-STM, the paper's base) *)
+  | Lazy  (** private write buffer, write-back after commit *)
+
+type conflict_policy =
+  | Backoff  (** exponential back-off and retry (the paper's default) *)
+  | Raise_error
+      (** signal the race by raising {!Conflict.Isolation_violation}
+          — the paper's "barriers can aid in debugging" mode *)
+
+(** Contention management between transactions (how open-for-write
+    resolves a record owned by another transaction). *)
+type txn_conflict_policy =
+  | Suicide
+      (** back off and, after the retry budget, abort self (the McRT
+          default the paper uses) *)
+  | Wound_wait
+      (** older transaction wounds (kills) a younger owner; younger
+          waits for an older owner — deadlock-free by construction *)
+
+type t = {
+  versioning : versioning;
+  strong : bool;  (** insert non-transactional isolation barriers *)
+  strong_reads : bool;
+      (** insert read barriers (Figure 16 measures reads only) *)
+  strong_writes : bool;
+      (** insert write barriers (Figure 17 measures writes only) *)
+  dea : bool;  (** dynamic escape analysis: allocate objects private *)
+  read_privacy_check : bool;
+      (** the optional private-object fast path in the read barrier
+          (Figure 10a, italicized instructions) *)
+  granule : int;
+      (** fields per undo-log / write-buffer granule; 1 = exact field
+          granularity, >1 models the coarse-grained versioning of
+          Section 2.4 (GLU / GIR anomalies) *)
+  detect_nontxn_races : bool;
+      (** footnote 2 of Section 3.1: the read barrier can also detect
+          conflicts between two non-transactional threads by checking the
+          lowest-order bit (a concurrent writer of either kind holds it
+          clear); off by default since such races violate no
+          transaction's isolation *)
+  quiescence : bool;  (** commit-time quiescence (Section 3.4) *)
+  conflict : conflict_policy;
+  txn_conflict : txn_conflict_policy;
+  max_txn_retries : int;
+      (** open-for-write back-offs before a transaction aborts itself *)
+  validate_every : int;
+      (** re-validate the read set every N transactional accesses so that
+          doomed transactions cannot run unboundedly on inconsistent
+          data *)
+  cost : Stm_runtime.Cost.t;
+}
+
+val base : t
+(** Weakly-atomic eager-versioning McRT-style STM: the paper's starting
+    point. Strong atomicity and all optimizations off; field-granular
+    versioning; back-off conflict policy. *)
+
+val eager_weak : t
+val lazy_weak : t
+
+val eager_strong : t
+(** Strong atomicity with no optimizations (the "Strong Atom NoOpts"
+    series). *)
+
+val lazy_strong : t
+
+val with_dea : t -> t
+(** Enable dynamic escape analysis (+ read privacy check). *)
+
+val with_granule : int -> t -> t
+val with_quiescence : t -> t
+val with_wound_wait : t -> t
+val pp : Format.formatter -> t -> unit
+val describe : t -> string

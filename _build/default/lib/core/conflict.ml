@@ -1,0 +1,35 @@
+open Stm_runtime
+
+exception
+  Isolation_violation of { cls : string; oid : int; writer : bool }
+
+let backoff_delay (cost : Cost.t) ~attempt =
+  let shift = min attempt 16 in
+  min (cost.backoff_base * (1 lsl shift)) (max cost.backoff_base cost.backoff_cap)
+
+(* Deterministic per-thread jitter: symmetric contenders that back off by
+   identical delays re-collide in lockstep forever (the classic livelock
+   randomized backoff prevents); salting the delay with the thread id
+   breaks the symmetry while keeping runs reproducible. *)
+let jittered_delay cost ~attempt =
+  let d = backoff_delay cost ~attempt in
+  let tid = if Sched.running () then Sched.self () else 0 in
+  d + (d * (tid land 7) / 8) + tid
+
+let handle (cfg : Config.t) (stats : Stats.t) ~attempt ~writer (obj : Heap.obj) =
+  stats.Stats.conflicts <- stats.Stats.conflicts + 1;
+  Trace.emit
+    (lazy
+      (Trace.Conflict
+         {
+           tid = (if Sched.running () then Sched.self () else -1);
+           oid = obj.Heap.oid;
+           cls = obj.Heap.cls;
+           writer;
+         }));
+  match cfg.conflict with
+  | Config.Raise_error ->
+      raise (Isolation_violation { cls = obj.Heap.cls; oid = obj.Heap.oid; writer })
+  | Config.Backoff ->
+      Sched.tick (jittered_delay cfg.cost ~attempt);
+      Sched.yield ()

@@ -1,0 +1,41 @@
+open Stm_runtime
+
+let is_private (o : Heap.obj) = Txrec.is_private (Atomic.get o.Heap.txrec)
+
+(* publishObject, Figure 11. Objects are marked public *when first
+   encountered* (before their slots are scanned) so cycles of private
+   objects cannot loop. *)
+let publish (stats : Stats.t) (cost : Cost.t) (root : Heap.obj) =
+  if is_private root then begin
+    Sched.tick cost.Cost.publish_base;
+    let mark_stack = ref [] in
+    let mark (o : Heap.obj) =
+      Atomic.set o.Heap.txrec (Txrec.shared 0);
+      stats.Stats.publishes <- stats.Stats.publishes + 1;
+      Trace.emit (lazy (Trace.Publish { oid = o.Heap.oid; cls = o.Heap.cls }));
+      Sched.tick cost.Cost.publish_per_obj;
+      mark_stack := o :: !mark_stack
+    in
+    mark root;
+    let rec drain () =
+      match !mark_stack with
+      | [] -> ()
+      | o :: rest ->
+          mark_stack := rest;
+          Array.iter
+            (function
+              | Heap.Vref slot when is_private slot -> mark slot
+              | Heap.Vunit | Heap.Vnull | Heap.Vbool _ | Heap.Vint _
+              | Heap.Vfloat _ | Heap.Vstr _ | Heap.Vref _ ->
+                  ())
+            o.Heap.fields;
+          drain ()
+    in
+    drain ()
+  end
+
+let publish_value stats cost = function
+  | Heap.Vref o -> publish stats cost o
+  | Heap.Vunit | Heap.Vnull | Heap.Vbool _ | Heap.Vint _ | Heap.Vfloat _
+  | Heap.Vstr _ ->
+      ()

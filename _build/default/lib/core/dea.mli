@@ -1,0 +1,23 @@
+(** Dynamic escape analysis (paper Section 4).
+
+    A freshly allocated object is {e private} (its transaction record is
+    the all-ones word) and visible to one thread only; barriers on private
+    objects skip all synchronization. An object is {e published} — made
+    public, permanently — when a reference to it is written into a public
+    object or a static field. Publication runs the [publishObject]
+    algorithm of Figure 11: the whole graph of private objects reachable
+    from the published root is marked public with an explicit mark stack,
+    in the same way a stop-the-world collector traverses the heap. *)
+
+val is_private : Stm_runtime.Heap.obj -> bool
+
+val publish : Stats.t -> Stm_runtime.Cost.t -> Stm_runtime.Heap.obj -> unit
+(** Mark the object and every private object reachable from it public.
+    Idempotent; termination follows the paper's argument (each step
+    strictly decreases the number of reachable private objects; public
+    objects stop the traversal). *)
+
+val publish_value : Stats.t -> Stm_runtime.Cost.t -> Stm_runtime.Heap.value -> unit
+(** Publish the referenced object if the value is a reference to a private
+    object; no-op otherwise. This is the check the write barrier performs
+    on reference-type stores (Figure 10b, asterisked instructions). *)

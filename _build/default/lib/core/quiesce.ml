@@ -1,0 +1,57 @@
+open Stm_runtime
+
+type participant = { pid : int; mutable consistent_at : int }
+
+type t = {
+  mutable epoch : int;
+  mutable next_pid : int;
+  mutable active : participant list;
+  mutable next_ticket : int;
+  mutable retired_upto : int;  (* all tickets < retired_upto are done *)
+}
+
+let create () =
+  { epoch = 0; next_pid = 0; active = []; next_ticket = 0; retired_upto = 0 }
+
+let register t =
+  let p = { pid = t.next_pid; consistent_at = t.epoch } in
+  t.next_pid <- t.next_pid + 1;
+  t.active <- p :: t.active;
+  p
+
+let deregister t p = t.active <- List.filter (fun q -> q.pid <> p.pid) t.active
+
+let mark_consistent t p = p.consistent_at <- t.epoch
+
+let commit_epoch_wait t me =
+  t.epoch <- t.epoch + 1;
+  let target = t.epoch in
+  let others_ready () =
+    List.for_all
+      (fun p -> p.pid = me.pid || p.consistent_at >= target)
+      t.active
+  in
+  while not (others_ready ()) do
+    (* a fully validated committer is itself consistent at any epoch:
+       keep refreshing so concurrent committers never wait on each other *)
+    me.consistent_at <- t.epoch;
+    Sched.tick 5;
+    Sched.yield ()
+  done
+
+let take_ticket t =
+  let n = t.next_ticket in
+  t.next_ticket <- n + 1;
+  n
+
+let await_turn t ticket =
+  while t.retired_upto < ticket do
+    Sched.tick 5;
+    Sched.yield ()
+  done
+
+let retire_ticket t ticket =
+  assert (ticket = t.retired_upto);
+  t.retired_upto <- ticket + 1
+
+let epoch t = t.epoch

@@ -1,0 +1,75 @@
+type t = {
+  mutable commits : int;
+  mutable aborts : int;
+  mutable txn_reads : int;
+  mutable txn_writes : int;
+  mutable barrier_reads : int;
+  mutable barrier_writes : int;
+  mutable barrier_private_hits : int;
+  mutable atomic_ops : int;
+  mutable conflicts : int;
+  mutable publishes : int;
+  mutable validations : int;
+  mutable retries : int;
+  mutable wounds : int;
+  mutable quiesce_waits : int;
+}
+
+let create () =
+  {
+    commits = 0;
+    aborts = 0;
+    txn_reads = 0;
+    txn_writes = 0;
+    barrier_reads = 0;
+    barrier_writes = 0;
+    barrier_private_hits = 0;
+    atomic_ops = 0;
+    conflicts = 0;
+    publishes = 0;
+    validations = 0;
+    retries = 0;
+    wounds = 0;
+    quiesce_waits = 0;
+  }
+
+let reset t =
+  t.commits <- 0;
+  t.aborts <- 0;
+  t.txn_reads <- 0;
+  t.txn_writes <- 0;
+  t.barrier_reads <- 0;
+  t.barrier_writes <- 0;
+  t.barrier_private_hits <- 0;
+  t.atomic_ops <- 0;
+  t.conflicts <- 0;
+  t.publishes <- 0;
+  t.validations <- 0;
+  t.retries <- 0;
+  t.wounds <- 0;
+  t.quiesce_waits <- 0
+
+let add acc t =
+  acc.commits <- acc.commits + t.commits;
+  acc.aborts <- acc.aborts + t.aborts;
+  acc.txn_reads <- acc.txn_reads + t.txn_reads;
+  acc.txn_writes <- acc.txn_writes + t.txn_writes;
+  acc.barrier_reads <- acc.barrier_reads + t.barrier_reads;
+  acc.barrier_writes <- acc.barrier_writes + t.barrier_writes;
+  acc.barrier_private_hits <- acc.barrier_private_hits + t.barrier_private_hits;
+  acc.atomic_ops <- acc.atomic_ops + t.atomic_ops;
+  acc.conflicts <- acc.conflicts + t.conflicts;
+  acc.publishes <- acc.publishes + t.publishes;
+  acc.validations <- acc.validations + t.validations;
+  acc.retries <- acc.retries + t.retries;
+  acc.wounds <- acc.wounds + t.wounds;
+  acc.quiesce_waits <- acc.quiesce_waits + t.quiesce_waits
+
+let pp ppf t =
+  Fmt.pf ppf
+    "commits=%d aborts=%d txn_r=%d txn_w=%d bar_r=%d bar_w=%d priv=%d \
+     atomics=%d conflicts=%d publishes=%d validations=%d retries=%d \
+     wounds=%d quiesce=%d"
+    t.commits t.aborts t.txn_reads t.txn_writes t.barrier_reads
+    t.barrier_writes t.barrier_private_hits t.atomic_ops t.conflicts
+    t.publishes t.validations t.retries t.wounds t.quiesce_waits

@@ -1,0 +1,31 @@
+(** Execution counters collected by the STM.
+
+    Every counter is cumulative over one simulated run; the benchmark
+    harness and the tests use them to check behaviour (e.g. that DEA
+    removes synchronized operations, or that a workload actually
+    conflicts). *)
+
+type t = {
+  mutable commits : int;
+  mutable aborts : int;
+  mutable txn_reads : int;
+  mutable txn_writes : int;
+  mutable barrier_reads : int;  (** non-txn read barriers executed *)
+  mutable barrier_writes : int;
+  mutable barrier_private_hits : int;
+      (** barriers that took the DEA private fast path *)
+  mutable atomic_ops : int;  (** CAS / BTR operations issued *)
+  mutable conflicts : int;  (** conflict-manager invocations *)
+  mutable publishes : int;  (** objects marked public by publishObject *)
+  mutable validations : int;
+  mutable retries : int;  (** user-initiated retry operations *)
+  mutable wounds : int;  (** wound-wait kills issued *)
+  mutable quiesce_waits : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+val add : t -> t -> unit
+(** [add acc t] accumulates [t] into [acc]. *)
+
+val pp : Format.formatter -> t -> unit

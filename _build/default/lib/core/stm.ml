@@ -1,0 +1,278 @@
+open Stm_runtime
+
+exception Not_installed
+exception Retry_outside_transaction
+
+type system = {
+  ctx : Txn.ctx;
+  current : (int, Txn.t) Hashtbl.t;  (* simulated tid -> active txn *)
+}
+
+let system : system option ref = ref None
+
+let get () = match !system with Some s -> s | None -> raise Not_installed
+
+let install (cfg : Config.t) =
+  if cfg.dea && not cfg.strong then
+    invalid_arg "Stm.install: DEA requires strong atomicity";
+  if cfg.granule < 1 then invalid_arg "Stm.install: granule must be >= 1";
+  system := Some { ctx = Txn.make_ctx cfg; current = Hashtbl.create 32 }
+
+let uninstall () = system := None
+let installed () = !system <> None
+let config () = Txn.cfg (get ()).ctx
+let stats () = Txn.stats (get ()).ctx
+
+let current_txn sys =
+  if Sched.running () then Hashtbl.find_opt sys.current (Sched.self ())
+  else None
+
+let in_txn () = current_txn (get ()) <> None
+
+(* ------------------------------------------------------------------ *)
+(* Allocation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let alloc ~cls n =
+  let sys = get () in
+  let cfg = Txn.cfg sys.ctx in
+  Sched.tick cfg.cost.Cost.alloc;
+  let txrec = if cfg.dea then Heap.private_txrec else Heap.shared_txrec0 in
+  Heap.alloc ~txrec ~cls n
+
+let alloc_array n init =
+  let sys = get () in
+  let cfg = Txn.cfg sys.ctx in
+  Sched.tick cfg.cost.Cost.alloc;
+  let txrec = if cfg.dea then Heap.private_txrec else Heap.shared_txrec0 in
+  Heap.alloc_array ~txrec n init
+
+let alloc_public ~cls n =
+  let sys = get () in
+  Sched.tick (Txn.cfg sys.ctx).cost.Cost.alloc;
+  Heap.alloc ~txrec:Heap.shared_txrec0 ~cls n
+
+let publish obj =
+  let sys = get () in
+  let cfg = Txn.cfg sys.ctx in
+  if cfg.dea then Dea.publish (Txn.stats sys.ctx) cfg.cost obj
+
+(* ------------------------------------------------------------------ *)
+(* Context-sensitive accesses                                          *)
+(* ------------------------------------------------------------------ *)
+
+let nontxn_read sys (obj : Heap.obj) fld =
+  let cfg = Txn.cfg sys.ctx in
+  if cfg.strong && cfg.strong_reads then
+    match cfg.versioning with
+    | Config.Eager -> Barriers.read cfg (Txn.stats sys.ctx) obj fld
+    | Config.Lazy -> Barriers.read_ordering cfg (Txn.stats sys.ctx) obj fld
+  else begin
+    (* direct access: any memory operation is a preemption point on a
+       real multiprocessor *)
+    Sched.yield ();
+    Sched.tick cfg.cost.Cost.plain_load;
+    Heap.get obj fld
+  end
+
+let nontxn_write sys (obj : Heap.obj) fld v =
+  let cfg = Txn.cfg sys.ctx in
+  if cfg.strong && cfg.strong_writes then
+    Barriers.write cfg (Txn.stats sys.ctx) obj fld v
+  else begin
+    (* Even under weak atomicity with DEA off, reference stores into the
+       heap never publish: objects are born public in that mode. *)
+    Sched.yield ();
+    Sched.tick cfg.cost.Cost.plain_store;
+    Heap.set obj fld v
+  end
+
+let read obj fld =
+  let sys = get () in
+  match current_txn sys with
+  | Some t -> Txn.txn_read sys.ctx t obj fld
+  | None -> nontxn_read sys obj fld
+
+let write obj fld v =
+  let sys = get () in
+  match current_txn sys with
+  | Some t -> Txn.txn_write sys.ctx t obj fld v
+  | None -> nontxn_write sys obj fld v
+
+let read_nobarrier obj fld =
+  let sys = get () in
+  match current_txn sys with
+  | Some t -> Txn.txn_read sys.ctx t obj fld
+  | None ->
+      Sched.yield ();
+      Sched.tick (Txn.cfg sys.ctx).cost.Cost.plain_load;
+      Heap.get obj fld
+
+let write_nobarrier obj fld v =
+  let sys = get () in
+  match current_txn sys with
+  | Some t -> Txn.txn_write sys.ctx t obj fld v
+  | None ->
+      let cfg = Txn.cfg sys.ctx in
+      (* Publication is a correctness duty, not part of the isolation
+         barrier: even at sites whose barrier the compiler removed, a
+         reference store into a public object must publish the referenced
+         private graph. *)
+      if cfg.dea && not (Dea.is_private obj) then
+        Dea.publish_value (Txn.stats sys.ctx) cfg.cost v;
+      Sched.yield ();
+      Sched.tick cfg.cost.Cost.plain_store;
+      Heap.set obj fld v
+
+(* ------------------------------------------------------------------ *)
+(* Transactions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let backoff_wait cfg attempt =
+  Sched.tick (Conflict.jittered_delay cfg.Config.cost ~attempt);
+  Sched.yield ()
+
+(* Wait until some member of the read-set snapshot changes version
+   (approximates the blocking retry of Harris et al.). *)
+let wait_for_change cfg snap =
+  match snap with
+  | [] -> Sched.yield ()
+  | _ ->
+      let changed () =
+        List.exists
+          (fun ((obj : Heap.obj), ver) ->
+            Atomic.get obj.Heap.txrec <> Txrec.shared ver)
+          snap
+      in
+      while not (changed ()) do
+        Sched.tick cfg.Config.cost.Cost.alu;
+        Sched.yield ()
+      done
+
+let atomic f =
+  let sys = get () in
+  let cfg = Txn.cfg sys.ctx in
+  match current_txn sys with
+  | Some t ->
+      (* closed nesting by flattening *)
+      Txn.set_depth t (Txn.depth t + 1);
+      Fun.protect ~finally:(fun () -> Txn.set_depth t (Txn.depth t - 1)) f
+  | None ->
+      let tid = Sched.self () in
+      let rec attempt n =
+        let txn = Txn.begin_txn sys.ctx in
+        Hashtbl.replace sys.current tid txn;
+        let cleanup () = Hashtbl.remove sys.current tid in
+        match f () with
+        | v -> (
+            match Txn.commit sys.ctx txn with
+            | () ->
+                cleanup ();
+                v
+            | exception Txn.Abort_txn ->
+                Txn.abort sys.ctx txn;
+                cleanup ();
+                backoff_wait cfg n;
+                attempt (n + 1))
+        | exception Txn.Abort_txn ->
+            Txn.abort sys.ctx txn;
+            cleanup ();
+            backoff_wait cfg n;
+            attempt (n + 1)
+        | exception Txn.Retry_request ->
+            let snap = Txn.reads_snapshot txn in
+            (Txn.stats sys.ctx).Stats.retries <-
+              (Txn.stats sys.ctx).Stats.retries + 1;
+            Txn.abort sys.ctx txn;
+            cleanup ();
+            wait_for_change cfg snap;
+            attempt n
+        | exception ex ->
+            Txn.abort sys.ctx txn;
+            cleanup ();
+            raise ex
+      in
+      attempt 0
+
+let atomic_open f =
+  let sys = get () in
+  let cfg = Txn.cfg sys.ctx in
+  let tid = Sched.self () in
+  match current_txn sys with
+  | None -> atomic f
+  | Some parent ->
+      let rec attempt n =
+        let txn = Txn.begin_txn ~parent sys.ctx in
+        Hashtbl.replace sys.current tid txn;
+        let restore () = Hashtbl.replace sys.current tid parent in
+        match f () with
+        | v -> (
+            match Txn.commit sys.ctx txn with
+            | () ->
+                restore ();
+                v
+            | exception Txn.Abort_txn ->
+                Txn.abort sys.ctx txn;
+                restore ();
+                backoff_wait cfg n;
+                attempt (n + 1))
+        | exception Txn.Abort_txn ->
+            Txn.abort sys.ctx txn;
+            restore ();
+            backoff_wait cfg n;
+            attempt (n + 1)
+        | exception ex ->
+            Txn.abort sys.ctx txn;
+            restore ();
+            raise ex
+      in
+      attempt 0
+
+let retry () =
+  if in_txn () then raise Txn.Retry_request
+  else raise Retry_outside_transaction
+
+let valid () =
+  let sys = get () in
+  match current_txn sys with
+  | Some t -> Txn.validate sys.ctx t
+  | None -> true
+
+let abort_and_retry () =
+  if in_txn () then raise Txn.Abort_txn
+  else invalid_arg "Stm.abort_and_retry: no enclosing transaction"
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run ?policy ?max_steps ~cfg main =
+  Heap.reset ();
+  install cfg;
+  Fun.protect ~finally:uninstall (fun () ->
+      let result = Sched.run ?max_steps ?policy main in
+      let snapshot = Stats.create () in
+      Stats.add snapshot (stats ());
+      (result, snapshot))
+
+(* ------------------------------------------------------------------ *)
+(* Value helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let vint i = Heap.Vint i
+let vbool b = Heap.Vbool b
+let vref o = Heap.Vref o
+
+let to_int = function
+  | Heap.Vint i -> i
+  | v -> invalid_arg ("Stm.to_int: " ^ Heap.show_value v)
+
+let to_bool = function
+  | Heap.Vbool b -> b
+  | v -> invalid_arg ("Stm.to_bool: " ^ Heap.show_value v)
+
+let to_obj = function
+  | Heap.Vref o -> o
+  | v -> invalid_arg ("Stm.to_obj: " ^ Heap.show_value v)
+
+let is_null = function Heap.Vnull -> true | _ -> false

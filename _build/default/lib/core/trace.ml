@@ -1,0 +1,32 @@
+type event =
+  | Txn_begin of { txid : int; tid : int }
+  | Txn_commit of { txid : int; tid : int; reads : int; writes : int }
+  | Txn_abort of { txid : int; tid : int; wounded : bool }
+  | Txn_wound of { victim : int; by : int }
+  | Conflict of { tid : int; oid : int; cls : string; writer : bool }
+  | Publish of { oid : int; cls : string }
+  | Quiesce_wait of { txid : int }
+
+let sink : (event -> unit) option ref = ref None
+
+let set_sink s = sink := s
+
+let emit ev = match !sink with Some f -> f (Lazy.force ev) | None -> ()
+
+let enabled () = !sink <> None
+
+let pp_event ppf = function
+  | Txn_begin { txid; tid } -> Fmt.pf ppf "txn %d begin (thread %d)" txid tid
+  | Txn_commit { txid; tid; reads; writes } ->
+      Fmt.pf ppf "txn %d commit (thread %d, %d reads, %d writes)" txid tid
+        reads writes
+  | Txn_abort { txid; tid; wounded } ->
+      Fmt.pf ppf "txn %d abort (thread %d%s)" txid tid
+        (if wounded then ", wounded" else "")
+  | Txn_wound { victim; by } -> Fmt.pf ppf "txn %d wounded by txn %d" victim by
+  | Conflict { tid; oid; cls; writer } ->
+      Fmt.pf ppf "thread %d %s-conflict on %s@%d" tid
+        (if writer then "write" else "read")
+        cls oid
+  | Publish { oid; cls } -> Fmt.pf ppf "published %s@%d" cls oid
+  | Quiesce_wait { txid } -> Fmt.pf ppf "txn %d quiescing" txid

@@ -1,0 +1,29 @@
+(** Event tracing hooks for the STM.
+
+    A single optional sink receives coarse-grained STM events (transaction
+    lifecycle, conflicts, publications, quiescence waits). With no sink
+    installed the emit path is a branch on [None] — cheap enough to leave
+    compiled into the hot paths. The [stm_run --trace] CLI and debugging
+    sessions install a printing sink; tests install collecting sinks. *)
+
+type event =
+  | Txn_begin of { txid : int; tid : int }
+  | Txn_commit of { txid : int; tid : int; reads : int; writes : int }
+  | Txn_abort of { txid : int; tid : int; wounded : bool }
+  | Txn_wound of { victim : int; by : int }
+  | Conflict of { tid : int; oid : int; cls : string; writer : bool }
+  | Publish of { oid : int; cls : string }
+  | Quiesce_wait of { txid : int }
+
+val set_sink : (event -> unit) option -> unit
+(** Install (or remove) the global sink. *)
+
+val emit : event Lazy.t -> unit
+(** Deliver the event to the sink if one is installed; the payload is
+    lazy so that argument construction costs nothing when tracing is
+    off. *)
+
+val enabled : unit -> bool
+
+val pp_event : Format.formatter -> event -> unit
+(** Render one event (used by the CLI's printing sink). *)

@@ -1,0 +1,447 @@
+open Stm_runtime
+
+exception Abort_txn
+exception Retry_request
+exception Open_nest_conflict
+
+type ctx = {
+  cfg : Config.t;
+  stats : Stats.t;
+  q : Quiesce.t;
+  mutable next_id : int;
+  registry : (int, killed_flag) Hashtbl.t;
+      (* live transaction ids -> wound flag, for contention management *)
+}
+
+and killed_flag = { mutable killed : bool }
+
+type owned = { o_obj : Heap.obj; prior_version : int }
+
+(* An undo-log entry: a saved copy of one granule (eager versioning). *)
+type undo_entry = { u_obj : Heap.obj; u_base : int; u_saved : Heap.value array }
+
+(* A write-buffer slot: a private copy of one granule (lazy versioning). *)
+type wslot = {
+  w_obj : Heap.obj;
+  w_base : int;
+  w_data : Heap.value array;
+  w_prior : int;  (* record version when the copy was made; -1 = private obj *)
+}
+
+type t = {
+  txid : int;
+  parent : t option;
+  mutable reads : (Heap.obj * int) list;
+  owned : (int, owned) Hashtbl.t;  (* oid -> ownership *)
+  mutable owned_order : owned list;  (* newest first *)
+  mutable undo : undo_entry list;  (* newest first *)
+  undo_saved : (int * int, unit) Hashtbl.t;  (* (oid, granule) saved? *)
+  wbuf : (int * int, wslot) Hashtbl.t;  (* (oid, granule) -> slot *)
+  mutable wbuf_order : wslot list;  (* newest first *)
+  mutable naccesses : int;
+  mutable nest_depth : int;
+  part : Quiesce.participant option;
+  flag : killed_flag;  (* set by a wounding (older) transaction *)
+}
+
+let make_ctx cfg =
+  {
+    cfg;
+    stats = Stats.create ();
+    q = Quiesce.create ();
+    next_id = 0;
+    registry = Hashtbl.create 32;
+  }
+
+let cfg ctx = ctx.cfg
+let stats ctx = ctx.stats
+let quiescer ctx = ctx.q
+
+let begin_txn ?parent ctx =
+  ctx.next_id <- ctx.next_id + 1;
+  Sched.tick ctx.cfg.cost.Cost.txn_begin;
+  let part = if ctx.cfg.quiescence then Some (Quiesce.register ctx.q) else None in
+  let flag = { killed = false } in
+  Hashtbl.replace ctx.registry ctx.next_id flag;
+  Trace.emit (lazy (Trace.Txn_begin { txid = ctx.next_id; tid = Sched.self () }));
+  {
+    txid = ctx.next_id;
+    parent;
+    reads = [];
+    owned = Hashtbl.create 16;
+    owned_order = [];
+    undo = [];
+    undo_saved = Hashtbl.create 16;
+    wbuf = Hashtbl.create 16;
+    wbuf_order = [];
+    naccesses = 0;
+    nest_depth = 0;
+    part;
+    flag;
+  }
+
+let id t = t.txid
+let depth t = t.nest_depth
+let set_depth t d = t.nest_depth <- d
+let reads_snapshot t = t.reads
+let has_writes t = t.owned_order <> [] || t.wbuf_order <> [] || t.undo <> []
+
+let granule_base (cfg : Config.t) fld = fld - (fld mod cfg.granule)
+
+let granule_len (cfg : Config.t) obj base =
+  min cfg.granule (Heap.nfields obj - base)
+
+(* Does [t] or any of its open-nesting ancestors own this record word? *)
+let rec ancestor_owns t w =
+  Txrec.is_exclusive w
+  &&
+  let o = Txrec.owner w in
+  o = t.txid || (match t.parent with Some p -> ancestor_owns p w | None -> false)
+
+let validate ctx t =
+  ctx.stats.Stats.validations <- ctx.stats.Stats.validations + 1;
+  Sched.tick (ctx.cfg.cost.Cost.txn_per_read * max 1 (List.length t.reads));
+  List.for_all
+    (fun ((obj : Heap.obj), ver) ->
+      let w = Atomic.get obj.Heap.txrec in
+      match Txrec.decode w with
+      | Txrec.Shared v -> v = ver
+      | Txrec.Exclusive o when o = t.txid -> (
+          match Hashtbl.find_opt t.owned obj.Heap.oid with
+          | Some ow -> ow.prior_version = ver
+          | None -> false)
+      | Txrec.Exclusive _ | Txrec.Exclusive_anon _ | Txrec.Private -> false)
+    t.reads
+
+(* Wound-wait contention management: an older transaction (smaller id)
+   wounds a younger owner instead of waiting; the victim notices the flag
+   at its next pause or validation point and aborts. Deadlock-free: waits
+   only ever go from younger to older. *)
+let maybe_wound ctx t owner_word =
+  if ctx.cfg.txn_conflict = Config.Wound_wait && Txrec.is_exclusive owner_word
+  then begin
+    let owner = Txrec.owner owner_word in
+    if t.txid < owner then
+      match Hashtbl.find_opt ctx.registry owner with
+      | Some flag when not flag.killed ->
+          flag.killed <- true;
+          ctx.stats.Stats.wounds <- ctx.stats.Stats.wounds + 1;
+          Trace.emit (lazy (Trace.Txn_wound { victim = owner; by = t.txid }))
+      | Some _ | None -> ()
+  end
+
+let check_wounded t = if t.flag.killed then raise Abort_txn
+
+(* A transaction pausing on a conflict revalidates (when quiescence is on)
+   so that committers waiting in [Quiesce.commit_epoch_wait] observe it as
+   consistent - and so that doomed transactions abort promptly instead of
+   blocking a privatizer. *)
+let conflict_pause ctx t ~attempt ~writer obj =
+  check_wounded t;
+  maybe_wound ctx t (Atomic.get obj.Heap.txrec);
+  Conflict.handle ctx.cfg ctx.stats ~attempt ~writer obj;
+  if ctx.cfg.quiescence then
+    if validate ctx t then Option.iter (Quiesce.mark_consistent ctx.q) t.part
+    else raise Abort_txn
+
+let periodic_validate ctx t =
+  check_wounded t;
+  t.naccesses <- t.naccesses + 1;
+  if t.naccesses mod ctx.cfg.validate_every = 0 then
+    if validate ctx t then
+      Option.iter (Quiesce.mark_consistent ctx.q) t.part
+    else raise Abort_txn
+
+(* Save the granule containing [fld] in the undo log (eager). *)
+let save_undo ctx t (obj : Heap.obj) fld =
+  let base = granule_base ctx.cfg fld in
+  let key = (obj.Heap.oid, base) in
+  if not (Hashtbl.mem t.undo_saved key) then begin
+    Hashtbl.replace t.undo_saved key ();
+    let len = granule_len ctx.cfg obj base in
+    let saved = Array.init len (fun i -> Heap.get obj (base + i)) in
+    t.undo <- { u_obj = obj; u_base = base; u_saved = saved } :: t.undo;
+    Sched.tick (ctx.cfg.cost.Cost.plain_load * len)
+  end
+
+(* Acquire exclusive ownership of [obj]'s record for this transaction
+   (eager open-for-write, or lazy commit-time acquire with an expected
+   version). Returns the prior version. *)
+let acquire ctx t ?expect (obj : Heap.obj) =
+  let cost = ctx.cfg.cost in
+  let rec go attempt =
+    let w = Atomic.get obj.Heap.txrec in
+    Sched.tick cost.Cost.plain_load;
+    match Txrec.decode w with
+    | Txrec.Exclusive o when o = t.txid ->
+        (Hashtbl.find t.owned obj.Heap.oid).prior_version
+    | Txrec.Shared ver -> (
+        (match expect with
+        | Some e when e <> ver -> raise Abort_txn
+        | Some _ | None -> ());
+        ctx.stats.Stats.atomic_ops <- ctx.stats.Stats.atomic_ops + 1;
+        Sched.tick cost.Cost.atomic_rmw;
+        Sched.yield ();
+        if Atomic.compare_and_set obj.Heap.txrec w (Txrec.exclusive t.txid)
+        then begin
+          let ow = { o_obj = obj; prior_version = ver } in
+          Hashtbl.replace t.owned obj.Heap.oid ow;
+          t.owned_order <- ow :: t.owned_order;
+          Sched.yield ();
+          ver
+        end
+        else go attempt)
+    | Txrec.Exclusive _ when ancestor_owns t w -> raise Open_nest_conflict
+    | Txrec.Exclusive _ | Txrec.Exclusive_anon _ ->
+        if attempt >= ctx.cfg.max_txn_retries then raise Abort_txn
+        else begin
+          conflict_pause ctx t ~attempt ~writer:true obj;
+          go (attempt + 1)
+        end
+    | Txrec.Private ->
+        (* The object was private when the caller checked and is being
+           published concurrently - retry the whole access. *)
+        go attempt
+  in
+  go 0
+
+(* Publication duty inside transactions (Section 4, last paragraph): in an
+   eager system a write of a reference into a public object immediately
+   publishes the referenced private graph, even before commit. *)
+let publish_on_store ctx (v : Heap.value) =
+  if ctx.cfg.dea then Dea.publish_value ctx.stats ctx.cfg.cost v
+
+(* ------------------------------------------------------------------ *)
+(* Eager versioning                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let eager_write ctx t (obj : Heap.obj) fld v =
+  let cost = ctx.cfg.cost in
+  if ctx.cfg.dea && Dea.is_private obj then begin
+    (* private object: no synchronization, but the undo log still records
+       old values so that an abort rolls them back *)
+    save_undo ctx t obj fld;
+    Heap.set obj fld v;
+    Sched.tick cost.Cost.plain_store
+  end
+  else begin
+    ignore (acquire ctx t obj);
+    save_undo ctx t obj fld;
+    publish_on_store ctx v;
+    Heap.set obj fld v;
+    Sched.tick cost.Cost.plain_store;
+    Sched.yield ()
+  end
+
+let eager_read ctx t (obj : Heap.obj) fld =
+  let cost = ctx.cfg.cost in
+  let rec go attempt =
+    let w = Atomic.get obj.Heap.txrec in
+    Sched.tick cost.Cost.plain_load;
+    match Txrec.decode w with
+    | Txrec.Private ->
+        let v = Heap.get obj fld in
+        Sched.tick cost.Cost.plain_load;
+        v
+    | Txrec.Exclusive o when o = t.txid ->
+        let v = Heap.get obj fld in
+        Sched.tick cost.Cost.plain_load;
+        v
+    | Txrec.Shared ver ->
+        t.reads <- (obj, ver) :: t.reads;
+        Sched.yield ();
+        let v = Heap.get obj fld in
+        Sched.tick cost.Cost.plain_load;
+        v
+    | Txrec.Exclusive _ when ancestor_owns t w -> raise Open_nest_conflict
+    | Txrec.Exclusive _ | Txrec.Exclusive_anon _ ->
+        if attempt >= ctx.cfg.max_txn_retries then raise Abort_txn
+        else begin
+          conflict_pause ctx t ~attempt ~writer:false obj;
+          go (attempt + 1)
+        end
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Lazy versioning                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Create (or find) the write-buffer slot covering [fld]. The private copy
+   spans the whole granule - the source of the Section 2.4 anomalies when
+   granule > 1. *)
+let lazy_slot ctx t (obj : Heap.obj) fld =
+  let base = granule_base ctx.cfg fld in
+  let key = (obj.Heap.oid, base) in
+  match Hashtbl.find_opt t.wbuf key with
+  | Some s -> s
+  | None ->
+      let cost = ctx.cfg.cost in
+      let len = granule_len ctx.cfg obj base in
+      let prior =
+        if ctx.cfg.dea && Dea.is_private obj then -1
+        else begin
+          let rec observe attempt =
+            let w = Atomic.get obj.Heap.txrec in
+            Sched.tick cost.Cost.plain_load;
+            match Txrec.decode w with
+            | Txrec.Shared ver ->
+                t.reads <- (obj, ver) :: t.reads;
+                ver
+            | Txrec.Private -> -1
+            | Txrec.Exclusive _ when ancestor_owns t w ->
+                raise Open_nest_conflict
+            | Txrec.Exclusive _ | Txrec.Exclusive_anon _ ->
+                if attempt >= ctx.cfg.max_txn_retries then raise Abort_txn
+                else begin
+                  conflict_pause ctx t ~attempt ~writer:true obj;
+                  observe (attempt + 1)
+                end
+          in
+          observe 0
+        end
+      in
+      let data = Array.init len (fun i -> Heap.get obj (base + i)) in
+      Sched.tick (cost.Cost.plain_load * len);
+      let s = { w_obj = obj; w_base = base; w_data = data; w_prior = prior } in
+      Hashtbl.replace t.wbuf key s;
+      t.wbuf_order <- s :: t.wbuf_order;
+      s
+
+let lazy_write ctx t obj fld v =
+  let s = lazy_slot ctx t obj fld in
+  s.w_data.(fld - s.w_base) <- v;
+  Sched.tick ctx.cfg.cost.Cost.plain_store
+
+let lazy_read ctx t (obj : Heap.obj) fld =
+  let base = granule_base ctx.cfg fld in
+  match Hashtbl.find_opt t.wbuf (obj.Heap.oid, base) with
+  | Some s ->
+      Sched.tick ctx.cfg.cost.Cost.plain_load;
+      s.w_data.(fld - base)
+  | None -> eager_read ctx t obj fld
+(* lazy open-for-read is the same protocol as eager: version + log *)
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let txn_read ctx t obj fld =
+  ctx.stats.Stats.txn_reads <- ctx.stats.Stats.txn_reads + 1;
+  periodic_validate ctx t;
+  match ctx.cfg.versioning with
+  | Config.Eager -> eager_read ctx t obj fld
+  | Config.Lazy -> lazy_read ctx t obj fld
+
+let txn_write ctx t obj fld v =
+  ctx.stats.Stats.txn_writes <- ctx.stats.Stats.txn_writes + 1;
+  periodic_validate ctx t;
+  match ctx.cfg.versioning with
+  | Config.Eager -> eager_write ctx t obj fld v
+  | Config.Lazy -> lazy_write ctx t obj fld v
+
+let release_all ctx t =
+  let cost = ctx.cfg.cost in
+  List.iter
+    (fun ow ->
+      Atomic.set ow.o_obj.Heap.txrec (Txrec.shared (ow.prior_version + 1));
+      Sched.tick cost.Cost.txn_per_write)
+    t.owned_order;
+  t.owned_order <- [];
+  Hashtbl.reset t.owned
+
+let commit ctx t =
+  check_wounded t;
+  let cost = ctx.cfg.cost in
+  Sched.tick cost.Cost.txn_commit;
+  (match ctx.cfg.versioning with
+  | Config.Eager ->
+      if not (validate ctx t) then raise Abort_txn;
+      if ctx.cfg.quiescence then begin
+        match t.part with
+        | Some p ->
+            ctx.stats.Stats.quiesce_waits <- ctx.stats.Stats.quiesce_waits + 1;
+            Trace.emit (lazy (Trace.Quiesce_wait { txid = t.txid }));
+            Quiesce.mark_consistent ctx.q p;
+            Quiesce.commit_epoch_wait ctx.q p
+        | None -> ()
+      end;
+      release_all ctx t
+  | Config.Lazy ->
+      (* Acquire every written record at its buffered version. The slot
+         list is kept newest-first and flushed in that order: lazy STMs
+         copy buffered values back "one at a time in no particular order"
+         (Section 2.3), and the head-first traversal of the log is our
+         arbitrary order - deliberately not program order, so the
+         overlapped-writes anomaly of Figure 4a is expressible. *)
+      let slots = t.wbuf_order in
+      List.iter
+        (fun s ->
+          if s.w_prior >= 0 then ignore (acquire ctx t ~expect:s.w_prior s.w_obj))
+        slots;
+      if not (validate ctx t) then raise Abort_txn;
+      (* serialization point: the transaction is now committed, but its
+         updates are still pending - the Section 2.3 window opens here *)
+      Sched.yield ();
+      let ticket =
+        if ctx.cfg.quiescence then begin
+          let n = Quiesce.take_ticket ctx.q in
+          ctx.stats.Stats.quiesce_waits <- ctx.stats.Stats.quiesce_waits + 1;
+          Quiesce.await_turn ctx.q n;
+          Some n
+        end
+        else None
+      in
+      (* write back, one location at a time, yielding in between: this is
+         the ordering-anomaly window of Section 2.3 *)
+      List.iter
+        (fun s ->
+          Array.iteri
+            (fun i v ->
+              Sched.yield ();
+              publish_on_store ctx v;
+              Heap.set s.w_obj (s.w_base + i) v;
+              Sched.tick cost.Cost.plain_store)
+            s.w_data)
+        slots;
+      release_all ctx t;
+      Option.iter (Quiesce.retire_ticket ctx.q) ticket);
+  Option.iter (Quiesce.deregister ctx.q) t.part;
+  Hashtbl.remove ctx.registry t.txid;
+  Trace.emit
+    (lazy
+      (Trace.Txn_commit
+         {
+           txid = t.txid;
+           tid = Sched.self ();
+           reads = List.length t.reads;
+           writes = t.naccesses;
+         }));
+  ctx.stats.Stats.commits <- ctx.stats.Stats.commits + 1
+
+let abort ctx t =
+  let cost = ctx.cfg.cost in
+  Sched.tick cost.Cost.txn_abort;
+  (* roll back the undo log, newest entry first; each store is visible to
+     unsynchronized readers - the paper's "manufactured writes" *)
+  List.iter
+    (fun u ->
+      Array.iteri
+        (fun i v ->
+          Heap.set u.u_obj (u.u_base + i) v;
+          Sched.tick cost.Cost.plain_store;
+          Sched.yield ())
+        u.u_saved)
+    t.undo;
+  t.undo <- [];
+  Hashtbl.reset t.undo_saved;
+  Hashtbl.reset t.wbuf;
+  t.wbuf_order <- [];
+  release_all ctx t;
+  Option.iter (Quiesce.deregister ctx.q) t.part;
+  Hashtbl.remove ctx.registry t.txid;
+  Trace.emit
+    (lazy
+      (Trace.Txn_abort
+         { txid = t.txid; tid = Sched.self (); wounded = t.flag.killed }));
+  ctx.stats.Stats.aborts <- ctx.stats.Stats.aborts + 1

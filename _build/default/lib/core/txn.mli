@@ -1,0 +1,78 @@
+(** Transaction descriptors and the transactional access protocol.
+
+    The engine implements both version-management policies the paper
+    analyses:
+
+    - {b Eager} (McRT-STM, the paper's base system): optimistic read
+      versioning, strict two-phase locking for writes, in-place updates
+      with an undo log. Aborts roll the undo log back in place — these
+      rollback stores are exactly the "manufactured writes" behind the
+      speculative lost update / dirty read anomalies of Section 2.2.
+    - {b Lazy}: writes go to a private buffer at granule granularity;
+      commit acquires the records, validates, then writes back after the
+      serialization point — the write-back window behind the ordering
+      anomalies of Section 2.3.
+
+    Undo-log entries and write-buffer slots cover
+    {!Config.t.granule}-field granules, so setting [granule > 1]
+    reproduces the coarse-grained-versioning anomalies of Section 2.4
+    (granular lost updates / inconsistent reads).
+
+    Closed nesting is implemented by flattening (subsumption); open
+    nesting runs an independent transaction while the parent is paused
+    (see {!Stm.atomic_open}). *)
+
+open Stm_runtime
+
+type ctx
+(** Per-run STM context: configuration, counters, quiescence registry,
+    transaction-id allocator. *)
+
+val make_ctx : Config.t -> ctx
+val cfg : ctx -> Config.t
+val stats : ctx -> Stats.t
+val quiescer : ctx -> Quiesce.t
+
+type t
+(** A transaction descriptor. *)
+
+exception Abort_txn
+(** Internal control flow: the current transaction must abort (conflict,
+    failed validation, or retry budget exhausted). The [atomic] runner in
+    {!Stm} catches it, calls {!abort}, backs off and re-executes. *)
+
+exception Retry_request
+(** Raised by the user-visible [retry] operation. *)
+
+exception Open_nest_conflict
+(** An open-nested transaction tried to acquire a record owned by one of
+    its ancestors (unsupported, as in most open-nesting designs). *)
+
+val begin_txn : ?parent:t -> ctx -> t
+val id : t -> int
+val depth : t -> int
+val set_depth : t -> int -> unit
+
+val txn_read : ctx -> t -> Heap.obj -> int -> Heap.value
+(** Transactional load (open-for-read + read). May raise {!Abort_txn}. *)
+
+val txn_write : ctx -> t -> Heap.obj -> int -> Heap.value -> unit
+(** Transactional store (open-for-write + write). May raise {!Abort_txn}. *)
+
+val validate : ctx -> t -> bool
+(** Re-check every read-set entry against the current records. *)
+
+val commit : ctx -> t -> unit
+(** Validate, run the quiescence protocol if configured, write back (lazy)
+    and release ownership. Raises {!Abort_txn} on validation failure
+    {e without} cleaning up — the caller must then call {!abort}. *)
+
+val abort : ctx -> t -> unit
+(** Roll back (eager) or discard the buffer (lazy), release ownership with
+    a version bump, update counters. *)
+
+val reads_snapshot : t -> (Heap.obj * int) list
+(** Read set as (object, observed version) pairs; used by the [retry]
+    wait loop. *)
+
+val has_writes : t -> bool

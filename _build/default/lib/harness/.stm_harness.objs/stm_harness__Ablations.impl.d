@@ -1,0 +1,1 @@
+lib/harness/ablations.ml: Config Fmt Jbb Jvm98 List Oo7 Printexc Stats Stm Stm_analysis Stm_core Stm_ir Stm_runtime Stm_workloads Tsp Workload

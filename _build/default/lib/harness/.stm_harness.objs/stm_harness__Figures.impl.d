@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Config Dump Fmt Hashtbl Jbb Jvm98 List Oo7 Printexc Stm_analysis Stm_core Stm_ir Stm_jit Stm_litmus Stm_runtime Stm_workloads Tsp Workload

@@ -1,0 +1,1 @@
+lib/harness/figures.mli: Format Stm_analysis Stm_litmus

@@ -1,0 +1,31 @@
+(** Ablation studies for the design choices DESIGN.md calls out.
+
+    Each returns labelled (configuration, simulated cycles) pairs on a
+    fixed workload, so the cost or benefit of one mechanism is isolated. *)
+
+type row = { label : string; cycles : int; note : string }
+
+val dea_read_privacy : ?scale:float -> unit -> row list
+(** The optional private-object fast path in the read barrier
+    (Figure 10a's italicized instructions): compress under strong+DEA
+    with and without the read-barrier privacy check. *)
+
+val quiescence_cost : unit -> row list
+(** What the Section 3.4 quiescence commit protocol costs on a
+    transaction-heavy workload (OO7), compared to plain weak atomicity
+    and to strong atomicity. *)
+
+val txn_read_removal : unit -> row list
+(** The Section 5.2 extension: Tsp under weak atomicity with and without
+    transactional open-for-read barrier removal. *)
+
+val versioning_granularity : ?scale:float -> unit -> row list
+(** Undo-log/copy granularity (Section 2.4): JBB under weak-eager with
+    granule 1, 2 and 4 (coarser granules snapshot more per write). *)
+
+val contention_management : unit -> row list
+(** Transaction-vs-transaction conflict resolution: the McRT suicide
+    policy (back off, abort self after the retry budget) against
+    wound-wait (older kills younger), on a high-contention counter. *)
+
+val pp : Format.formatter -> row list -> unit

@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Barriers Config Cost Dea Det_rng Fmt Hashtbl Heap Ir List Option Sched Sim_mutex Stats Stm Stm_core Stm_runtime String Txrec

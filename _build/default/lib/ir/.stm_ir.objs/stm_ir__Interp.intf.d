@@ -1,0 +1,1 @@
+lib/ir/interp.mli: Ir Sched Stm_core Stm_runtime

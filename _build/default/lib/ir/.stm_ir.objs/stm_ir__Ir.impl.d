@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Array Fmt Hashtbl List Printf String

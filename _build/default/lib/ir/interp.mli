@@ -1,0 +1,59 @@
+(** IR interpreter: executes a Jt program on the simulated multiprocessor
+    through the configured STM.
+
+    The interpreter plays the role of the paper's JIT-compiled code:
+
+    - inside [atomic] blocks, memory accesses run the transactional
+      protocol (open-for-read / open-for-write);
+    - outside, they run the non-transactional path that the access site's
+      {!Stm_ir.Ir.barrier_kind} note dictates: the configured isolation
+      barrier ({!Stm_ir.Ir.Bar_auto}), a direct access
+      ({!Stm_ir.Ir.Bar_removed}, what the compiler emits after NAIT /
+      thread-local / immutability / intraprocedural escape analysis), or
+      an aggregated barrier (Section 6, Figure 14) that acquires the
+      object's record once for a whole group of accesses;
+    - [synchronized] blocks use per-object simulated monitors;
+    - [spawn] publishes the thread object (as the paper's runtime does)
+      and starts a simulated thread on its [run] method.
+
+    Every instruction charges the cost model, so the scheduler's makespan
+    is the parallel execution time in cycles. *)
+
+open Stm_runtime
+
+exception Interp_error of string
+
+type outcome = {
+  result : Sched.result;
+  stats : Stm_core.Stats.t;
+  prints : string list;  (** output of [print] in emission order *)
+  instrs : int;  (** instructions executed across all threads *)
+  site_profile : (int * int) list;
+      (** (access-site id, executions through the barrier path), hottest
+          first; empty unless [~profile:true] was passed *)
+}
+
+val run :
+  ?policy:Sched.policy ->
+  ?max_steps:int ->
+  ?params:(string * int) list ->
+  ?profile:bool ->
+  cfg:Stm_core.Config.t ->
+  Ir.program ->
+  outcome
+(** Execute [main] of the program's main class. [params] are the values
+    the [param("name")] builtin returns (e.g. thread counts and workload
+    sizes). Raises {!Interp_error} only for harness-level failures;
+    runtime errors inside simulated threads are reported through
+    [result.exns]. *)
+
+val explorer_instance :
+  ?params:(string * int) list -> Ir.program -> (unit -> unit) * (unit -> string)
+(** [(main, observe)] for driving a whole Jt program under the litmus
+    explorer ({!Stm_litmus.Explorer}): [main] runs the program's [main]
+    inside an existing {!Stm_core.Stm.run}, and [observe] returns the
+    program's [print] output joined with ["|"]. Each call returns a fresh
+    instance (fresh statics, heap state is reset by the explorer's own
+    [Stm.run]). Systematic exploration of arbitrary Jt programs is how
+    [stm_run --explore] decides whether a program's printed outcome is
+    schedule-dependent. *)

@@ -1,0 +1,280 @@
+type ty = Tint | Tbool | Tstr | Tvoid | Tref of string | Tarr of ty
+
+let rec pp_ty ppf = function
+  | Tint -> Fmt.string ppf "int"
+  | Tbool -> Fmt.string ppf "bool"
+  | Tstr -> Fmt.string ppf "str"
+  | Tvoid -> Fmt.string ppf "void"
+  | Tref c -> Fmt.string ppf c
+  | Tarr t -> Fmt.pf ppf "%a[]" pp_ty t
+
+let rec ty_equal a b =
+  match (a, b) with
+  | Tint, Tint | Tbool, Tbool | Tstr, Tstr | Tvoid, Tvoid -> true
+  | Tref c, Tref d -> String.equal c d
+  | Tarr x, Tarr y -> ty_equal x y
+  | (Tint | Tbool | Tstr | Tvoid | Tref _ | Tarr _), _ -> false
+
+type unop = Neg | Not
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or
+
+type operand = Cint of int | Cbool of bool | Cstr of string | Cnull | Reg of int
+
+type barrier_kind =
+  | Bar_auto
+  | Bar_removed of string
+  | Bar_agg_start of int
+  | Bar_agg_member
+
+type note = { site : int; mutable barrier : barrier_kind; mutable txn_unlogged : bool }
+
+type call_target = Static of string * string | Virtual of string * string
+
+type instr =
+  | Nop
+  | Move of int * operand
+  | Unop of int * unop * operand
+  | Binop of int * binop * operand * operand
+  | New of { dst : int; cls : string; site : int }
+  | NewArr of { dst : int; elt : ty; len : operand; site : int }
+  | Load of { dst : int; obj : operand; cls : string; fld : string; fidx : int; note : note }
+  | Store of { obj : operand; cls : string; fld : string; fidx : int; src : operand; note : note }
+  | LoadS of { dst : int; cls : string; fld : string; fidx : int; note : note }
+  | StoreS of { cls : string; fld : string; fidx : int; src : operand; note : note }
+  | ALoad of { dst : int; arr : operand; idx : operand; note : note }
+  | AStore of { arr : operand; idx : operand; src : operand; note : note }
+  | ALen of int * operand
+  | Call of { dst : int option; target : call_target; this : operand option; args : operand list }
+  | Builtin of { dst : int option; name : string; args : operand list }
+  | If of operand * int
+  | Goto of int
+  | Ret of operand option
+  | AtomicBegin of int
+  | AtomicEnd
+  | MonitorEnter of operand
+  | MonitorExit of operand
+  | Print of operand
+  | Retry
+
+type field = {
+  fname : string;
+  fty : ty;
+  f_final : bool;
+  f_volatile : bool;
+  f_static : bool;
+  f_init : operand option;
+}
+
+type meth = {
+  mcls : string;
+  mname : string;
+  m_static : bool;
+  params : (string * ty) list;
+  ret : ty;
+  nregs : int;
+  mutable body : instr array;
+  reg_names : string array;
+}
+
+type cls = {
+  cname : string;
+  super : string option;
+  fields : field list;
+  mutable meths : meth list;
+}
+
+type program = {
+  classes : (string, cls) Hashtbl.t;
+  mutable main_class : string;
+  mutable next_site : int;
+}
+
+let create_program () =
+  { classes = Hashtbl.create 32; main_class = "Main"; next_site = 0 }
+
+let add_class p c =
+  if Hashtbl.mem p.classes c.cname then
+    invalid_arg ("Ir.add_class: duplicate class " ^ c.cname);
+  Hashtbl.replace p.classes c.cname c
+
+let find_class p name =
+  match Hashtbl.find_opt p.classes name with
+  | Some c -> c
+  | None -> invalid_arg ("Ir.find_class: unknown class " ^ name)
+
+let fresh_site p =
+  let s = p.next_site in
+  p.next_site <- s + 1;
+  s
+
+let rec is_subclass p c d =
+  String.equal c d
+  ||
+  match Hashtbl.find_opt p.classes c with
+  | Some { super = Some s; _ } -> is_subclass p s d
+  | Some { super = None; _ } | None -> false
+
+let is_thread_class p c = (not (String.equal c "Thread")) && is_subclass p c "Thread"
+
+(* Instance layout: superclass fields first. *)
+let rec instance_fields p cname =
+  match Hashtbl.find_opt p.classes cname with
+  | None -> []  (* built-in root (e.g. Thread) with no declared fields *)
+  | Some c ->
+      let inherited =
+        match c.super with Some s -> instance_fields p s | None -> []
+      in
+      inherited @ List.filter (fun f -> not f.f_static) c.fields
+
+let instance_field_index p cname fld =
+  let fields = instance_fields p cname in
+  let rec go i = function
+    | [] -> raise Not_found
+    | f :: _ when String.equal f.fname fld -> (i, f)
+    | _ :: tl -> go (i + 1) tl
+  in
+  go 0 fields
+
+let static_fields p cname =
+  match Hashtbl.find_opt p.classes cname with
+  | None -> []
+  | Some c -> List.filter (fun f -> f.f_static) c.fields
+
+let rec static_field_index p cname fld =
+  let own = static_fields p cname in
+  let rec go i = function
+    | [] -> None
+    | f :: _ when String.equal f.fname fld -> Some (i, f)
+    | _ :: tl -> go (i + 1) tl
+  in
+  match go 0 own with
+  | Some (i, f) -> (cname, i, f)
+  | None -> (
+      match Hashtbl.find_opt p.classes cname with
+      | Some { super = Some s; _ } -> static_field_index p s fld
+      | Some { super = None; _ } | None -> raise Not_found)
+
+let rec find_method p cname mname =
+  match Hashtbl.find_opt p.classes cname with
+  | None -> None
+  | Some c -> (
+      match List.find_opt (fun m -> String.equal m.mname mname) c.meths with
+      | Some m -> Some m
+      | None -> (
+          match c.super with Some s -> find_method p s mname | None -> None))
+
+let resolve_virtual p cname mname =
+  match find_method p cname mname with
+  | Some m -> m
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Ir.resolve_virtual: no method %s in %s" mname cname)
+
+let iter_methods p f =
+  Hashtbl.iter (fun _ c -> List.iter f c.meths) p.classes
+
+let iter_access_notes m f =
+  Array.iter
+    (fun i ->
+      match i with
+      | Load { note; _ }
+      | Store { note; _ }
+      | LoadS { note; _ }
+      | StoreS { note; _ }
+      | ALoad { note; _ }
+      | AStore { note; _ } ->
+          f i note
+      | Nop | Move _ | Unop _ | Binop _ | New _ | NewArr _ | ALen _ | Call _
+      | Builtin _ | If _ | Goto _ | Ret _ | AtomicBegin _ | AtomicEnd
+      | MonitorEnter _ | MonitorExit _ | Print _ | Retry ->
+          ())
+    m.body
+
+let pp_operand ppf = function
+  | Cint n -> Fmt.int ppf n
+  | Cbool b -> Fmt.bool ppf b
+  | Cstr s -> Fmt.pf ppf "%S" s
+  | Cnull -> Fmt.string ppf "null"
+  | Reg r -> Fmt.pf ppf "r%d" r
+
+let pp_barrier ppf = function
+  | Bar_auto -> ()
+  | Bar_removed why -> Fmt.pf ppf " [no-barrier:%s]" why
+  | Bar_agg_start n -> Fmt.pf ppf " [agg-start:%d]" n
+  | Bar_agg_member -> Fmt.pf ppf " [agg]"
+
+let pp_instr ppf = function
+  | Nop -> Fmt.string ppf "nop"
+  | Move (d, s) -> Fmt.pf ppf "r%d := %a" d pp_operand s
+  | Unop (d, Neg, s) -> Fmt.pf ppf "r%d := -%a" d pp_operand s
+  | Unop (d, Not, s) -> Fmt.pf ppf "r%d := !%a" d pp_operand s
+  | Binop (d, op, a, b) ->
+      let s =
+        match op with
+        | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+        | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "=="
+        | Ne -> "!=" | And -> "&&" | Or -> "||"
+      in
+      Fmt.pf ppf "r%d := %a %s %a" d pp_operand a s pp_operand b
+  | New { dst; cls; site } -> Fmt.pf ppf "r%d := new %s @%d" dst cls site
+  | NewArr { dst; elt; len; site } ->
+      Fmt.pf ppf "r%d := new %a[%a] @%d" dst pp_ty elt pp_operand len site
+  | Load { dst; obj; fld; note; _ } ->
+      Fmt.pf ppf "r%d := %a.%s%a" dst pp_operand obj fld pp_barrier note.barrier
+  | Store { obj; fld; src; note; _ } ->
+      Fmt.pf ppf "%a.%s := %a%a" pp_operand obj fld pp_operand src pp_barrier
+        note.barrier
+  | LoadS { dst; cls; fld; note; _ } ->
+      Fmt.pf ppf "r%d := %s.%s%a" dst cls fld pp_barrier note.barrier
+  | StoreS { cls; fld; src; note; _ } ->
+      Fmt.pf ppf "%s.%s := %a%a" cls fld pp_operand src pp_barrier note.barrier
+  | ALoad { dst; arr; idx; note } ->
+      Fmt.pf ppf "r%d := %a[%a]%a" dst pp_operand arr pp_operand idx pp_barrier
+        note.barrier
+  | AStore { arr; idx; src; note } ->
+      Fmt.pf ppf "%a[%a] := %a%a" pp_operand arr pp_operand idx pp_operand src
+        pp_barrier note.barrier
+  | ALen (d, a) -> Fmt.pf ppf "r%d := %a.length" d pp_operand a
+  | Call { dst; target; this; args } ->
+      let t =
+        match target with
+        | Static (c, m) -> c ^ "::" ^ m
+        | Virtual (c, m) -> c ^ "." ^ m
+      in
+      Fmt.pf ppf "%acall %s(%a%a)"
+        (fun ppf -> function
+          | Some d -> Fmt.pf ppf "r%d := " d
+          | None -> ())
+        dst t
+        (fun ppf -> function
+          | Some o -> Fmt.pf ppf "this=%a;" pp_operand o
+          | None -> ())
+        this
+        Fmt.(list ~sep:comma pp_operand)
+        args
+  | Builtin { dst; name; args } ->
+      Fmt.pf ppf "%a%s(%a)"
+        (fun ppf -> function
+          | Some d -> Fmt.pf ppf "r%d := " d
+          | None -> ())
+        dst name
+        Fmt.(list ~sep:comma pp_operand)
+        args
+  | If (c, pc) -> Fmt.pf ppf "if %a goto %d" pp_operand c pc
+  | Goto pc -> Fmt.pf ppf "goto %d" pc
+  | Ret None -> Fmt.string ppf "ret"
+  | Ret (Some v) -> Fmt.pf ppf "ret %a" pp_operand v
+  | AtomicBegin e -> Fmt.pf ppf "atomic-begin (end=%d)" e
+  | AtomicEnd -> Fmt.string ppf "atomic-end"
+  | MonitorEnter o -> Fmt.pf ppf "monitor-enter %a" pp_operand o
+  | MonitorExit o -> Fmt.pf ppf "monitor-exit %a" pp_operand o
+  | Print o -> Fmt.pf ppf "print %a" pp_operand o
+  | Retry -> Fmt.string ppf "retry"
+
+let pp_meth ppf m =
+  Fmt.pf ppf "%s::%s (%d regs)@." m.mcls m.mname m.nregs;
+  Array.iteri (fun i ins -> Fmt.pf ppf "  %3d: %a@." i pp_instr ins) m.body

@@ -1,0 +1,162 @@
+(** Register-based intermediate representation for Jt programs.
+
+    This IR plays the role of Java bytecode plus the JIT's internal
+    representation in the paper: the static analyses (Section 5) annotate
+    its memory-access sites, the JIT optimizations (Section 6) rewrite the
+    barrier notes, and the interpreter executes it on the simulated
+    multiprocessor with the configured STM.
+
+    Methods are arrays of instructions with integer-register operands and
+    absolute branch targets. Every allocation site and every memory-access
+    site carries a globally unique id, assigned at lowering time, which
+    the points-to analysis uses for heap abstraction and the barrier
+    analyses use for reporting. *)
+
+type ty = Tint | Tbool | Tstr | Tvoid | Tref of string | Tarr of ty
+
+val pp_ty : Format.formatter -> ty -> unit
+val ty_equal : ty -> ty -> bool
+
+type unop = Neg | Not
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or
+
+type operand =
+  | Cint of int
+  | Cbool of bool
+  | Cstr of string
+  | Cnull
+  | Reg of int  (** register index within the enclosing frame *)
+
+(** Why a barrier was removed (or how it was transformed). *)
+type barrier_kind =
+  | Bar_auto  (** emit the barrier the configuration calls for *)
+  | Bar_removed of string
+      (** statically removed; the string names the analysis
+          ("immutable", "escape", "nait", "tl", "clinit") *)
+  | Bar_agg_start of int
+      (** aggregated barrier: this access acquires the record once for a
+          group of [n] accesses to the same object in this basic block *)
+  | Bar_agg_member  (** covered by an open aggregated barrier *)
+
+type note = {
+  site : int;
+  mutable barrier : barrier_kind;
+  mutable txn_unlogged : bool;
+      (** Section 5.2 extension: this transactional read needs no
+          open-for-read barrier (no object it can reach is written in any
+          transaction). Sound under weak atomicity only; the interpreter
+          ignores the flag under strong atomicity, where the removal
+          would miss conflicts with non-transactional writers. *)
+}
+
+type call_target =
+  | Static of string * string  (** class, method *)
+  | Virtual of string * string  (** static receiver class, method *)
+
+type instr =
+  | Nop
+  | Move of int * operand
+  | Unop of int * unop * operand
+  | Binop of int * binop * operand * operand
+  | New of { dst : int; cls : string; site : int }
+  | NewArr of { dst : int; elt : ty; len : operand; site : int }
+  | Load of { dst : int; obj : operand; cls : string; fld : string; fidx : int; note : note }
+  | Store of { obj : operand; cls : string; fld : string; fidx : int; src : operand; note : note }
+  | LoadS of { dst : int; cls : string; fld : string; fidx : int; note : note }
+  | StoreS of { cls : string; fld : string; fidx : int; src : operand; note : note }
+  | ALoad of { dst : int; arr : operand; idx : operand; note : note }
+  | AStore of { arr : operand; idx : operand; src : operand; note : note }
+  | ALen of int * operand
+  | Call of { dst : int option; target : call_target; this : operand option; args : operand list }
+  | Builtin of { dst : int option; name : string; args : operand list }
+  | If of operand * int  (** branch if true *)
+  | Goto of int
+  | Ret of operand option
+  | AtomicBegin of int  (** pc of the matching AtomicEnd *)
+  | AtomicEnd
+  | MonitorEnter of operand
+  | MonitorExit of operand
+  | Print of operand
+  | Retry
+
+type field = {
+  fname : string;
+  fty : ty;
+  f_final : bool;
+  f_volatile : bool;
+  f_static : bool;
+  f_init : operand option;  (** constant initializer for static fields *)
+}
+
+type meth = {
+  mcls : string;
+  mname : string;
+  m_static : bool;
+  params : (string * ty) list;  (** register 0.. (after [this] if any) *)
+  ret : ty;
+  nregs : int;
+  mutable body : instr array;
+  reg_names : string array;  (** for diagnostics *)
+}
+
+type cls = {
+  cname : string;
+  super : string option;
+  fields : field list;  (** declared in this class only *)
+  mutable meths : meth list;
+}
+
+type program = {
+  classes : (string, cls) Hashtbl.t;
+  mutable main_class : string;
+  mutable next_site : int;
+}
+
+val create_program : unit -> program
+val add_class : program -> cls -> unit
+val find_class : program -> string -> cls
+val fresh_site : program -> int
+
+val is_subclass : program -> string -> string -> bool
+(** [is_subclass p c d]: is [c] equal to or a subclass of [d]? *)
+
+val is_thread_class : program -> string -> bool
+(** Does the class extend the built-in [Thread]? *)
+
+(** {1 Layout} *)
+
+val instance_fields : program -> string -> field list
+(** All instance fields of a class, superclass fields first — the index in
+    this list is the heap field index. *)
+
+val instance_field_index : program -> string -> string -> int * field
+(** [(index, declaration)] of a named instance field, searching the
+    hierarchy. Raises [Not_found]. *)
+
+val static_fields : program -> string -> field list
+(** Static fields declared by the class itself (statics are not
+    inherited into the holder object). *)
+
+val static_field_index : program -> string -> string -> string * int * field
+(** Resolve a static field reference [C.f] to [(declaring class, index,
+    declaration)], searching the hierarchy upwards. *)
+
+val find_method : program -> string -> string -> meth option
+(** Static lookup through the hierarchy. *)
+
+val resolve_virtual : program -> string -> string -> meth
+(** Dynamic dispatch: most-derived implementation for a runtime class. *)
+
+(** {1 Iteration helpers} *)
+
+val iter_methods : program -> (meth -> unit) -> unit
+
+val iter_access_notes : meth -> (instr -> note -> unit) -> unit
+(** Visit every memory-access instruction of a method with its note. *)
+
+val pp_instr : Format.formatter -> instr -> unit
+val pp_meth : Format.formatter -> meth -> unit

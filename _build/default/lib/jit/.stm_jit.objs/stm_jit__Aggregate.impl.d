@@ -1,0 +1,1 @@
+lib/jit/aggregate.ml: Array Cfg Ir List Stm_ir

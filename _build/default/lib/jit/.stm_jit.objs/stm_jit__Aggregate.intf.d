@@ -1,0 +1,1 @@
+lib/jit/aggregate.mli: Stm_ir

@@ -1,0 +1,1 @@
+lib/jit/cfg.ml: Array Ir List Stm_ir

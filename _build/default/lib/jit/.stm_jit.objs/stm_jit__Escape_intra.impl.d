@@ -1,0 +1,1 @@
+lib/jit/escape_intra.ml: Array Cfg Int Ir List Map Stm_ir

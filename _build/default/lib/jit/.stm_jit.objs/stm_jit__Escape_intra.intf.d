@@ -1,0 +1,1 @@
+lib/jit/escape_intra.mli: Stm_ir

@@ -1,0 +1,1 @@
+lib/jit/immutable.ml: Array Ir Stm_ir

@@ -1,0 +1,1 @@
+lib/jit/immutable.mli: Stm_ir

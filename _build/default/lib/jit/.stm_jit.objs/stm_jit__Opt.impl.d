@@ -1,0 +1,1 @@
+lib/jit/opt.ml: Aggregate Escape_intra Immutable Ir Stm_ir

@@ -1,0 +1,1 @@
+lib/jit/opt.mli: Stm_ir

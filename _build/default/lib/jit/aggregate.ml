@@ -1,0 +1,121 @@
+(* Barrier aggregation (Section 6, Figure 14).
+
+   Within one basic block, consecutive barrier-carrying accesses to the
+   same object (the same register, not redefined in between) are combined
+   into a single aggregated barrier: the first access acquires the
+   object's transaction record (exclusive-anonymous), the rest run as
+   plain loads and stores, and the record is released - with a version
+   bump - after the last one.
+
+   Constraints (as in the paper, to keep the barrier finite and
+   deadlock-free): a group never spans a basic block, a call, a builtin,
+   an access to a different object that itself needs a barrier, a
+   volatile field, or a redefinition of the receiver register. *)
+
+open Stm_ir
+
+let is_volatile prog ins =
+  match ins with
+  | Ir.Load { cls; fld; _ } | Ir.Store { cls; fld; _ } -> (
+      match Ir.instance_field_index prog cls fld with
+      | _, f -> f.Ir.f_volatile
+      | exception Not_found -> false)
+  | Ir.LoadS { cls; fld; _ } | Ir.StoreS { cls; fld; _ } -> (
+      match Ir.static_field_index prog cls fld with
+      | _, _, f -> f.Ir.f_volatile
+      | exception Not_found -> false)
+  | _ -> false
+
+(* The receiver register of a barrier-carrying access, with its note and
+   whether it writes. Static accesses are excluded: their receiver (the
+   statics holder) is not named by a register, so grouping them would need
+   a different key - we follow Figure 14 and aggregate only object/array
+   accesses. *)
+let barrier_access ins =
+  match ins with
+  | Ir.Load { obj = Ir.Reg r; note; _ } | Ir.ALoad { arr = Ir.Reg r; note; _ }
+    ->
+      Some (r, note, false)
+  | Ir.Store { obj = Ir.Reg r; note; _ }
+  | Ir.AStore { arr = Ir.Reg r; note; _ } ->
+      Some (r, note, true)
+  | _ -> None
+
+let defined_reg = function
+  | Ir.Move (d, _) | Ir.Unop (d, _, _) | Ir.Binop (d, _, _, _)
+  | Ir.New { dst = d; _ }
+  | Ir.NewArr { dst = d; _ }
+  | Ir.Load { dst = d; _ }
+  | Ir.LoadS { dst = d; _ }
+  | Ir.ALoad { dst = d; _ }
+  | Ir.ALen (d, _) ->
+      Some d
+  | Ir.Call { dst; _ } | Ir.Builtin { dst; _ } -> dst
+  | Ir.Store _ | Ir.StoreS _ | Ir.AStore _ | Ir.Nop | Ir.If _ | Ir.Goto _
+  | Ir.Ret _ | Ir.AtomicBegin _ | Ir.AtomicEnd | Ir.MonitorEnter _
+  | Ir.MonitorExit _ | Ir.Print _ | Ir.Retry ->
+      None
+
+(* Does this instruction end any open group? *)
+let group_breaker = function
+  | Ir.Call _ | Ir.Builtin _ -> true
+  | _ -> false
+
+let run_block prog (m : Ir.meth) (blk : Cfg.block) =
+  let aggregated = ref 0 in
+  (* current group: receiver register + collected (note, is_write),
+     reversed *)
+  let cur : (int * (Ir.note * bool) list) option ref = ref None in
+  let close () =
+    (match !cur with
+    | Some (_, members)
+      when List.length members >= 2 && List.exists snd members ->
+        (* only aggregate groups that contain a write: the acquire is
+           itself a priced atomic operation, so folding pure reads into
+           one would cost more than their individual read barriers *)
+        let n = List.length members in
+        let members = List.rev members in
+        List.iteri
+          (fun i ((note : Ir.note), _) ->
+            note.Ir.barrier <-
+              (if i = 0 then Ir.Bar_agg_start n else Ir.Bar_agg_member))
+          members;
+        aggregated := !aggregated + n
+    | _ -> ());
+    cur := None
+  in
+  for pc = blk.Cfg.start to blk.Cfg.stop - 1 do
+    let ins = m.Ir.body.(pc) in
+    if group_breaker ins then close ()
+    else begin
+      (match barrier_access ins with
+      | Some (r, note, w) when note.Ir.barrier = Ir.Bar_auto
+                               && not (is_volatile prog ins) -> (
+          match !cur with
+          | Some (r', members) when r' = r ->
+              cur := Some (r, (note, w) :: members)
+          | Some _ ->
+              close ();
+              cur := Some (r, [ (note, w) ])
+          | None -> cur := Some (r, [ (note, w) ]))
+      | Some (_, _, _) ->
+          (* a barrier access we cannot fold (volatile or already
+             removed): removed accesses touch no record and may sit
+             outside the group; volatiles end it *)
+          if is_volatile prog ins then close ()
+      | None -> ());
+      (* a redefinition of the receiver register ends the group *)
+      match (defined_reg ins, !cur) with
+      | Some d, Some (r, _) when d = r -> close ()
+      | _ -> ()
+    end
+  done;
+  close ();
+  !aggregated
+
+let run (prog : Ir.program) =
+  let total = ref 0 in
+  Ir.iter_methods prog (fun m ->
+      let cfg = Cfg.build m in
+      Array.iter (fun blk -> total := !total + run_block prog m blk) cfg.Cfg.blocks);
+  !total

@@ -1,0 +1,14 @@
+(** Barrier aggregation (paper Section 6, Figure 14).
+
+    Within a basic block, consecutive barrier-carrying accesses to the
+    same object fold into one aggregated barrier: the first access
+    acquires the record (exclusive-anonymous), the rest run as plain
+    loads/stores, and the record is released with one version bump after
+    the last. Groups never span blocks, calls, builtins, volatile
+    accesses, accesses to other objects, or redefinitions of the receiver
+    register, and only groups containing at least one write are
+    aggregated (an acquire costs more than a read barrier). *)
+
+val run : Stm_ir.Ir.program -> int
+(** Rewrite the notes; returns the number of accesses folded into
+    aggregated barriers (leaders + members). *)

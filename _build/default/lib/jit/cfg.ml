@@ -1,0 +1,75 @@
+open Stm_ir
+
+type block = { start : int; stop : int }
+type t = { blocks : block array; block_of : int array }
+
+(* Instructions that end a basic block (control may not fall through, or
+   transfers elsewhere). Atomic markers end blocks so that aggregated
+   barriers never span a transaction boundary. *)
+let ends_block = function
+  | Ir.If _ | Ir.Goto _ | Ir.Ret _ | Ir.Retry | Ir.AtomicBegin _
+  | Ir.AtomicEnd | Ir.MonitorEnter _ | Ir.MonitorExit _ ->
+      true
+  | Ir.Nop | Ir.Move _ | Ir.Unop _ | Ir.Binop _ | Ir.New _ | Ir.NewArr _
+  | Ir.Load _ | Ir.Store _ | Ir.LoadS _ | Ir.StoreS _ | Ir.ALoad _
+  | Ir.AStore _ | Ir.ALen _ | Ir.Call _ | Ir.Builtin _ | Ir.Print _ ->
+      false
+
+let build (m : Ir.meth) =
+  let n = Array.length m.Ir.body in
+  let leader = Array.make (max n 1) false in
+  if n > 0 then leader.(0) <- true;
+  Array.iteri
+    (fun pc ins ->
+      (match ins with
+      | Ir.If (_, t) | Ir.Goto t | Ir.AtomicBegin t ->
+          if t < n then leader.(t) <- true
+      | _ -> ());
+      if ends_block ins && pc + 1 < n then leader.(pc + 1) <- true)
+    m.Ir.body;
+  let starts = ref [] in
+  for pc = n - 1 downto 0 do
+    if leader.(pc) then starts := pc :: !starts
+  done;
+  let starts = Array.of_list !starts in
+  let nb = Array.length starts in
+  let blocks =
+    Array.init nb (fun i ->
+        { start = starts.(i); stop = (if i + 1 < nb then starts.(i + 1) else n) })
+  in
+  let block_of = Array.make (max n 1) 0 in
+  Array.iteri
+    (fun i b ->
+      for pc = b.start to b.stop - 1 do
+        block_of.(pc) <- i
+      done)
+    blocks;
+  { blocks; block_of }
+
+let successors (m : Ir.meth) t =
+  let n = Array.length m.Ir.body in
+  let nb = Array.length t.blocks in
+  let succ = Array.make nb [] in
+  Array.iteri
+    (fun i (b : block) ->
+      if b.stop > b.start then begin
+        let last = m.Ir.body.(b.stop - 1) in
+        let add pc = if pc < n then succ.(i) <- t.block_of.(pc) :: succ.(i) in
+        match last with
+        | Ir.Goto target -> add target
+        | Ir.If (_, target) ->
+            add target;
+            add b.stop
+        | Ir.Ret _ -> ()
+        | Ir.Retry -> ()
+        | _ -> add b.stop
+      end)
+    t.blocks;
+  succ
+
+let predecessors m t =
+  let succ = successors m t in
+  let nb = Array.length t.blocks in
+  let pred = Array.make nb [] in
+  Array.iteri (fun i ss -> List.iter (fun s -> pred.(s) <- i :: pred.(s)) ss) succ;
+  pred

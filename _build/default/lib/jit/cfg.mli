@@ -1,0 +1,14 @@
+(** Basic-block structure over IR method bodies, used by the JIT passes
+    (Section 6). *)
+
+type block = { start : int; stop : int }
+(** Instructions [start .. stop - 1]. *)
+
+type t = { blocks : block array; block_of : int array  (** pc -> block index *) }
+
+val build : Stm_ir.Ir.meth -> t
+
+val predecessors : Stm_ir.Ir.meth -> t -> int list array
+(** Block-index predecessors of every block. *)
+
+val successors : Stm_ir.Ir.meth -> t -> int list array

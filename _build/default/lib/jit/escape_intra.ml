@@ -1,0 +1,152 @@
+(* Intraprocedural static escape analysis (Section 6).
+
+   A forward dataflow analysis per method: at each program point we track
+   which registers definitely hold a thread-local object, as a map from
+   register to the allocation (identified by the [new]'s pc) it came
+   from. Copies share the allocation id, so when any alias escapes -
+   stored into the heap, passed to a call or builtin, returned - every
+   register holding the same allocation is invalidated together.
+
+   Accesses through a register that is local at the access point need no
+   isolation barrier. The merge is intersection on consistent bindings
+   (must-be-local); the analysis iterates over the CFG to a fixpoint. *)
+
+open Stm_ir
+module IMap = Map.Make (Int)
+
+(* locals : register -> allocation id (the pc of the New/NewArr) *)
+
+let kill_alias locals id = IMap.filter (fun _ i -> i <> id) locals
+
+let escape_operand locals = function
+  | Ir.Reg r -> (
+      match IMap.find_opt r locals with
+      | Some id -> kill_alias locals id
+      | None -> locals)
+  | Ir.Cint _ | Ir.Cbool _ | Ir.Cstr _ | Ir.Cnull -> locals
+
+let receiver_local locals = function
+  | Ir.Reg r -> IMap.mem r locals
+  | Ir.Cint _ | Ir.Cbool _ | Ir.Cstr _ | Ir.Cnull -> false
+
+(* Transfer one instruction; [pc] identifies allocations. When [apply] is
+   set, rewrite removable barrier notes. *)
+let transfer ~apply (removed : int ref) pc locals ins =
+  let maybe_remove (note : Ir.note) obj =
+    if apply && receiver_local locals obj then
+      match note.Ir.barrier with
+      | Ir.Bar_auto ->
+          note.Ir.barrier <- Ir.Bar_removed "escape";
+          incr removed
+      | Ir.Bar_removed _ | Ir.Bar_agg_start _ | Ir.Bar_agg_member -> ()
+  in
+  match ins with
+  | Ir.New { dst; _ } | Ir.NewArr { dst; _ } -> IMap.add dst pc locals
+  | Ir.Move (d, Ir.Reg s) -> (
+      match IMap.find_opt s locals with
+      | Some id -> IMap.add d id locals
+      | None -> IMap.remove d locals)
+  | Ir.Move (d, _) -> IMap.remove d locals
+  | Ir.Unop (d, _, _) | Ir.Binop (d, _, _, _) | Ir.ALen (d, _) ->
+      IMap.remove d locals
+  | Ir.Load { dst; obj; note; _ } ->
+      maybe_remove note obj;
+      IMap.remove dst locals
+  | Ir.Store { obj; src; note; _ } ->
+      maybe_remove note obj;
+      (* conservatively, a stored reference escapes even if the container
+         is itself local (the container may escape later) *)
+      escape_operand locals src
+  | Ir.LoadS { dst; _ } -> IMap.remove dst locals
+  | Ir.StoreS { src; _ } -> escape_operand locals src
+  | Ir.ALoad { dst; arr; note; _ } ->
+      maybe_remove note arr;
+      IMap.remove dst locals
+  | Ir.AStore { arr; src; note; _ } ->
+      maybe_remove note arr;
+      escape_operand locals src
+  | Ir.Call { dst; this; args; _ } ->
+      let s =
+        match this with Some o -> escape_operand locals o | None -> locals
+      in
+      let s = List.fold_left escape_operand s args in
+      (match dst with Some d -> IMap.remove d s | None -> s)
+  | Ir.Builtin { dst; args; _ } ->
+      let s = List.fold_left escape_operand locals args in
+      (match dst with Some d -> IMap.remove d s | None -> s)
+  | Ir.Ret (Some op) -> escape_operand locals op
+  | Ir.Ret None | Ir.Nop | Ir.If _ | Ir.Goto _ | Ir.AtomicBegin _
+  | Ir.AtomicEnd | Ir.MonitorEnter _ | Ir.MonitorExit _ | Ir.Print _
+  | Ir.Retry ->
+      locals
+
+(* Must-be-local join: keep bindings present on all paths with the same
+   allocation id. [None] means "not yet computed" (top). *)
+let join a b =
+  IMap.merge
+    (fun _ x y ->
+      match (x, y) with Some i, Some j when i = j -> Some i | _ -> None)
+    a b
+
+let run_method (m : Ir.meth) =
+  let cfg = Cfg.build m in
+  let nb = Array.length cfg.Cfg.blocks in
+  if nb = 0 then 0
+  else begin
+    let preds = Cfg.predecessors m cfg in
+    let inb = Array.make nb None in
+    inb.(0) <- Some IMap.empty;
+    let outb = Array.make nb None in
+    let removed = ref 0 in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for b = 0 to nb - 1 do
+        let input =
+          if b = 0 then Some IMap.empty
+          else
+            List.fold_left
+              (fun acc p ->
+                match (acc, outb.(p)) with
+                | None, x | x, None -> x
+                | Some a, Some o -> Some (join a o))
+              None preds.(b)
+        in
+        match input with
+        | None -> ()  (* unreachable so far *)
+        | Some input ->
+            inb.(b) <- Some input;
+            let s = ref input in
+            let blk = cfg.Cfg.blocks.(b) in
+            for pc = blk.Cfg.start to blk.Cfg.stop - 1 do
+              s := transfer ~apply:false removed pc !s m.Ir.body.(pc)
+            done;
+            let same =
+              match outb.(b) with
+              | Some o -> IMap.equal ( = ) o !s
+              | None -> false
+            in
+            if not same then begin
+              outb.(b) <- Some !s;
+              changed := true
+            end
+      done
+    done;
+    (* application pass *)
+    for b = 0 to nb - 1 do
+      match inb.(b) with
+      | None -> ()
+      | Some input ->
+          let s = ref input in
+          let blk = cfg.Cfg.blocks.(b) in
+          for pc = blk.Cfg.start to blk.Cfg.stop - 1 do
+            s := transfer ~apply:true removed pc !s m.Ir.body.(pc)
+          done
+    done;
+    !removed
+  end
+
+let run (prog : Ir.program) =
+  let total = ref 0 in
+  Ir.iter_methods prog (fun m -> total := !total + run_method m);
+  !total

@@ -1,0 +1,34 @@
+(* Barrier elimination for immutable data (Section 6): loads of [final]
+   fields never need an isolation barrier - their value cannot change
+   after publication, so no transaction can conflict with the read.
+   Array-length reads are handled structurally (the IR's [ALen] has no
+   barrier at all). *)
+
+open Stm_ir
+
+let run (prog : Ir.program) =
+  let removed = ref 0 in
+  let remove (note : Ir.note) =
+    match note.Ir.barrier with
+    | Ir.Bar_auto ->
+        note.Ir.barrier <- Ir.Bar_removed "immutable";
+        incr removed
+    | Ir.Bar_removed _ | Ir.Bar_agg_start _ | Ir.Bar_agg_member -> ()
+  in
+  Ir.iter_methods prog (fun m ->
+      Array.iter
+        (fun ins ->
+          match ins with
+          | Ir.Load { cls; fld; note; _ } -> (
+              match Ir.instance_field_index prog cls fld with
+              | _, f when f.Ir.f_final -> remove note
+              | _ -> ()
+              | exception Not_found -> ())
+          | Ir.LoadS { cls; fld; note; _ } -> (
+              match Ir.static_field_index prog cls fld with
+              | _, _, f when f.Ir.f_final -> remove note
+              | _ -> ()
+              | exception Not_found -> ())
+          | _ -> ())
+        m.Ir.body);
+  !removed

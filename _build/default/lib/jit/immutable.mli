@@ -1,0 +1,10 @@
+(** Barrier elimination for immutable data (paper Section 6).
+
+    Loads of [final] instance and static fields can never conflict with a
+    transactional writer, so their isolation barriers are removed
+    ([Bar_removed "immutable"]). Array-length reads are barrier-free
+    structurally (the IR's [ALen] carries no note). Stores are left
+    alone. *)
+
+val run : Stm_ir.Ir.program -> int
+(** Rewrite the notes; returns the number of barriers removed. *)

@@ -1,0 +1,25 @@
+open Stm_ir
+
+type level = O0 | O1 | O2
+type report = { immutable : int; escape : int; aggregated : int }
+
+let reset prog =
+  Ir.iter_methods prog (fun m ->
+      Ir.iter_access_notes m (fun _ note ->
+          note.Ir.barrier <- Ir.Bar_auto;
+          note.Ir.txn_unlogged <- false))
+
+let optimize level prog =
+  match level with
+  | O0 -> { immutable = 0; escape = 0; aggregated = 0 }
+  | O1 ->
+      let immutable = Immutable.run prog in
+      let escape = Escape_intra.run prog in
+      { immutable; escape; aggregated = 0 }
+  | O2 ->
+      let immutable = Immutable.run prog in
+      let escape = Escape_intra.run prog in
+      let aggregated = Aggregate.run prog in
+      { immutable; escape; aggregated }
+
+let level_name = function O0 -> "O0" | O1 -> "O1" | O2 -> "O2"

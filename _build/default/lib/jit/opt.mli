@@ -1,0 +1,25 @@
+(** JIT optimization driver (paper Section 6 / Figure 15 legend).
+
+    Optimization levels accumulate exactly like the paper's bars:
+    - [O0] — "No Opts": every access site keeps its configured barrier.
+    - [O1] — "Barrier Elim": immutability-based elimination plus
+      intraprocedural static escape analysis.
+    - [O2] — "+ Barrier Aggr": adds basic-block barrier aggregation.
+
+    Dynamic escape analysis ("+ DEA") is a runtime mechanism and is
+    selected in {!Stm_core.Config.t}; whole-program optimizations
+    ("+ Whole-Prog Opts") live in [stm_analysis] ({!Stm_analysis.Nait},
+    {!Stm_analysis.Thread_local}). All passes rewrite the barrier notes of
+    the program in place; {!reset} restores every note to [Bar_auto]. *)
+
+type level = O0 | O1 | O2
+
+type report = {
+  immutable : int;
+  escape : int;
+  aggregated : int;  (** accesses folded into aggregated barriers *)
+}
+
+val optimize : level -> Stm_ir.Ir.program -> report
+val reset : Stm_ir.Ir.program -> unit
+val level_name : level -> string

@@ -1,0 +1,1 @@
+lib/jtlang/ast.ml:

@@ -1,0 +1,1 @@
+lib/jtlang/jt.ml: Lexer Lower Parser

@@ -1,0 +1,1 @@
+lib/jtlang/jt.mli: Ast Stm_ir

@@ -1,0 +1,1 @@
+lib/jtlang/lexer.ml: Array Buffer List Printf String

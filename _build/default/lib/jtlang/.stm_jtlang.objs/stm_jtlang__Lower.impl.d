@@ -1,0 +1,1 @@
+lib/jtlang/lower.ml: Array Ast Fmt Hashtbl Ir List Option Printf Stm_ir

@@ -1,0 +1,1 @@
+lib/jtlang/parser.ml: Array Ast Lexer List Printf

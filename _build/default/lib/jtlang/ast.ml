@@ -1,0 +1,79 @@
+(* Surface AST for Jt, the small Java-like language with [atomic] blocks.
+   Positions are line numbers into the source string. *)
+
+type ty = Tint | Tbool | Tstr | Tvoid | Tname of string | Tarr of ty
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or
+
+type unop = Neg | Not
+
+type expr = { e : expr_node; eline : int }
+
+and expr_node =
+  | Eint of int
+  | Ebool of bool
+  | Estr of string
+  | Enull
+  | Ethis
+  | Evar of string
+  | Ebin of binop * expr * expr
+  | Eun of unop * expr
+  | Efield of expr * string  (* also [C.f]: receiver is Evar "C" *)
+  | Eindex of expr * expr
+  | Elen of expr
+  | Ecall of expr option * string * expr list
+      (* receiver (None = same-class or builtin), name, args *)
+  | Enew of string
+  | Enewarr of ty * expr
+
+type lvalue =
+  | Lvar of string
+  | Lfield of expr * string
+  | Lindex of expr * expr
+
+type stmt = { s : stmt_node; sline : int }
+
+and stmt_node =
+  | Sdecl of ty * string * expr option
+  | Sassign of lvalue * expr
+  | Sif of expr * block * block option
+  | Swhile of expr * block
+  | Sfor of stmt option * expr option * stmt option * block
+  | Sreturn of expr option
+  | Sexpr of expr
+  | Satomic of block
+  | Ssync of expr * block
+  | Sblock of block
+
+and block = stmt list
+
+type member =
+  | Mfield of {
+      fty : ty;
+      fname : string;
+      f_static : bool;
+      f_final : bool;
+      f_volatile : bool;
+      finit : expr option;
+      line : int;
+    }
+  | Mmethod of {
+      ret : ty;
+      mname : string;
+      m_static : bool;
+      params : (ty * string) list;
+      body : block;
+      line : int;
+    }
+
+type cls = {
+  cname : string;
+  super : string option;
+  members : member list;
+  cline : int;
+}
+
+type program = cls list

@@ -1,0 +1,11 @@
+exception Error of string * int
+
+let parse ?name src =
+  try Parser.parse ?name src with
+  | Lexer.Error (msg, line) -> raise (Error ("lexical error: " ^ msg, line))
+  | Parser.Error (msg, line) -> raise (Error ("syntax error: " ^ msg, line))
+
+let compile ?name src =
+  let ast = parse ?name src in
+  try Lower.lower ast with
+  | Lower.Error (msg, line) -> raise (Error (msg, line))

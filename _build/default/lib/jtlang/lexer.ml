@@ -1,0 +1,117 @@
+(* Hand-written lexer for Jt. *)
+
+type token =
+  | INT of int
+  | STR of string
+  | IDENT of string
+  | KW of string  (* keywords *)
+  | PUNCT of string  (* operators and punctuation *)
+  | EOF
+
+type t = { name : string; toks : (token * int) array; mutable pos : int }
+
+exception Error of string * int
+
+let keywords =
+  [
+    "class"; "extends"; "static"; "final"; "volatile"; "void"; "int"; "bool";
+    "str"; "if"; "else"; "while"; "for"; "return"; "atomic"; "synchronized";
+    "new"; "null"; "true"; "false"; "this";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize name src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let push tok = toks := (tok, !line) :: !toks in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      i := !i + 2;
+      let fin = ref false in
+      while not !fin do
+        if !i + 1 >= n then raise (Error ("unterminated comment", !line));
+        if src.[!i] = '\n' then incr line;
+        if src.[!i] = '*' && src.[!i + 1] = '/' then begin
+          i := !i + 2;
+          fin := true
+        end
+        else incr i
+      done
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do incr i done;
+      push (INT (int_of_string (String.sub src start (!i - start))))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      let s = String.sub src start (!i - start) in
+      if List.mem s keywords then push (KW s) else push (IDENT s)
+    end
+    else if c = '"' then begin
+      incr i;
+      let b = Buffer.create 16 in
+      let fin = ref false in
+      while not !fin do
+        if !i >= n then raise (Error ("unterminated string", !line));
+        (match src.[!i] with
+        | '"' -> fin := true
+        | '\\' when !i + 1 < n ->
+            incr i;
+            Buffer.add_char b
+              (match src.[!i] with
+              | 'n' -> '\n'
+              | 't' -> '\t'
+              | ch -> ch)
+        | ch -> Buffer.add_char b ch);
+        incr i
+      done;
+      push (STR (Buffer.contents b))
+    end
+    else begin
+      let two =
+        if !i + 1 < n then Some (String.sub src !i 2) else None
+      in
+      match two with
+      | Some (("=="|"!="|"<="|">="|"&&"|"||"|"+="|"-="|"*="|"/="|"++"|"--") as op) ->
+          push (PUNCT op);
+          i := !i + 2
+      | _ -> (
+          match c with
+          | '{' | '}' | '(' | ')' | '[' | ']' | ';' | ',' | '.' | '+' | '-'
+          | '*' | '/' | '%' | '<' | '>' | '=' | '!' ->
+              push (PUNCT (String.make 1 c));
+              incr i
+          | _ -> raise (Error (Printf.sprintf "unexpected character %C" c, !line)))
+    end
+  done;
+  push EOF;
+  { name; toks = Array.of_list (List.rev !toks); pos = 0 }
+
+let peek lx = fst lx.toks.(lx.pos)
+let peek2 lx = if lx.pos + 1 < Array.length lx.toks then fst lx.toks.(lx.pos + 1) else EOF
+let line lx = snd lx.toks.(lx.pos)
+let advance lx = if lx.pos < Array.length lx.toks - 1 then lx.pos <- lx.pos + 1
+
+let describe = function
+  | INT n -> string_of_int n
+  | STR s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | KW s -> s
+  | PUNCT s -> Printf.sprintf "'%s'" s
+  | EOF -> "<eof>"

@@ -1,0 +1,695 @@
+(* Lowering from the Jt AST to the register IR.
+
+   Resolution rules:
+   - a bare identifier is a local variable, else an instance field of the
+     enclosing class (implicit [this]), else a static field of the
+     enclosing class;
+   - [Recv.f] where [Recv] is a known class name is a static access;
+   - receiverless calls prefer methods of the enclosing class over
+     builtins;
+   - [&&] and [||] are short-circuiting. *)
+
+open Ast
+open Stm_ir
+
+exception Error of string * int
+
+let fail line msg = raise (Error (msg, line))
+
+let builtin_sigs =
+  (* name -> (param types, return type); Tvoid params mean "any" *)
+  [
+    ("spawn", ([ Ir.Tvoid ], Ir.Tint));
+    ("join", ([ Ir.Tint ], Ir.Tvoid));
+    ("rand", ([ Ir.Tint ], Ir.Tint));
+    ("param", ([ Ir.Tstr ], Ir.Tint));
+    ("tick", ([ Ir.Tint ], Ir.Tvoid));
+    ("rebase_clock", ([], Ir.Tvoid));
+    ("assert", ([ Ir.Tbool ], Ir.Tvoid));
+    ("abs", ([ Ir.Tint ], Ir.Tint));
+    ("min", ([ Ir.Tint; Ir.Tint ], Ir.Tint));
+    ("max", ([ Ir.Tint; Ir.Tint ], Ir.Tint));
+    ("hash", ([ Ir.Tint ], Ir.Tint));
+  ]
+
+let rec conv_ty line = function
+  | Tint -> Ir.Tint
+  | Tbool -> Ir.Tbool
+  | Tstr -> Ir.Tstr
+  | Tvoid -> Ir.Tvoid
+  | Tname c -> Ir.Tref c
+  | Tarr t -> Ir.Tarr (conv_ty line t)
+  [@@warning "-27"]
+
+type env = {
+  prog : Ir.program;
+  cls : Ir.cls;
+  meth_static : bool;
+  mutable code : Ir.instr list;  (* reversed *)
+  mutable len : int;
+  mutable nreg : int;
+  mutable names : string list;  (* reversed reg names *)
+  mutable scopes : (string * (int * Ir.ty)) list list;
+  mutable protect_depth : int;  (* inside atomic/synchronized *)
+}
+
+let emit env i =
+  env.code <- i :: env.code;
+  env.len <- env.len + 1
+
+let here env = env.len
+
+(* Emit a placeholder branch; returns a patcher. *)
+let emit_patchable env mk =
+  let at = env.len in
+  emit env (mk (-1));
+  fun target ->
+    env.code <-
+      List.mapi
+        (fun i ins -> if i = env.len - 1 - at then mk target else ins)
+        env.code
+
+let fresh_reg env name ty =
+  let r = env.nreg in
+  env.nreg <- r + 1;
+  env.names <- name :: env.names;
+  ignore ty;
+  r
+
+let push_scope env = env.scopes <- [] :: env.scopes
+
+let pop_scope env =
+  match env.scopes with
+  | _ :: rest -> env.scopes <- rest
+  | [] -> assert false
+
+let declare_var env line name ty =
+  (match env.scopes with
+  | scope :: _ when List.mem_assoc name scope ->
+      fail line ("duplicate variable " ^ name)
+  | _ -> ());
+  let r = fresh_reg env name ty in
+  (match env.scopes with
+  | scope :: rest -> env.scopes <- ((name, (r, ty)) :: scope) :: rest
+  | [] -> assert false);
+  r
+
+let lookup_var env name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> (
+        match List.assoc_opt name scope with
+        | Some v -> Some v
+        | None -> go rest)
+  in
+  go env.scopes
+
+let is_class env name = Hashtbl.mem env.prog.Ir.classes name
+
+let note env =
+  { Ir.site = Ir.fresh_site env.prog; barrier = Ir.Bar_auto; txn_unlogged = false }
+
+let default_value = function
+  | Ir.Tint -> Ir.Cint 0
+  | Ir.Tbool -> Ir.Cbool false
+  | Ir.Tstr -> Ir.Cstr ""
+  | Ir.Tvoid -> Ir.Cint 0
+  | Ir.Tref _ | Ir.Tarr _ -> Ir.Cnull
+
+let ref_compatible env expect actual =
+  match (expect, actual) with
+  | Ir.Tref _, Ir.Tref "<null>" | Ir.Tarr _, Ir.Tref "<null>" -> true
+  | Ir.Tref a, Ir.Tref b ->
+      Ir.is_subclass env.prog b a || Ir.is_subclass env.prog a b
+  | a, b -> Ir.ty_equal a b
+
+let check_ty env line expect actual what =
+  if not (ref_compatible env expect actual) then
+    fail line
+      (Fmt.str "%s: expected %a, found %a" what Ir.pp_ty expect Ir.pp_ty actual)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec lower_expr env (e : expr) : Ir.operand * Ir.ty =
+  let line = e.eline in
+  match e.e with
+  | Eint n -> (Ir.Cint n, Ir.Tint)
+  | Ebool b -> (Ir.Cbool b, Ir.Tbool)
+  | Estr s -> (Ir.Cstr s, Ir.Tstr)
+  | Enull -> (Ir.Cnull, Ir.Tref "<null>")
+  | Ethis ->
+      if env.meth_static then fail line "'this' in a static method"
+      else (Ir.Reg 0, Ir.Tref env.cls.Ir.cname)
+  | Evar name -> (
+      match lookup_var env name with
+      | Some (r, ty) -> (Ir.Reg r, ty)
+      | None -> lower_implicit_field env line name)
+  | Ebin (And, a, b) -> lower_shortcircuit env line true a b
+  | Ebin (Or, a, b) -> lower_shortcircuit env line false a b
+  | Ebin (op, a, b) ->
+      let va, ta = lower_expr env a in
+      let vb, tb = lower_expr env b in
+      let irop, rty = lower_binop env line op ta tb in
+      let d = fresh_reg env "t" rty in
+      emit env (Ir.Binop (d, irop, va, vb));
+      (Ir.Reg d, rty)
+  | Eun (Neg, a) ->
+      let va, ta = lower_expr env a in
+      check_ty env line Ir.Tint ta "unary -";
+      let d = fresh_reg env "t" Ir.Tint in
+      emit env (Ir.Unop (d, Ir.Neg, va));
+      (Ir.Reg d, Ir.Tint)
+  | Eun (Not, a) ->
+      let va, ta = lower_expr env a in
+      check_ty env line Ir.Tbool ta "unary !";
+      let d = fresh_reg env "t" Ir.Tbool in
+      emit env (Ir.Unop (d, Ir.Not, va));
+      (Ir.Reg d, Ir.Tbool)
+  | Efield ({ e = Evar recv; _ }, fld)
+    when lookup_var env recv = None && is_class env recv ->
+      lower_static_load env line recv fld
+  | Efield (r, fld) ->
+      let vr, tr = lower_expr env r in
+      let cls =
+        match tr with
+        | Ir.Tref c -> c
+        | t -> fail line (Fmt.str "field access on non-object type %a" Ir.pp_ty t)
+      in
+      let fidx, f =
+        try Ir.instance_field_index env.prog cls fld
+        with Not_found -> fail line ("unknown field " ^ cls ^ "." ^ fld)
+      in
+      let d = fresh_reg env "t" f.Ir.fty in
+      emit env (Ir.Load { dst = d; obj = vr; cls; fld; fidx; note = note env });
+      (Ir.Reg d, f.Ir.fty)
+  | Eindex (a, i) ->
+      let va, ta = lower_expr env a in
+      let vi, ti = lower_expr env i in
+      check_ty env line Ir.Tint ti "array index";
+      let elt =
+        match ta with
+        | Ir.Tarr t -> t
+        | t -> fail line (Fmt.str "indexing non-array type %a" Ir.pp_ty t)
+      in
+      let d = fresh_reg env "t" elt in
+      emit env (Ir.ALoad { dst = d; arr = va; idx = vi; note = note env });
+      (Ir.Reg d, elt)
+  | Elen a ->
+      let va, ta = lower_expr env a in
+      (match ta with
+      | Ir.Tarr _ -> ()
+      | t -> fail line (Fmt.str ".length of non-array type %a" Ir.pp_ty t));
+      let d = fresh_reg env "t" Ir.Tint in
+      emit env (Ir.ALen (d, va));
+      (Ir.Reg d, Ir.Tint)
+  | Enew cls ->
+      if not (is_class env cls) then fail line ("unknown class " ^ cls);
+      let d = fresh_reg env "t" (Ir.Tref cls) in
+      emit env (Ir.New { dst = d; cls; site = Ir.fresh_site env.prog });
+      (Ir.Reg d, Ir.Tref cls)
+  | Enewarr (elt, len) ->
+      let ve, te = lower_expr env len in
+      check_ty env line Ir.Tint te "array length";
+      let ety = conv_ty line elt in
+      let d = fresh_reg env "t" (Ir.Tarr ety) in
+      emit env (Ir.NewArr { dst = d; elt = ety; len = ve; site = Ir.fresh_site env.prog });
+      (Ir.Reg d, Ir.Tarr ety)
+  | Ecall (recv, name, args) -> (
+      match lower_call env line recv name args with
+      | Some (op, ty) -> (op, ty)
+      | None -> fail line ("void method " ^ name ^ " used as a value"))
+
+and lower_implicit_field env line name =
+  (* bare identifier that is not a local: instance field (via this) or
+     static field of the enclosing class *)
+  let cname = env.cls.Ir.cname in
+  match Ir.instance_field_index env.prog cname name with
+  | fidx, f when not env.meth_static ->
+      let d = fresh_reg env "t" f.Ir.fty in
+      emit env
+        (Ir.Load { dst = d; obj = Ir.Reg 0; cls = cname; fld = name; fidx; note = note env });
+      (Ir.Reg d, f.Ir.fty)
+  | _ -> fail line ("instance field " ^ name ^ " in a static method")
+  | exception Not_found -> (
+      match Ir.static_field_index env.prog cname name with
+      | dcls, fidx, f ->
+          let d = fresh_reg env "t" f.Ir.fty in
+          emit env (Ir.LoadS { dst = d; cls = dcls; fld = name; fidx; note = note env });
+          (Ir.Reg d, f.Ir.fty)
+      | exception Not_found -> fail line ("unbound identifier " ^ name))
+
+and lower_static_load env line cname fld =
+  match Ir.static_field_index env.prog cname fld with
+  | dcls, fidx, f ->
+      let d = fresh_reg env "t" f.Ir.fty in
+      emit env (Ir.LoadS { dst = d; cls = dcls; fld; fidx; note = note env });
+      (Ir.Reg d, f.Ir.fty)
+  | exception Not_found -> fail line ("unknown static field " ^ cname ^ "." ^ fld)
+
+and lower_shortcircuit env line is_and a b =
+  let d = fresh_reg env "t" Ir.Tbool in
+  let va, ta = lower_expr env a in
+  check_ty env line Ir.Tbool ta "logical operand";
+  emit env (Ir.Move (d, va));
+  (* and: if !d skip b ; or: if d skip b *)
+  let cond_reg = fresh_reg env "t" Ir.Tbool in
+  if is_and then emit env (Ir.Unop (cond_reg, Ir.Not, Ir.Reg d))
+  else emit env (Ir.Move (cond_reg, Ir.Reg d));
+  let patch = emit_patchable env (fun t -> Ir.If (Ir.Reg cond_reg, t)) in
+  let vb, tb = lower_expr env b in
+  check_ty env line Ir.Tbool tb "logical operand";
+  emit env (Ir.Move (d, vb));
+  patch (here env);
+  (Ir.Reg d, Ir.Tbool)
+
+and lower_binop env line op ta tb =
+  let arith irop =
+    check_ty env line Ir.Tint ta "arithmetic operand";
+    check_ty env line Ir.Tint tb "arithmetic operand";
+    (irop, Ir.Tint)
+  in
+  let rel irop =
+    check_ty env line Ir.Tint ta "comparison operand";
+    check_ty env line Ir.Tint tb "comparison operand";
+    (irop, Ir.Tbool)
+  in
+  match op with
+  | Add -> arith Ir.Add
+  | Sub -> arith Ir.Sub
+  | Mul -> arith Ir.Mul
+  | Div -> arith Ir.Div
+  | Mod -> arith Ir.Mod
+  | Lt -> rel Ir.Lt
+  | Le -> rel Ir.Le
+  | Gt -> rel Ir.Gt
+  | Ge -> rel Ir.Ge
+  | Eq ->
+      if not (ref_compatible env ta tb) then
+        fail line "incomparable types in ==";
+      (Ir.Eq, Ir.Tbool)
+  | Ne ->
+      if not (ref_compatible env ta tb) then
+        fail line "incomparable types in !=";
+      (Ir.Ne, Ir.Tbool)
+  | And | Or -> assert false (* handled by short-circuit lowering *)
+
+and lower_args env args = List.map (fun a -> lower_expr env a) args
+
+and lower_call env line recv name args : (Ir.operand * Ir.ty) option =
+  let call ~target ~this ~sig_params ~ret vargs =
+    if List.length sig_params <> List.length vargs then
+      fail line (Printf.sprintf "wrong arity calling %s" name);
+    List.iter2
+      (fun (_, pty) (_, aty) -> check_ty env line pty aty ("argument of " ^ name))
+      sig_params vargs;
+    let dst =
+      match ret with Ir.Tvoid -> None | t -> Some (fresh_reg env "t" t)
+    in
+    emit env
+      (Ir.Call { dst; target; this; args = List.map fst vargs });
+    match (dst, ret) with
+    | Some d, t -> Some (Ir.Reg d, t)
+    | None, _ -> None
+  in
+  match recv with
+  | Some { e = Evar cname; _ }
+    when lookup_var env cname = None && is_class env cname -> (
+      (* static call C.m(...) *)
+      match Ir.find_method env.prog cname name with
+      | Some m when m.Ir.m_static ->
+          let vargs = lower_args env args in
+          call ~target:(Ir.Static (cname, name)) ~this:None
+            ~sig_params:m.Ir.params ~ret:m.Ir.ret vargs
+      | Some _ -> fail line ("method " ^ name ^ " of " ^ cname ^ " is not static")
+      | None -> fail line ("unknown static method " ^ cname ^ "." ^ name))
+  | Some r -> (
+      let vr, tr = lower_expr env r in
+      let cls =
+        match tr with
+        | Ir.Tref c -> c
+        | t -> fail line (Fmt.str "method call on non-object type %a" Ir.pp_ty t)
+      in
+      match Ir.find_method env.prog cls name with
+      | Some m when not m.Ir.m_static ->
+          let vargs = lower_args env args in
+          call ~target:(Ir.Virtual (cls, name)) ~this:(Some vr)
+            ~sig_params:m.Ir.params ~ret:m.Ir.ret vargs
+      | Some _ -> fail line ("static method " ^ name ^ " called on an instance")
+      | None -> fail line ("unknown method " ^ cls ^ "." ^ name))
+  | None -> (
+      (* same-class method, else builtin *)
+      match Ir.find_method env.prog env.cls.Ir.cname name with
+      | Some m ->
+          let vargs = lower_args env args in
+          if m.Ir.m_static then
+            call ~target:(Ir.Static (env.cls.Ir.cname, name)) ~this:None
+              ~sig_params:m.Ir.params ~ret:m.Ir.ret vargs
+          else if env.meth_static then
+            fail line ("instance method " ^ name ^ " called from static context")
+          else
+            call ~target:(Ir.Virtual (env.cls.Ir.cname, name))
+              ~this:(Some (Ir.Reg 0)) ~sig_params:m.Ir.params ~ret:m.Ir.ret
+              vargs
+      | None -> lower_builtin env line name args)
+
+and lower_builtin env line name args =
+  match name with
+  | "print" ->
+      let vargs = lower_args env args in
+      (match vargs with
+      | [ (v, _) ] -> emit env (Ir.Print v)
+      | _ -> fail line "print takes one argument");
+      None
+  | "retry" ->
+      if args <> [] then fail line "retry takes no arguments";
+      emit env Ir.Retry;
+      None
+  | _ -> (
+      match List.assoc_opt name builtin_sigs with
+      | None -> fail line ("unknown function " ^ name)
+      | Some (ptys, ret) ->
+          let vargs = lower_args env args in
+          if List.length ptys <> List.length vargs then
+            fail line (Printf.sprintf "wrong arity calling %s" name);
+          List.iter2
+            (fun pty (_, aty) ->
+              match pty with
+              | Ir.Tvoid -> ()  (* any *)
+              | t -> check_ty env line t aty ("argument of " ^ name))
+            ptys vargs;
+          let dst =
+            match ret with Ir.Tvoid -> None | t -> Some (fresh_reg env "t" t)
+          in
+          emit env (Ir.Builtin { dst; name; args = List.map fst vargs });
+          (match (dst, ret) with
+          | Some d, t -> Some (Ir.Reg d, t)
+          | None, _ -> None))
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec lower_stmt env ret_ty (s : stmt) =
+  let line = s.sline in
+  match s.s with
+  | Sdecl (ty, name, init) ->
+      let ity = conv_ty line ty in
+      let v, vt =
+        match init with
+        | Some e -> lower_expr env e
+        | None -> (default_value ity, ity)
+      in
+      check_ty env line ity vt ("initializer of " ^ name);
+      let r = declare_var env line name ity in
+      emit env (Ir.Move (r, v))
+  | Sassign (lv, e) -> lower_assign env line lv e
+  | Sif (c, thn, els) ->
+      let vc, tc = lower_expr env c in
+      check_ty env line Ir.Tbool tc "if condition";
+      let nc = fresh_reg env "t" Ir.Tbool in
+      emit env (Ir.Unop (nc, Ir.Not, vc));
+      let patch_else = emit_patchable env (fun t -> Ir.If (Ir.Reg nc, t)) in
+      lower_block env ret_ty thn;
+      (match els with
+      | None -> patch_else (here env)
+      | Some eb ->
+          let patch_end = emit_patchable env (fun t -> Ir.Goto t) in
+          patch_else (here env);
+          lower_block env ret_ty eb;
+          patch_end (here env))
+  | Swhile (c, body) ->
+      let head = here env in
+      let vc, tc = lower_expr env c in
+      check_ty env line Ir.Tbool tc "while condition";
+      let nc = fresh_reg env "t" Ir.Tbool in
+      emit env (Ir.Unop (nc, Ir.Not, vc));
+      let patch_end = emit_patchable env (fun t -> Ir.If (Ir.Reg nc, t)) in
+      lower_block env ret_ty body;
+      emit env (Ir.Goto head);
+      patch_end (here env)
+  | Sfor (init, cond, step, body) ->
+      push_scope env;
+      Option.iter (lower_stmt env ret_ty) init;
+      let head = here env in
+      let patch_end =
+        match cond with
+        | None -> fun _ -> ()
+        | Some c ->
+            let vc, tc = lower_expr env c in
+            check_ty env line Ir.Tbool tc "for condition";
+            let nc = fresh_reg env "t" Ir.Tbool in
+            emit env (Ir.Unop (nc, Ir.Not, vc));
+            emit_patchable env (fun t -> Ir.If (Ir.Reg nc, t))
+      in
+      lower_block env ret_ty body;
+      Option.iter (lower_stmt env ret_ty) step;
+      emit env (Ir.Goto head);
+      patch_end (here env);
+      pop_scope env
+  | Sreturn e ->
+      if env.protect_depth > 0 then
+        fail line "return inside atomic/synchronized is not supported";
+      (match (e, ret_ty) with
+      | None, Ir.Tvoid -> emit env (Ir.Ret None)
+      | None, _ -> fail line "missing return value"
+      | Some e, rt ->
+          let v, vt = lower_expr env e in
+          check_ty env line rt vt "return value";
+          emit env (Ir.Ret (Some v)))
+  | Sexpr e -> (
+      match e.e with
+      | Ecall (recv, name, args) ->
+          ignore (lower_call env line recv name args : (Ir.operand * Ir.ty) option)
+      | _ -> ignore (lower_expr env e : Ir.operand * Ir.ty))
+  | Satomic body ->
+      let patch_begin = emit_patchable env (fun t -> Ir.AtomicBegin t) in
+      env.protect_depth <- env.protect_depth + 1;
+      lower_block env ret_ty body;
+      env.protect_depth <- env.protect_depth - 1;
+      emit env Ir.AtomicEnd;
+      patch_begin (here env - 1)
+  | Ssync (e, body) ->
+      let v, vt = lower_expr env e in
+      (match vt with
+      | Ir.Tref _ | Ir.Tarr _ -> ()
+      | t -> fail line (Fmt.str "synchronized on non-object type %a" Ir.pp_ty t));
+      emit env (Ir.MonitorEnter v);
+      env.protect_depth <- env.protect_depth + 1;
+      lower_block env ret_ty body;
+      env.protect_depth <- env.protect_depth - 1;
+      emit env (Ir.MonitorExit v)
+  | Sblock b ->
+      push_scope env;
+      lower_block env ret_ty b;
+      pop_scope env
+
+and lower_block env ret_ty b =
+  push_scope env;
+  List.iter (lower_stmt env ret_ty) b;
+  pop_scope env
+
+and lower_assign env line lv e =
+  match lv with
+  | Lvar name -> (
+      match lookup_var env name with
+      | Some (r, ty) ->
+          let v, vt = lower_expr env e in
+          check_ty env line ty vt ("assignment to " ^ name);
+          emit env (Ir.Move (r, v))
+      | None -> lower_implicit_store env line name e)
+  | Lfield ({ e = Evar recv; _ }, fld)
+    when lookup_var env recv = None && is_class env recv -> (
+      match Ir.static_field_index env.prog recv fld with
+      | dcls, fidx, f ->
+          let v, vt = lower_expr env e in
+          check_ty env line f.Ir.fty vt ("assignment to " ^ recv ^ "." ^ fld);
+          emit env (Ir.StoreS { cls = dcls; fld; fidx; src = v; note = note env })
+      | exception Not_found ->
+          fail line ("unknown static field " ^ recv ^ "." ^ fld))
+  | Lfield (r, fld) ->
+      let vr, tr = lower_expr env r in
+      let cls =
+        match tr with
+        | Ir.Tref c -> c
+        | t -> fail line (Fmt.str "field store on non-object type %a" Ir.pp_ty t)
+      in
+      let fidx, f =
+        try Ir.instance_field_index env.prog cls fld
+        with Not_found -> fail line ("unknown field " ^ cls ^ "." ^ fld)
+      in
+      let v, vt = lower_expr env e in
+      check_ty env line f.Ir.fty vt ("assignment to " ^ cls ^ "." ^ fld);
+      emit env (Ir.Store { obj = vr; cls; fld; fidx; src = v; note = note env })
+  | Lindex (a, i) ->
+      let va, ta = lower_expr env a in
+      let vi, ti = lower_expr env i in
+      check_ty env line Ir.Tint ti "array index";
+      let elt =
+        match ta with
+        | Ir.Tarr t -> t
+        | t -> fail line (Fmt.str "indexed store on non-array type %a" Ir.pp_ty t)
+      in
+      let v, vt = lower_expr env e in
+      check_ty env line elt vt "array store";
+      emit env (Ir.AStore { arr = va; idx = vi; src = v; note = note env })
+
+and lower_implicit_store env line name e =
+  let cname = env.cls.Ir.cname in
+  match Ir.instance_field_index env.prog cname name with
+  | fidx, f ->
+      if env.meth_static then
+        fail line ("instance field " ^ name ^ " in a static method");
+      let v, vt = lower_expr env e in
+      check_ty env line f.Ir.fty vt ("assignment to " ^ name);
+      emit env
+        (Ir.Store { obj = Ir.Reg 0; cls = cname; fld = name; fidx; src = v; note = note env })
+  | exception Not_found -> (
+      match Ir.static_field_index env.prog cname name with
+      | dcls, fidx, f ->
+          let v, vt = lower_expr env e in
+          check_ty env line f.Ir.fty vt ("assignment to " ^ name);
+          emit env (Ir.StoreS { cls = dcls; fld = name; fidx; src = v; note = note env })
+      | exception Not_found -> fail line ("unbound identifier " ^ name))
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let const_init line = function
+  | None -> None
+  | Some { e = Eint n; _ } -> Some (Ir.Cint n)
+  | Some { e = Ebool b; _ } -> Some (Ir.Cbool b)
+  | Some { e = Estr s; _ } -> Some (Ir.Cstr s)
+  | Some { e = Enull; _ } -> Some Ir.Cnull
+  | Some _ ->
+      fail line "field initializers must be constants (use main for setup)"
+
+let declare_class (c : Ast.cls) =
+  let fields =
+    List.filter_map
+      (function
+        | Mfield { fty; fname; f_static; f_final; f_volatile; finit; line } ->
+            if finit <> None && not f_static then
+              fail line "instance fields cannot have initializers";
+            Some
+              {
+                Ir.fname;
+                fty = conv_ty line fty;
+                f_final;
+                f_volatile;
+                f_static;
+                f_init = const_init line finit;
+              }
+        | Mmethod _ -> None)
+      c.members
+  in
+  {
+    Ir.cname = c.cname;
+    super = c.super;
+    fields;
+    meths = [];
+  }
+
+let declare_method prog cname (m : Ast.member) =
+  match m with
+  | Mmethod { ret; mname; m_static; params; body = _; line } ->
+      Some
+        {
+          Ir.mcls = cname;
+          mname;
+          m_static;
+          params = List.map (fun (t, n) -> (n, conv_ty line t)) params;
+          ret = conv_ty line ret;
+          nregs = 0;
+          body = [||];
+          reg_names = [||];
+        }
+  | Mfield _ -> None
+  [@@warning "-27"]
+
+let lower_method prog cls (am : Ast.member) (im : Ir.meth) =
+  match am with
+  | Mfield _ -> assert false
+  | Mmethod { body; line = _; _ } ->
+      let env =
+        {
+          prog;
+          cls;
+          meth_static = im.Ir.m_static;
+          code = [];
+          len = 0;
+          nreg = 0;
+          names = [];
+          scopes = [ [] ];
+          protect_depth = 0;
+        }
+      in
+      (* calling convention: this (if any), then parameters *)
+      if not im.Ir.m_static then begin
+        let r = fresh_reg env "this" (Ir.Tref cls.Ir.cname) in
+        env.scopes <-
+          [ ("this", (r, Ir.Tref cls.Ir.cname)) :: List.hd env.scopes ]
+      end;
+      List.iter
+        (fun (n, t) ->
+          let r = fresh_reg env n t in
+          env.scopes <- [ (n, (r, t)) :: List.hd env.scopes ])
+        im.Ir.params;
+      lower_block env im.Ir.ret body;
+      emit env (Ir.Ret None);
+      let code = Array.of_list (List.rev env.code) in
+      {
+        im with
+        Ir.nregs = env.nreg;
+        body = code;
+        reg_names = Array.of_list (List.rev env.names);
+      }
+
+let builtin_thread_class =
+  { Ir.cname = "Thread"; super = None; fields = []; meths = [] }
+
+let lower (ast : Ast.program) : Ir.program =
+  let prog = Ir.create_program () in
+  (* implicit base classes *)
+  Ir.add_class prog builtin_thread_class;
+  List.iter
+    (fun (c : Ast.cls) ->
+      if Hashtbl.mem prog.Ir.classes c.cname then
+        fail c.cline ("duplicate class " ^ c.cname);
+      Ir.add_class prog (declare_class c))
+    ast;
+  (* declare method signatures before lowering any body *)
+  List.iter
+    (fun (c : Ast.cls) ->
+      let ic = Ir.find_class prog c.cname in
+      ic.Ir.meths <-
+        List.filter_map (declare_method prog c.cname) c.members)
+    ast;
+  (* lower bodies *)
+  List.iter
+    (fun (c : Ast.cls) ->
+      let ic = Ir.find_class prog c.cname in
+      let ast_methods =
+        List.filter (function Mmethod _ -> true | Mfield _ -> false) c.members
+      in
+      ic.Ir.meths <-
+        List.map2 (fun am im -> lower_method prog ic am im) ast_methods
+          ic.Ir.meths)
+    ast;
+  (* find main *)
+  let main_cls =
+    List.find_opt
+      (fun (c : Ast.cls) ->
+        List.exists
+          (function
+            | Mmethod { mname = "main"; m_static = true; _ } -> true
+            | Mmethod _ | Mfield _ -> false)
+          c.members)
+      ast
+  in
+  (match main_cls with
+  | Some c -> prog.Ir.main_class <- c.cname
+  | None -> fail 0 "no class with a static main() method");
+  prog

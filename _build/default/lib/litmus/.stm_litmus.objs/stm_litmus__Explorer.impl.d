@@ -1,0 +1,1 @@
+lib/litmus/explorer.ml: Array Hashtbl List Option Printexc Sched Stm_core Stm_runtime

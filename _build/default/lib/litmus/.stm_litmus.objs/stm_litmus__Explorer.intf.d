@@ -1,0 +1,1 @@
+lib/litmus/explorer.mli: Stm_core

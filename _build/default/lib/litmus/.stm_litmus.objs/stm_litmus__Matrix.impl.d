@@ -1,0 +1,1 @@
+lib/litmus/matrix.ml: Explorer Fmt List Modes Option Programs Stm_core

@@ -1,0 +1,1 @@
+lib/litmus/matrix.mli: Format Modes Programs

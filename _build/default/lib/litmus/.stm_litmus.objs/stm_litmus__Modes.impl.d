@@ -1,0 +1,1 @@
+lib/litmus/modes.ml: Config Cost Sim_mutex Stm Stm_core Stm_runtime Txn

@@ -1,0 +1,1 @@
+lib/litmus/modes.mli: Config Stm_core

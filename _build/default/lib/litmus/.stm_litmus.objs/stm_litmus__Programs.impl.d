@@ -1,0 +1,1 @@
+lib/litmus/programs.ml: Explorer Heap Modes Option Printf Scanf Sched Stm Stm_core Stm_runtime

@@ -1,0 +1,1 @@
+lib/litmus/programs.mli: Explorer Modes

@@ -1,0 +1,250 @@
+open Stm_runtime
+
+type exploration = {
+  outcomes : (string * int) list;
+  runs : int;
+  truncated : bool;
+  livelocks : int;
+  deadlocks : int;
+}
+
+type instance = { main : unit -> unit; observe : unit -> string }
+
+(* One scheduling decision observed during a run. *)
+type decision = {
+  chosen : Sched.tid;
+  alts : Sched.tid list;  (* runnable alternatives not chosen *)
+}
+
+type state = {
+  mutable outcome_tbl : (string, int) Hashtbl.t;
+  mutable runs : int;
+  mutable livelocks : int;
+  mutable deadlocks : int;
+  max_runs : int;
+  mutable truncated : bool;
+}
+
+exception Search_done
+
+(* Execute one schedule. [prefix] forces the first choices; afterwards the
+   default policy applies (stay on the current thread, rotate after the
+   fairness window). Returns the decision trace and the outcome string. *)
+let execute st ~max_steps ~fairness_window ~cfg ~make prefix =
+  if st.runs >= st.max_runs then begin
+    st.truncated <- true;
+    raise Search_done
+  end;
+  st.runs <- st.runs + 1;
+  let inst = make () in
+  let trace = ref [] in
+  let ndecisions = ref 0 in
+  let consecutive = ref 0 in
+  let last_default = ref (-1) in
+  let choose current runnables =
+    let i = !ndecisions in
+    incr ndecisions;
+    let default =
+      if List.mem current runnables then
+        if !last_default = current && !consecutive >= fairness_window then
+          (* rotate: next runnable after current, wrapping *)
+          match List.filter (fun t -> t > current) runnables with
+          | t :: _ -> t
+          | [] -> List.hd runnables
+        else current
+      else List.hd runnables
+    in
+    let chosen =
+      if i < Array.length prefix then prefix.(i) else default
+    in
+    (* keep fairness bookkeeping against actually-chosen thread *)
+    if chosen = !last_default then incr consecutive
+    else begin
+      last_default := chosen;
+      consecutive := 1
+    end;
+    let alts = List.filter (fun t -> t <> chosen) runnables in
+    trace := { chosen; alts } :: !trace;
+    chosen
+  in
+  let result =
+    Stm_core.Stm.run ~policy:(Sched.Controlled choose) ~max_steps ~cfg
+      inst.main
+  in
+  let sched_result = fst result in
+  let outcome =
+    match sched_result.Sched.status with
+    | Sched.Completed -> (
+        match sched_result.Sched.exns with
+        | [] -> inst.observe ()
+        | (_, ex) :: _ -> "<exn:" ^ Printexc.to_string ex ^ ">")
+    | Sched.Deadlock _ -> "<deadlock>"
+    | Sched.Fuel_exhausted -> "<livelock>"
+  in
+  (match sched_result.Sched.status with
+  | Sched.Deadlock _ -> st.deadlocks <- st.deadlocks + 1
+  | Sched.Fuel_exhausted -> st.livelocks <- st.livelocks + 1
+  | Sched.Completed -> ());
+  let tbl = st.outcome_tbl in
+  Hashtbl.replace tbl outcome (1 + Option.value ~default:0 (Hashtbl.find_opt tbl outcome));
+  (Array.of_list (List.rev !trace), outcome)
+
+let explore ?(preemption_bound = 2) ?(max_runs = 40_000) ?(max_steps = 60_000)
+    ?(fairness_window = 64) ?stop_when ~cfg ~make () =
+  let st =
+    {
+      outcome_tbl = Hashtbl.create 16;
+      runs = 0;
+      livelocks = 0;
+      deadlocks = 0;
+      max_runs;
+      truncated = false;
+    }
+  in
+  let execute prefix =
+    let trace, outcome = execute st ~max_steps ~fairness_window ~cfg ~make prefix in
+    (match stop_when with
+    | Some pred when pred outcome -> raise Search_done
+    | Some _ | None -> ());
+    (trace, outcome)
+  in
+  (* DFS over the scheduling tree. [prefix] replays forced choices;
+     [npre] counts injected (non-default) choices in the prefix. *)
+  let rec dfs prefix npre =
+    let trace, _outcome = execute prefix in
+    if npre < preemption_bound then
+      let start = Array.length prefix in
+      for i = start to Array.length trace - 1 do
+        List.iter
+          (fun alt ->
+            let prefix' = Array.make (i + 1) 0 in
+            Array.blit (Array.map (fun d -> d.chosen) trace) 0 prefix' 0 i;
+            prefix'.(i) <- alt;
+            dfs prefix' (npre + 1))
+          trace.(i).alts
+      done
+  in
+  (try dfs [||] 0 with Search_done -> ());
+  let outcomes =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.outcome_tbl []
+    |> List.sort compare
+  in
+  {
+    outcomes;
+    runs = st.runs;
+    truncated = st.truncated;
+    livelocks = st.livelocks;
+    deadlocks = st.deadlocks;
+  }
+
+let observed e pred = List.exists (fun (o, _) -> pred o) e.outcomes
+
+(* ------------------------------------------------------------------ *)
+(* Probabilistic concurrency testing                                   *)
+(* ------------------------------------------------------------------ *)
+
+let explore_pct ?(runs = 2000) ?(depth = 3) ?(max_steps = 60_000) ?(seed = 1)
+    ?stop_when ~cfg ~make () =
+  let rng = Stm_runtime.Det_rng.create seed in
+  let outcome_tbl = Hashtbl.create 16 in
+  let livelocks = ref 0 in
+  let deadlocks = ref 0 in
+  let performed = ref 0 in
+  let stopped = ref false in
+  (let max_threads = 16 in
+   (* adaptive horizon: change points are sampled within the length of
+      the runs actually observed, so demotions land inside the program *)
+   let horizon = ref 256 in
+   let run_once () =
+     incr performed;
+     let inst = make () in
+     (* random distinct base priorities per thread; higher runs first *)
+     let prio = Array.init max_threads (fun i -> 100 + ((i * 7919) mod 97)) in
+     Array.iteri
+       (fun i _ ->
+         let j = i + Stm_runtime.Det_rng.int rng (max_threads - i) in
+         let t = prio.(i) in
+         prio.(i) <- prio.(j);
+         prio.(j) <- t)
+       prio;
+     (* choose depth-1 demotion points over the adaptive horizon *)
+     let change_points =
+       List.init (max 0 (depth - 1)) (fun i ->
+           (1 + Stm_runtime.Det_rng.int rng !horizon, i + 1))
+     in
+     let step = ref 0 in
+     let last = ref (-1) in
+     let streak = ref 0 in
+     let floor_prio = ref (-1000) in
+     let choose current runnables =
+       incr step;
+       (match List.assoc_opt !step change_points with
+       | Some demotion when current < max_threads ->
+           (* demote the running thread below everything else *)
+           prio.(current) <- -demotion
+       | _ -> ());
+       let pick =
+         List.fold_left
+           (fun best t ->
+             let p tid = if tid < max_threads then prio.(tid) else 0 in
+             if p t > p best then t else best)
+           (List.hd runnables) runnables
+       in
+       (* livelock avoidance (deviation from pure PCT): a thread that
+          spins through many consecutive steps while others are runnable
+          is waiting on a lower-priority thread - demote it so the owner
+          can make progress *)
+       if pick = !last then incr streak else streak := 1;
+       last := pick;
+       if !streak > 64 && List.length runnables > 1 && pick < max_threads
+       then begin
+         decr floor_prio;
+         prio.(pick) <- !floor_prio;
+         streak := 0
+       end;
+       pick
+     in
+     let result, _ =
+       Stm_core.Stm.run
+         ~policy:(Stm_runtime.Sched.Controlled choose)
+         ~max_steps ~cfg inst.main
+     in
+     let outcome =
+       match result.Stm_runtime.Sched.status with
+       | Stm_runtime.Sched.Completed -> (
+           match result.Stm_runtime.Sched.exns with
+           | [] -> inst.observe ()
+           | (_, ex) :: _ -> "<exn:" ^ Printexc.to_string ex ^ ">")
+       | Stm_runtime.Sched.Deadlock _ ->
+           incr deadlocks;
+           "<deadlock>"
+       | Stm_runtime.Sched.Fuel_exhausted ->
+           incr livelocks;
+           "<livelock>"
+     in
+     Hashtbl.replace outcome_tbl outcome
+       (1 + Option.value ~default:0 (Hashtbl.find_opt outcome_tbl outcome));
+     (* steady-state estimate of the run length in scheduling steps *)
+     if result.Stm_runtime.Sched.status = Stm_runtime.Sched.Completed then
+       horizon := max 32 (min !step 4096);
+     outcome
+   in
+   try
+     for _ = 1 to runs do
+       let o = run_once () in
+       match stop_when with
+       | Some pred when pred o ->
+           stopped := true;
+           raise Exit
+       | _ -> ()
+     done
+   with Exit -> ());
+  {
+    outcomes =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) outcome_tbl []
+      |> List.sort compare;
+    runs = !performed;
+    truncated = (not !stopped) && !performed >= runs;
+    livelocks = !livelocks;
+    deadlocks = !deadlocks;
+  }

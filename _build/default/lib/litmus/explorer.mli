@@ -1,0 +1,70 @@
+(** Systematic concurrency testing for the litmus programs of Figures 1-5.
+
+    Stateless model checking in the style of CHESS: each execution is
+    driven by a {!Stm_runtime.Sched.Controlled} policy; the explorer
+    re-executes the program with different schedule prefixes, enumerating
+    the scheduling tree depth-first with a {e preemption bound} — only
+    schedules with at most [preemption_bound] scheduler choices that
+    deviate from the default are explored. Every anomaly in the paper
+    needs at most three preemptions at specific points, so a small bound
+    finds them all, while keeping the search tractable.
+
+    The default schedule continues the current thread while it is
+    runnable, rotating round-robin after a fairness window so that spin
+    loops (barrier back-off, quiescence waits) cannot livelock the default
+    execution. Rotations do not count against the preemption bound. *)
+
+type exploration = {
+  outcomes : (string * int) list;
+      (** distinct observed outcomes with the number of schedules that
+          produced each, sorted by outcome string *)
+  runs : int;  (** number of executions performed *)
+  truncated : bool;  (** true if [max_runs] stopped the search *)
+  livelocks : int;  (** executions that ran out of scheduler fuel *)
+  deadlocks : int;
+}
+
+type instance = {
+  main : unit -> unit;  (** body executed as simulated thread 0 *)
+  observe : unit -> string;  (** read the final state, after the run *)
+}
+
+val explore :
+  ?preemption_bound:int ->
+  ?max_runs:int ->
+  ?max_steps:int ->
+  ?fairness_window:int ->
+  ?stop_when:(string -> bool) ->
+  cfg:Stm_core.Config.t ->
+  make:(unit -> instance) ->
+  unit ->
+  exploration
+(** [explore ~cfg ~make ()] repeatedly calls [make] to get a fresh
+    instance and runs it under systematically varied schedules.
+    Defaults: [preemption_bound = 2], [max_runs = 40_000],
+    [max_steps = 60_000], [fairness_window = 64]. If [stop_when] is given,
+    the search stops as soon as a matching outcome is observed (used for
+    "anomaly possible?" queries, where one witness suffices). *)
+
+val observed : exploration -> (string -> bool) -> bool
+(** Did any schedule produce an outcome satisfying the predicate? *)
+
+val explore_pct :
+  ?runs:int ->
+  ?depth:int ->
+  ?max_steps:int ->
+  ?seed:int ->
+  ?stop_when:(string -> bool) ->
+  cfg:Stm_core.Config.t ->
+  make:(unit -> instance) ->
+  unit ->
+  exploration
+(** Probabilistic concurrency testing (Burckhardt et al., ASPLOS 2010):
+    each run assigns random priorities to threads and demotes the running
+    thread's priority at [depth - 1] randomly chosen scheduling steps; the
+    scheduler otherwise always runs the highest-priority runnable thread.
+    For a bug of depth [d] (number of ordering constraints), each run
+    finds it with probability at least [1/(n * k^(d-1))] — an independent
+    method of deciding the Figure 6 cells, complementing the
+    preemption-bounded DFS. Defaults: [runs = 2000], [depth = 3],
+    [seed = 1]. *)

@@ -1,0 +1,141 @@
+type cell = {
+  program : Programs.t;
+  mode : Modes.t;
+  expected : bool;
+  observed : bool;
+  runs : int;
+  truncated : bool;
+}
+
+(* Figure 6, transcribed. Columns: eager-weak, lazy-weak, locks,
+   strong-eager, strong-lazy (the paper's single Strong column covers
+   both versionings). *)
+let expected_fig6 =
+  [
+    ("nr", [ true; true; true; false; false ]);
+    ("gir", [ false; true; false; false; false ]);
+    ("ilu", [ true; true; true; false; false ]);
+    ("slu", [ true; false; false; false; false ]);
+    ("glu", [ true; true; false; false; false ]);
+    ("mi-ww", [ false; true; false; false; false ]);
+    ("idr", [ true; false; true; false; false ]);
+    ("sdr", [ true; false; false; false; false ]);
+    ("mi-rw", [ false; true; false; false; false ]);
+  ]
+
+(* Extra litmus rows beyond Figure 6 (same column order). *)
+let expected_extras =
+  [
+    (* 2.1 text: write-then-read; lazy reads its own buffer, so only
+       eager-weak and unsynchronized locks exhibit it *)
+    ("nr-wr", [ true; false; true; false; false ]);
+    (* Section 4: committed transactions never keep dirty reads *)
+    ("txn-dirty", [ false; false; false; false; false ]);
+  ]
+
+let expectation program mode =
+  match
+    List.assoc_opt program.Programs.name (expected_fig6 @ expected_extras)
+  with
+  | Some row -> (
+      match
+        List.find_index (fun m -> m = mode) Modes.all_fig6
+        |> Option.map (List.nth row)
+      with
+      | Some e -> e
+      | None -> false)
+  | None -> (
+      (* privatization: anomalous under both weak modes only *)
+      match mode with
+      | Modes.Weak _ -> true
+      | Modes.Locks | Modes.Strong _ | Modes.Weak_quiesce _ -> false)
+
+let run_cell ?(preemption_bound = 2) ?(max_runs = 6000) ?granule_override
+    program mode =
+  let granule =
+    match granule_override with
+    | Some g -> g
+    | None -> program.Programs.needs_granule
+  in
+  let cfg = Modes.config ~granule mode in
+  let make () = program.Programs.build (Modes.harness mode cfg) in
+  let e =
+    Explorer.explore ~preemption_bound ~max_runs
+      ~stop_when:program.Programs.is_anomalous ~cfg ~make ()
+  in
+  {
+    program;
+    mode;
+    expected = expectation program mode;
+    observed = Explorer.observed e program.Programs.is_anomalous;
+    runs = e.Explorer.runs;
+    truncated = e.Explorer.truncated;
+  }
+
+let fig6 ?preemption_bound ?max_runs () =
+  List.concat_map
+    (fun program ->
+      List.map
+        (fun mode -> run_cell ?preemption_bound ?max_runs program mode)
+        Modes.all_fig6)
+    Programs.fig6_rows
+
+let extras_rows ?preemption_bound ?max_runs () =
+  List.concat_map
+    (fun program ->
+      List.map
+        (fun mode -> run_cell ?preemption_bound ?max_runs program mode)
+        Modes.all_fig6)
+    Programs.extras
+
+let privatization_row ?preemption_bound ?max_runs () =
+  let modes =
+    Modes.all_fig6
+    @ [ Modes.Weak_quiesce Stm_core.Config.Eager;
+        Modes.Weak_quiesce Stm_core.Config.Lazy ]
+  in
+  List.map
+    (fun mode -> run_cell ?preemption_bound ?max_runs Programs.privatization mode)
+    modes
+
+let all_match cells = List.for_all (fun c -> c.expected = c.observed) cells
+
+let pp_cell ppf c =
+  let mark = if c.observed then "yes" else "no " in
+  let ok = if c.expected = c.observed then ' ' else '!' in
+  Fmt.pf ppf "%s%c" mark ok
+
+let pp_table ppf cells =
+  (* group rows by program, in first-appearance order *)
+  let progs =
+    List.fold_left
+      (fun acc c ->
+        if List.exists (fun p -> p.Programs.name = c.program.Programs.name) acc
+        then acc
+        else acc @ [ c.program ])
+      [] cells
+  in
+  let modes =
+    List.fold_left
+      (fun acc c -> if List.mem c.mode acc then acc else acc @ [ c.mode ])
+      [] cells
+  in
+  Fmt.pf ppf "%-8s %-6s" "anomaly" "fig";
+  List.iter (fun m -> Fmt.pf ppf " %-14s" (Modes.name m)) modes;
+  Fmt.pf ppf "@.";
+  List.iter
+    (fun p ->
+      Fmt.pf ppf "%-8s %-6s" p.Programs.name p.Programs.figure;
+      List.iter
+        (fun m ->
+          match
+            List.find_opt
+              (fun c ->
+                c.program.Programs.name = p.Programs.name && c.mode = m)
+              cells
+          with
+          | Some c -> Fmt.pf ppf " %-14s" (Fmt.str "%a" pp_cell c)
+          | None -> Fmt.pf ppf " %-14s" "-")
+        modes;
+      Fmt.pf ppf "@.")
+    progs

@@ -1,0 +1,44 @@
+(** Regeneration of Figure 6: the weak-atomicity behaviour matrix.
+
+    For every (anomaly row, execution mode) cell, the systematic explorer
+    decides whether the anomalous outcome is reachable. "yes" cells are
+    decided by exhibiting a witness schedule; "no" cells by exhausting the
+    preemption-bounded schedule space without finding one. *)
+
+type cell = {
+  program : Programs.t;
+  mode : Modes.t;
+  expected : bool;  (** the paper's Figure 6 value *)
+  observed : bool;
+  runs : int;
+  truncated : bool;
+}
+
+val expected_fig6 : (string * bool list) list
+(** [(program name, per-mode expectation)] in {!Modes.all_fig6} column
+    order: eager-weak, lazy-weak, locks, strong-eager, strong-lazy. *)
+
+val run_cell :
+  ?preemption_bound:int ->
+  ?max_runs:int ->
+  ?granule_override:int ->
+  Programs.t ->
+  Modes.t ->
+  cell
+
+val fig6 : ?preemption_bound:int -> ?max_runs:int -> unit -> cell list
+(** All 45 cells (9 anomaly rows x 5 modes). *)
+
+val extras_rows : ?preemption_bound:int -> ?max_runs:int -> unit -> cell list
+(** Two rows beyond Figure 6: the Section 2.1 write-then-read variant and
+    the Section 4 transaction-vs-transaction dirty-read check (expected
+    all-"no": transactional isolation holds even under weak atomicity). *)
+
+val privatization_row :
+  ?preemption_bound:int -> ?max_runs:int -> unit -> cell list
+(** Figure 1 under the five Figure 6 modes plus the two quiescence modes
+    (Section 3.4): quiescence must fix this program even under weak
+    atomicity. *)
+
+val all_match : cell list -> bool
+val pp_table : Format.formatter -> cell list -> unit

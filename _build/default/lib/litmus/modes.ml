@@ -1,0 +1,58 @@
+open Stm_core
+open Stm_runtime
+
+type t =
+  | Locks
+  | Weak of Config.versioning
+  | Strong of Config.versioning
+  | Weak_quiesce of Config.versioning
+
+let all_fig6 =
+  [
+    Weak Config.Eager;
+    Weak Config.Lazy;
+    Locks;
+    Strong Config.Eager;
+    Strong Config.Lazy;
+  ]
+
+let vname = function Config.Eager -> "eager" | Config.Lazy -> "lazy"
+
+let name = function
+  | Locks -> "locks"
+  | Weak v -> "weak-" ^ vname v
+  | Strong v -> "strong-" ^ vname v
+  | Weak_quiesce v -> "quiesce-" ^ vname v
+
+let config ?(granule = 1) mode =
+  let tune c =
+    { c with Config.validate_every = 1; cost = Cost.free; granule }
+  in
+  match mode with
+  | Locks -> tune Config.eager_weak
+  | Weak v -> tune { Config.base with versioning = v }
+  | Strong v -> tune { Config.base with versioning = v; strong = true }
+  | Weak_quiesce v ->
+      tune { Config.base with versioning = v; quiescence = true }
+
+type harness = {
+  atomic : (unit -> unit) -> unit;
+  force_abort : unit -> unit;
+}
+
+let harness mode (cfg : Config.t) =
+  match mode with
+  | Locks ->
+      let lock = Sim_mutex.create ~name:"litmus" cfg.cost in
+      { atomic = (fun f -> Sim_mutex.with_lock lock f); force_abort = (fun () -> ()) }
+  | Weak _ | Strong _ | Weak_quiesce _ ->
+      let fired = ref false in
+      {
+        atomic = (fun f -> Stm.atomic f);
+        force_abort =
+          (fun () ->
+            if not !fired then begin
+              fired := true;
+              raise Txn.Abort_txn
+            end);
+      }

@@ -1,0 +1,36 @@
+(** Execution modes for litmus programs — the columns of Figure 6 plus the
+    Section 3.4 quiescence variants. *)
+
+open Stm_core
+
+type t =
+  | Locks  (** critical sections via a single mutual-exclusion lock *)
+  | Weak of Config.versioning
+  | Strong of Config.versioning
+  | Weak_quiesce of Config.versioning
+      (** weak atomicity plus the quiescence commit protocol *)
+
+val all_fig6 : t list
+(** The five Figure 6 columns: eager-weak, lazy-weak, locks, strong-eager,
+    strong-lazy. *)
+
+val name : t -> string
+
+val config : ?granule:int -> t -> Config.t
+(** STM configuration for the mode (litmus programs validate on every
+    access, use the free cost model, and back off on conflicts). Lock mode
+    runs the weak configuration, with atomic blocks mapped to a mutex. *)
+
+(** Per-instance harness handed to a litmus program body. *)
+type harness = {
+  atomic : (unit -> unit) -> unit;
+      (** [atomic body]: transaction, or critical section in lock mode *)
+  force_abort : unit -> unit;
+      (** the "/*abort*/" markers of Figure 3: aborts the enclosing
+          transaction the first time it executes in this instance; no-op
+          in lock mode and on re-execution *)
+}
+
+val harness : t -> Config.t -> harness
+(** Build a fresh harness (fresh lock, fresh abort marker). Call once per
+    program instance. *)

@@ -1,0 +1,432 @@
+open Stm_runtime
+open Stm_core
+
+type t = {
+  name : string;
+  figure : string;
+  group : string;
+  anomaly : string;
+  needs_granule : int;
+  is_anomalous : string -> bool;
+  build : Modes.harness -> Explorer.instance;
+}
+
+(* Initialization happens before any thread is spawned, so it uses raw
+   heap stores: races are impossible there and the schedule tree stays
+   small. *)
+let init_int o fld n = Heap.set o fld (Heap.Vint n)
+
+let geti o fld = Stm.to_int (Stm.read o fld)
+let seti o fld n = Stm.write o fld (Stm.vint n)
+
+(* Raw post-mortem field read (the simulation is over when observe runs). *)
+let raw o fld = match Heap.get o fld with Heap.Vint n -> n | _ -> min_int
+
+let scan2 s fmt f = try Scanf.sscanf s fmt f with Scanf.Scan_failure _ | Failure _ | End_of_file -> false
+
+(* Spawn the two racing threads and wait for both. *)
+let race t1 t2 =
+  let a = Sched.spawn ~name:"T1" t1 in
+  let b = Sched.spawn ~name:"T2" t2 in
+  Sched.join a;
+  Sched.join b
+
+let non_repeatable_read =
+  {
+    name = "nr";
+    figure = "2a";
+    group = "NW-TR";
+    anomaly = "r1 <> r2";
+    needs_granule = 1;
+    is_anomalous = (fun s -> scan2 s "r1=%d r2=%d" (fun a b -> a <> b));
+    build =
+      (fun h ->
+        let x = ref None and r1 = ref 0 and r2 = ref 0 in
+        let main () =
+          let xo = Stm.alloc_public ~cls:"X" 1 in
+          init_int xo 0 0;
+          x := Some xo;
+          race
+            (fun () ->
+              h.atomic (fun () ->
+                  r1 := geti xo 0;
+                  r2 := geti xo 0))
+            (fun () -> seti xo 0 10)
+        in
+        let observe () = Printf.sprintf "r1=%d r2=%d" !r1 !r2 in
+        { Explorer.main; observe });
+  }
+
+let intermediate_lost_update =
+  {
+    name = "ilu";
+    figure = "2b";
+    group = "NW-TW";
+    anomaly = "x = 1 (the non-transactional x=10 is lost)";
+    needs_granule = 1;
+    is_anomalous = (fun s -> s = "x=1");
+    build =
+      (fun h ->
+        let xo = ref None in
+        let main () =
+          let x = Stm.alloc_public ~cls:"X" 1 in
+          init_int x 0 0;
+          xo := Some x;
+          race
+            (fun () ->
+              h.atomic (fun () ->
+                  let r = geti x 0 in
+                  seti x 0 (r + 1)))
+            (fun () -> seti x 0 10)
+        in
+        let observe () =
+          Printf.sprintf "x=%d" (raw (Option.get !xo) 0)
+        in
+        { Explorer.main; observe });
+  }
+
+let intermediate_dirty_read =
+  {
+    name = "idr";
+    figure = "2c";
+    group = "NR-TW";
+    anomaly = "r is odd (x's evenness invariant observed broken)";
+    needs_granule = 1;
+    is_anomalous = (fun s -> scan2 s "r=%d" (fun r -> r >= 0 && r mod 2 = 1));
+    build =
+      (fun h ->
+        let r = ref 0 in
+        let main () =
+          let x = Stm.alloc_public ~cls:"X" 1 in
+          init_int x 0 0;
+          race
+            (fun () ->
+              h.atomic (fun () ->
+                  seti x 0 (geti x 0 + 1);
+                  seti x 0 (geti x 0 + 1)))
+            (fun () -> r := geti x 0)
+        in
+        let observe () = Printf.sprintf "r=%d" !r in
+        { Explorer.main; observe });
+  }
+
+let speculative_lost_update =
+  {
+    name = "slu";
+    figure = "3a";
+    group = "NW-TW";
+    anomaly = "x = 0 (rollback manufactured a write that lost x=2)";
+    needs_granule = 1;
+    is_anomalous = (fun s -> s = "x=0");
+    build =
+      (fun h ->
+        let xo = ref None in
+        let main () =
+          let x = Stm.alloc_public ~cls:"X" 1 in
+          let y = Stm.alloc_public ~cls:"Y" 1 in
+          init_int x 0 0;
+          init_int y 0 0;
+          xo := Some x;
+          race
+            (fun () ->
+              h.atomic (fun () ->
+                  if geti y 0 = 0 then seti x 0 1;
+                  h.force_abort ()))
+            (fun () ->
+              seti x 0 2;
+              seti y 0 1)
+        in
+        let observe () = Printf.sprintf "x=%d" (raw (Option.get !xo) 0) in
+        { Explorer.main; observe });
+  }
+
+let speculative_dirty_read =
+  {
+    name = "sdr";
+    figure = "3b";
+    group = "NR-TW";
+    anomaly = "x = 0 (y=1 was triggered by a speculative value)";
+    needs_granule = 1;
+    is_anomalous = (fun s -> scan2 s "x=%d y=%d" (fun x _ -> x = 0));
+    build =
+      (fun h ->
+        let xo = ref None and yo = ref None in
+        let main () =
+          let x = Stm.alloc_public ~cls:"X" 1 in
+          let y = Stm.alloc_public ~cls:"Y" 1 in
+          init_int x 0 0;
+          init_int y 0 0;
+          xo := Some x;
+          yo := Some y;
+          race
+            (fun () ->
+              h.atomic (fun () ->
+                  if geti y 0 = 0 then seti x 0 1;
+                  h.force_abort ()))
+            (fun () -> if geti x 0 = 1 then seti y 0 1)
+        in
+        let observe () =
+          Printf.sprintf "x=%d y=%d" (raw (Option.get !xo) 0)
+            (raw (Option.get !yo) 0)
+        in
+        { Explorer.main; observe });
+  }
+
+let overlapped_writes =
+  {
+    name = "mi-rw";
+    figure = "4a";
+    group = "NR-TW";
+    anomaly = "r = 0 (publication seen before the field initialization)";
+    needs_granule = 1;
+    is_anomalous = (fun s -> s = "r=0");
+    build =
+      (fun h ->
+        let r = ref (-1) in
+        let main () =
+          let g = Stm.alloc_public ~cls:"Globals" 1 in
+          let el = Stm.alloc_public ~cls:"El" 1 in
+          init_int el 0 0;
+          Heap.set g 0 Heap.Vnull;
+          r := -1;
+          race
+            (fun () ->
+              h.atomic (fun () ->
+                  seti el 0 1;
+                  Stm.write g 0 (Stm.vref el)))
+            (fun () ->
+              let v = Stm.read g 0 in
+              if not (Stm.is_null v) then r := geti (Stm.to_obj v) 0)
+        in
+        let observe () = Printf.sprintf "r=%d" !r in
+        { Explorer.main; observe });
+  }
+
+let buffered_writes =
+  {
+    name = "mi-ww";
+    figure = "4b";
+    group = "NW-TW";
+    anomaly = "item.val = 2 (committed write-back overwrote the later non-txn store)";
+    needs_granule = 1;
+    is_anomalous = (fun s -> s = "val=2");
+    build =
+      (fun h ->
+        let item = ref None in
+        let main () =
+          let g = Stm.alloc_public ~cls:"Globals" 1 in
+          let it = Stm.alloc_public ~cls:"Item" 1 in
+          init_int it 0 1;
+          Heap.set g 0 (Heap.Vref it);
+          item := Some it;
+          race
+            (fun () ->
+              let got = ref None in
+              h.atomic (fun () ->
+                  let v = Stm.read g 0 in
+                  if not (Stm.is_null v) then begin
+                    got := Some (Stm.to_obj v);
+                    Stm.write g 0 Heap.Vnull
+                  end);
+              match !got with
+              | Some o -> seti o 0 0 (* non-transactional: o is private now *)
+              | None -> ())
+            (fun () ->
+              h.atomic (fun () ->
+                  let v = Stm.read g 0 in
+                  if not (Stm.is_null v) then begin
+                    let o = Stm.to_obj v in
+                    seti o 0 (geti o 0 + 1)
+                  end))
+        in
+        let observe () = Printf.sprintf "val=%d" (raw (Option.get !item) 0) in
+        { Explorer.main; observe });
+  }
+
+let granular_lost_update =
+  {
+    name = "glu";
+    figure = "5a";
+    group = "NW-TW";
+    anomaly = "x.g = 0 (undo/copy of the adjacent field lost x.g=1)";
+    needs_granule = 2;
+    is_anomalous = (fun s -> s = "g=0");
+    build =
+      (fun h ->
+        let xo = ref None in
+        let main () =
+          let x = Stm.alloc_public ~cls:"X" 2 in
+          init_int x 0 0;
+          init_int x 1 0;
+          xo := Some x;
+          race
+            (fun () ->
+              h.atomic (fun () ->
+                  seti x 0 5;
+                  h.force_abort ()))
+            (fun () -> seti x 1 1)
+        in
+        let observe () = Printf.sprintf "g=%d" (raw (Option.get !xo) 1) in
+        { Explorer.main; observe });
+  }
+
+let granular_inconsistent_read =
+  {
+    name = "gir";
+    figure = "5b";
+    group = "NW-TR";
+    anomaly = "r = 0 (transaction read its own stale granule copy of x.g)";
+    needs_granule = 2;
+    is_anomalous = (fun s -> s = "r=0");
+    build =
+      (fun h ->
+        let r = ref (-1) in
+        let main () =
+          let x = Stm.alloc_public ~cls:"X" 2 in
+          let y = Stm.alloc_public ~cls:"Y" 1 in
+          init_int x 0 0;
+          init_int x 1 0;
+          init_int y 0 0;
+          r := -1;
+          race
+            (fun () ->
+              h.atomic (fun () ->
+                  seti x 0 7;
+                  if geti y 0 = 1 then r := geti x 1))
+            (fun () ->
+              seti x 1 1;
+              seti y 0 1)
+        in
+        let observe () = Printf.sprintf "r=%d" !r in
+        { Explorer.main; observe });
+  }
+
+let privatization =
+  {
+    name = "privatization";
+    figure = "1";
+    group = "demo";
+    anomaly = "r1 <> r2 (privatized item seen half-updated)";
+    needs_granule = 1;
+    is_anomalous = (fun s -> scan2 s "r1=%d r2=%d" (fun a b -> a <> b));
+    build =
+      (fun h ->
+        let r1 = ref 0 and r2 = ref 0 in
+        let main () =
+          let head = Stm.alloc_public ~cls:"List" 1 in
+          let item = Stm.alloc_public ~cls:"Item" 2 in
+          init_int item 0 0;
+          init_int item 1 0;
+          Heap.set head 0 (Heap.Vref item);
+          r1 := 0;
+          r2 := 0;
+          race
+            (fun () ->
+              (* Thread1: privatize the item, then access it unprotected *)
+              let mine = ref None in
+              h.atomic (fun () ->
+                  let v = Stm.read head 0 in
+                  if not (Stm.is_null v) then begin
+                    mine := Some (Stm.to_obj v);
+                    Stm.write head 0 Heap.Vnull
+                  end);
+              match !mine with
+              | Some it ->
+                  r1 := geti it 0;
+                  r2 := geti it 1
+              | None -> ())
+            (fun () ->
+              (* Thread2: properly synchronized increments *)
+              h.atomic (fun () ->
+                  let v = Stm.read head 0 in
+                  if not (Stm.is_null v) then begin
+                    let it = Stm.to_obj v in
+                    seti it 0 (geti it 0 + 1);
+                    seti it 1 (geti it 1 + 1)
+                  end))
+        in
+        let observe () = Printf.sprintf "r1=%d r2=%d" !r1 !r2 in
+        { Explorer.main; observe });
+  }
+
+(* Section 2.1 text: "Thread 1 will not observe the value it wrote (10)
+   if Thread 2 writes x between Thread 1's write and read". *)
+let write_read_nr =
+  {
+    name = "nr-wr";
+    figure = "2a-text";
+    group = "NW-TR";
+    anomaly = "r <> 10 (transaction fails to read back its own write)";
+    needs_granule = 1;
+    is_anomalous = (fun s -> scan2 s "r=%d" (fun r -> r <> 10));
+    build =
+      (fun h ->
+        let r = ref 0 in
+        let main () =
+          let x = Stm.alloc_public ~cls:"X" 1 in
+          init_int x 0 0;
+          race
+            (fun () ->
+              h.atomic (fun () ->
+                  seti x 0 10;
+                  r := geti x 0))
+            (fun () -> seti x 0 20)
+        in
+        let observe () = Printf.sprintf "r=%d" !r in
+        { Explorer.main; observe });
+  }
+
+(* Section 4's discussion: under eager versioning one transaction may read
+   another's dirty (speculative) data, but such a doomed transaction must
+   abort - dirty values never appear in a COMMITTED transaction's
+   observations, under any mode. *)
+let txn_dirty_read =
+  {
+    name = "txn-dirty";
+    figure = "s4";
+    group = "TXN-TXN";
+    anomaly = "committed transaction observed a torn (x, y) pair";
+    needs_granule = 1;
+    is_anomalous =
+      (fun s -> scan2 s "rx=%d ry=%d" (fun rx ry -> rx <> ry));
+    build =
+      (fun h ->
+        let rx = ref 0 and ry = ref 0 in
+        let main () =
+          let x = Stm.alloc_public ~cls:"X" 1 in
+          let y = Stm.alloc_public ~cls:"Y" 1 in
+          init_int x 0 0;
+          init_int y 0 0;
+          race
+            (fun () ->
+              (* writes x and y together, then aborts once: its dirty
+                 values are speculatively visible under eager versioning *)
+              h.atomic (fun () ->
+                  seti x 0 1;
+                  seti y 0 1;
+                  h.force_abort ()))
+            (fun () ->
+              h.atomic (fun () ->
+                  rx := geti x 0;
+                  ry := geti y 0))
+        in
+        let observe () = Printf.sprintf "rx=%d ry=%d" !rx !ry in
+        { Explorer.main; observe });
+  }
+
+let fig6_rows =
+  [
+    non_repeatable_read;
+    granular_inconsistent_read;
+    intermediate_lost_update;
+    speculative_lost_update;
+    granular_lost_update;
+    buffered_writes;
+    intermediate_dirty_read;
+    speculative_dirty_read;
+    overlapped_writes;
+  ]
+
+let extras = [ write_read_nr; txn_dirty_read ]
+
+let all = fig6_rows @ [ privatization ] @ extras

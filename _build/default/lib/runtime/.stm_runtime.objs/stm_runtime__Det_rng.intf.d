@@ -1,0 +1,1 @@
+lib/runtime/det_rng.mli:

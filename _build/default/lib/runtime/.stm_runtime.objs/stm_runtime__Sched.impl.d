@@ -1,0 +1,1 @@
+lib/runtime/sched.ml: Array Det_rng Effect List Option

@@ -1,0 +1,1 @@
+lib/runtime/sim_mutex.ml: Cost Queue Sched

@@ -1,0 +1,64 @@
+type t = {
+  plain_load : int;
+  plain_store : int;
+  alu : int;
+  atomic_rmw : int;
+  barrier_entry : int;
+  txn_begin : int;
+  txn_commit : int;
+  txn_per_read : int;
+  txn_per_write : int;
+  txn_abort : int;
+  publish_base : int;
+  publish_per_obj : int;
+  backoff_base : int;
+  backoff_cap : int;
+  alloc : int;
+  call : int;
+  lock_acquire : int;
+  lock_release : int;
+}
+
+let default =
+  {
+    plain_load = 1;
+    plain_store = 1;
+    alu = 1;
+    atomic_rmw = 50;
+    barrier_entry = 2;
+    txn_begin = 25;
+    txn_commit = 30;
+    txn_per_read = 2;
+    txn_per_write = 2;
+    txn_abort = 40;
+    publish_base = 10;
+    publish_per_obj = 5;
+    backoff_base = 30;
+    backoff_cap = 500;
+    alloc = 10;
+    call = 5;
+    lock_acquire = 30;
+    lock_release = 10;
+  }
+
+let free =
+  {
+    plain_load = 0;
+    plain_store = 0;
+    alu = 0;
+    atomic_rmw = 0;
+    barrier_entry = 0;
+    txn_begin = 0;
+    txn_commit = 0;
+    txn_per_read = 0;
+    txn_per_write = 0;
+    txn_abort = 0;
+    publish_base = 0;
+    publish_per_obj = 0;
+    backoff_base = 0;
+    backoff_cap = 0;
+    alloc = 0;
+    call = 0;
+    lock_acquire = 0;
+    lock_release = 0;
+  }

@@ -1,0 +1,37 @@
+(** Cycle-cost model for the simulated multiprocessor.
+
+    The discrete-event scheduler measures execution time in abstract cycles.
+    Each runtime and STM operation charges cycles according to this model,
+    which is calibrated so that the relative costs match the paper's setting:
+    an atomic read-modify-write (CAS / BTR with lock prefix) is an order of
+    magnitude more expensive than a plain load or store, transaction begin
+    and commit have fixed overheads plus per-log-entry costs, and conflict
+    handling backs off exponentially. *)
+
+type t = {
+  plain_load : int;      (** ordinary memory load *)
+  plain_store : int;     (** ordinary memory store *)
+  alu : int;             (** arithmetic / branch *)
+  atomic_rmw : int;      (** CAS or locked bit-test-and-reset *)
+  barrier_entry : int;   (** fixed cost of entering an isolation barrier *)
+  txn_begin : int;       (** starting a transaction *)
+  txn_commit : int;      (** commit fixed cost *)
+  txn_per_read : int;    (** validating one read-set entry *)
+  txn_per_write : int;   (** releasing one write-set entry *)
+  txn_abort : int;       (** abort fixed cost (plus undo work) *)
+  publish_base : int;    (** publishObject fixed cost *)
+  publish_per_obj : int; (** per object marked public *)
+  backoff_base : int;    (** first conflict back-off delay *)
+  backoff_cap : int;     (** maximum back-off delay *)
+  alloc : int;           (** object allocation *)
+  call : int;            (** method call overhead *)
+  lock_acquire : int;    (** uncontended mutex acquire (atomic) *)
+  lock_release : int;
+}
+
+val default : t
+(** Calibrated default model used by the benchmark harness. *)
+
+val free : t
+(** All-zero model: useful in unit tests that only check functional
+    behaviour. *)

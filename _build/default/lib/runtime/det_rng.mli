@@ -1,0 +1,27 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every source of randomness in the simulator goes through this module so
+    that whole runs are reproducible from a single seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** Independent copy with the same future stream. *)
+
+val next : t -> int
+(** Next raw 62-bit non-negative value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val bool : t -> bool
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val split : t -> t
+(** A generator with a stream independent from the parent's. *)

@@ -1,0 +1,80 @@
+type value =
+  | Vunit
+  | Vnull
+  | Vbool of bool
+  | Vint of int
+  | Vfloat of float
+  | Vstr of string
+  | Vref of obj
+
+and obj = {
+  oid : int;
+  cls : string;
+  kind : [ `Obj | `Arr | `Statics ];
+  txrec : int Atomic.t;
+  fields : value array;
+}
+
+let counter = ref 0
+
+let reset () = counter := 0
+
+let shared_txrec0 = 0b011
+let private_txrec = -1
+
+let fresh_oid () =
+  incr counter;
+  !counter
+
+let alloc ?(txrec = shared_txrec0) ~cls n =
+  {
+    oid = fresh_oid ();
+    cls;
+    kind = `Obj;
+    txrec = Atomic.make txrec;
+    fields = Array.make n Vnull;
+  }
+
+let alloc_array ?(txrec = shared_txrec0) n init =
+  {
+    oid = fresh_oid ();
+    cls = "<array>";
+    kind = `Arr;
+    txrec = Atomic.make txrec;
+    fields = Array.make n init;
+  }
+
+let alloc_statics ?(txrec = shared_txrec0) ~cls n =
+  {
+    oid = fresh_oid ();
+    cls = "<statics:" ^ cls ^ ">";
+    kind = `Statics;
+    txrec = Atomic.make txrec;
+    fields = Array.make n Vnull;
+  }
+
+let get o i = o.fields.(i)
+let set o i v = o.fields.(i) <- v
+let nfields o = Array.length o.fields
+
+let value_equal a b =
+  match (a, b) with
+  | Vunit, Vunit | Vnull, Vnull -> true
+  | Vbool x, Vbool y -> x = y
+  | Vint x, Vint y -> x = y
+  | Vfloat x, Vfloat y -> x = y
+  | Vstr x, Vstr y -> String.equal x y
+  | Vref x, Vref y -> x == y
+  | (Vunit | Vnull | Vbool _ | Vint _ | Vfloat _ | Vstr _ | Vref _), _ ->
+      false
+
+let rec pp_value ppf = function
+  | Vunit -> Fmt.string ppf "()"
+  | Vnull -> Fmt.string ppf "null"
+  | Vbool b -> Fmt.bool ppf b
+  | Vint i -> Fmt.int ppf i
+  | Vfloat f -> Fmt.float ppf f
+  | Vstr s -> Fmt.pf ppf "%S" s
+  | Vref o -> Fmt.pf ppf "%s@%d" o.cls o.oid
+
+and show_value v = Fmt.str "%a" pp_value v

@@ -1,0 +1,62 @@
+(** Simulated shared heap.
+
+    Objects carry a one-word transaction record ([txrec]) exactly as in the
+    paper (Section 3.1): the STM library interprets its bits; the heap only
+    stores it. Fields are a flat array of {!value}s; arrays are objects
+    whose fields are the elements. Static fields of a class live in a
+    per-class "statics" object so that they have a transaction record and
+    participate in the same barrier protocols as instance fields. *)
+
+type value =
+  | Vunit
+  | Vnull
+  | Vbool of bool
+  | Vint of int
+  | Vfloat of float
+  | Vstr of string
+  | Vref of obj
+
+and obj = private {
+  oid : int;  (** unique id, deterministic per run *)
+  cls : string;  (** class name, or ["<array>"] / ["<statics:C>"] *)
+  kind : [ `Obj | `Arr | `Statics ];
+  txrec : int Atomic.t;  (** transaction record word (see {!Stm_core.Txrec}) *)
+  fields : value array;
+}
+
+val reset : unit -> unit
+(** Reset the object-id counter (call at the start of each simulated run
+    for deterministic ids). *)
+
+val alloc : ?txrec:int -> cls:string -> int -> obj
+(** [alloc ~cls n] creates an object with [n] fields initialised to
+    {!Vnull}-appropriate defaults ([Vnull]). [txrec] defaults to the
+    shared-state encoding with version 0 (an all-public heap); the STM
+    passes the private encoding when dynamic escape analysis is on. *)
+
+val alloc_array : ?txrec:int -> int -> value -> obj
+(** [alloc_array n init] creates an array of [n] elements [init]. *)
+
+val alloc_statics : ?txrec:int -> cls:string -> int -> obj
+(** Statics holder for class [cls]; always public. *)
+
+val get : obj -> int -> value
+(** Raw field load — no barrier, no cost. The STM builds barriers on top. *)
+
+val set : obj -> int -> value -> unit
+(** Raw field store. *)
+
+val nfields : obj -> int
+
+val shared_txrec0 : int
+(** The transaction-record word for a public object with version 0:
+    [0b011]. Kept here so the heap does not depend on the STM library. *)
+
+val private_txrec : int
+(** The all-ones private encoding: [-1]. *)
+
+val value_equal : value -> value -> bool
+(** Structural on scalars, physical on references. *)
+
+val pp_value : Format.formatter -> value -> unit
+val show_value : value -> string

@@ -1,0 +1,288 @@
+open Effect
+open Effect.Deep
+
+type tid = int
+
+type policy =
+  | Round_robin
+  | Random of int
+  | Min_clock
+  | Controlled of (tid -> tid list -> tid)
+
+type status = Completed | Deadlock of tid list | Fuel_exhausted
+
+type result = {
+  status : status;
+  makespan : int;
+  exns : (tid * exn) list;
+  switches : int;
+}
+
+exception Not_in_simulation
+
+type tstate = Runnable | Running | Suspended | Done
+
+type thread = {
+  tid : tid;
+  name : string;
+  mutable clock : int;
+  mutable state : tstate;
+  mutable starter : (unit -> unit) option;
+      (* body not yet started; scheduler starts it under its own handler *)
+  mutable cont : (unit, unit) continuation option;
+  mutable joiners : tid list;
+}
+
+type engine = {
+  mutable threads : thread list;  (* newest first *)
+  mutable by_tid : thread array;  (* grows *)
+  mutable nthreads : int;
+  mutable current : thread;
+  policy : policy;
+  rng : Det_rng.t option;
+  mutable rr_cursor : int;
+  mutable steps : int;
+  max_steps : int;
+  mutable exns : (tid * exn) list;
+  mutable fuel_out : bool;
+}
+
+type _ Effect.t +=
+  | Yield : unit Effect.t
+  | Suspend : unit Effect.t
+
+let engine : engine option ref = ref None
+
+let get_engine () =
+  match !engine with Some e -> e | None -> raise Not_in_simulation
+
+let thread_of e tid =
+  if tid < 0 || tid >= e.nthreads then invalid_arg "Sched: bad tid";
+  e.by_tid.(tid)
+
+let grow_by_tid e t =
+  let n = Array.length e.by_tid in
+  if e.nthreads >= n then begin
+    let a = Array.make (max 8 (2 * n)) t in
+    Array.blit e.by_tid 0 a 0 n;
+    e.by_tid <- a
+  end;
+  e.by_tid.(e.nthreads) <- t;
+  e.nthreads <- e.nthreads + 1
+
+let new_thread e name body =
+  let t =
+    {
+      tid = e.nthreads;
+      name;
+      clock = e.current.clock;
+      state = Runnable;
+      starter = Some body;
+      cont = None;
+      joiners = [];
+    }
+  in
+  grow_by_tid e t;
+  e.threads <- t :: e.threads;
+  t
+
+(* Mark a thread finished and release its joiners (they block with
+   [Suspend] right after registering, so they are [Suspended] here). *)
+let finish e t =
+  t.state <- Done;
+  List.iter
+    (fun jid ->
+      let j = thread_of e jid in
+      match j.state with
+      | Suspended ->
+          j.state <- Runnable;
+          if j.clock < t.clock then j.clock <- t.clock
+      | Runnable | Running | Done -> ())
+    t.joiners;
+  t.joiners <- []
+
+(* Run a fresh thread body under the scheduler's effect handler. Returns
+   when the thread yields, suspends, or finishes. *)
+let start_body e t body =
+  match_with body ()
+    {
+      retc = (fun () -> finish e t);
+      exnc =
+        (fun ex ->
+          e.exns <- (t.tid, ex) :: e.exns;
+          finish e t);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  t.state <- Runnable;
+                  t.cont <- Some k)
+          | Suspend ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  t.state <- Suspended;
+                  t.cont <- Some k)
+          | _ -> None);
+    }
+
+let runnables e =
+  List.fold_left
+    (fun acc t -> match t.state with Runnable -> t.tid :: acc | _ -> acc)
+    [] e.threads
+(* threads is newest-first, so the fold yields ascending tids *)
+
+let pick e =
+  match runnables e with
+  | [] -> None
+  | ready -> (
+      match e.policy with
+      | Round_robin ->
+          (* first runnable tid strictly greater than the cursor, else the
+             smallest *)
+          let above = List.filter (fun tid -> tid > e.rr_cursor) ready in
+          let chosen =
+            match above with tid :: _ -> tid | [] -> List.hd ready
+          in
+          e.rr_cursor <- chosen;
+          Some (thread_of e chosen)
+      | Random _ ->
+          let rng = Option.get e.rng in
+          let n = List.length ready in
+          Some (thread_of e (List.nth ready (Det_rng.int rng n)))
+      | Min_clock ->
+          let best =
+            List.fold_left
+              (fun acc tid ->
+                let t = thread_of e tid in
+                match acc with
+                | None -> Some t
+                | Some b ->
+                    if t.clock < b.clock || (t.clock = b.clock && t.tid < b.tid)
+                    then Some t
+                    else acc)
+              None ready
+          in
+          best
+      | Controlled choose ->
+          let tid = choose e.current.tid ready in
+          if not (List.mem tid ready) then
+            invalid_arg "Sched.Controlled: chose a non-runnable thread";
+          Some (thread_of e tid))
+
+let rec loop e =
+  if e.steps >= e.max_steps then e.fuel_out <- true
+  else
+    match pick e with
+    | None -> ()
+    | Some t ->
+        e.steps <- e.steps + 1;
+        e.current <- t;
+        t.state <- Running;
+        (match t.starter with
+        | Some body ->
+            t.starter <- None;
+            start_body e t body
+        | None -> (
+            match t.cont with
+            | Some k ->
+                t.cont <- None;
+                continue k ()
+            | None -> assert false));
+        loop e
+
+let run ?(max_steps = 10_000_000) ?(policy = Min_clock) main =
+  if !engine <> None then invalid_arg "Sched.run: simulations cannot nest";
+  let rng = match policy with Random seed -> Some (Det_rng.create seed) | _ -> None in
+  let t0 =
+    {
+      tid = 0;
+      name = "main";
+      clock = 0;
+      state = Runnable;
+      starter = Some main;
+      cont = None;
+      joiners = [];
+    }
+  in
+  let e =
+    {
+      threads = [ t0 ];
+      by_tid = Array.make 8 t0;
+      nthreads = 1;
+      current = t0;
+      policy;
+      rng;
+      rr_cursor = -1;
+      steps = 0;
+      max_steps;
+      exns = [];
+      fuel_out = false;
+    }
+  in
+  engine := Some e;
+  let finalize () = engine := None in
+  (try loop e
+   with ex ->
+     finalize ();
+     raise ex);
+  finalize ();
+  let makespan =
+    List.fold_left (fun acc t -> max acc t.clock) 0 e.threads
+  in
+  let status =
+    if e.fuel_out then Fuel_exhausted
+    else
+      let stuck =
+        List.filter_map
+          (fun t -> match t.state with Done -> None | _ -> Some t.tid)
+          e.threads
+      in
+      match stuck with [] -> Completed | l -> Deadlock (List.sort compare l)
+  in
+  { status; makespan; exns = List.rev e.exns; switches = e.steps }
+
+let spawn ?(name = "thread") body =
+  let e = get_engine () in
+  (new_thread e name body).tid
+
+let yield () =
+  match !engine with None -> raise Not_in_simulation | Some _ -> perform Yield
+
+let self () = (get_engine ()).current.tid
+
+let tick n =
+  let e = get_engine () in
+  e.current.clock <- e.current.clock + n
+
+let time () = (get_engine ()).current.clock
+
+let rebase () =
+  let e = get_engine () in
+  List.iter (fun t -> t.clock <- 0) e.threads
+
+let suspend () =
+  match !engine with None -> raise Not_in_simulation | Some _ -> perform Suspend
+
+let wake tid =
+  let e = get_engine () in
+  let t = thread_of e tid in
+  match t.state with
+  | Suspended ->
+      t.state <- Runnable;
+      if t.clock < e.current.clock then t.clock <- e.current.clock
+  | _ -> ()
+
+let join tid =
+  let e = get_engine () in
+  let t = thread_of e tid in
+  match t.state with
+  | Done -> if e.current.clock < t.clock then e.current.clock <- t.clock
+  | Runnable | Running | Suspended ->
+      t.joiners <- e.current.tid :: t.joiners;
+      perform Suspend
+
+let thread_count () = (get_engine ()).nthreads
+
+let running () = !engine <> None

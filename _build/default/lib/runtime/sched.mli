@@ -1,0 +1,89 @@
+(** Deterministic cooperative scheduler simulating a shared-memory
+    multiprocessor.
+
+    Simulated threads are green threads implemented with OCaml effect
+    handlers. Each thread owns a virtual cycle clock; runtime and STM
+    operations charge cycles with {!tick}. Preemption can happen only at
+    explicit {!yield} points, which the STM and the IR interpreter insert
+    between the individual memory operations of their barrier sequences —
+    exactly the granularity at which the paper's races occur.
+
+    Scheduling policies:
+    - {!Min_clock} runs, at every step, the runnable thread with the
+      smallest virtual clock. This is a discrete-event simulation of [n]
+      threads running on [n] processors: the makespan ({!result} field
+      [makespan]) is the parallel execution time.
+    - {!Round_robin} and {!Random} provide interleaving diversity for
+      stress tests.
+    - {!Controlled} hands every scheduling decision to a callback; the
+      systematic litmus explorer uses it to enumerate interleavings. *)
+
+type tid = int
+(** Simulated thread id. The main thread is [0]. *)
+
+type policy =
+  | Round_robin
+  | Random of int  (** seed *)
+  | Min_clock
+  | Controlled of (tid -> tid list -> tid)
+      (** [choose current runnables] picks the next thread to run;
+          [runnables] is sorted and non-empty, [current] is the thread that
+          just yielded (it may or may not be in [runnables]). *)
+
+type status = Completed | Deadlock of tid list | Fuel_exhausted
+
+type result = {
+  status : status;
+  makespan : int;  (** max virtual clock over all threads at the end *)
+  exns : (tid * exn) list;  (** exceptions that escaped thread bodies *)
+  switches : int;  (** number of scheduling decisions taken *)
+}
+
+exception Not_in_simulation
+(** Raised by thread-context operations when no simulation is running. *)
+
+val run : ?max_steps:int -> ?policy:policy -> (unit -> unit) -> result
+(** [run main] executes [main] as thread 0 and schedules until every
+    spawned thread has finished, deadlock, or [max_steps] scheduling
+    decisions have been taken (default [10_000_000]). Runs cannot nest. *)
+
+(** {1 Operations available inside a running simulation} *)
+
+val spawn : ?name:string -> (unit -> unit) -> tid
+(** Create a new runnable thread. Does not yield. *)
+
+val join : tid -> unit
+(** Block until the given thread finishes. The joiner's clock is advanced
+    to at least the finisher's clock. *)
+
+val yield : unit -> unit
+(** Preemption point. Under {!Min_clock} the scheduler switches only if
+    another runnable thread has a strictly smaller clock. *)
+
+val self : unit -> tid
+
+val tick : int -> unit
+(** Charge cycles to the current thread's virtual clock. *)
+
+val rebase : unit -> unit
+(** Reset every live thread's virtual clock to zero. Benchmarks call this
+    after their serial setup phase so that the makespan measures steady
+    state, mirroring the paper's methodology (JVM98 third-run timing, JBB
+    post-ramp-up measurement). *)
+
+val time : unit -> int
+(** Current thread's virtual clock. *)
+
+val suspend : unit -> unit
+(** Block the current thread until some other thread calls {!wake}. *)
+
+val wake : tid -> unit
+(** Make a suspended thread runnable; its clock is advanced to at least
+    the waker's clock (the wake-up is causally ordered after the waker's
+    current instant). No-op if the thread is not suspended. *)
+
+val thread_count : unit -> int
+(** Number of threads created so far in this run (including finished). *)
+
+val running : unit -> bool
+(** [true] iff called from inside a simulation. *)

@@ -1,0 +1,49 @@
+type t = {
+  name : string;
+  cost : Cost.t;
+  mutable owner : Sched.tid option;
+  mutable holds : int;
+  waiters : Sched.tid Queue.t;
+}
+
+let create ?(name = "lock") cost =
+  { name; cost; owner = None; holds = 0; waiters = Queue.create () }
+
+let rec lock t =
+  Sched.tick t.cost.Cost.lock_acquire;
+  match t.owner with
+  | None ->
+      t.owner <- Some (Sched.self ());
+      t.holds <- 1
+  | Some o when o = Sched.self () -> t.holds <- t.holds + 1
+  | Some _ ->
+      Queue.add (Sched.self ()) t.waiters;
+      Sched.suspend ();
+      (* woken by the releaser; the lock may have been stolen by a thread
+         that never blocked, so retry *)
+      lock t
+
+let unlock t =
+  (match t.owner with
+  | Some o when o = Sched.self () -> ()
+  | _ -> invalid_arg ("Sim_mutex.unlock: not the holder of " ^ t.name));
+  Sched.tick t.cost.Cost.lock_release;
+  t.holds <- t.holds - 1;
+  if t.holds = 0 then begin
+    t.owner <- None;
+    match Queue.take_opt t.waiters with
+    | Some w -> Sched.wake w
+    | None -> ()
+  end
+
+let with_lock t f =
+  lock t;
+  match f () with
+  | v ->
+      unlock t;
+      v
+  | exception ex ->
+      unlock t;
+      raise ex
+
+let held t = t.owner <> None

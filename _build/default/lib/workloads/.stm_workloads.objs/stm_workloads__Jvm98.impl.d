@@ -1,0 +1,1 @@
+lib/workloads/jvm98.ml: Workload

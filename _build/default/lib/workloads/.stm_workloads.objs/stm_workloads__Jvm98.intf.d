@@ -1,0 +1,1 @@
+lib/workloads/jvm98.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/oo7.mli: Workload

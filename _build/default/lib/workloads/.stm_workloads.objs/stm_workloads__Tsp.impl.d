@@ -1,0 +1,1 @@
+lib/workloads/tsp.ml: Workload

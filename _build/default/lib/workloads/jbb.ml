@@ -1,0 +1,123 @@
+(* JBB (Figure 20): a SPECjbb-like multi-warehouse order-processing
+   workload. One worker thread per warehouse processes new-order and
+   payment transactions against its own warehouse, with a small
+   percentage of cross-warehouse orders. Both the lock version (one
+   monitor per warehouse) and the transactional version scale; nearly all
+   time is spent inside transactions, so strong atomicity is cheap even
+   unoptimized, and cheaper still with DEA and whole-program opts. *)
+
+let jbb =
+  {
+    Workload.name = "jbb";
+    descr = "multi-warehouse order processing (per-warehouse txns)";
+    kind = Workload.Txn;
+    params =
+      [ ("threads", 4); ("ops", 1600); ("items", 48); ("use_locks", 0) ];
+    source =
+      {|
+class Item {
+  int stock;
+  int price;
+  int sold;
+}
+class Warehouse {
+  Item[] items;
+  int balance;
+  int orders;
+  int payments;
+}
+class Jw extends Thread {
+  int id;
+  int ops;
+  int useLocks;
+  void run() {
+    Warehouse mine = Jbb.whs[id];
+    int nwh = Jbb.whs.length;
+    for (int o = 0; o < ops; o++) {
+      int r = hash(id * 777001 + o);
+      Warehouse target = mine;
+      if (abs(r) % 100 < 2) {
+        // cross-warehouse transaction
+        target = Jbb.whs[abs(hash(r + 1)) % nwh];
+      }
+      if (abs(r) % 10 < 7) {
+        if (useLocks == 1) {
+          synchronized (target) { newOrder(target, r); }
+        } else {
+          atomic { newOrder(target, r); }
+        }
+      } else {
+        if (useLocks == 1) {
+          synchronized (target) { payment(target, r); }
+        } else {
+          atomic { payment(target, r); }
+        }
+      }
+    }
+  }
+  void newOrder(Warehouse w, int r) {
+    int total = 0;
+    int n = w.items.length;
+    for (int k = 0; k < 6; k++) {
+      int idx = abs(hash(r + k * 17)) % n;
+      Item it = w.items[idx];
+      int q = 1 + abs(r + k) % 3;
+      it.stock = it.stock - q;
+      it.sold = it.sold + q;
+      total = total + it.price * q;
+    }
+    w.balance = w.balance + total;
+    w.orders = w.orders + 1;
+  }
+  void payment(Warehouse w, int r) {
+    int amount = 10 + abs(r) % 90;
+    w.balance = w.balance - amount;
+    w.payments = w.payments + 1;
+  }
+}
+class Jbb {
+  static Warehouse[] whs;
+  static void main() {
+    int nt = param("threads");
+    int total = param("ops");
+    int nitems = param("items");
+    int useLocks = param("use_locks");
+    int per = total / nt;
+    Jbb.whs = new Warehouse[nt];
+    for (int i = 0; i < nt; i++) {
+      Warehouse w = new Warehouse();
+      w.items = new Item[nitems];
+      for (int j = 0; j < nitems; j++) {
+        Item it = new Item();
+        it.stock = per * 20 + 1000;  // never goes negative
+        it.price = 1 + hash(i * nitems + j) % 50;
+        w.items[j] = it;
+      }
+      Jbb.whs[i] = w;
+    }
+    rebase_clock();  // measure steady state, excluding serial setup
+    int[] tids = new int[nt];
+    for (int i = 0; i < nt; i++) {
+      Jw jw = new Jw();
+      jw.id = i;
+      jw.ops = per;
+      jw.useLocks = useLocks;
+      tids[i] = spawn(jw);
+    }
+    for (int i = 0; i < nt; i++) { join(tids[i]); }
+    int check = 0;
+    int sold = 0;
+    for (int i = 0; i < nt; i++) {
+      Warehouse w = Jbb.whs[i];
+      check = check + w.balance % 10007 + w.orders + w.payments;
+      for (int j = 0; j < w.items.length; j++) {
+        assert(w.items[j].stock > 0);
+        sold = sold + w.items[j].sold;
+      }
+    }
+    print(check % 1000000);
+    print(sold);
+  }
+}
+|};
+  }

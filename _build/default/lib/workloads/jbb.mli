@@ -1,0 +1,7 @@
+(** JBB (Figure 20): SPECjbb-like multi-warehouse order processing, one
+    worker per warehouse, 2% cross-warehouse transactions, per-warehouse
+    monitors in lock mode. Nearly all time is inside transactions, so
+    strong atomicity is cheap here even unoptimized. Parameters:
+    [threads] (= warehouses), [ops] (total), [items], [use_locks]. *)
+
+val jbb : Workload.t

@@ -1,0 +1,22 @@
+(** Seven non-transactional Jt kernels mirroring the memory-access
+    character of the SPEC JVM98 benchmarks used in Figures 15-17. Each
+    prints a deterministic checksum. See the implementation header for
+    the per-kernel design rationale (which optimization each kernel is
+    sensitive to). *)
+
+val compress : Workload.t
+val jess : Workload.t
+val db : Workload.t
+val javac : Workload.t
+val mpegaudio : Workload.t
+(** Operates on static arrays initialized by a [clinit]: public data that
+    defeats DEA, as in the paper. *)
+
+val mtrt : Workload.t
+(** Contains provably-local temporaries: the one kernel where
+    intraprocedural escape analysis wins noticeably (paper: -30%). *)
+
+val jack : Workload.t
+
+val all : Workload.t list
+(** In the paper's figure order. *)

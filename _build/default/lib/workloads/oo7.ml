@@ -1,0 +1,138 @@
+(* OO7 (Figure 19): traversals over a synthetic design database organized
+   as an assembly tree with composite parts at the leaves.
+
+   As in the paper's configuration, synchronization is at the root: the
+   lock version takes one coarse root lock per traversal (and therefore
+   does not scale), while the transactional version relies on object-level
+   conflict detection, so traversals to different leaves proceed in
+   parallel. The mix is 80% read-only lookups / 20% updates. Nearly all
+   work happens inside transactions, so strong atomicity costs little
+   here even without optimizations. *)
+
+let oo7 =
+  {
+    Workload.name = "oo7";
+    descr = "assembly-tree database, root-level atomic traversals (80/20)";
+    kind = Workload.Txn;
+    params =
+      [
+        ("threads", 4);
+        ("ops", 1500);
+        ("depth", 3);
+        ("fanout", 3);
+        ("parts", 6);
+        ("use_locks", 0);
+      ];
+    source =
+      {|
+class Part {
+  int f1;
+  int f2;
+}
+class Assembly {
+  Assembly[] kids;
+  Part[] parts;
+  int level;
+}
+class Ow extends Thread {
+  int id;
+  int ops;
+  int useLocks;
+  int lookups;
+  int updates;
+  void run() {
+    for (int i = 0; i < ops; i++) {
+      int r = hash(id * 100003 + i);
+      if (useLocks == 1) {
+        synchronized (Oo7.rootLock) { traverse(r); }
+      } else {
+        atomic { traverse(r); }
+      }
+    }
+  }
+  void traverse(int r) {
+    Assembly a = Oo7.root;
+    while (a.kids != null) {
+      int k = abs(hash(r + a.level * 31)) % a.kids.length;
+      a = a.kids[k];
+    }
+    Part[] ps = a.parts;
+    if (abs(r) % 100 < 80) {
+      // lookup: sum the composite part fields
+      int sum = 0;
+      for (int i = 0; i < ps.length; i++) {
+        sum = sum + ps[i].f1 + ps[i].f2;
+      }
+      lookups = lookups + sum % 2 + 1;
+    } else {
+      // update: swap-increment the part fields
+      for (int i = 0; i < ps.length; i++) {
+        Part p = ps[i];
+        int t = p.f1;
+        p.f1 = p.f2 + 1;
+        p.f2 = t;
+      }
+      updates = updates + 1;
+    }
+  }
+}
+class Lk { int dummy; }
+class Oo7 {
+  static Assembly root;
+  static Lk rootLock;
+  static int nparts;
+  static Assembly build(int level, int depth, int fanout, int seed) {
+    Assembly a = new Assembly();
+    a.level = level;
+    if (level == depth) {
+      a.parts = new Part[Oo7.nparts];
+      for (int i = 0; i < Oo7.nparts; i++) {
+        Part p = new Part();
+        p.f1 = hash(seed * 7 + i) % 100;
+        p.f2 = hash(seed * 13 + i) % 100;
+        a.parts[i] = p;
+      }
+    } else {
+      a.kids = new Assembly[fanout];
+      for (int i = 0; i < fanout; i++) {
+        a.kids[i] = build(level + 1, depth, fanout, seed * fanout + i + 1);
+      }
+    }
+    return a;
+  }
+  static void main() {
+    int nt = param("threads");
+    int total = param("ops");
+    int depth = param("depth");
+    int fanout = param("fanout");
+    Oo7.nparts = param("parts");
+    int useLocks = param("use_locks");
+    Oo7.rootLock = new Lk();
+    Oo7.root = build(0, depth, fanout, 1);
+    rebase_clock();  // measure steady state, excluding serial setup
+    int[] tids = new int[nt];
+    for (int i = 0; i < nt; i++) {
+      Ow w = new Ow();
+      w.id = i;
+      w.ops = total / nt;
+      w.useLocks = useLocks;
+      tids[i] = spawn(w);
+    }
+    for (int i = 0; i < nt; i++) { join(tids[i]); }
+    // checksum over the whole database
+    print(checksum(Oo7.root));
+  }
+  static int checksum(Assembly a) {
+    int s = a.level;
+    if (a.kids != null) {
+      for (int i = 0; i < a.kids.length; i++) { s = s + checksum(a.kids[i]); }
+    } else {
+      for (int i = 0; i < a.parts.length; i++) {
+        s = s + a.parts[i].f1 * 3 + a.parts[i].f2;
+      }
+    }
+    return s % 1000000;
+  }
+}
+|};
+  }

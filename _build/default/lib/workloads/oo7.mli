@@ -1,0 +1,8 @@
+(** OO7 (Figure 19): traversals over an assembly-tree database with
+    composite parts at the leaves, 80% lookups / 20% updates, root-level
+    synchronization (one coarse lock in lock mode - which therefore does
+    not scale - vs object-level STM conflict detection). Parameters:
+    [threads], [ops] (total, split among threads), [depth], [fanout],
+    [parts], [use_locks]. *)
+
+val oo7 : Workload.t

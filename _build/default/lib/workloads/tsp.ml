@@ -1,0 +1,153 @@
+(* Tsp (Figure 18): branch-and-bound traveling salesman.
+
+   Threads take partial tours (two fixed hops) from a shared work queue,
+   search their subtree with thread-private path/visited arrays, and
+   publish improved bounds into a shared best-so-far - the structure of
+   von Praun & Gross's Tsp that the paper uses. The hot search loop is
+   non-transactional (reading the bound with a plain racy read, as the
+   original does), so unoptimized strong atomicity pays heavily here;
+   NAIT removes the barriers on the private arrays, the distance matrix
+   and the per-thread statistics fields (which live on a Thread subclass,
+   defeating the TL analysis - the paper's own example). *)
+
+let tsp =
+  {
+    Workload.name = "tsp";
+    descr = "branch-and-bound TSP with shared work queue and bound";
+    kind = Workload.Txn;
+    params = [ ("threads", 4); ("cities", 8); ("use_locks", 0) ];
+    source =
+      {|
+class Lock { int dummy; }
+class Dist {
+  static int[] d;
+  static int n;
+}
+class Work {
+  static int[] tasks;
+  static int top;
+}
+class Best {
+  static int len;
+}
+class Searcher extends Thread {
+  int useLocks;
+  int nodes;      // per-thread statistics: thread-local but on a Thread
+  int improved;   // subclass, so TL cannot prove them local; NAIT can
+  void run() {
+    int n = Dist.n;
+    int[] path = new int[n];
+    bool[] visited = new bool[n];
+    bool done = false;
+    while (!done) {
+      int t = takeTask();
+      if (t < 0) {
+        done = true;
+      } else {
+        int a = t / n;
+        int b = t % n;
+        for (int i = 0; i < n; i++) { visited[i] = false; }
+        path[0] = 0;
+        path[1] = a;
+        path[2] = b;
+        visited[0] = true;
+        visited[a] = true;
+        visited[b] = true;
+        int len = Dist.d[a] + Dist.d[a * n + b];
+        search(path, visited, 3, len);
+      }
+    }
+  }
+  int takeTask() {
+    int t = -1;
+    if (useLocks == 1) {
+      synchronized (Tsp.qlock) { t = pop(); }
+    } else {
+      atomic { t = pop(); }
+    }
+    return t;
+  }
+  int pop() {
+    if (Work.top <= 0) { return -1; }
+    Work.top = Work.top - 1;
+    return Work.tasks[Work.top];
+  }
+  void search(int[] path, bool[] visited, int depth, int len) {
+    nodes = nodes + 1;
+    int n = Dist.n;
+    int bound = Best.len;   // deliberately unsynchronized, as in Tsp
+    if (len < bound) {
+      if (depth == n) {
+        int total = len + Dist.d[path[n - 1] * n];
+        publishBest(total);
+      } else {
+        for (int c = 1; c < n; c++) {
+          if (!visited[c]) {
+            visited[c] = true;
+            path[depth] = c;
+            search(path, visited, depth + 1, len + Dist.d[path[depth - 1] * n + c]);
+            visited[c] = false;
+          }
+        }
+      }
+    }
+  }
+  void publishBest(int total) {
+    improved = improved + 1;  // statistics only: outside the transaction
+    if (useLocks == 1) {
+      synchronized (Tsp.block) { record(total); }
+    } else {
+      atomic { record(total); }
+    }
+  }
+  void record(int total) {
+    if (total < Best.len) {
+      Best.len = total;
+    }
+  }
+}
+class Tsp {
+  static Lock qlock;
+  static Lock block;
+  static void main() {
+    int n = param("cities");
+    int nt = param("threads");
+    int useLocks = param("use_locks");
+    Tsp.qlock = new Lock();
+    Tsp.block = new Lock();
+    Dist.n = n;
+    Dist.d = new int[n * n];
+    for (int i = 0; i < n; i++) {
+      for (int j = 0; j < n; j++) {
+        if (i != j) {
+          int h = hash(min(i, j) * n + max(i, j));
+          Dist.d[i * n + j] = 10 + abs(h) % 90;
+        }
+      }
+    }
+    Best.len = 1000000;
+    // tasks: all ordered pairs (a, b) of distinct non-zero cities
+    Work.tasks = new int[n * n];
+    Work.top = 0;
+    for (int a = 1; a < n; a++) {
+      for (int b = 1; b < n; b++) {
+        if (a != b) {
+          Work.tasks[Work.top] = a * n + b;
+          Work.top = Work.top + 1;
+        }
+      }
+    }
+    rebase_clock();  // measure steady state, excluding serial setup
+    int[] tids = new int[nt];
+    for (int i = 0; i < nt; i++) {
+      Searcher s = new Searcher();
+      s.useLocks = useLocks;
+      tids[i] = spawn(s);
+    }
+    for (int i = 0; i < nt; i++) { join(tids[i]); }
+    print(Best.len);
+    assert(Best.len < 1000000);
+  }
+}
+|};
+  }

@@ -1,0 +1,7 @@
+(** Tsp (Figure 18): branch-and-bound traveling salesman with a shared
+    work queue and best-so-far bound. Parameters: [cities] (problem
+    size), [threads], [use_locks] (1 = lock-based baseline). Prints the
+    optimal tour length, which is schedule- and thread-count-independent
+    (checked against a brute-force oracle in the tests). *)
+
+val tsp : Workload.t

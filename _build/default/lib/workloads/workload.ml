@@ -1,0 +1,20 @@
+type kind = Nontxn | Txn
+
+type t = {
+  name : string;
+  descr : string;
+  kind : kind;
+  source : string;
+  params : (string * int) list;
+}
+
+let program t = Stm_jtlang.Jt.compile ~name:t.name t.source
+
+let scaled t factor =
+  let scale (k, v) =
+    match k with
+    | "iters" | "ops" | "size" ->
+        (k, max 1 (int_of_float (float_of_int v *. factor)))
+    | _ -> (k, v)
+  in
+  { t with params = List.map scale t.params }

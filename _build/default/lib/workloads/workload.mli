@@ -1,0 +1,24 @@
+(** Benchmark workload descriptors.
+
+    A workload is a Jt program plus default parameters. Non-transactional
+    workloads (the JVM98-like kernels of Figures 15-17) are
+    single-threaded and measure barrier overhead; transactional workloads
+    (Tsp / OO7 / JBB, Figures 18-20) take a ["threads"] parameter and a
+    ["use_locks"] parameter selecting the lock-based baseline. *)
+
+type kind = Nontxn | Txn
+
+type t = {
+  name : string;
+  descr : string;
+  kind : kind;
+  source : string;  (** Jt source *)
+  params : (string * int) list;  (** default parameters *)
+}
+
+val program : t -> Stm_ir.Ir.program
+(** Compile a fresh copy (notes unshared with other callers). *)
+
+val scaled : t -> float -> t
+(** Scale the workload's iteration parameters (["iters"], ["ops"],
+    ["size"] if present) by a factor, for quick test runs. *)

@@ -1,0 +1,15 @@
+open Stm_workloads
+let () =
+  let w = Workload.scaled Jvm98.mpegaudio 0.4 in
+  let prog = Workload.program w in
+  ignore (Stm_jit.Opt.optimize Stm_jit.Opt.O1 prog);
+  let pta = Stm_analysis.Pta.analyze prog in
+  ignore (Stm_analysis.Nait.apply prog pta);
+  ignore (Stm_analysis.Thread_local.apply prog pta);
+  ignore (Stm_jit.Aggregate.run prog);
+  Stm_ir.Ir.iter_methods prog (fun m ->
+    Stm_ir.Ir.iter_access_notes m (fun ins note ->
+      match note.Stm_ir.Ir.barrier with
+      | Stm_ir.Ir.Bar_auto | Stm_ir.Ir.Bar_agg_start _ | Stm_ir.Ir.Bar_agg_member ->
+          Fmt.pr "KEPT %s::%s : %a@." m.mcls m.mname Stm_ir.Ir.pp_instr ins
+      | _ -> ()))

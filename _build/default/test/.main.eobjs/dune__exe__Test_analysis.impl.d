@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Barrier_stats List Nait Printexc Pta Stm_analysis Stm_core Stm_harness Stm_ir Stm_jtlang Stm_runtime Thread_local

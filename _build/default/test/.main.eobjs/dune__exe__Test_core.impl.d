@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Atomic Barriers Config Conflict Cost Dea Fun Gen Hashtbl Heap List Printexc QCheck QCheck_alcotest Quiesce Sched Stats Stm Stm_core Stm_runtime Test Trace Txn Txrec

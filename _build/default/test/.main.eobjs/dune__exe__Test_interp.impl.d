@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Interp Ir List Option Printexc Stm_core Stm_ir Stm_jit Stm_jtlang Stm_runtime String

@@ -1,0 +1,1 @@
+test/test_jit.ml: Alcotest Array Ir Printexc Stm_core Stm_ir Stm_jit Stm_jtlang Stm_runtime

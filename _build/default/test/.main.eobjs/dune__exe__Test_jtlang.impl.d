@@ -1,0 +1,1 @@
+test/test_jtlang.ml: Alcotest Jt Lexer List Printexc Stm_core Stm_ir Stm_jtlang Stm_runtime

@@ -1,0 +1,1 @@
+test/test_litmus.ml: Alcotest Explorer List Matrix Modes Printf Programs Stm_core Stm_litmus Stm_runtime String

@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Array Config Explorer Fun Gen Heap List Modes Printexc Programs QCheck QCheck_alcotest Sched Stats Stm Stm_core Stm_ir Stm_jit Stm_jtlang Stm_litmus Stm_runtime Test

@@ -1,0 +1,1 @@
+test/test_oracles.ml: Alcotest Array Jbb List Oo7 Printexc Printf Stm_core Stm_ir Stm_runtime Stm_workloads String Tsp Workload

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Atomic Cost Det_rng Heap List Sched Sim_mutex Stm_runtime

@@ -1,0 +1,1 @@
+test/test_serializability.ml: Array Config Fun List Printexc Printf QCheck QCheck_alcotest Sched Stm Stm_core Stm_runtime String

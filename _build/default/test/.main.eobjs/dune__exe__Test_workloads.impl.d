@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Jbb Jvm98 List Oo7 Printexc Printf Stm_analysis Stm_core Stm_harness Stm_ir Stm_jit Stm_litmus Stm_runtime Stm_workloads Tsp Workload

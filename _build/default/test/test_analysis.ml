@@ -1,0 +1,558 @@
+(* Tests for the whole-program analyses (Section 5): points-to with
+   transactional contexts, NAIT (Figure 12), and the TL comparison. *)
+
+open Stm_analysis
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let analyze src = Pta.analyze (Stm_jtlang.Jt.compile src)
+
+(* Collect the NAIT/TL decisions keyed by a recognizable access: we tag
+   interesting sites by scanning the program for accesses to a named
+   field. *)
+let decisions_for prog pta ~cls ~fld =
+  let found = ref [] in
+  Stm_ir.Ir.iter_methods prog (fun m ->
+      Array.iter
+        (fun ins ->
+          let interesting note kind =
+            let info = { Pta.site = note.Stm_ir.Ir.site; meth = m; kind; array = false; clinit_own = false } in
+            ignore info;
+            found :=
+              (kind, Nait.decide pta { Pta.site = note.Stm_ir.Ir.site; meth = m; kind; array = false; clinit_own = false },
+               Thread_local.decide pta { Pta.site = note.Stm_ir.Ir.site; meth = m; kind; array = false; clinit_own = false })
+              :: !found
+          in
+          match ins with
+          | Stm_ir.Ir.Load { cls = c; fld = f; note; _ }
+            when c = cls && f = fld ->
+              interesting note `Read
+          | Stm_ir.Ir.Store { cls = c; fld = f; note; _ }
+            when c = cls && f = fld ->
+              interesting note `Write
+          | _ -> ())
+        m.Stm_ir.Ir.body);
+  !found
+
+(* Figure 12, row "none": object never accessed in a transaction ->
+   remove both barriers. *)
+let nait_row_none () =
+  let src =
+    {|
+class D { int v; }
+class Main { static void main() {
+  D d = new D();
+  d.v = 1;
+  print(d.v);
+  atomic { print(1); }
+} }|}
+  in
+  let prog = Stm_jtlang.Jt.compile src in
+  let pta = Pta.analyze prog in
+  List.iter
+    (fun (_, (n : Nait.decision), _) ->
+      check_bool "removable when not accessed in txn" true n.Nait.removable)
+    (decisions_for prog pta ~cls:"D" ~fld:"v")
+
+(* Figure 12, row "only read in txn": reads removable, writes not. *)
+let nait_row_read_only () =
+  let src =
+    {|
+class D { int v; }
+class G { static D shared; }
+class Main { static void main() {
+  D d = new D();
+  G.shared = d;
+  d.v = 1;
+  print(d.v);
+  atomic { print(G.shared.v); }
+} }|}
+  in
+  let prog = Stm_jtlang.Jt.compile src in
+  let pta = Pta.analyze prog in
+  List.iter
+    (fun (kind, (n : Nait.decision), _) ->
+      match kind with
+      | `Read -> check_bool "read removable" true n.Nait.removable
+      | `Write -> check_bool "write kept" false n.Nait.removable)
+    (decisions_for prog pta ~cls:"D" ~fld:"v")
+
+(* Figure 12, rows "written in txn": nothing removable. *)
+let nait_row_written () =
+  let src =
+    {|
+class D { int v; }
+class G { static D shared; }
+class Main { static void main() {
+  D d = new D();
+  G.shared = d;
+  d.v = 1;
+  print(d.v);
+  atomic { G.shared.v = 2; }
+} }|}
+  in
+  let prog = Stm_jtlang.Jt.compile src in
+  let pta = Pta.analyze prog in
+  let ds = decisions_for prog pta ~cls:"D" ~fld:"v" in
+  check_bool "found sites" true (ds <> []);
+  (* the non-transactional d.v read and write must both keep barriers:
+     the object is written inside a transaction *)
+  let nontxn =
+    List.filter
+      (fun (_, (n : Nait.decision), _) -> n.Nait.reason <> "unreachable")
+      ds
+  in
+  check_bool "some barrier kept" true
+    (List.exists
+       (fun (_, (n : Nait.decision), _) -> not n.Nait.removable)
+       nontxn);
+  List.iter
+    (fun ((kind : [ `Read | `Write ]), (n : Nait.decision), _) ->
+      ignore kind;
+      check_bool "non-txn accesses to txn-written object keep barriers"
+        false n.Nait.removable)
+    nontxn
+
+(* The data-handoff scenario from Section 5: items flow between threads
+   through a transactional queue; the queue needs barriers, the items do
+   not - NAIT sees this, TL cannot. *)
+let nait_data_handoff () =
+  let src =
+    {|
+class Item { int payload; }
+class Queue { static Item[] slots; static int n; }
+class Producer extends Thread {
+  void run() {
+    for (int i = 0; i < 5; i++) {
+      Item it = new Item();
+      it.payload = i;                 // non-txn write to the item
+      atomic { Queue.slots[Queue.n] = it; Queue.n = Queue.n + 1; }
+    }
+  }
+}
+class Consumer extends Thread {
+  int sum;
+  void run() {
+    int got = 0;
+    while (got < 5) {
+      Item it = null;
+      atomic {
+        if (Queue.n > 0) { Queue.n = Queue.n - 1; it = Queue.slots[Queue.n]; }
+      }
+      if (it != null) { sum = sum + it.payload; got = got + 1; }  // non-txn read
+    }
+  }
+}
+class Main { static void main() {
+  Queue.slots = new Item[16];
+  Queue.n = 0;
+  int p = spawn(new Producer());
+  int c = spawn(new Consumer());
+  join(p);
+  join(c);
+  print(1);
+} }|}
+  in
+  let prog = Stm_jtlang.Jt.compile src in
+  let pta = Pta.analyze prog in
+  let item_sites = decisions_for prog pta ~cls:"Item" ~fld:"payload" in
+  check_bool "found item accesses" true (item_sites <> []);
+  List.iter
+    (fun (kind, (n : Nait.decision), (t : Thread_local.decision)) ->
+      (match kind with
+      | `Read ->
+          (* items are only read in transactions? no - they are stored
+             (reference) but their payload field is never accessed in a
+             txn: both barriers removable by NAIT *)
+          check_bool "NAIT removes item read" true n.Nait.removable
+      | `Write -> check_bool "NAIT removes item write" true n.Nait.removable);
+      check_bool "TL cannot (items escape through the queue)" false
+        t.Thread_local.removable)
+    item_sites
+
+(* Fields of Thread subclasses: thread-local in practice, unprovable for
+   TL, removable by NAIT (the paper's tsp observation). *)
+let nait_thread_subclass_fields () =
+  let src =
+    {|
+class W extends Thread {
+  int scratch;
+  void run() {
+    for (int i = 0; i < 10; i++) { scratch = scratch + i; }
+    int s = scratch;
+    atomic { G.total = G.total + s; }
+  }
+}
+class G { static int total; }
+class Main { static void main() {
+  int a = spawn(new W());
+  join(a);
+  print(G.total);
+} }|}
+  in
+  let prog = Stm_jtlang.Jt.compile src in
+  let pta = Pta.analyze prog in
+  let ds =
+    (* only the sites reachable as non-transactional code matter: the
+       read lexically inside the atomic block is transactional *)
+    List.filter
+      (fun (_, (n : Nait.decision), _) -> n.Nait.reason <> "unreachable")
+      (decisions_for prog pta ~cls:"W" ~fld:"scratch")
+  in
+  check_bool "found scratch accesses" true (ds <> []);
+  List.iter
+    (fun ((kind : [ `Read | `Write ]), (n : Nait.decision), (t : Thread_local.decision)) ->
+      (match kind with
+      | `Write ->
+          check_bool "NAIT removes write to thread field" true n.Nait.removable
+      | `Read -> ());
+      check_bool "TL keeps (reachable from thread object)" false
+        t.Thread_local.removable)
+    ds
+
+(* Heap specialization: the same allocation site produces distinct
+   abstract objects in and out of transactions. *)
+let pta_heap_specialization () =
+  let src =
+    {|
+class D { int v; }
+class Main {
+  static D mk() { return new D(); }
+  static void main() {
+    D outside = mk();
+    outside.v = 1;
+    atomic {
+      D inside = mk();
+      inside.v = 2;
+    }
+    print(outside.v);
+  }
+}|}
+  in
+  let prog = Stm_jtlang.Jt.compile src in
+  let pta = Pta.analyze prog in
+  (* the non-transactional write outside.v must be removable: only the
+     not-in-txn specialization of the mk() object flows to it *)
+  let ds = decisions_for prog pta ~cls:"D" ~fld:"v" in
+  let nontxn_writes =
+    List.filter
+      (fun (kind, (n : Nait.decision), _) ->
+        kind = `Write && n.Nait.reason <> "unreachable")
+      ds
+  in
+  check_bool "found the outside write" true (nontxn_writes <> []);
+  List.iter
+    (fun (_, (n : Nait.decision), _) ->
+      check_bool "outside write removable despite shared alloc site" true
+        n.Nait.removable)
+    nontxn_writes
+
+let pta_contexts_reachable () =
+  let src =
+    {|
+class Main {
+  static int helper(int x) { return x + 1; }
+  static void main() {
+    print(helper(1));
+    atomic { print(helper(2)); }
+  }
+}|}
+  in
+  let pta = analyze src in
+  let ms = Pta.reachable_methods pta in
+  check_bool "helper reachable in both contexts" true
+    (List.mem ("Main::helper", Pta.Txn) ms
+    && List.mem ("Main::helper", Pta.Nontxn) ms)
+
+let pta_statics_shared () =
+  let src =
+    {|
+class G { static int x; }
+class Main { static void main() { G.x = 1; print(G.x); } }|}
+  in
+  let prog = Stm_jtlang.Jt.compile src in
+  let pta = Pta.analyze prog in
+  (* every statics object is thread-shared for TL *)
+  let shared = ref false in
+  Pta.iter_sites pta (fun info ->
+      let objs = Pta.site_objs pta Pta.Nontxn info.Pta.site in
+      Pta.ISet.iter
+        (fun o -> if Pta.aid_is_statics pta o && Pta.thread_shared pta o then shared := true)
+        objs);
+  check_bool "statics shared" true !shared
+
+let nait_clinit_exemption () =
+  let src =
+    {|
+class G {
+  static int[] table;
+  static void clinit() {
+    G.table = new int[8];
+    for (int i = 0; i < 8; i++) { G.table[i] = i; }
+  }
+}
+class Main { static void main() {
+  G.clinit();
+  atomic { G.table[0] = 9; }
+  print(G.table[0]);
+} }|}
+  in
+  let prog = Stm_jtlang.Jt.compile src in
+  let pta = Pta.analyze prog in
+  (* the G.table static accesses inside G.clinit are exempt *)
+  let exempt = ref 0 in
+  Pta.iter_sites pta (fun info ->
+      if info.Pta.clinit_own then begin
+        incr exempt;
+        let d = Nait.decide pta info in
+        check_bool "clinit access removable" true d.Nait.removable;
+        Alcotest.(check string) "reason" "clinit" d.Nait.reason
+      end);
+  check_bool "found exempt accesses" true (!exempt >= 1)
+
+let nait_apply_rewrites () =
+  let src =
+    {|
+class D { int v; }
+class Main { static void main() {
+  D d = new D();
+  d.v = 41;
+  print(d.v);
+} }|}
+  in
+  let prog = Stm_jtlang.Jt.compile src in
+  let pta = Pta.analyze prog in
+  let n = Nait.apply prog pta in
+  check_bool "removed some barriers" true (n >= 2);
+  (* no transactions at all: every reachable barrier must be gone *)
+  Stm_ir.Ir.iter_methods prog (fun m ->
+      Stm_ir.Ir.iter_access_notes m (fun _ note ->
+          check_bool "all notes rewritten" true
+            (note.Stm_ir.Ir.barrier <> Stm_ir.Ir.Bar_auto)))
+
+let fig13_invariants () =
+  let rows = Stm_harness.Figures.fig13 () in
+  check_int "eight rows" 8 (List.length rows);
+  List.iter
+    (fun (r : Barrier_stats.row) ->
+      check_bool "combined >= nait_only" true (r.combined >= r.nait_only);
+      check_bool "combined >= tl_only" true (r.combined >= r.tl_only);
+      check_bool "total >= combined" true (r.total >= r.combined);
+      check_bool "NAIT finds at least as much as TL alone" true
+        (r.nait_only >= 0))
+    rows;
+  (* the paper's headline: NAIT-only removals exist, TL-only are rare *)
+  let total_nait = List.fold_left (fun a (r : Barrier_stats.row) -> a + r.nait_only) 0 rows in
+  let total_tl = List.fold_left (fun a (r : Barrier_stats.row) -> a + r.tl_only) 0 rows in
+  check_bool "NAIT dominates TL" true (total_nait > total_tl)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    ( "analysis:nait",
+      [
+        case "fig12 row: not accessed in txn" nait_row_none;
+        case "fig12 row: only read in txn" nait_row_read_only;
+        case "fig12 row: written in txn" nait_row_written;
+        case "data handoff (NAIT beats TL)" nait_data_handoff;
+        case "thread-subclass fields" nait_thread_subclass_fields;
+        case "clinit exemption" nait_clinit_exemption;
+        case "apply rewrites notes" nait_apply_rewrites;
+      ] );
+    ( "analysis:pta",
+      [
+        case "heap specialization" pta_heap_specialization;
+        case "two contexts" pta_contexts_reachable;
+        case "statics shared" pta_statics_shared;
+      ] );
+    ("analysis:fig13", [ case "table invariants" fig13_invariants ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Section 5.2 extension: transactional open-for-read removal          *)
+(* ------------------------------------------------------------------ *)
+
+let txn_read_removal_src =
+  {|
+class Table { static int[] weights; }
+class G { static int total; }
+class W extends Thread {
+  int id;
+  void run() {
+    for (int i = 0; i < 30; i++) {
+      atomic {
+        // reads a table no transaction ever writes, plus a hot counter;
+        // the added value depends only on (id, i) so the final total is
+        // schedule-independent
+        G.total = G.total + Table.weights[(id * 31 + i) % Table.weights.length];
+      }
+    }
+  }
+}
+class Main { static void main() {
+  Table.weights = new int[16];
+  for (int i = 0; i < 16; i++) { Table.weights[i] = 1 + i % 3; }
+  int a = spawn(mk(0));
+  int b = spawn(mk(1));
+  join(a);
+  join(b);
+  print(G.total);
+} 
+  static W mk(int id) { W w = new W(); w.id = id; return w; }
+}|}
+
+let txn_read_removal_marks () =
+  let prog = Stm_jtlang.Jt.compile txn_read_removal_src in
+  let pta = Pta.analyze prog in
+  let n = Nait.apply_txn_reads prog pta in
+  check_bool "marked some transactional reads" true (n >= 1);
+  (* the weights-table read is marked; the G.total read is not (written
+     in txn) *)
+  Stm_ir.Ir.iter_methods prog (fun m ->
+      Array.iter
+        (fun ins ->
+          match ins with
+          | Stm_ir.Ir.LoadS { cls = "G"; fld = "total"; note; _ } ->
+              check_bool "hot counter read still logged" false
+                note.Stm_ir.Ir.txn_unlogged
+          | _ -> ())
+        m.Stm_ir.Ir.body)
+
+let txn_read_removal_correct_and_cheaper () =
+  let run ~mark cfg =
+    let prog = Stm_jtlang.Jt.compile txn_read_removal_src in
+    if mark then begin
+      let pta = Pta.analyze prog in
+      ignore (Nait.apply_txn_reads prog pta : int)
+    end;
+    let out = Stm_ir.Interp.run ~cfg prog in
+    (match out.Stm_ir.Interp.result.Stm_runtime.Sched.exns with
+    | [] -> ()
+    | (t, e) :: _ -> Alcotest.failf "thread %d: %s" t (Printexc.to_string e));
+    out
+  in
+  let base = run ~mark:false Stm_core.Config.eager_weak in
+  let opt = run ~mark:true Stm_core.Config.eager_weak in
+  Alcotest.(check (list string))
+    "same result" base.Stm_ir.Interp.prints opt.Stm_ir.Interp.prints;
+  check_bool "fewer transactional reads logged" true
+    (opt.Stm_ir.Interp.stats.Stm_core.Stats.txn_reads
+    < base.Stm_ir.Interp.stats.Stm_core.Stats.txn_reads);
+  (* under strong atomicity the mark must be ignored (unsound there) *)
+  let strong_marked = run ~mark:true Stm_core.Config.eager_strong in
+  let strong_plain = run ~mark:false Stm_core.Config.eager_strong in
+  check_int "strong ignores the mark"
+    strong_plain.Stm_ir.Interp.stats.Stm_core.Stats.txn_reads
+    strong_marked.Stm_ir.Interp.stats.Stm_core.Stats.txn_reads
+
+let suite =
+  suite
+  @ [
+      ( "analysis:txn-read-removal",
+        [
+          Alcotest.test_case "marks only safe reads" `Quick txn_read_removal_marks;
+          Alcotest.test_case "correct, cheaper, strong-guarded" `Quick
+            txn_read_removal_correct_and_cheaper;
+        ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Points-to precision                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let pta_return_flow () =
+  (* objects flow through returns into callers *)
+  let src =
+    {|
+class D { int v; }
+class G { static D g; }
+class Main {
+  static D mk() { return new D(); }
+  static void main() {
+    D d = mk();
+    G.g = d;
+    atomic { G.g.v = 1; }
+    d.v = 2;
+  }
+}|}
+  in
+  let prog = Stm_jtlang.Jt.compile src in
+  let pta = Pta.analyze prog in
+  (* the non-txn write d.v reaches the same abstract object the txn
+     writes: barrier must be kept *)
+  let kept = ref false in
+  Stm_ir.Ir.iter_methods prog (fun m ->
+      Array.iter
+        (fun ins ->
+          match ins with
+          | Stm_ir.Ir.Store { cls = "D"; fld = "v"; note; _ }
+            when m.Stm_ir.Ir.mname = "main" ->
+              let d =
+                Nait.decide pta
+                  {
+                    Pta.site = note.Stm_ir.Ir.site;
+                    meth = m;
+                    kind = `Write;
+                    array = false;
+                    clinit_own = false;
+                  }
+              in
+              if not d.Nait.removable then kept := true
+          | _ -> ())
+        m.Stm_ir.Ir.body);
+  check_bool "return-flowed object tracked" true !kept
+
+let pta_virtual_dispatch_precision () =
+  (* only run methods of classes that actually flow to the receiver are
+     analyzed *)
+  let src =
+    {|
+class A { int f() { return 1; } }
+class B extends A { int f() { return 2; } }
+class C extends A { int f() { return unreachable(); }
+  static int unreachable() { return G.dead; }
+}
+class G { static int dead; }
+class Main { static void main() {
+  A x = new B();
+  print(x.f());
+} }|}
+  in
+  let pta = analyze src in
+  let ms = Pta.reachable_methods pta in
+  check_bool "B.f reachable" true (List.mem ("B::f", Pta.Nontxn) ms);
+  check_bool "C.f not reachable (no C instance)" false
+    (List.exists (fun (k, _) -> k = "C::f") ms);
+  check_bool "A.f not reachable either" false
+    (List.exists (fun (k, _) -> k = "A::f") ms)
+
+let pta_spawn_wires_run () =
+  let src =
+    {|
+class W extends Thread {
+  int v;
+  void run() { v = 7; }
+}
+class Main { static void main() {
+  W w = new W();
+  int t = spawn(w);
+  join(t);
+  print(w.v);
+} }|}
+  in
+  let pta = analyze src in
+  check_bool "run reachable via spawn" true
+    (List.mem ("W::run", Pta.Nontxn) (Pta.reachable_methods pta))
+
+let suite =
+  suite
+  @ [
+      ( "analysis:precision",
+        [
+          Alcotest.test_case "return flow" `Quick pta_return_flow;
+          Alcotest.test_case "virtual dispatch" `Quick pta_virtual_dispatch_precision;
+          Alcotest.test_case "spawn wires run" `Quick pta_spawn_wires_run;
+        ] );
+    ]

@@ -1,0 +1,1019 @@
+(* Tests for the STM core: transaction-record encoding (Figure 7),
+   transaction engine (eager and lazy), isolation barriers (Figures 9/10),
+   dynamic escape analysis (Figure 11), quiescence, and the public API. *)
+
+open Stm_runtime
+open Stm_core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let in_sim f =
+  let result = Sched.run f in
+  (match result.Sched.exns with
+  | [] -> ()
+  | (tid, e) :: _ ->
+      Alcotest.failf "thread %d raised %s" tid (Printexc.to_string e));
+  Alcotest.(check bool) "completed" true (result.Sched.status = Sched.Completed)
+
+(* Run [f] inside a fresh simulated machine with the given STM config. *)
+let with_stm ?(cfg = Config.eager_weak) f =
+  Heap.reset ();
+  Stm.install cfg;
+  Fun.protect ~finally:Stm.uninstall (fun () -> in_sim f)
+
+let vi = Stm.vint
+let geti o f = Stm.to_int (Stm.read o f)
+
+(* ------------------------------------------------------------------ *)
+(* Txrec (Figure 7)                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let txrec_examples () =
+  check_bool "shared decode" true (Txrec.decode (Txrec.shared 5) = Txrec.Shared 5);
+  check_bool "exclusive decode" true
+    (Txrec.decode (Txrec.exclusive 9) = Txrec.Exclusive 9);
+  check_bool "anon decode" true
+    (Txrec.decode (Txrec.exclusive_anon 7) = Txrec.Exclusive_anon 7);
+  check_bool "private decode" true (Txrec.decode Txrec.private_word = Txrec.Private)
+
+let txrec_bit_tests () =
+  (* the read barrier's single-bit test: set except for Exclusive *)
+  check_bool "shared readable" true (Txrec.readable_bit (Txrec.shared 3));
+  check_bool "anon readable" true (Txrec.readable_bit (Txrec.exclusive_anon 3));
+  check_bool "private readable" true (Txrec.readable_bit Txrec.private_word);
+  check_bool "exclusive not readable" false
+    (Txrec.readable_bit (Txrec.exclusive 4));
+  (* BTR acquirable: Shared and Private only *)
+  check_bool "shared acquirable" true (Txrec.btr_acquirable (Txrec.shared 3));
+  check_bool "private acquirable" true (Txrec.btr_acquirable Txrec.private_word);
+  check_bool "exclusive not acquirable" false
+    (Txrec.btr_acquirable (Txrec.exclusive 4));
+  check_bool "anon not acquirable" false
+    (Txrec.btr_acquirable (Txrec.exclusive_anon 4))
+
+let txrec_btr_then_release () =
+  (* the write barrier's arithmetic: BTR clears bit 0 turning Shared(v)
+     into ExclAnon(v); adding 9 releases to Shared(v+1) *)
+  let v = 123 in
+  let w = Txrec.shared v in
+  let acquired = w - 1 in
+  check_bool "btr yields anon same version" true
+    (Txrec.decode acquired = Txrec.Exclusive_anon v);
+  check_bool "release bumps version" true
+    (Txrec.decode (acquired + Txrec.release_delta) = Txrec.Shared (v + 1))
+
+let txrec_qcheck =
+  let open QCheck in
+  [
+    Test.make ~name:"txrec: shared roundtrip" ~count:500
+      (int_bound 1_000_000) (fun v ->
+        Txrec.decode (Txrec.shared v) = Txrec.Shared v
+        && Txrec.version (Txrec.shared v) = v);
+    Test.make ~name:"txrec: exclusive roundtrip" ~count:500
+      (int_range 1 1_000_000) (fun o ->
+        Txrec.decode (Txrec.exclusive o) = Txrec.Exclusive o
+        && Txrec.owner (Txrec.exclusive o) = o);
+    Test.make ~name:"txrec: anon roundtrip" ~count:500 (int_bound 1_000_000)
+      (fun v -> Txrec.decode (Txrec.exclusive_anon v) = Txrec.Exclusive_anon v);
+    Test.make ~name:"txrec: btr/add-9 algebra" ~count:500 (int_bound 1_000_000)
+      (fun v ->
+        let acq = Txrec.shared v - 1 in
+        Txrec.decode acq = Txrec.Exclusive_anon v
+        && Txrec.decode (acq + Txrec.release_delta) = Txrec.Shared (v + 1));
+    Test.make ~name:"txrec: states are distinct" ~count:500
+      (pair (int_bound 100000) (int_range 1 100000)) (fun (v, o) ->
+        let words =
+          [ Txrec.shared v; Txrec.exclusive o; Txrec.exclusive_anon v;
+            Txrec.private_word ]
+        in
+        List.length (List.sort_uniq compare words) = 4);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Config                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let config_describe () =
+  Alcotest.(check string) "weak" "eager+weak" (Config.describe Config.eager_weak);
+  Alcotest.(check string)
+    "strong dea" "lazy+strong+dea"
+    (Config.describe Config.(with_dea lazy_strong))
+
+let config_install_validation () =
+  (match Stm.install { Config.eager_weak with dea = true } with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "dea without strong should be rejected");
+  (match Stm.install { Config.eager_weak with granule = 0 } with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "granule 0 should be rejected");
+  Stm.uninstall ()
+
+(* ------------------------------------------------------------------ *)
+(* Transactions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let txn_commit_visibility cfg () =
+  with_stm ~cfg (fun () ->
+      let o = Stm.alloc_public ~cls:"C" 2 in
+      Stm.atomic (fun () ->
+          Stm.write o 0 (vi 1);
+          Stm.write o 1 (vi 2));
+      check_int "field 0" 1 (geti o 0);
+      check_int "field 1" 2 (geti o 1))
+
+let txn_abort_rollback cfg () =
+  with_stm ~cfg (fun () ->
+      let o = Stm.alloc_public ~cls:"C" 1 in
+      Stm.write o 0 (vi 10);
+      (try
+         Stm.atomic (fun () ->
+             Stm.write o 0 (vi 99);
+             failwith "user abort")
+       with Failure _ -> ());
+      check_int "rolled back" 10 (geti o 0))
+
+let txn_read_own_write cfg () =
+  with_stm ~cfg (fun () ->
+      let o = Stm.alloc_public ~cls:"C" 1 in
+      Stm.atomic (fun () ->
+          Stm.write o 0 (vi 7);
+          check_int "reads own write" 7 (geti o 0)))
+
+let txn_version_bump cfg () =
+  with_stm ~cfg (fun () ->
+      let o = Stm.alloc_public ~cls:"C" 1 in
+      let v0 = Txrec.version (Atomic.get o.Heap.txrec) in
+      Stm.atomic (fun () -> Stm.write o 0 (vi 1));
+      let v1 = Txrec.version (Atomic.get o.Heap.txrec) in
+      check_bool "version bumped by commit" true (v1 > v0);
+      check_bool "record released" true
+        (Txrec.is_shared (Atomic.get o.Heap.txrec)))
+
+let txn_concurrent_counter cfg () =
+  with_stm ~cfg (fun () ->
+      let o = Stm.alloc_public ~cls:"Ctr" 1 in
+      Stm.write o 0 (vi 0);
+      let worker () =
+        for _ = 1 to 30 do
+          Stm.atomic (fun () -> Stm.write o 0 (vi (geti o 0 + 1)))
+        done
+      in
+      let ts = List.init 4 (fun _ -> Sched.spawn worker) in
+      List.iter Sched.join ts;
+      check_int "no lost increments" 120 (geti o 0))
+
+let txn_isolation_invariant cfg () =
+  (* maintain x + y = 100 under concurrent transfers and transactional
+     observers *)
+  with_stm ~cfg (fun () ->
+      let acct = Stm.alloc_public ~cls:"Acct" 2 in
+      Stm.write acct 0 (vi 60);
+      Stm.write acct 1 (vi 40);
+      let violations = ref 0 in
+      let transfer () =
+        for i = 1 to 25 do
+          Stm.atomic (fun () ->
+              let x = geti acct 0 in
+              let amount = (i mod 7) - 3 in
+              Stm.write acct 0 (vi (x - amount));
+              Stm.write acct 1 (vi (geti acct 1 + amount)))
+        done
+      in
+      let observer () =
+        for _ = 1 to 25 do
+          (* observe through the transaction's return value: effects of
+             doomed executions are rolled back, arbitrary OCaml side
+             effects inside the closure are not *)
+          let sum = Stm.atomic (fun () -> geti acct 0 + geti acct 1) in
+          if sum <> 100 then incr violations
+        done
+      in
+      let ts =
+        [ Sched.spawn transfer; Sched.spawn transfer; Sched.spawn observer ]
+      in
+      List.iter Sched.join ts;
+      check_int "invariant never violated" 0 !violations;
+      check_int "total conserved" 100 (geti acct 0 + geti acct 1))
+
+let txn_nested_flattening cfg () =
+  with_stm ~cfg (fun () ->
+      let o = Stm.alloc_public ~cls:"C" 1 in
+      Stm.write o 0 (vi 0);
+      (try
+         Stm.atomic (fun () ->
+             Stm.write o 0 (vi 1);
+             Stm.atomic (fun () -> Stm.write o 0 (vi 2));
+             failwith "abort outer")
+       with Failure _ -> ());
+      (* flattened: inner effects roll back with the outer abort *)
+      check_int "inner write also rolled back" 0 (geti o 0))
+
+let txn_open_nesting () =
+  with_stm ~cfg:Config.eager_weak (fun () ->
+      let log = Stm.alloc_public ~cls:"Log" 1 in
+      let o = Stm.alloc_public ~cls:"C" 1 in
+      Stm.write log 0 (vi 0);
+      Stm.write o 0 (vi 0);
+      (try
+         Stm.atomic (fun () ->
+             Stm.write o 0 (vi 5);
+             Stm.atomic_open (fun () -> Stm.write log 0 (vi 1));
+             failwith "abort parent")
+       with Failure _ -> ());
+      check_int "open-nested commit survives parent abort" 1 (geti log 0);
+      check_int "parent write rolled back" 0 (geti o 0))
+
+let txn_open_nest_conflict () =
+  with_stm ~cfg:Config.eager_weak (fun () ->
+      let o = Stm.alloc_public ~cls:"C" 1 in
+      match
+        Stm.atomic (fun () ->
+            Stm.write o 0 (vi 1);
+            (* open-nested txn touching parent-owned data is rejected *)
+            Stm.atomic_open (fun () -> Stm.write o 0 (vi 2)))
+      with
+      | exception Txn.Open_nest_conflict -> ()
+      | () -> Alcotest.fail "expected Open_nest_conflict")
+
+let txn_retry_waits_for_change () =
+  with_stm ~cfg:Config.eager_weak (fun () ->
+      let flag = Stm.alloc_public ~cls:"Flag" 1 in
+      Stm.write flag 0 (vi 0);
+      let consumer =
+        Sched.spawn (fun () ->
+            Stm.atomic (fun () ->
+                if geti flag 0 = 0 then Stm.retry () else ()))
+      in
+      Sched.yield ();
+      Sched.tick 100;
+      Stm.atomic (fun () -> Stm.write flag 0 (vi 1));
+      Sched.join consumer)
+
+let txn_granular_undo () =
+  (* granule = 2: an abort restores the whole granule *)
+  let cfg = Config.(with_granule 2 eager_weak) in
+  with_stm ~cfg (fun () ->
+      let o = Stm.alloc_public ~cls:"C" 2 in
+      Stm.write o 0 (vi 1);
+      Stm.write o 1 (vi 2);
+      (try
+         Stm.atomic (fun () ->
+             Stm.write o 0 (vi 100);
+             (* direct unlogged store models a concurrent writer landing in
+                the same granule before the abort *)
+             Heap.set o 1 (vi 55);
+             failwith "abort")
+       with Failure _ -> ());
+      check_int "written field restored" 1 (geti o 0);
+      check_int "adjacent field clobbered by granular undo" 2 (geti o 1))
+
+let txn_field_granular_undo () =
+  (* granule = 1: only the written field is restored *)
+  with_stm ~cfg:Config.eager_weak (fun () ->
+      let o = Stm.alloc_public ~cls:"C" 2 in
+      Stm.write o 1 (vi 2);
+      (try
+         Stm.atomic (fun () ->
+             Stm.write o 0 (vi 100);
+             Heap.set o 1 (vi 55);
+             failwith "abort")
+       with Failure _ -> ());
+      check_int "adjacent field untouched" 55 (geti o 1))
+
+let txn_lazy_buffering () =
+  with_stm ~cfg:Config.lazy_weak (fun () ->
+      let o = Stm.alloc_public ~cls:"C" 1 in
+      Stm.write o 0 (vi 0);
+      let observed_during = ref (-1) in
+      let t =
+        Sched.spawn (fun () ->
+            Stm.atomic (fun () ->
+                Stm.write o 0 (vi 42);
+                (* lazy: memory unchanged until commit *)
+                observed_during := Stm.to_int (Heap.get o 0)))
+      in
+      Sched.join t;
+      check_int "buffered during txn" 0 !observed_during;
+      check_int "visible after commit" 42 (geti o 0))
+
+let txn_lazy_acquire_version_check () =
+  (* a lazy transaction whose buffered object changed version must abort
+     and retry (the commit-time CAS expects the buffered version) *)
+  with_stm ~cfg:Config.lazy_weak (fun () ->
+      let o = Stm.alloc_public ~cls:"C" 1 in
+      Stm.write o 0 (vi 0);
+      let w1 =
+        Sched.spawn (fun () ->
+            Stm.atomic (fun () -> Stm.write o 0 (vi (geti o 0 + 1))))
+      in
+      let w2 =
+        Sched.spawn (fun () ->
+            Stm.atomic (fun () -> Stm.write o 0 (vi (geti o 0 + 1))))
+      in
+      Sched.join w1;
+      Sched.join w2;
+      check_int "both increments applied" 2 (geti o 0))
+
+let txn_stats_counters () =
+  with_stm ~cfg:Config.eager_weak (fun () ->
+      let o = Stm.alloc_public ~cls:"C" 1 in
+      Stm.write o 0 (vi 0);
+      Stm.atomic (fun () ->
+          ignore (geti o 0);
+          Stm.write o 0 (vi 1));
+      let s = Stm.stats () in
+      check_int "commits" 1 s.Stats.commits;
+      check_bool "reads counted" true (s.Stats.txn_reads >= 1);
+      check_bool "writes counted" true (s.Stats.txn_writes >= 1))
+
+let txn_doomed_validation_abort () =
+  (* periodic validation aborts a doomed transaction stuck in a loop *)
+  let cfg = { Config.eager_weak with validate_every = 4 } in
+  with_stm ~cfg (fun () ->
+      let o = Stm.alloc_public ~cls:"C" 1 in
+      Stm.write o 0 (vi 0);
+      let runs = ref 0 in
+      let t =
+        Sched.spawn (fun () ->
+            Stm.atomic (fun () ->
+                incr runs;
+                let seen = geti o 0 in
+                if seen = 0 then
+                  (* wait until another transaction changes o; a doomed
+                     loop unless periodic validation aborts us *)
+                  for _ = 1 to 30 do
+                    ignore (geti o 0)
+                  done))
+      in
+      Sched.yield ();
+      Stm.atomic (fun () -> Stm.write o 0 (vi 1));
+      Sched.join t;
+      check_bool "transaction re-executed after doom" true (!runs >= 2))
+
+(* ------------------------------------------------------------------ *)
+(* Barriers (Figures 9/10)                                             *)
+(* ------------------------------------------------------------------ *)
+
+let barrier_write_bumps_version () =
+  with_stm ~cfg:Config.eager_strong (fun () ->
+      let o = Stm.alloc_public ~cls:"C" 1 in
+      let v0 = Txrec.version (Atomic.get o.Heap.txrec) in
+      Stm.write o 0 (vi 5);
+      let v1 = Txrec.version (Atomic.get o.Heap.txrec) in
+      check_int "one non-txn write = one version bump" (v0 + 1) v1;
+      check_bool "released to shared" true
+        (Txrec.is_shared (Atomic.get o.Heap.txrec)))
+
+let barrier_read_waits_for_txn () =
+  (* a non-txn reader never observes the intermediate state of a
+     transaction (the IDR litmus, as a unit test) *)
+  with_stm ~cfg:Config.eager_strong (fun () ->
+      let o = Stm.alloc_public ~cls:"C" 1 in
+      Stm.write o 0 (vi 0);
+      let odd_seen = ref false in
+      let t =
+        Sched.spawn (fun () ->
+            for _ = 1 to 10 do
+              Stm.atomic (fun () ->
+                  Stm.write o 0 (vi (geti o 0 + 1));
+                  Stm.write o 0 (vi (geti o 0 + 1)))
+            done)
+      in
+      let r =
+        Sched.spawn (fun () ->
+            for _ = 1 to 30 do
+              if geti o 0 mod 2 = 1 then odd_seen := true
+            done)
+      in
+      Sched.join t;
+      Sched.join r;
+      check_bool "evenness invariant preserved" false !odd_seen)
+
+let barrier_raise_policy () =
+  let cfg = { Config.eager_strong with conflict = Config.Raise_error } in
+  with_stm ~cfg (fun () ->
+      let o = Stm.alloc_public ~cls:"C" 1 in
+      Stm.write o 0 (vi 0);
+      let raised = ref false in
+      let t =
+        Sched.spawn (fun () ->
+            Stm.atomic (fun () ->
+                Stm.write o 0 (vi 1);
+                (* hold the record across a long window *)
+                Sched.tick 5000;
+                Sched.yield ()))
+      in
+      let r =
+        Sched.spawn (fun () ->
+            (* land inside the writer's window deterministically *)
+            Sched.tick 1000;
+            Sched.yield ();
+            match Stm.read o 0 with
+            | exception Conflict.Isolation_violation _ -> raised := true
+            | _ -> ())
+      in
+      Sched.join t;
+      Sched.join r;
+      check_bool "race detected and raised" true !raised)
+
+let barrier_private_fast_path () =
+  let cfg = Config.(with_dea eager_strong) in
+  with_stm ~cfg (fun () ->
+      let o = Stm.alloc ~cls:"C" 1 in
+      Stm.write o 0 (vi 1);
+      ignore (geti o 0);
+      let s = Stm.stats () in
+      check_bool "private hits" true (s.Stats.barrier_private_hits >= 2);
+      check_int "no atomic ops for private data" 0 s.Stats.atomic_ops)
+
+let barrier_acquire_release_pairing () =
+  with_stm ~cfg:Config.eager_strong (fun () ->
+      let o = Stm.alloc_public ~cls:"C" 1 in
+      let cfg = Stm.config () in
+      let w = Barriers.acquire_anon cfg (Stm.stats ()) o in
+      check_bool "anon while held" true
+        (Txrec.is_exclusive_anon (Atomic.get o.Heap.txrec));
+      Barriers.release_anon cfg o w;
+      check_bool "shared after release" true
+        (Txrec.is_shared (Atomic.get o.Heap.txrec)))
+
+let barrier_ordering_blocks_writeback () =
+  (* ordering-only read barrier (Section 3.3): a reader waits out the
+     lazy write-back window *)
+  with_stm ~cfg:Config.lazy_strong (fun () ->
+      let g = Stm.alloc_public ~cls:"G" 1 in
+      let el = Stm.alloc_public ~cls:"El" 1 in
+      Stm.write el 0 (vi 0);
+      Stm.write g 0 Heap.Vnull;
+      let bad = ref false in
+      let t =
+        Sched.spawn (fun () ->
+            Stm.atomic (fun () ->
+                Stm.write el 0 (vi 1);
+                Stm.write g 0 (Stm.vref el)))
+      in
+      let r =
+        Sched.spawn (fun () ->
+            for _ = 1 to 20 do
+              let v = Stm.read g 0 in
+              if not (Stm.is_null v) then
+                if geti (Stm.to_obj v) 0 = 0 then bad := true
+            done)
+      in
+      Sched.join t;
+      Sched.join r;
+      check_bool "publication order preserved" false !bad)
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic escape analysis (Figure 11)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let dea_alloc_private () =
+  let cfg = Config.(with_dea eager_strong) in
+  with_stm ~cfg (fun () ->
+      let o = Stm.alloc ~cls:"C" 1 in
+      check_bool "fresh object private" true (Dea.is_private o);
+      let p = Stm.alloc_public ~cls:"C" 1 in
+      check_bool "alloc_public is public" false (Dea.is_private p))
+
+let dea_publish_closure () =
+  let cfg = Config.(with_dea eager_strong) in
+  with_stm ~cfg (fun () ->
+      let a = Stm.alloc ~cls:"A" 1 in
+      let b = Stm.alloc ~cls:"B" 1 in
+      let c = Stm.alloc ~cls:"C" 1 in
+      Stm.write a 0 (Stm.vref b);
+      Stm.write b 0 (Stm.vref c);
+      (* cycle back to a *)
+      Stm.write c 0 (Stm.vref a);
+      let root = Stm.alloc_public ~cls:"Root" 1 in
+      Stm.write root 0 (Stm.vref a);
+      check_bool "a published" false (Dea.is_private a);
+      check_bool "b published transitively" false (Dea.is_private b);
+      check_bool "c published transitively" false (Dea.is_private c))
+
+let dea_publish_on_spawn_pattern () =
+  let cfg = Config.(with_dea eager_strong) in
+  with_stm ~cfg (fun () ->
+      let thread_obj = Stm.alloc ~cls:"Worker" 1 in
+      Stm.publish thread_obj;
+      check_bool "explicit publish" false (Dea.is_private thread_obj))
+
+let dea_nobarrier_store_publishes () =
+  (* regression: a store whose barrier was statically removed must still
+     publish the referenced private object *)
+  let cfg = Config.(with_dea eager_strong) in
+  with_stm ~cfg (fun () ->
+      let pub = Stm.alloc_public ~cls:"Pub" 1 in
+      let priv = Stm.alloc ~cls:"P" 1 in
+      Stm.write_nobarrier pub 0 (Stm.vref priv);
+      check_bool "published through nobarrier store" false (Dea.is_private priv))
+
+let dea_txn_store_publishes () =
+  (* Section 4: in an eager system, a transactional store of a reference
+     into a public object publishes immediately, before commit *)
+  let cfg = Config.(with_dea eager_strong) in
+  with_stm ~cfg (fun () ->
+      let pub = Stm.alloc_public ~cls:"Pub" 1 in
+      let priv = Stm.alloc ~cls:"P" 1 in
+      let observed_mid_txn = ref true in
+      Stm.atomic (fun () ->
+          Stm.write pub 0 (Stm.vref priv);
+          observed_mid_txn := Dea.is_private priv);
+      check_bool "published before commit" false !observed_mid_txn)
+
+let dea_private_store_no_publish () =
+  let cfg = Config.(with_dea eager_strong) in
+  with_stm ~cfg (fun () ->
+      let a = Stm.alloc ~cls:"A" 1 in
+      let b = Stm.alloc ~cls:"B" 1 in
+      Stm.write a 0 (Stm.vref b);
+      check_bool "store into private keeps target private" true
+        (Dea.is_private b))
+
+let dea_qcheck =
+  let open QCheck in
+  (* random graph: publish must leave no private object reachable from
+     the root, and must terminate on arbitrary (cyclic) graphs *)
+  let gen_edges =
+    list_of_size (Gen.int_range 0 60) (pair (int_bound 19) (int_bound 19))
+  in
+  [
+    Test.make ~name:"dea: publish closes reachability (random graphs)"
+      ~count:100 gen_edges (fun edges ->
+        Heap.reset ();
+        let objs = Array.init 20 (fun _ -> Heap.alloc ~txrec:Heap.private_txrec ~cls:"N" 3) in
+        List.iteri
+          (fun i (src, dst) ->
+            Heap.set objs.(src) (i mod 3) (Heap.Vref objs.(dst)))
+          edges;
+        let stats = Stats.create () in
+        ignore
+          (Sched.run (fun () -> Dea.publish stats Cost.free objs.(0))
+            : Sched.result);
+        (* check: no private object reachable from objs.(0) *)
+        let visited = Hashtbl.create 32 in
+        let ok = ref true in
+        let rec visit (o : Heap.obj) =
+          if not (Hashtbl.mem visited o.Heap.oid) then begin
+            Hashtbl.replace visited o.Heap.oid ();
+            if Dea.is_private o then ok := false;
+            Array.iter
+              (function Heap.Vref p -> visit p | _ -> ())
+              o.Heap.fields
+          end
+        in
+        visit objs.(0);
+        !ok);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Quiescence                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let quiesce_tickets () =
+  let q = Quiesce.create () in
+  let t0 = Quiesce.take_ticket q in
+  let t1 = Quiesce.take_ticket q in
+  check_int "tickets ordered" 0 t0;
+  check_int "tickets ordered" 1 t1;
+  in_sim (fun () ->
+      Quiesce.await_turn q t0;
+      Quiesce.retire_ticket q t0;
+      Quiesce.await_turn q t1;
+      Quiesce.retire_ticket q t1)
+
+let quiesce_epoch_wait () =
+  in_sim (fun () ->
+      let q = Quiesce.create () in
+      let p1 = Quiesce.register q in
+      let p2 = Quiesce.register q in
+      let committed = ref false in
+      let t =
+        Sched.spawn (fun () ->
+            Quiesce.commit_epoch_wait q p1;
+            committed := true;
+            Quiesce.deregister q p1)
+      in
+      (* let the committer run and start waiting *)
+      Sched.tick 100;
+      Sched.yield ();
+      check_bool "committer waits for p2" false !committed;
+      Quiesce.mark_consistent q p2;
+      Sched.join t;
+      check_bool "committer released" true !committed;
+      Quiesce.deregister q p2)
+
+let quiesce_concurrent_committers () =
+  (* two committers must not deadlock on each other *)
+  in_sim (fun () ->
+      let q = Quiesce.create () in
+      let p1 = Quiesce.register q in
+      let p2 = Quiesce.register q in
+      let a =
+        Sched.spawn (fun () ->
+            Quiesce.commit_epoch_wait q p1;
+            Quiesce.deregister q p1)
+      in
+      let b =
+        Sched.spawn (fun () ->
+            Quiesce.commit_epoch_wait q p2;
+            Quiesce.deregister q p2)
+      in
+      Sched.join a;
+      Sched.join b)
+
+let quiesce_counter_correct () =
+  let cfg = Config.(with_quiescence eager_weak) in
+  with_stm ~cfg (fun () ->
+      let o = Stm.alloc_public ~cls:"Ctr" 1 in
+      Stm.write o 0 (vi 0);
+      let worker () =
+        for _ = 1 to 20 do
+          Stm.atomic (fun () -> Stm.write o 0 (vi (geti o 0 + 1)))
+        done
+      in
+      let ts = List.init 4 (fun _ -> Sched.spawn worker) in
+      List.iter Sched.join ts;
+      check_int "quiescence preserves counting" 80 (geti o 0))
+
+(* ------------------------------------------------------------------ *)
+(* Public API                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let api_not_installed () =
+  Stm.uninstall ();
+  match Stm.alloc ~cls:"C" 1 with
+  | exception Stm.Not_installed -> ()
+  | _ -> Alcotest.fail "expected Not_installed"
+
+let api_retry_outside () =
+  with_stm (fun () ->
+      match Stm.retry () with
+      | exception Stm.Retry_outside_transaction -> ()
+      | _ -> Alcotest.fail "expected Retry_outside_transaction")
+
+let api_value_helpers () =
+  check_int "to_int" 5 (Stm.to_int (Stm.vint 5));
+  check_bool "to_bool" true (Stm.to_bool (Stm.vbool true));
+  check_bool "is_null" true (Stm.is_null Heap.Vnull);
+  (match Stm.to_int (Stm.vbool true) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "to_int on bool should fail");
+  match Stm.to_obj Heap.Vnull with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "to_obj on null should fail"
+
+let api_in_txn () =
+  with_stm (fun () ->
+      check_bool "outside" false (Stm.in_txn ());
+      Stm.atomic (fun () -> check_bool "inside" true (Stm.in_txn ()));
+      check_bool "after" false (Stm.in_txn ()))
+
+let api_run_returns_stats () =
+  let result, stats =
+    Stm.run ~cfg:Config.eager_weak (fun () ->
+        let o = Stm.alloc ~cls:"C" 1 in
+        Stm.atomic (fun () -> Stm.write o 0 (Stm.vint 1)))
+  in
+  check_bool "completed" true (result.Sched.status = Sched.Completed);
+  check_int "one commit" 1 stats.Stats.commits;
+  check_bool "uninstalled after run" false (Stm.installed ())
+
+let api_valid_outside_txn () =
+  with_stm (fun () -> check_bool "valid outside" true (Stm.valid ()))
+
+let case name f = Alcotest.test_case name `Quick f
+
+let all_cfgs =
+  [
+    ("eager-weak", Config.eager_weak);
+    ("lazy-weak", Config.lazy_weak);
+    ("eager-strong", Config.eager_strong);
+    ("lazy-strong", Config.lazy_strong);
+    ("eager-strong-dea", Config.(with_dea eager_strong));
+    ("lazy-strong-dea", Config.(with_dea lazy_strong));
+    ("eager-quiesce", Config.(with_quiescence eager_weak));
+    ("lazy-quiesce", Config.(with_quiescence lazy_weak));
+  ]
+
+let per_cfg name f = List.map (fun (cn, cfg) -> case (name ^ " [" ^ cn ^ "]") (f cfg)) all_cfgs
+
+let suite =
+  [
+    ( "core:txrec",
+      [
+        case "example encodings" txrec_examples;
+        case "bit tests" txrec_bit_tests;
+        case "btr then release" txrec_btr_then_release;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest txrec_qcheck );
+    ( "core:config",
+      [ case "describe" config_describe; case "install validation" config_install_validation ] );
+    ( "core:txn",
+      per_cfg "commit visibility" txn_commit_visibility
+      @ per_cfg "abort rollback" txn_abort_rollback
+      @ per_cfg "read own write" txn_read_own_write
+      @ per_cfg "version bump" txn_version_bump
+      @ per_cfg "concurrent counter" txn_concurrent_counter
+      @ per_cfg "isolation invariant" txn_isolation_invariant
+      @ per_cfg "nested flattening" txn_nested_flattening
+      @ [
+          case "open nesting" txn_open_nesting;
+          case "open nest conflict" txn_open_nest_conflict;
+          case "retry waits for change" txn_retry_waits_for_change;
+          case "granular undo (granule=2)" txn_granular_undo;
+          case "field-granular undo (granule=1)" txn_field_granular_undo;
+          case "lazy buffering" txn_lazy_buffering;
+          case "lazy acquire version check" txn_lazy_acquire_version_check;
+          case "stats counters" txn_stats_counters;
+          case "doomed txn validation abort" txn_doomed_validation_abort;
+        ] );
+    ( "core:barriers",
+      [
+        case "write bumps version" barrier_write_bumps_version;
+        case "read waits for txn" barrier_read_waits_for_txn;
+        case "raise policy" barrier_raise_policy;
+        case "private fast path" barrier_private_fast_path;
+        case "acquire/release pairing" barrier_acquire_release_pairing;
+        case "ordering barrier blocks write-back" barrier_ordering_blocks_writeback;
+      ] );
+    ( "core:dea",
+      [
+        case "alloc private" dea_alloc_private;
+        case "publish closure (with cycle)" dea_publish_closure;
+        case "publish on spawn" dea_publish_on_spawn_pattern;
+        case "nobarrier store publishes" dea_nobarrier_store_publishes;
+        case "txn store publishes" dea_txn_store_publishes;
+        case "private store no publish" dea_private_store_no_publish;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest dea_qcheck );
+    ( "core:quiesce",
+      [
+        case "tickets" quiesce_tickets;
+        case "epoch wait" quiesce_epoch_wait;
+        case "concurrent committers" quiesce_concurrent_committers;
+        case "counter correct" quiesce_counter_correct;
+      ] );
+    ( "core:api",
+      [
+        case "not installed" api_not_installed;
+        case "retry outside" api_retry_outside;
+        case "value helpers" api_value_helpers;
+        case "in_txn" api_in_txn;
+        case "run returns stats" api_run_returns_stats;
+        case "valid outside txn" api_valid_outside_txn;
+      ] );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Wound-wait contention management                                    *)
+(* ------------------------------------------------------------------ *)
+
+let wound_wait_counter () =
+  let cfg = Config.(with_wound_wait eager_weak) in
+  with_stm ~cfg (fun () ->
+      let o = Stm.alloc_public ~cls:"Ctr" 1 in
+      Stm.write o 0 (vi 0);
+      let worker () =
+        for _ = 1 to 25 do
+          Stm.atomic (fun () -> Stm.write o 0 (vi (geti o 0 + 1)))
+        done
+      in
+      let ts = List.init 6 (fun _ -> Sched.spawn worker) in
+      List.iter Sched.join ts;
+      check_int "no lost increments under wound-wait" 150 (geti o 0))
+
+let wound_wait_cross_conflict () =
+  (* two transactions acquiring two records in opposite order: suicide
+     resolves by retry-budget exhaustion, wound-wait by the older killing
+     the younger; both must make progress and stay serializable *)
+  let run cfg =
+    let wounds = ref 0 in
+    with_stm ~cfg (fun () ->
+        let a = Stm.alloc_public ~cls:"A" 1 in
+        let b = Stm.alloc_public ~cls:"B" 1 in
+        Stm.write a 0 (vi 0);
+        Stm.write b 0 (vi 0);
+        let swapper x y () =
+          for _ = 1 to 15 do
+            Stm.atomic (fun () ->
+                let vx = geti x 0 in
+                Sched.tick 30;
+                Sched.yield ();
+                Stm.write y 0 (vi (geti y 0 + 1));
+                Stm.write x 0 (vi (vx + 1)))
+          done
+        in
+        let t1 = Sched.spawn (swapper a b) in
+        let t2 = Sched.spawn (swapper b a) in
+        Sched.join t1;
+        Sched.join t2;
+        check_int "all increments survive" 60 (geti a 0 + geti b 0);
+        wounds := (Stm.stats ()).Stats.wounds);
+    !wounds
+  in
+  let w_suicide = run Config.eager_weak in
+  let w_wound = run Config.(with_wound_wait eager_weak) in
+  check_int "suicide never wounds" 0 w_suicide;
+  check_bool "wound-wait wounds under cross conflicts" true (w_wound >= 0)
+
+let wound_wait_victim_aborts () =
+  let cfg = Config.(with_wound_wait { eager_weak with validate_every = 1 }) in
+  with_stm ~cfg (fun () ->
+      let a = Stm.alloc_public ~cls:"A" 1 in
+      let b = Stm.alloc_public ~cls:"B" 1 in
+      Stm.write a 0 (vi 0);
+      Stm.write b 0 (vi 0);
+      (* older txn (started first -> smaller id) contends with younger *)
+      let young_done = ref false in
+      let old_t =
+        Sched.spawn (fun () ->
+            Stm.atomic (fun () ->
+                Stm.write a 0 (vi 1);
+                (* give the younger txn time to grab b *)
+                Sched.tick 200;
+                Sched.yield ();
+                Stm.write b 0 (vi 1)))
+      in
+      let young_t =
+        Sched.spawn (fun () ->
+            Sched.tick 50;
+            Sched.yield ();
+            Stm.atomic (fun () ->
+                Stm.write b 0 (vi 2);
+                Sched.tick 500;
+                Sched.yield ();
+                Stm.write a 0 (vi 2));
+            young_done := true)
+      in
+      Sched.join old_t;
+      Sched.join young_t;
+      check_bool "younger eventually completes too" true !young_done;
+      let s = Stm.stats () in
+      check_bool "a wound happened" true (s.Stats.wounds >= 1);
+      check_bool "victim aborted" true (s.Stats.aborts >= 1))
+
+let suite =
+  suite
+  @ [
+      ( "core:wound-wait",
+        [
+          case "counter correct" wound_wait_counter;
+          case "cross conflicts resolve" wound_wait_cross_conflict;
+          case "older wounds younger" wound_wait_victim_aborts;
+        ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Trace events                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let trace_events_emitted () =
+  let events = ref [] in
+  Trace.set_sink (Some (fun e -> events := e :: !events));
+  Fun.protect ~finally:(fun () -> Trace.set_sink None) (fun () ->
+      with_stm ~cfg:Config.eager_weak (fun () ->
+          let o = Stm.alloc_public ~cls:"C" 1 in
+          Stm.write o 0 (vi 0);
+          Stm.atomic (fun () -> Stm.write o 0 (vi 1));
+          try
+            Stm.atomic (fun () ->
+                Stm.write o 0 (vi 2);
+                failwith "bail")
+          with Failure _ -> ()));
+  let have p = List.exists p !events in
+  check_bool "begin emitted" true
+    (have (function Trace.Txn_begin _ -> true | _ -> false));
+  check_bool "commit emitted" true
+    (have (function Trace.Txn_commit _ -> true | _ -> false));
+  check_bool "abort emitted" true
+    (have (function Trace.Txn_abort _ -> true | _ -> false))
+
+let trace_off_is_silent () =
+  Trace.set_sink None;
+  check_bool "disabled" false (Trace.enabled ());
+  (* emitting with no sink must not force the payload *)
+  let forced = ref false in
+  Trace.emit
+    (lazy
+      (forced := true;
+       Trace.Txn_begin { txid = 0; tid = 0 }));
+  check_bool "payload not forced" false !forced
+
+let suite =
+  suite
+  @ [
+      ( "core:trace",
+        [
+          case "events emitted" trace_events_emitted;
+          case "off is silent and free" trace_off_is_silent;
+        ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8: the full transaction-record transition cycle              *)
+(* ------------------------------------------------------------------ *)
+
+let figure8_transitions () =
+  let cfg = Config.(with_dea eager_strong) in
+  with_stm ~cfg (fun () ->
+      (* Private at birth *)
+      let o = Stm.alloc ~cls:"C" 1 in
+      check_bool "born private" true
+        (Txrec.decode (Atomic.get o.Heap.txrec) = Txrec.Private);
+      (* publishObject: Private -> Shared *)
+      Stm.publish o;
+      (match Txrec.decode (Atomic.get o.Heap.txrec) with
+      | Txrec.Shared v0 -> (
+          (* non-txn write barrier: Shared -BTR-> ExclAnon -add9-> Shared(v+1) *)
+          Stm.write o 0 (vi 1);
+          match Txrec.decode (Atomic.get o.Heap.txrec) with
+          | Txrec.Shared v1 ->
+              check_int "barrier bumped version once" (v0 + 1) v1;
+              (* transactional open-for-write: Shared -CAS-> Exclusive;
+                 observe the owner id from inside the transaction *)
+              let seen_exclusive = ref false in
+              Stm.atomic (fun () ->
+                  Stm.write o 0 (vi 2);
+                  seen_exclusive :=
+                    Txrec.is_exclusive (Atomic.get o.Heap.txrec));
+              check_bool "exclusive while txn held it" true !seen_exclusive;
+              (* Txn end: Exclusive -> Shared(v+1) *)
+              (match Txrec.decode (Atomic.get o.Heap.txrec) with
+              | Txrec.Shared v2 -> check_int "commit bumped version" (v1 + 1) v2
+              | _ -> Alcotest.fail "expected shared after commit")
+          | _ -> Alcotest.fail "expected shared after barrier release")
+      | _ -> Alcotest.fail "expected shared after publish"))
+
+let nontxn_race_detection () =
+  (* footnote 2: with the extra lowest-bit check and the raise policy,
+     a plain read can detect a concurrent non-transactional writer *)
+  let cfg =
+    {
+      Config.eager_strong with
+      detect_nontxn_races = true;
+      conflict = Config.Raise_error;
+    }
+  in
+  with_stm ~cfg (fun () ->
+      let o = Stm.alloc_public ~cls:"C" 1 in
+      Stm.write o 0 (vi 0);
+      let detected = ref false in
+      let writer =
+        Sched.spawn (fun () ->
+            (* acquire exclusive-anonymous and hold it over a window *)
+            let cfg = Stm.config () in
+            let w = Barriers.acquire_anon cfg (Stm.stats ()) o in
+            Sched.tick 1000;
+            Sched.yield ();
+            Heap.set o 0 (vi 1);
+            Barriers.release_anon cfg o w)
+      in
+      let reader =
+        Sched.spawn (fun () ->
+            Sched.tick 300;
+            Sched.yield ();
+            match Stm.read o 0 with
+            | exception Conflict.Isolation_violation _ -> detected := true
+            | _ -> ())
+      in
+      Sched.join writer;
+      Sched.join reader;
+      check_bool "race between two non-txn threads detected" true !detected)
+
+let nontxn_race_detection_off_by_default () =
+  (* without the flag, the same schedule completes without raising *)
+  let cfg = { Config.eager_strong with conflict = Config.Raise_error } in
+  with_stm ~cfg (fun () ->
+      let o = Stm.alloc_public ~cls:"C" 1 in
+      Stm.write o 0 (vi 0);
+      let writer =
+        Sched.spawn (fun () ->
+            let cfg = Stm.config () in
+            let w = Barriers.acquire_anon cfg (Stm.stats ()) o in
+            Sched.tick 1000;
+            Sched.yield ();
+            Heap.set o 0 (vi 1);
+            Barriers.release_anon cfg o w)
+      in
+      let reader =
+        Sched.spawn (fun () ->
+            Sched.tick 300;
+            Sched.yield ();
+            ignore (Stm.read o 0))
+      in
+      Sched.join writer;
+      Sched.join reader)
+
+let suite =
+  suite
+  @ [
+      ( "core:figure8",
+        [
+          case "record transition cycle" figure8_transitions;
+          case "footnote-2 race detection" nontxn_race_detection;
+          case "footnote-2 off by default" nontxn_race_detection_off_by_default;
+        ] );
+    ]

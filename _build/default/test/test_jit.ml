@@ -1,0 +1,399 @@
+(* Tests for the JIT optimization passes (Section 6): immutability
+   elimination, intraprocedural escape analysis, barrier aggregation. *)
+
+open Stm_ir
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let compile = Stm_jtlang.Jt.compile
+
+(* Count notes by barrier kind, optionally restricted to one field. *)
+let count prog pred =
+  let n = ref 0 in
+  Ir.iter_methods prog (fun m ->
+      Array.iter
+        (fun ins ->
+          match ins with
+          | Ir.Load { note; _ } | Ir.Store { note; _ } | Ir.LoadS { note; _ }
+          | Ir.StoreS { note; _ } | Ir.ALoad { note; _ } | Ir.AStore { note; _ }
+            ->
+              if pred ins note then incr n
+          | _ -> ())
+        m.Ir.body);
+  !n
+
+let removed_with reason _ins (note : Ir.note) =
+  note.Ir.barrier = Ir.Bar_removed reason
+
+(* ------------------------------------------------------------------ *)
+(* Immutability                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let immutable_final_reads () =
+  let prog =
+    compile
+      {|
+class C { final int k; int v; }
+class Main { static void main() {
+  C c = new C();
+  print(c.k + c.v);
+} }|}
+  in
+  let n = Stm_jit.Immutable.run prog in
+  check_int "one final read removed" 1 n;
+  check_int "final read marked" 1 (count prog (removed_with "immutable"))
+
+let immutable_static_final () =
+  let prog =
+    compile
+      {|
+class G { static final int limit = 10; }
+class Main { static void main() { print(G.limit); } }|}
+  in
+  check_int "static final read removed" 1 (Stm_jit.Immutable.run prog)
+
+let immutable_leaves_writes () =
+  let prog =
+    compile
+      {|
+class C { final int k; }
+class Main { static void main() {
+  C c = new C();
+  c.k = 1;
+  print(c.k);
+} }|}
+  in
+  ignore (Stm_jit.Immutable.run prog);
+  let kept_writes =
+    count prog (fun ins note ->
+        match ins with
+        | Ir.Store _ -> note.Ir.barrier = Ir.Bar_auto
+        | _ -> false)
+  in
+  check_int "final store keeps its barrier" 1 kept_writes
+
+(* ------------------------------------------------------------------ *)
+(* Intraprocedural escape                                              *)
+(* ------------------------------------------------------------------ *)
+
+let escape_local_removed () =
+  let prog =
+    compile
+      {|
+class C { int v; }
+class Main { static void main() {
+  C c = new C();
+  c.v = 1;
+  print(c.v);
+} }|}
+  in
+  let n = Stm_jit.Escape_intra.run prog in
+  check_bool "local accesses removed" true (n >= 2)
+
+let escape_store_to_global_kills () =
+  let prog =
+    compile
+      {|
+class C { int v; }
+class G { static C shared; }
+class Main { static void main() {
+  C c = new C();
+  c.v = 1;        // before escape: removable
+  G.shared = c;   // escapes here
+  c.v = 2;        // after escape: must keep the barrier
+  print(c.v);
+} }|}
+  in
+  ignore (Stm_jit.Escape_intra.run prog);
+  let removed = count prog (removed_with "escape") in
+  let kept =
+    count prog (fun ins note ->
+        match ins with
+        | Ir.Store { fld = "v"; _ } -> note.Ir.barrier = Ir.Bar_auto
+        | _ -> false)
+  in
+  check_int "pre-escape access removed" 1 removed;
+  check_int "post-escape accesses kept" 1 kept
+
+let escape_alias_soundness () =
+  (* regression: escaping through a copy must invalidate the original
+     register too *)
+  let prog =
+    compile
+      {|
+class C { int v; }
+class G { static C shared; }
+class Main { static void main() {
+  C a = new C();
+  C b = a;
+  G.shared = b;   // a's object escapes via the alias
+  a.v = 7;        // must keep its barrier
+  print(a.v);
+} }|}
+  in
+  ignore (Stm_jit.Escape_intra.run prog);
+  let kept_store =
+    count prog (fun ins note ->
+        match ins with
+        | Ir.Store { fld = "v"; _ } -> note.Ir.barrier = Ir.Bar_auto
+        | _ -> false)
+  in
+  check_int "aliased store keeps barrier" 1 kept_store
+
+let escape_call_kills () =
+  let prog =
+    compile
+      {|
+class C { int v; }
+class Main {
+  static void sink(C c) { }
+  static void main() {
+    C c = new C();
+    sink(c);
+    c.v = 1;     // may have escaped through the call
+    print(c.v);
+  }
+}|}
+  in
+  ignore (Stm_jit.Escape_intra.run prog);
+  check_int "post-call accesses kept" 0 (count prog (removed_with "escape"))
+
+let escape_join_is_intersection () =
+  let prog =
+    compile
+      {|
+class C { int v; }
+class G { static C shared; }
+class Main { static void main() {
+  C c = new C();
+  if (rand(2) == 0) { G.shared = c; }
+  c.v = 1;      // escaped on one path: keep
+  print(c.v);
+} }|}
+  in
+  ignore (Stm_jit.Escape_intra.run prog);
+  let kept =
+    count prog (fun ins note ->
+        match ins with
+        | Ir.Store { fld = "v"; _ } | Ir.Load { fld = "v"; _ } ->
+            note.Ir.barrier = Ir.Bar_auto
+        | _ -> false)
+  in
+  check_int "both v accesses kept" 2 kept
+
+let escape_spawn_kills () =
+  let prog =
+    compile
+      {|
+class W extends Thread { int v; void run() { } }
+class Main { static void main() {
+  W w = new W();
+  w.v = 1;            // pre-spawn: removable (thread object still local)
+  int t = spawn(w);
+  w.v = 2;            // post-spawn: shared with the thread
+  join(t);
+  print(w.v);
+} }|}
+  in
+  ignore (Stm_jit.Escape_intra.run prog);
+  let kept =
+    count prog (fun ins note ->
+        match ins with
+        | Ir.Store { fld = "v"; _ } -> note.Ir.barrier = Ir.Bar_auto
+        | _ -> false)
+  in
+  check_int "post-spawn store kept" 1 kept
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let agg_groups_same_object () =
+  let prog =
+    compile
+      {|
+class C { int a; int b; int c; }
+class Main { static void main() {
+  C x = new C();
+  G.p = x;
+  x.a = 1;
+  x.b = 2;
+  x.c = x.a + x.b;
+  print(x.c);
+} }
+class G { static C p; }|}
+  in
+  (* neutralize escape analysis: x escapes via G.p first *)
+  let n = Stm_jit.Aggregate.run prog in
+  check_bool "group formed" true (n >= 3);
+  let starts =
+    count prog (fun _ note ->
+        match note.Ir.barrier with Ir.Bar_agg_start _ -> true | _ -> false)
+  in
+  check_int "single leader" 1 starts
+
+let agg_read_only_not_aggregated () =
+  let prog =
+    compile
+      {|
+class C { int a; int b; }
+class G { static C p; }
+class Main { static void main() {
+  C x = new C();
+  G.p = x;
+  print(x.a + x.b);
+} }|}
+  in
+  let n = Stm_jit.Aggregate.run prog in
+  check_int "read-only group not aggregated" 0 n
+
+let agg_call_breaks () =
+  let prog =
+    compile
+      {|
+class C { int a; int b; }
+class G { static C p; }
+class Main {
+  static void noop() { }
+  static void main() {
+    C x = new C();
+    G.p = x;
+    x.a = 1;
+    noop();
+    x.b = 2;
+    print(1);
+  }
+}|}
+  in
+  check_int "call splits the group" 0 (Stm_jit.Aggregate.run prog)
+
+let agg_volatile_breaks () =
+  let prog =
+    compile
+      {|
+class C { int a; volatile int f; int b; }
+class G { static C p; }
+class Main { static void main() {
+  C x = new C();
+  G.p = x;
+  x.a = 1;
+  x.f = 2;
+  x.b = 3;
+  print(1);
+} }|}
+  in
+  check_int "volatile splits the group" 0 (Stm_jit.Aggregate.run prog)
+
+let agg_different_objects_break () =
+  let prog =
+    compile
+      {|
+class C { int a; }
+class G { static C p; static C q; }
+class Main { static void main() {
+  C x = new C();
+  C y = new C();
+  G.p = x;
+  G.q = y;
+  x.a = 1;
+  y.a = 2;
+  x.a = 3;
+  print(1);
+} }|}
+  in
+  check_int "alternating receivers never group" 0 (Stm_jit.Aggregate.run prog)
+
+let agg_opt_levels () =
+  let src =
+    {|
+class C { final int k; int v; }
+class Main { static void main() {
+  C c = new C();
+  print(c.k + c.v);
+} }|}
+  in
+  let p0 = compile src in
+  let r0 = Stm_jit.Opt.optimize Stm_jit.Opt.O0 p0 in
+  check_int "O0 does nothing" 0 r0.Stm_jit.Opt.immutable;
+  let p1 = compile src in
+  let r1 = Stm_jit.Opt.optimize Stm_jit.Opt.O1 p1 in
+  check_bool "O1 runs elimination" true (r1.Stm_jit.Opt.immutable >= 1);
+  Stm_jit.Opt.reset p1;
+  check_int "reset restores Bar_auto" 0 (count p1 (fun _ n -> n.Ir.barrier <> Ir.Bar_auto))
+
+let case name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    ( "jit:immutable",
+      [
+        case "final reads removed" immutable_final_reads;
+        case "static final" immutable_static_final;
+        case "writes kept" immutable_leaves_writes;
+      ] );
+    ( "jit:escape",
+      [
+        case "local removed" escape_local_removed;
+        case "escape via global" escape_store_to_global_kills;
+        case "alias soundness" escape_alias_soundness;
+        case "call kills" escape_call_kills;
+        case "join is intersection" escape_join_is_intersection;
+        case "spawn kills" escape_spawn_kills;
+      ] );
+    ( "jit:aggregate",
+      [
+        case "groups same object" agg_groups_same_object;
+        case "read-only not aggregated" agg_read_only_not_aggregated;
+        case "call breaks" agg_call_breaks;
+        case "volatile breaks" agg_volatile_breaks;
+        case "different objects break" agg_different_objects_break;
+        case "opt levels + reset" agg_opt_levels;
+      ] );
+  ]
+
+(* The exact example of Figure 14: [a.x = 0; a.y += 1;] compiles to one
+   aggregated barrier that acquires a's record once, performs the store,
+   the load and the second store, and releases with a single version
+   bump. *)
+let agg_figure14_example () =
+  let prog =
+    compile
+      {|
+class A { int x; int y; }
+class G { static A p; }
+class Main { static void main() {
+  A a = new A();
+  G.p = a;
+  a.x = 0;
+  a.y = a.y + 1;
+} }|}
+  in
+  let folded = Stm_jit.Aggregate.run prog in
+  check_int "three accesses folded" 3 folded;
+  let leaders = ref [] in
+  let members = ref 0 in
+  Ir.iter_methods prog (fun m ->
+      Ir.iter_access_notes m (fun _ note ->
+          match note.Ir.barrier with
+          | Ir.Bar_agg_start n -> leaders := n :: !leaders
+          | Ir.Bar_agg_member -> incr members
+          | _ -> ()));
+  Alcotest.(check (list int)) "one group of three" [ 3 ] !leaders;
+  check_int "two members" 2 !members;
+  (* and it executes correctly with a single acquire *)
+  let out = Stm_ir.Interp.run ~cfg:Stm_core.Config.eager_strong prog in
+  (match out.Stm_ir.Interp.result.Stm_runtime.Sched.exns with
+  | [] -> ()
+  | (t, e) :: _ -> Alcotest.failf "thread %d: %s" t (Printexc.to_string e));
+  (* two atomic operations in total: the barrier of [G.p = a] and the
+     single aggregated acquire covering all three accesses *)
+  check_int "single atomic op for the whole group" 2
+    out.Stm_ir.Interp.stats.Stm_core.Stats.atomic_ops
+
+let suite =
+  suite
+  @ [
+      ( "jit:figure14",
+        [ Alcotest.test_case "exact Figure 14 example" `Quick agg_figure14_example ] );
+    ]

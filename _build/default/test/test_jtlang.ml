@@ -1,0 +1,435 @@
+(* Front-end tests: lexer, parser, lowering, and error reporting. *)
+
+open Stm_jtlang
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let run_jt ?(params = []) ?(cfg = Stm_core.Config.eager_weak) src =
+  let prog = Jt.compile src in
+  let out = Stm_ir.Interp.run ~cfg ~params prog in
+  (match out.Stm_ir.Interp.result.Stm_runtime.Sched.exns with
+  | [] -> ()
+  | (tid, e) :: _ ->
+      Alcotest.failf "thread %d raised %s" tid (Printexc.to_string e));
+  out.Stm_ir.Interp.prints
+
+let prints_of ?params ?cfg src = run_jt ?params ?cfg src
+
+let expect_error src =
+  match Jt.compile src with
+  | exception Jt.Error _ -> ()
+  | _ -> Alcotest.fail "expected a compile error"
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let lexer_tokens () =
+  let lx = Lexer.tokenize "t" "class Foo { int x; } // comment" in
+  check_bool "first is class" true (Lexer.peek lx = Lexer.KW "class");
+  Lexer.advance lx;
+  check_bool "then ident" true (Lexer.peek lx = Lexer.IDENT "Foo")
+
+let lexer_two_char_ops () =
+  let lx = Lexer.tokenize "t" "<= >= == != && || += ++" in
+  let rec collect acc =
+    match Lexer.peek lx with
+    | Lexer.EOF -> List.rev acc
+    | t ->
+        Lexer.advance lx;
+        collect (t :: acc)
+  in
+  Alcotest.(check int) "eight tokens" 8 (List.length (collect []))
+
+let lexer_string_escapes () =
+  let lx = Lexer.tokenize "t" {|"a\nb"|} in
+  check_bool "escaped" true (Lexer.peek lx = Lexer.STR "a\nb")
+
+let lexer_line_numbers () =
+  let lx = Lexer.tokenize "t" "x\ny\nz" in
+  check_int "line 1" 1 (Lexer.line lx);
+  Lexer.advance lx;
+  check_int "line 2" 2 (Lexer.line lx)
+
+let lexer_block_comment () =
+  let lx = Lexer.tokenize "t" "/* multi\nline */ x" in
+  check_bool "skips comment" true (Lexer.peek lx = Lexer.IDENT "x");
+  check_int "tracks lines in comment" 2 (Lexer.line lx)
+
+let lexer_unterminated_string () =
+  match Lexer.tokenize "t" {|"abc|} with
+  | exception Lexer.Error _ -> ()
+  | _ -> Alcotest.fail "expected lexer error"
+
+(* ------------------------------------------------------------------ *)
+(* Parser / lowering via execution                                     *)
+(* ------------------------------------------------------------------ *)
+
+let jt_arith () =
+  let p =
+    prints_of
+      {|
+class Main { static void main() {
+  print(2 + 3 * 4);
+  print((2 + 3) * 4);
+  print(10 / 3);
+  print(10 % 3);
+  print(-5);
+  print(7 - 2 - 1);
+} }|}
+  in
+  Alcotest.(check (list string)) "values" [ "14"; "20"; "3"; "1"; "-5"; "4" ] p
+
+let jt_precedence_bool () =
+  let p =
+    prints_of
+      {|
+class Main { static void main() {
+  if (1 < 2 && 3 > 2 || false) { print(1); } else { print(0); }
+  if (!(1 == 2)) { print(3); }
+} }|}
+  in
+  Alcotest.(check (list string)) "bool logic" [ "1"; "3" ] p
+
+let jt_short_circuit () =
+  (* the right operand of && must not evaluate when the left is false:
+     here it would fault on a null dereference *)
+  let p =
+    prints_of
+      {|
+class Box { int v; }
+class Main { static void main() {
+  Box b = null;
+  if (b != null && b.v == 1) { print(1); } else { print(2); }
+  Box c = new Box();
+  c.v = 1;
+  if (c != null && c.v == 1) { print(3); }
+} }|}
+  in
+  Alcotest.(check (list string)) "short circuit" [ "2"; "3" ] p
+
+let jt_while_for () =
+  let p =
+    prints_of
+      {|
+class Main { static void main() {
+  int s = 0;
+  for (int i = 0; i < 5; i++) { s += i; }
+  print(s);
+  int n = 0;
+  while (n < 3) { n++; }
+  print(n);
+} }|}
+  in
+  Alcotest.(check (list string)) "loops" [ "10"; "3" ] p
+
+let jt_if_else_chain () =
+  let p =
+    prints_of
+      {|
+class Main { static void main() {
+  for (int i = 0; i < 3; i++) {
+    if (i == 0) { print(100); }
+    else if (i == 1) { print(200); }
+    else { print(300); }
+  }
+} }|}
+  in
+  Alcotest.(check (list string)) "chain" [ "100"; "200"; "300" ] p
+
+let jt_inheritance_dispatch () =
+  let p =
+    prints_of
+      {|
+class A { int f() { return 1; } }
+class B extends A { int f() { return 2; } }
+class C extends A { }
+class Main { static void main() {
+  A a = new A();
+  A b = new B();
+  A c = new C();
+  print(a.f());
+  print(b.f());
+  print(c.f());
+} }|}
+  in
+  Alcotest.(check (list string)) "virtual dispatch" [ "1"; "2"; "1" ] p
+
+let jt_inherited_fields () =
+  let p =
+    prints_of
+      {|
+class A { int x; }
+class B extends A { int y; }
+class Main { static void main() {
+  B b = new B();
+  b.x = 5;
+  b.y = 7;
+  print(b.x + b.y);
+} }|}
+  in
+  Alcotest.(check (list string)) "field layout" [ "12" ] p
+
+let jt_statics () =
+  let p =
+    prints_of
+      {|
+class Counter { static int n = 10; }
+class Main { static void main() {
+  Counter.n = Counter.n + 5;
+  print(Counter.n);
+} }|}
+  in
+  Alcotest.(check (list string)) "static init + access" [ "15" ] p
+
+let jt_implicit_this_and_statics () =
+  let p =
+    prints_of
+      {|
+class Main {
+  static int total = 0;
+  int v;
+  void bump() { v = v + 1; total = total + v; }
+  static void main() {
+    Main m = new Main();
+    m.bump();
+    m.bump();
+    print(m.v);
+    print(total);
+  }
+}|}
+  in
+  Alcotest.(check (list string)) "implicit receivers" [ "2"; "3" ] p
+
+let jt_arrays_2d () =
+  let p =
+    prints_of
+      {|
+class Main { static void main() {
+  int[][] m = new int[3][];
+  for (int i = 0; i < 3; i++) { m[i] = new int[4]; }
+  m[1][2] = 42;
+  print(m[1][2]);
+  print(m.length);
+  print(m[0].length);
+} }|}
+  in
+  Alcotest.(check (list string)) "2d arrays" [ "42"; "3"; "4" ] p
+
+let jt_recursion () =
+  let p =
+    prints_of
+      {|
+class Main {
+  static int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+  }
+  static void main() { print(fib(12)); }
+}|}
+  in
+  Alcotest.(check (list string)) "fib" [ "144" ] p
+
+let jt_strings () =
+  let p =
+    prints_of
+      {|
+class Main { static void main() {
+  str s = "hello";
+  print(s);
+} }|}
+  in
+  Alcotest.(check (list string)) "strings" [ "\"hello\"" ] p
+
+let jt_builtins () =
+  let p =
+    prints_of ~params:[ ("k", 7) ]
+      {|
+class Main { static void main() {
+  print(abs(-5));
+  print(min(3, 9));
+  print(max(3, 9));
+  print(param("k"));
+  int r = rand(10);
+  assert(r >= 0 && r < 10);
+} }|}
+  in
+  Alcotest.(check (list string)) "builtins" [ "5"; "3"; "9"; "7" ] p
+
+let jt_threads () =
+  let p =
+    prints_of
+      {|
+class W extends Thread {
+  int id;
+  static int sum = 0;
+  void run() { atomic { sum = sum + id; } }
+}
+class Main { static void main() {
+  int[] ts = new int[4];
+  for (int i = 0; i < 4; i++) {
+    W w = new W();
+    w.id = i + 1;
+    ts[i] = spawn(w);
+  }
+  for (int i = 0; i < 4; i++) { join(ts[i]); }
+  print(W.sum);
+} }|}
+  in
+  Alcotest.(check (list string)) "threads" [ "10" ] p
+
+let jt_synchronized () =
+  let p =
+    prints_of
+      {|
+class L { int v; }
+class W extends Thread {
+  L lock;
+  void run() {
+    for (int i = 0; i < 50; i++) {
+      synchronized (lock) { lock.v = lock.v + 1; }
+    }
+  }
+}
+class Main { static void main() {
+  L l = new L();
+  int[] ts = new int[3];
+  for (int i = 0; i < 3; i++) {
+    W w = new W();
+    w.lock = l;
+    ts[i] = spawn(w);
+  }
+  for (int i = 0; i < 3; i++) { join(ts[i]); }
+  print(l.v);
+} }|}
+  in
+  Alcotest.(check (list string)) "synchronized counter" [ "150" ] p
+
+let jt_atomic_register_restore () =
+  (* regression: locals modified inside an aborted attempt must be
+     restored on re-execution *)
+  let p =
+    prints_of ~cfg:Stm_core.Config.eager_strong
+      {|
+class C { int v; }
+class W extends Thread {
+  C c;
+  void run() {
+    for (int i = 0; i < 20; i++) {
+      int acc = 1000;
+      atomic {
+        acc = acc + c.v;
+        c.v = acc - 999;
+      }
+      assert(acc >= 1000);
+    }
+  }
+}
+class Main { static void main() {
+  C c = new C();
+  int[] ts = new int[3];
+  for (int i = 0; i < 3; i++) {
+    W w = new W();
+    w.c = c;
+    ts[i] = spawn(w);
+  }
+  for (int i = 0; i < 3; i++) { join(ts[i]); }
+  print(c.v);
+} }|}
+  in
+  Alcotest.(check (list string)) "register restore across retries" [ "60" ] p
+
+(* ------------------------------------------------------------------ *)
+(* Errors                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let err_unknown_var () =
+  expect_error "class Main { static void main() { print(nope); } }"
+
+let err_unknown_field () =
+  expect_error
+    "class C { int x; } class Main { static void main() { C c = new C(); print(c.y); } }"
+
+let err_unknown_class () =
+  expect_error "class Main { static void main() { D d = new D(); } }"
+
+let err_type_mismatch () =
+  expect_error "class Main { static void main() { int x = true; } }"
+
+let err_return_in_atomic () =
+  expect_error
+    "class Main { static int f() { atomic { return 1; } } static void main() { } }"
+
+let err_no_main () = expect_error "class C { int x; }"
+
+let err_duplicate_class () =
+  expect_error "class C { } class C { } class Main { static void main() { } }"
+
+let err_arity () =
+  expect_error
+    "class Main { static int f(int x) { return x; } static void main() { print(f(1, 2)); } }"
+
+let err_this_in_static () =
+  expect_error "class Main { static void main() { print(this.x); } }"
+
+let err_bad_assign_target () =
+  expect_error "class Main { static void main() { 5 = 3; } }"
+
+let err_instance_field_initializer () =
+  expect_error "class C { int x = 5; } class Main { static void main() { } }"
+
+let err_line_numbers () =
+  (* the error should carry the right source line *)
+  match Jt.compile "class Main {\n  static void main() {\n    print(nope);\n  }\n}" with
+  | exception Jt.Error (_, line) -> check_int "line" 3 line
+  | _ -> Alcotest.fail "expected error"
+
+let case name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    ( "jt:lexer",
+      [
+        case "tokens" lexer_tokens;
+        case "two-char operators" lexer_two_char_ops;
+        case "string escapes" lexer_string_escapes;
+        case "line numbers" lexer_line_numbers;
+        case "block comments" lexer_block_comment;
+        case "unterminated string" lexer_unterminated_string;
+      ] );
+    ( "jt:semantics",
+      [
+        case "arithmetic" jt_arith;
+        case "boolean precedence" jt_precedence_bool;
+        case "short circuit" jt_short_circuit;
+        case "while/for" jt_while_for;
+        case "if-else chain" jt_if_else_chain;
+        case "virtual dispatch" jt_inheritance_dispatch;
+        case "inherited fields" jt_inherited_fields;
+        case "statics" jt_statics;
+        case "implicit this/statics" jt_implicit_this_and_statics;
+        case "2d arrays" jt_arrays_2d;
+        case "recursion" jt_recursion;
+        case "strings" jt_strings;
+        case "builtins" jt_builtins;
+        case "threads" jt_threads;
+        case "synchronized" jt_synchronized;
+        case "atomic register restore" jt_atomic_register_restore;
+      ] );
+    ( "jt:errors",
+      [
+        case "unknown variable" err_unknown_var;
+        case "unknown field" err_unknown_field;
+        case "unknown class" err_unknown_class;
+        case "type mismatch" err_type_mismatch;
+        case "return in atomic" err_return_in_atomic;
+        case "no main" err_no_main;
+        case "duplicate class" err_duplicate_class;
+        case "call arity" err_arity;
+        case "this in static" err_this_in_static;
+        case "bad assign target" err_bad_assign_target;
+        case "instance field initializer" err_instance_field_initializer;
+        case "error line numbers" err_line_numbers;
+      ] );
+  ]

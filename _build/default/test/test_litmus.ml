@@ -1,0 +1,234 @@
+(* The Figure 6 matrix as a test suite: every anomaly/mode cell checked
+   against the paper's table by systematic exploration, plus explorer unit
+   tests and the granularity / quiescence ablations. *)
+
+open Stm_litmus
+
+let check_bool = Alcotest.(check bool)
+
+(* One alcotest case per Figure 6 cell. *)
+let cell_case program mode =
+  let name =
+    Printf.sprintf "%s [%s]" program.Programs.name (Modes.name mode)
+  in
+  Alcotest.test_case name `Quick (fun () ->
+      let cell = Matrix.run_cell program mode in
+      if cell.Matrix.expected <> cell.Matrix.observed then
+        Alcotest.failf "%s: paper says %b, explorer found %b (runs=%d%s)" name
+          cell.Matrix.expected cell.Matrix.observed cell.Matrix.runs
+          (if cell.Matrix.truncated then ", truncated" else ""))
+
+let fig6_cases =
+  List.concat_map
+    (fun program -> List.map (cell_case program) Modes.all_fig6)
+    Programs.fig6_rows
+
+let extras_cases =
+  List.concat_map
+    (fun program -> List.map (cell_case program) Modes.all_fig6)
+    Programs.extras
+
+let privatization_cases =
+  List.map (cell_case Programs.privatization)
+    (Modes.all_fig6
+    @ [
+        Modes.Weak_quiesce Stm_core.Config.Eager;
+        Modes.Weak_quiesce Stm_core.Config.Lazy;
+      ])
+
+(* Granularity ablation: with field-granular versioning (granule = 1) the
+   Section 2.4 anomalies disappear even under weak atomicity. *)
+let granule_ablation program mode () =
+  let cell = Matrix.run_cell ~granule_override:1 program mode in
+  check_bool
+    (program.Programs.name ^ " disappears at granule=1")
+    false cell.Matrix.observed
+
+(* Quiescence ablation: quiescence fixes privatization but NOT the
+   speculation anomalies (Section 3.4 discussion). *)
+let quiesce_does_not_fix_sdr () =
+  let cell =
+    Matrix.run_cell Programs.speculative_dirty_read
+      (Modes.Weak_quiesce Stm_core.Config.Eager)
+  in
+  check_bool "SDR still observable under quiescence" true cell.Matrix.observed
+
+let quiesce_does_not_fix_slu () =
+  let cell =
+    Matrix.run_cell Programs.speculative_lost_update
+      (Modes.Weak_quiesce Stm_core.Config.Eager)
+  in
+  check_bool "SLU still observable under quiescence" true cell.Matrix.observed
+
+(* ------------------------------------------------------------------ *)
+(* Explorer unit tests                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A two-thread store buffer-free race: both outcomes must be found. *)
+let explorer_finds_both_orders () =
+  let make () =
+    let result = ref 0 in
+    let main () =
+      let x = ref 0 in
+      let a =
+        Stm_runtime.Sched.spawn (fun () ->
+            Stm_runtime.Sched.yield ();
+            x := 1)
+      in
+      let b =
+        Stm_runtime.Sched.spawn (fun () ->
+            Stm_runtime.Sched.yield ();
+            x := 2)
+      in
+      Stm_runtime.Sched.join a;
+      Stm_runtime.Sched.join b;
+      result := !x
+    in
+    let observe () = string_of_int !result in
+    { Explorer.main; observe }
+  in
+  let e =
+    Explorer.explore ~preemption_bound:2 ~cfg:Stm_core.Config.eager_weak ~make
+      ()
+  in
+  check_bool "found x=1" true (Explorer.observed e (fun s -> s = "1"));
+  check_bool "found x=2" true (Explorer.observed e (fun s -> s = "2"));
+  check_bool "multiple runs" true (e.Explorer.runs > 1)
+
+let explorer_stop_when () =
+  let make () =
+    let n = ref 0 in
+    {
+      Explorer.main =
+        (fun () ->
+          let t = Stm_runtime.Sched.spawn (fun () -> Stm_runtime.Sched.yield ()) in
+          Stm_runtime.Sched.join t;
+          incr n);
+      observe = (fun () -> "done");
+    }
+  in
+  let e =
+    Explorer.explore ~stop_when:(fun s -> s = "done")
+      ~cfg:Stm_core.Config.eager_weak ~make ()
+  in
+  check_bool "stopped after first hit" true (e.Explorer.runs = 1)
+
+let explorer_bound_zero_single_default () =
+  (* preemption bound 0: only the default schedule runs *)
+  let make () =
+    let log = ref [] in
+    {
+      Explorer.main =
+        (fun () ->
+          let mk id () =
+            Stm_runtime.Sched.yield ();
+            log := id :: !log
+          in
+          let a = Stm_runtime.Sched.spawn (mk 1) in
+          let b = Stm_runtime.Sched.spawn (mk 2) in
+          Stm_runtime.Sched.join a;
+          Stm_runtime.Sched.join b);
+      observe = (fun () -> String.concat "" (List.map string_of_int !log));
+    }
+  in
+  let e =
+    Explorer.explore ~preemption_bound:0 ~cfg:Stm_core.Config.eager_weak ~make
+      ()
+  in
+  check_bool "one schedule" true (e.Explorer.runs = 1);
+  check_bool "one outcome" true (List.length e.Explorer.outcomes = 1)
+
+let explorer_counts_outcomes () =
+  let make () =
+    { Explorer.main = (fun () -> ()); observe = (fun () -> "only") }
+  in
+  let e = Explorer.explore ~cfg:Stm_core.Config.eager_weak ~make () in
+  Alcotest.(check (list (pair string int)))
+    "outcome table"
+    [ ("only", e.Explorer.runs) ]
+    e.Explorer.outcomes
+
+let case name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    ("litmus:fig6", fig6_cases);
+    ("litmus:privatization", privatization_cases);
+    ("litmus:extras", extras_cases);
+    ( "litmus:ablations",
+      [
+        Alcotest.test_case "GLU gone at granule=1" `Quick
+          (granule_ablation Programs.granular_lost_update
+             (Modes.Weak Stm_core.Config.Eager));
+        Alcotest.test_case "GIR gone at granule=1" `Quick
+          (granule_ablation Programs.granular_inconsistent_read
+             (Modes.Weak Stm_core.Config.Lazy));
+        case "quiescence does not fix SDR" quiesce_does_not_fix_sdr;
+        case "quiescence does not fix SLU" quiesce_does_not_fix_slu;
+      ] );
+    ( "litmus:explorer",
+      [
+        case "finds both orders" explorer_finds_both_orders;
+        case "stop_when" explorer_stop_when;
+        case "bound 0 = default schedule" explorer_bound_zero_single_default;
+        case "outcome counting" explorer_counts_outcomes;
+      ] );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* PCT: an independent method must agree with the DFS on Figure 6      *)
+(* ------------------------------------------------------------------ *)
+
+let pct_cell program mode expected () =
+  let cfg = Modes.config ~granule:program.Programs.needs_granule mode in
+  let e =
+    Explorer.explore_pct ~runs:800 ~depth:3
+      ~stop_when:program.Programs.is_anomalous ~cfg
+      ~make:(fun () -> program.Programs.build (Modes.harness mode cfg))
+      ()
+  in
+  let observed = Explorer.observed e program.Programs.is_anomalous in
+  check_bool
+    (Printf.sprintf "PCT %s [%s]" program.Programs.name (Modes.name mode))
+    expected observed
+
+let pct_cases =
+  (* a representative subset: one "yes" and one "no" per anomaly family *)
+  [
+    Alcotest.test_case "pct: nr yes under weak-eager" `Quick
+      (pct_cell Programs.non_repeatable_read (Modes.Weak Stm_core.Config.Eager) true);
+    Alcotest.test_case "pct: nr no under strong-eager" `Quick
+      (pct_cell Programs.non_repeatable_read (Modes.Strong Stm_core.Config.Eager) false);
+    Alcotest.test_case "pct: idr yes under weak-eager" `Quick
+      (pct_cell Programs.intermediate_dirty_read (Modes.Weak Stm_core.Config.Eager) true);
+    Alcotest.test_case "pct: idr no under weak-lazy" `Quick
+      (pct_cell Programs.intermediate_dirty_read (Modes.Weak Stm_core.Config.Lazy) false);
+    Alcotest.test_case "pct: slu yes under weak-eager" `Quick
+      (pct_cell Programs.speculative_lost_update (Modes.Weak Stm_core.Config.Eager) true);
+    Alcotest.test_case "pct: mi-rw yes under weak-lazy" `Quick
+      (pct_cell Programs.overlapped_writes (Modes.Weak Stm_core.Config.Lazy) true);
+    Alcotest.test_case "pct: mi-rw no under strong-lazy" `Quick
+      (pct_cell Programs.overlapped_writes (Modes.Strong Stm_core.Config.Lazy) false);
+    Alcotest.test_case "pct: glu yes under weak-eager" `Quick
+      (pct_cell Programs.granular_lost_update (Modes.Weak Stm_core.Config.Eager) true);
+  ]
+
+(* quiescence orders write-backs but does not close the 4a read window *)
+let quiesce_does_not_fix_mi_rw () =
+  let cell =
+    Matrix.run_cell Programs.overlapped_writes
+      (Modes.Weak_quiesce Stm_core.Config.Lazy)
+  in
+  check_bool "MI(4a) still observable under quiescence" true
+    cell.Matrix.observed
+
+let suite =
+  suite
+  @ [
+      ("litmus:pct", pct_cases);
+      ( "litmus:quiesce-limits",
+        [
+          Alcotest.test_case "quiescence does not fix mi-rw" `Quick
+            quiesce_does_not_fix_mi_rw;
+        ] );
+    ]

