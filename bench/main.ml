@@ -159,7 +159,33 @@ let micro () =
     (List.sort compare rows)
 
 let () =
-  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (* `--metrics-out FILE` collects STM run metrics across every figure
+     regenerated by this invocation and writes them as JSON. *)
+  let metrics_out = ref None in
+  let words = ref [] in
+  let argv = Array.to_list Sys.argv in
+  let rec parse = function
+    | [] -> ()
+    | "--metrics-out" :: path :: rest ->
+        metrics_out := Some path;
+        parse rest
+    | "--metrics-out" :: [] ->
+        prerr_endline "--metrics-out needs a FILE argument";
+        exit 2
+    | w :: rest ->
+        words := w :: !words;
+        parse rest
+  in
+  parse (List.tl argv);
+  let metrics =
+    Option.map
+      (fun _ ->
+        let m = Stm_obs.Metrics.create () in
+        Stm_obs.Metrics.install m;
+        m)
+      !metrics_out
+  in
+  let what = match List.rev !words with [] -> "all" | w :: _ -> w in
   (match what with
   | "figures" -> figures ()
   | "micro" -> micro ()
@@ -169,5 +195,19 @@ let () =
   | other ->
       Printf.eprintf "unknown argument %S (use: figures | micro | all)\n" other;
       exit 2);
+  Stm_core.Trace.set_sink None;
+  Option.iter
+    (fun m ->
+      let path = Option.get !metrics_out in
+      (try
+         Out_channel.with_open_text path (fun oc ->
+             output_string oc
+               (Stm_obs.Json.to_string (Stm_obs.Metrics.to_json m));
+             output_char oc '\n')
+       with Sys_error msg ->
+         Printf.eprintf "cannot write %s: %s\n" path msg;
+         exit 2);
+      Printf.printf "metrics written to %s\n" path)
+    metrics;
   line ();
   print_endline "done."

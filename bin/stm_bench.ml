@@ -48,7 +48,18 @@ let all_figures =
   [ "fig6"; "privatization"; "fig13"; "fig15"; "fig16"; "fig17"; "fig18";
     "fig19"; "fig20" ]
 
-let main name scale threads =
+let main name scale threads metrics_out =
+  (* Collect run metrics across every figure executed by this
+     invocation; an Info-level sink keeps the per-access Debug events
+     unforced, so figure timings are unaffected on the fast paths. *)
+  let metrics =
+    Option.map
+      (fun _ ->
+        let m = Stm_obs.Metrics.create () in
+        Stm_obs.Metrics.install m;
+        m)
+      metrics_out
+  in
   (try
      if name = "all" then
        List.iter
@@ -60,6 +71,19 @@ let main name scale threads =
    with Failure m ->
      Fmt.epr "%s@." m;
      exit 2);
+  Stm_core.Trace.set_sink None;
+  Option.iter
+    (fun m ->
+      let path = Option.get metrics_out in
+      try
+        Out_channel.with_open_text path (fun oc ->
+            output_string oc
+              (Stm_obs.Json.to_string (Stm_obs.Metrics.to_json m));
+            output_char oc '\n')
+      with Sys_error msg ->
+        Fmt.epr "cannot write %s: %s@." path msg;
+        exit 2)
+    metrics;
   0
 
 let name_arg =
@@ -82,10 +106,18 @@ let threads_arg =
     & info [ "threads" ] ~docv:"LIST"
         ~doc:"Comma-separated simulated processor counts for fig18-20.")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write aggregate STM metrics for the figure run (transaction counters, abort causes, commit/abort latency histograms) as JSON to $(docv).")
+
 let cmd =
   let doc = "regenerate the PLDI 2007 evaluation figures" in
   Cmd.v
     (Cmd.info "stm_bench" ~doc)
-    Term.(const main $ name_arg $ scale_arg $ threads_arg)
+    Term.(const main $ name_arg $ scale_arg $ threads_arg $ metrics_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -65,8 +65,27 @@ let explore_program prog params cfg bound pct_runs =
   end
   else 0
 
+let try_write path f =
+  try f ()
+  with Sys_error m ->
+    Fmt.epr "cannot write %s: %s@." path m;
+    exit 2
+
+(* .jsonl extension selects the flat line-per-event format; anything
+   else gets the Chrome trace_event document for Perfetto. *)
+let write_trace_file path ~resolve recorder =
+  let entries = Stm_obs.Recorder.entries recorder in
+  try_write path (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          if Filename.check_suffix path ".jsonl" then
+            Stm_obs.Export.write_jsonl ~resolve oc entries
+          else Stm_obs.Export.write_chrome ~resolve oc entries));
+  if Stm_obs.Recorder.dropped recorder > 0 then
+    Fmt.epr "trace: ring full, dropped %d oldest events@."
+      (Stm_obs.Recorder.dropped recorder)
+
 let main file config opt nait params verbose detect_races granule trace profile
-    explore pct =
+    trace_out profile_barriers metrics_out explore pct =
   match config_of_string detect_races config with
   | Error m ->
       Fmt.epr "%s@." m;
@@ -99,17 +118,83 @@ let main file config opt nait params verbose detect_races granule trace profile
           if explore || pct > 0 then
             explore_program prog params cfg 2 pct
           else begin
-          if trace then
-            Stm_core.Trace.set_sink
-              (Some
-                 (fun ev ->
-                   Fmt.epr "[%8d] %a@."
-                     (if Stm_runtime.Sched.running () then
-                        Stm_runtime.Sched.time ()
-                      else 0)
-                     Stm_core.Trace.pp_event ev));
+          let resolve site =
+            Option.map
+              (fun (f, l) -> Printf.sprintf "%s:%d" f l)
+              (Stm_ir.Ir.site_loc prog site)
+          in
+          let recorder =
+            if trace_out <> None then Some (Stm_obs.Recorder.create ())
+            else None
+          in
+          let profiler =
+            if profile_barriers then Some (Stm_obs.Profiler.create ())
+            else None
+          in
+          let metrics =
+            if metrics_out <> None then Some (Stm_obs.Metrics.create ())
+            else None
+          in
+          let consumers =
+            List.concat
+              [
+                (if trace then
+                   [
+                     (fun ev ->
+                       (* print only the lifecycle events; per-access
+                          Debug events would flood stderr *)
+                       if Stm_core.Trace.event_level ev = Stm_core.Trace.Info
+                       then
+                         Fmt.epr "[%8d] %a@."
+                           (if Stm_runtime.Sched.running () then
+                              Stm_runtime.Sched.time ()
+                            else 0)
+                           Stm_core.Trace.pp_event ev);
+                   ]
+                 else []);
+                (match recorder with
+                | Some r -> [ Stm_obs.Recorder.record r ]
+                | None -> []);
+                (match profiler with
+                | Some p -> [ Stm_obs.Profiler.handle p ]
+                | None -> []);
+                (match metrics with
+                | Some m -> [ Stm_obs.Metrics.handle m ]
+                | None -> []);
+              ]
+          in
+          if consumers <> [] then begin
+            let level =
+              if recorder <> None || profiler <> None then
+                Stm_core.Trace.Debug
+              else Stm_core.Trace.Info
+            in
+            Stm_core.Trace.set_sink ~level
+              (Some (fun ev -> List.iter (fun f -> f ev) consumers))
+          end;
           let out = Stm_ir.Interp.run ~cfg ~params ~profile prog in
           Stm_core.Trace.set_sink None;
+          Option.iter
+            (fun r ->
+              write_trace_file (Option.get trace_out) ~resolve r)
+            recorder;
+          Option.iter
+            (fun p ->
+              Fmt.epr "per-site barrier profile:@.%a"
+                (fun ppf -> Stm_obs.Profiler.pp ~resolve ppf)
+                p)
+            profiler;
+          Option.iter
+            (fun m ->
+              let path = Option.get metrics_out in
+              try_write path (fun () ->
+                  Out_channel.with_open_text path (fun oc ->
+                      output_string oc
+                        (Stm_obs.Json.to_string
+                           (Stm_obs.Metrics.to_json
+                              ~stats:out.Stm_ir.Interp.stats m));
+                      output_char oc '\n')))
+            metrics;
           List.iter print_endline out.Stm_ir.Interp.prints;
           let r = out.Stm_ir.Interp.result in
           (match r.Stm_runtime.Sched.exns with
@@ -145,9 +230,11 @@ let main file config opt nait params verbose detect_races granule trace profile
                 if i < 15 then
                   match Hashtbl.find_opt site_meth site with
                   | Some (m, ins) ->
-                      Fmt.epr "  %8d  %s::%s  %a@." hits m.Stm_ir.Ir.mcls
+                      Fmt.epr "  %8d  %a  %s::%s  %a@." hits
+                        (Stm_ir.Ir.pp_site prog) site m.Stm_ir.Ir.mcls
                         m.Stm_ir.Ir.mname Stm_ir.Ir.pp_instr ins
-                  | None -> Fmt.epr "  %8d  site %d@." hits site)
+                  | None ->
+                      Fmt.epr "  %8d  %a@." hits (Stm_ir.Ir.pp_site prog) site)
               out.Stm_ir.Interp.site_profile
           end;
           (match
@@ -208,6 +295,29 @@ let granule_arg =
     value & opt int 1
     & info [ "granule" ] ~docv:"N" ~doc:"Versioning granularity (fields per granule).")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Record all STM events and write them to $(docv): Chrome trace_event JSON (open in Perfetto / chrome://tracing), or one JSON object per line if $(docv) ends in .jsonl.")
+
+let profile_barriers_arg =
+  Arg.(
+    value & flag
+    & info [ "profile-barriers" ]
+        ~doc:
+          "Accumulate per-site barrier counters (fired / private / elided / conflicts, with file:line site names) and print the table to stderr.")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write run metrics (transaction counters, abort causes, commit/abort latency histograms, global stats) as JSON to $(docv).")
+
 let explore_arg =
   Arg.(
     value & flag
@@ -227,6 +337,7 @@ let cmd =
     Term.(
       const main $ file_arg $ config_arg $ opt_arg $ nait_arg $ params_arg
       $ verbose_arg $ races_arg $ granule_arg $ trace_arg $ profile_arg
-      $ explore_arg $ pct_arg)
+      $ trace_out_arg $ profile_barriers_arg $ metrics_out_arg $ explore_arg
+      $ pct_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,9 +1,19 @@
 open Stm_runtime
 
+(* Every emission sits next to the [Stats] increment it mirrors, so the
+   per-site profiler's column sums reproduce the global counters exactly
+   (checked by the test suite). *)
+let emit_barrier op path =
+  Trace.emit ~level:Trace.Debug
+    (lazy
+      (Trace.Barrier
+         { tid = Sched.self (); site = Site.current (); op; path }))
+
 (* Figure 9a / 10a. *)
 let read (cfg : Config.t) (stats : Stats.t) (obj : Heap.obj) fld =
   let cost = cfg.cost in
   stats.Stats.barrier_reads <- stats.Stats.barrier_reads + 1;
+  emit_barrier Trace.Op_read Trace.Path_fired;
   Sched.tick cost.Cost.barrier_entry;
   let rec loop attempt =
     (* mov ecx, [TxRec] *)
@@ -17,6 +27,7 @@ let read (cfg : Config.t) (stats : Stats.t) (obj : Heap.obj) fld =
     (* cmp ecx, -1 ; jeq readDone   (optional DEA fast path) *)
     if cfg.dea && cfg.read_privacy_check && Txrec.is_private w1 then begin
       stats.Stats.barrier_private_hits <- stats.Stats.barrier_private_hits + 1;
+      emit_barrier Trace.Op_read Trace.Path_private;
       v
     end
     else if not (Txrec.readable_bit w1) then begin
@@ -48,6 +59,7 @@ let read (cfg : Config.t) (stats : Stats.t) (obj : Heap.obj) fld =
 let read_ordering (cfg : Config.t) (stats : Stats.t) (obj : Heap.obj) fld =
   let cost = cfg.cost in
   stats.Stats.barrier_reads <- stats.Stats.barrier_reads + 1;
+  emit_barrier Trace.Op_read_ordering Trace.Path_fired;
   Sched.tick cost.Cost.barrier_entry;
   let rec loop attempt =
     let w = Atomic.get obj.Heap.txrec in
@@ -68,7 +80,8 @@ let read_ordering (cfg : Config.t) (stats : Stats.t) (obj : Heap.obj) fld =
 (* The BTR acquire loop shared by the write barrier and by aggregated
    barriers. Returns the word that was current when ownership was taken
    (the private word if the DEA fast path hit). *)
-let acquire_anon (cfg : Config.t) (stats : Stats.t) (obj : Heap.obj) =
+let acquire_anon ?(op = Trace.Op_write) (cfg : Config.t) (stats : Stats.t)
+    (obj : Heap.obj) =
   let cost = cfg.cost in
   let rec loop attempt =
     let w = Atomic.get obj.Heap.txrec in
@@ -76,6 +89,7 @@ let acquire_anon (cfg : Config.t) (stats : Stats.t) (obj : Heap.obj) =
     (* cmp [TxRec], -1 ; jeq privateWrite *)
     if cfg.dea && Txrec.is_private w then begin
       stats.Stats.barrier_private_hits <- stats.Stats.barrier_private_hits + 1;
+      emit_barrier op Trace.Path_private;
       w
     end
     else if Txrec.btr_acquirable w then begin
@@ -105,6 +119,7 @@ let release_anon (cfg : Config.t) (obj : Heap.obj) w =
 let write (cfg : Config.t) (stats : Stats.t) (obj : Heap.obj) fld v =
   let cost = cfg.cost in
   stats.Stats.barrier_writes <- stats.Stats.barrier_writes + 1;
+  emit_barrier Trace.Op_write Trace.Path_fired;
   Sched.tick cost.Cost.barrier_entry;
   let w = acquire_anon cfg stats obj in
   if Txrec.is_private w then begin

@@ -33,7 +33,8 @@ val read_ordering : Config.t -> Stats.t -> Heap.obj -> int -> Heap.value
 val write : Config.t -> Stats.t -> Heap.obj -> int -> Heap.value -> unit
 (** Isolation write barrier. *)
 
-val acquire_anon : Config.t -> Stats.t -> Heap.obj -> int
+val acquire_anon :
+  ?op:Trace.barrier_op -> Config.t -> Stats.t -> Heap.obj -> int
 (** Acquire Exclusive-anonymous ownership of an object's record (the
     prefix of the write barrier, exposed for the JIT's barrier
     aggregation). Returns the word that was replaced. The caller must

@@ -26,10 +26,20 @@ let handle (cfg : Config.t) (stats : Stats.t) ~attempt ~writer (obj : Heap.obj) 
            oid = obj.Heap.oid;
            cls = obj.Heap.cls;
            writer;
+           site = Site.current ();
          }));
   match cfg.conflict with
   | Config.Raise_error ->
       raise (Isolation_violation { cls = obj.Heap.cls; oid = obj.Heap.oid; writer })
   | Config.Backoff ->
-      Sched.tick (jittered_delay cfg.cost ~attempt);
+      let delay = jittered_delay cfg.cost ~attempt in
+      Trace.emit ~level:Trace.Debug
+        (lazy
+          (Trace.Backoff
+             {
+               tid = (if Sched.running () then Sched.self () else -1);
+               attempt;
+               delay;
+             }));
+      Sched.tick delay;
       Sched.yield ()

@@ -1,0 +1,18 @@
+open Stm_runtime
+
+(* One slot per simulated thread. Green threads switch only at yields, so
+   a per-tid slot written at access dispatch and read inside the barrier
+   attributes correctly even if the barrier's internal yields interleave
+   other threads' accesses. *)
+let slots : (int, int) Hashtbl.t = Hashtbl.create 64
+
+let tid () = if Sched.running () then Sched.self () else 0
+
+let set site = Hashtbl.replace slots (tid ()) site
+
+let clear () = Hashtbl.replace slots (tid ()) (-1)
+
+let current () =
+  match Hashtbl.find_opt slots (tid ()) with Some s -> s | None -> -1
+
+let reset () = Hashtbl.reset slots

@@ -65,6 +65,29 @@ let add acc t =
   acc.wounds <- acc.wounds + t.wounds;
   acc.quiesce_waits <- acc.quiesce_waits + t.quiesce_waits
 
+let to_assoc t =
+  [
+    ("commits", t.commits);
+    ("aborts", t.aborts);
+    ("txn_reads", t.txn_reads);
+    ("txn_writes", t.txn_writes);
+    ("barrier_reads", t.barrier_reads);
+    ("barrier_writes", t.barrier_writes);
+    ("barrier_private_hits", t.barrier_private_hits);
+    ("atomic_ops", t.atomic_ops);
+    ("conflicts", t.conflicts);
+    ("publishes", t.publishes);
+    ("validations", t.validations);
+    ("retries", t.retries);
+    ("wounds", t.wounds);
+    ("quiesce_waits", t.quiesce_waits);
+  ]
+
+let pp_json ppf t =
+  Fmt.pf ppf "{%a}"
+    (Fmt.list ~sep:(Fmt.any ",") (fun ppf (k, v) -> Fmt.pf ppf "%S:%d" k v))
+    (to_assoc t)
+
 let pp ppf t =
   Fmt.pf ppf
     "commits=%d aborts=%d txn_r=%d txn_w=%d bar_r=%d bar_w=%d priv=%d \

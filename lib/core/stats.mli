@@ -28,4 +28,12 @@ val reset : t -> unit
 val add : t -> t -> unit
 (** [add acc t] accumulates [t] into [acc]. *)
 
+val to_assoc : t -> (string * int) list
+(** Every counter as a (name, value) pair, in declaration order. The
+    metrics exporter serializes from this — never scrape {!pp}'s
+    human-readable output. *)
+
+val pp_json : Format.formatter -> t -> unit
+(** Render the counters as one JSON object. *)
+
 val pp : Format.formatter -> t -> unit

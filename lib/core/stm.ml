@@ -99,11 +99,23 @@ let write obj fld v =
   | Some t -> Txn.txn_write sys.ctx t obj fld v
   | None -> nontxn_write sys obj fld v
 
+let emit_elided op =
+  Trace.emit ~level:Trace.Debug
+    (lazy
+      (Trace.Barrier
+         {
+           tid = Sched.self ();
+           site = Site.current ();
+           op;
+           path = Trace.Path_elided;
+         }))
+
 let read_nobarrier obj fld =
   let sys = get () in
   match current_txn sys with
   | Some t -> Txn.txn_read sys.ctx t obj fld
   | None ->
+      emit_elided Trace.Op_read;
       Sched.yield ();
       Sched.tick (Txn.cfg sys.ctx).cost.Cost.plain_load;
       Heap.get obj fld
@@ -114,6 +126,7 @@ let write_nobarrier obj fld v =
   | Some t -> Txn.txn_write sys.ctx t obj fld v
   | None ->
       let cfg = Txn.cfg sys.ctx in
+      emit_elided Trace.Op_write;
       (* Publication is a correctness duty, not part of the isolation
          barrier: even at sites whose barrier the compiler removed, a
          reference store into a public object must publish the referenced
@@ -129,7 +142,10 @@ let write_nobarrier obj fld v =
 (* ------------------------------------------------------------------ *)
 
 let backoff_wait cfg attempt =
-  Sched.tick (Conflict.jittered_delay cfg.Config.cost ~attempt);
+  let delay = Conflict.jittered_delay cfg.Config.cost ~attempt in
+  Trace.emit ~level:Trace.Debug
+    (lazy (Trace.Backoff { tid = Sched.self (); attempt; delay }));
+  Sched.tick delay;
   Sched.yield ()
 
 (* Wait until some member of the read-set snapshot changes version
@@ -183,6 +199,7 @@ let atomic f =
             let snap = Txn.reads_snapshot txn in
             (Txn.stats sys.ctx).Stats.retries <-
               (Txn.stats sys.ctx).Stats.retries + 1;
+            Txn.set_abort_cause txn Trace.Cause_retry;
             Txn.abort sys.ctx txn;
             cleanup ();
             wait_for_change cfg snap;
@@ -248,6 +265,7 @@ let abort_and_retry () =
 
 let run ?policy ?max_steps ~cfg main =
   Heap.reset ();
+  Site.reset ();
   install cfg;
   Fun.protect ~finally:uninstall (fun () ->
       let result = Sched.run ?max_steps ?policy main in

@@ -1,32 +1,116 @@
+type level = Debug | Info
+
+let level_ge a b =
+  match (a, b) with
+  | Info, _ -> true
+  | Debug, Debug -> true
+  | Debug, Info -> false
+
+type barrier_op = Op_read | Op_read_ordering | Op_write | Op_txn_read | Op_txn_write
+type barrier_path = Path_fired | Path_private | Path_elided
+
+type abort_cause =
+  | Cause_conflict
+  | Cause_validation
+  | Cause_wounded
+  | Cause_retry
+  | Cause_exn
+
 type event =
   | Txn_begin of { txid : int; tid : int }
-  | Txn_commit of { txid : int; tid : int; reads : int; writes : int }
-  | Txn_abort of { txid : int; tid : int; wounded : bool }
+  | Txn_commit of { txid : int; tid : int; reads : int; writes : int; latency : int }
+  | Txn_abort of {
+      txid : int;
+      tid : int;
+      wounded : bool;
+      cause : abort_cause;
+      latency : int;
+    }
   | Txn_wound of { victim : int; by : int }
-  | Conflict of { tid : int; oid : int; cls : string; writer : bool }
+  | Conflict of { tid : int; oid : int; cls : string; writer : bool; site : int }
   | Publish of { oid : int; cls : string }
   | Quiesce_wait of { txid : int }
+  | Barrier of { tid : int; site : int; op : barrier_op; path : barrier_path }
+  | Backoff of { tid : int; attempt : int; delay : int }
+  | Validation of { txid : int; tid : int; ok : bool }
 
-let sink : (event -> unit) option ref = ref None
+(* Intrinsic verbosity of each event kind: per-access events are [Debug],
+   transaction-lifecycle and structural events are [Info]. *)
+let event_level = function
+  | Barrier _ | Backoff _ | Validation _ -> Debug
+  | Txn_begin _ | Txn_commit _ | Txn_abort _ | Txn_wound _ | Conflict _
+  | Publish _ | Quiesce_wait _ ->
+      Info
 
-let set_sink s = sink := s
+type sink = { min_level : level; deliver : event -> unit }
 
-let emit ev = match !sink with Some f -> f (Lazy.force ev) | None -> ()
+let sink : sink option ref = ref None
+
+let set_sink ?(level = Debug) s =
+  sink := Option.map (fun deliver -> { min_level = level; deliver }) s
+
+(* The level is passed alongside the lazy payload so that filtering never
+   forces it: a sink installed at [Info] pays nothing for the per-access
+   [Debug] events the hot paths emit. *)
+let emit ?(level = Info) ev =
+  match !sink with
+  | Some { min_level; deliver } when level_ge level min_level ->
+      deliver (Lazy.force ev)
+  | Some _ | None -> ()
 
 let enabled () = !sink <> None
 
+let enabled_at level =
+  match !sink with
+  | Some { min_level; _ } -> level_ge level min_level
+  | None -> false
+
+let string_of_cause = function
+  | Cause_conflict -> "conflict"
+  | Cause_validation -> "validation"
+  | Cause_wounded -> "wounded"
+  | Cause_retry -> "retry"
+  | Cause_exn -> "exception"
+
+let string_of_op = function
+  | Op_read -> "read"
+  | Op_read_ordering -> "read-ordering"
+  | Op_write -> "write"
+  | Op_txn_read -> "txn-read"
+  | Op_txn_write -> "txn-write"
+
+let string_of_path = function
+  | Path_fired -> "fired"
+  | Path_private -> "private"
+  | Path_elided -> "elided"
+
 let pp_event ppf = function
   | Txn_begin { txid; tid } -> Fmt.pf ppf "txn %d begin (thread %d)" txid tid
-  | Txn_commit { txid; tid; reads; writes } ->
-      Fmt.pf ppf "txn %d commit (thread %d, %d reads, %d writes)" txid tid
-        reads writes
-  | Txn_abort { txid; tid; wounded } ->
-      Fmt.pf ppf "txn %d abort (thread %d%s)" txid tid
+  | Txn_commit { txid; tid; reads; writes; latency } ->
+      Fmt.pf ppf "txn %d commit (thread %d, %d reads, %d writes, %d cycles)"
+        txid tid reads writes latency
+  | Txn_abort { txid; tid; wounded; cause; latency } ->
+      Fmt.pf ppf "txn %d abort (thread %d, %s%s, %d cycles)" txid tid
+        (string_of_cause cause)
         (if wounded then ", wounded" else "")
+        latency
   | Txn_wound { victim; by } -> Fmt.pf ppf "txn %d wounded by txn %d" victim by
-  | Conflict { tid; oid; cls; writer } ->
-      Fmt.pf ppf "thread %d %s-conflict on %s@%d" tid
+  | Conflict { tid; oid; cls; writer; site } ->
+      Fmt.pf ppf "thread %d %s-conflict on %s@%d%a" tid
         (if writer then "write" else "read")
         cls oid
+        (fun ppf s -> if s >= 0 then Fmt.pf ppf " (site %d)" s)
+        site
   | Publish { oid; cls } -> Fmt.pf ppf "published %s@%d" cls oid
   | Quiesce_wait { txid } -> Fmt.pf ppf "txn %d quiescing" txid
+  | Barrier { tid; site; op; path } ->
+      Fmt.pf ppf "thread %d %s barrier %s%a" tid (string_of_op op)
+        (string_of_path path)
+        (fun ppf s -> if s >= 0 then Fmt.pf ppf " (site %d)" s)
+        site
+  | Backoff { tid; attempt; delay } ->
+      Fmt.pf ppf "thread %d backoff (attempt %d, %d cycles)" tid attempt delay
+  | Validation { txid; tid; ok } ->
+      Fmt.pf ppf "txn %d validation %s (thread %d)" txid
+        (if ok then "ok" else "failed")
+        tid

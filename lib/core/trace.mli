@@ -1,29 +1,89 @@
 (** Event tracing hooks for the STM.
 
-    A single optional sink receives coarse-grained STM events (transaction
-    lifecycle, conflicts, publications, quiescence waits). With no sink
-    installed the emit path is a branch on [None] — cheap enough to leave
-    compiled into the hot paths. The [stm_run --trace] CLI and debugging
-    sessions install a printing sink; tests install collecting sinks. *)
+    A single optional sink receives structured STM events: transaction
+    lifecycle, conflicts, publications, quiescence waits, and — at
+    [Debug] level — per-access barrier, backoff, and validation events.
+    With no sink installed the emit path is a branch on [None], cheap
+    enough to leave compiled into the hot paths; with a sink installed at
+    [Info] the per-access [Debug] payloads are never forced either, so a
+    coarse trace costs nothing on the access fast paths.
+
+    The [stm_run --trace] CLI installs a printing sink; [--trace-out] and
+    [--profile-barriers] install the {!Stm_obs} recorder and per-site
+    profiler; tests install collecting sinks. *)
+
+(** Event verbosity. [Debug] events fire on every memory access (barrier
+    executions, backoffs, validations); [Info] events fire per
+    transaction or per structural STM action. *)
+type level = Debug | Info
+
+val level_ge : level -> level -> bool
+(** [level_ge a b] is true when an event of level [a] passes a sink
+    filtering at minimum level [b] ([Info] passes everything, [Debug]
+    passes only a [Debug] sink). *)
+
+(** Which access path a {!Barrier} event describes. [Op_read] /
+    [Op_read_ordering] / [Op_write] are the non-transactional isolation
+    barriers; [Op_txn_read] / [Op_txn_write] are transactional accesses. *)
+type barrier_op = Op_read | Op_read_ordering | Op_write | Op_txn_read | Op_txn_write
+
+(** [Path_fired]: the barrier sequence executed. [Path_private]: the DEA
+    private-object fast path hit. [Path_elided]: the access ran with no
+    barrier (compiler-removed site). *)
+type barrier_path = Path_fired | Path_private | Path_elided
+
+(** Why a transaction aborted. *)
+type abort_cause =
+  | Cause_conflict  (** conflict retry budget exhausted *)
+  | Cause_validation  (** read-set validation failed *)
+  | Cause_wounded  (** killed by an older transaction (wound-wait) *)
+  | Cause_retry  (** user-initiated [retry] *)
+  | Cause_exn  (** an exception escaped the atomic block *)
 
 type event =
   | Txn_begin of { txid : int; tid : int }
-  | Txn_commit of { txid : int; tid : int; reads : int; writes : int }
-  | Txn_abort of { txid : int; tid : int; wounded : bool }
+  | Txn_commit of { txid : int; tid : int; reads : int; writes : int; latency : int }
+      (** [latency] is cost-clock cycles from begin to commit. *)
+  | Txn_abort of {
+      txid : int;
+      tid : int;
+      wounded : bool;
+      cause : abort_cause;
+      latency : int;
+    }
   | Txn_wound of { victim : int; by : int }
-  | Conflict of { tid : int; oid : int; cls : string; writer : bool }
+  | Conflict of { tid : int; oid : int; cls : string; writer : bool; site : int }
+      (** [site] is the source access site ({!Site.current}), [-1] when
+          unknown. *)
   | Publish of { oid : int; cls : string }
   | Quiesce_wait of { txid : int }
+  | Barrier of { tid : int; site : int; op : barrier_op; path : barrier_path }
+  | Backoff of { tid : int; attempt : int; delay : int }
+  | Validation of { txid : int; tid : int; ok : bool }
 
-val set_sink : (event -> unit) option -> unit
-(** Install (or remove) the global sink. *)
+val event_level : event -> level
+(** Intrinsic level of an event kind (per-access events are [Debug]). *)
 
-val emit : event Lazy.t -> unit
-(** Deliver the event to the sink if one is installed; the payload is
-    lazy so that argument construction costs nothing when tracing is
-    off. *)
+val set_sink : ?level:level -> (event -> unit) option -> unit
+(** Install (or remove) the global sink. [level] (default [Debug]) is the
+    minimum level delivered: a sink installed at [Info] suppresses the
+    per-access events without being uninstalled — and without their lazy
+    payloads ever being forced. *)
+
+val emit : ?level:level -> event Lazy.t -> unit
+(** Deliver the event to the sink if one is installed and accepts
+    [level] (default [Info]); the payload is lazy so that argument
+    construction costs nothing when the event is filtered out. Emitters
+    must pass the same level {!event_level} assigns to the payload. *)
 
 val enabled : unit -> bool
+
+val enabled_at : level -> bool
+(** Whether a sink is installed that accepts events of this level. *)
+
+val string_of_cause : abort_cause -> string
+val string_of_op : barrier_op -> string
+val string_of_path : barrier_path -> string
 
 val pp_event : Format.formatter -> event -> unit
 (** Render one event (used by the CLI's printing sink). *)

@@ -42,6 +42,8 @@ type t = {
   mutable nest_depth : int;
   part : Quiesce.participant option;
   flag : killed_flag;  (* set by a wounding (older) transaction *)
+  begin_ts : int;  (* cost clock at begin, for latency attribution *)
+  mutable abort_cause : Trace.abort_cause;
 }
 
 let make_ctx cfg =
@@ -78,9 +80,13 @@ let begin_txn ?parent ctx =
     nest_depth = 0;
     part;
     flag;
+    begin_ts = Sched.time ();
+    abort_cause = Trace.Cause_exn;
   }
 
 let id t = t.txid
+let set_abort_cause t c = t.abort_cause <- c
+let latency t = Sched.time () - t.begin_ts
 let depth t = t.nest_depth
 let set_depth t d = t.nest_depth <- d
 let reads_snapshot t = t.reads
@@ -101,7 +107,8 @@ let rec ancestor_owns t w =
 let validate ctx t =
   ctx.stats.Stats.validations <- ctx.stats.Stats.validations + 1;
   Sched.tick (ctx.cfg.cost.Cost.txn_per_read * max 1 (List.length t.reads));
-  List.for_all
+  let ok =
+    List.for_all
     (fun ((obj : Heap.obj), ver) ->
       let w = Atomic.get obj.Heap.txrec in
       match Txrec.decode w with
@@ -111,7 +118,11 @@ let validate ctx t =
           | Some ow -> ow.prior_version = ver
           | None -> false)
       | Txrec.Exclusive _ | Txrec.Exclusive_anon _ | Txrec.Private -> false)
-    t.reads
+      t.reads
+  in
+  Trace.emit ~level:Trace.Debug
+    (lazy (Trace.Validation { txid = t.txid; tid = Sched.self (); ok }));
+  ok
 
 (* Wound-wait contention management: an older transaction (smaller id)
    wounds a younger owner instead of waiting; the victim notices the flag
@@ -130,7 +141,11 @@ let maybe_wound ctx t owner_word =
       | Some _ | None -> ()
   end
 
-let check_wounded t = if t.flag.killed then raise Abort_txn
+let check_wounded t =
+  if t.flag.killed then begin
+    t.abort_cause <- Trace.Cause_wounded;
+    raise Abort_txn
+  end
 
 (* A transaction pausing on a conflict revalidates (when quiescence is on)
    so that committers waiting in [Quiesce.commit_epoch_wait] observe it as
@@ -142,7 +157,10 @@ let conflict_pause ctx t ~attempt ~writer obj =
   Conflict.handle ctx.cfg ctx.stats ~attempt ~writer obj;
   if ctx.cfg.quiescence then
     if validate ctx t then Option.iter (Quiesce.mark_consistent ctx.q) t.part
-    else raise Abort_txn
+    else begin
+      t.abort_cause <- Trace.Cause_validation;
+      raise Abort_txn
+    end
 
 let periodic_validate ctx t =
   check_wounded t;
@@ -150,7 +168,10 @@ let periodic_validate ctx t =
   if t.naccesses mod ctx.cfg.validate_every = 0 then
     if validate ctx t then
       Option.iter (Quiesce.mark_consistent ctx.q) t.part
-    else raise Abort_txn
+    else begin
+      t.abort_cause <- Trace.Cause_validation;
+      raise Abort_txn
+    end
 
 (* Save the granule containing [fld] in the undo log (eager). *)
 let save_undo ctx t (obj : Heap.obj) fld =
@@ -177,7 +198,11 @@ let acquire ctx t ?expect (obj : Heap.obj) =
         (Hashtbl.find t.owned obj.Heap.oid).prior_version
     | Txrec.Shared ver -> (
         (match expect with
-        | Some e when e <> ver -> raise Abort_txn
+        | Some e when e <> ver ->
+            (* a lazily buffered record changed version before commit-time
+               acquisition: the read that seeded the buffer is stale *)
+            t.abort_cause <- Trace.Cause_validation;
+            raise Abort_txn
         | Some _ | None -> ());
         ctx.stats.Stats.atomic_ops <- ctx.stats.Stats.atomic_ops + 1;
         Sched.tick cost.Cost.atomic_rmw;
@@ -193,7 +218,10 @@ let acquire ctx t ?expect (obj : Heap.obj) =
         else go attempt)
     | Txrec.Exclusive _ when ancestor_owns t w -> raise Open_nest_conflict
     | Txrec.Exclusive _ | Txrec.Exclusive_anon _ ->
-        if attempt >= ctx.cfg.max_txn_retries then raise Abort_txn
+        if attempt >= ctx.cfg.max_txn_retries then begin
+          t.abort_cause <- Trace.Cause_conflict;
+          raise Abort_txn
+        end
         else begin
           conflict_pause ctx t ~attempt ~writer:true obj;
           go (attempt + 1)
@@ -255,7 +283,10 @@ let eager_read ctx t (obj : Heap.obj) fld =
         v
     | Txrec.Exclusive _ when ancestor_owns t w -> raise Open_nest_conflict
     | Txrec.Exclusive _ | Txrec.Exclusive_anon _ ->
-        if attempt >= ctx.cfg.max_txn_retries then raise Abort_txn
+        if attempt >= ctx.cfg.max_txn_retries then begin
+          t.abort_cause <- Trace.Cause_conflict;
+          raise Abort_txn
+        end
         else begin
           conflict_pause ctx t ~attempt ~writer:false obj;
           go (attempt + 1)
@@ -292,7 +323,10 @@ let lazy_slot ctx t (obj : Heap.obj) fld =
             | Txrec.Exclusive _ when ancestor_owns t w ->
                 raise Open_nest_conflict
             | Txrec.Exclusive _ | Txrec.Exclusive_anon _ ->
-                if attempt >= ctx.cfg.max_txn_retries then raise Abort_txn
+                if attempt >= ctx.cfg.max_txn_retries then begin
+                  t.abort_cause <- Trace.Cause_conflict;
+                  raise Abort_txn
+                end
                 else begin
                   conflict_pause ctx t ~attempt ~writer:true obj;
                   observe (attempt + 1)
@@ -326,8 +360,20 @@ let lazy_read ctx t (obj : Heap.obj) fld =
 (* Entry points                                                        *)
 (* ------------------------------------------------------------------ *)
 
+let emit_txn_access op =
+  Trace.emit ~level:Trace.Debug
+    (lazy
+      (Trace.Barrier
+         {
+           tid = Sched.self ();
+           site = Site.current ();
+           op;
+           path = Trace.Path_fired;
+         }))
+
 let txn_read ctx t obj fld =
   ctx.stats.Stats.txn_reads <- ctx.stats.Stats.txn_reads + 1;
+  emit_txn_access Trace.Op_txn_read;
   periodic_validate ctx t;
   match ctx.cfg.versioning with
   | Config.Eager -> eager_read ctx t obj fld
@@ -335,6 +381,7 @@ let txn_read ctx t obj fld =
 
 let txn_write ctx t obj fld v =
   ctx.stats.Stats.txn_writes <- ctx.stats.Stats.txn_writes + 1;
+  emit_txn_access Trace.Op_txn_write;
   periodic_validate ctx t;
   match ctx.cfg.versioning with
   | Config.Eager -> eager_write ctx t obj fld v
@@ -356,7 +403,10 @@ let commit ctx t =
   Sched.tick cost.Cost.txn_commit;
   (match ctx.cfg.versioning with
   | Config.Eager ->
-      if not (validate ctx t) then raise Abort_txn;
+      if not (validate ctx t) then begin
+        t.abort_cause <- Trace.Cause_validation;
+        raise Abort_txn
+      end;
       if ctx.cfg.quiescence then begin
         match t.part with
         | Some p ->
@@ -379,7 +429,10 @@ let commit ctx t =
         (fun s ->
           if s.w_prior >= 0 then ignore (acquire ctx t ~expect:s.w_prior s.w_obj))
         slots;
-      if not (validate ctx t) then raise Abort_txn;
+      if not (validate ctx t) then begin
+        t.abort_cause <- Trace.Cause_validation;
+        raise Abort_txn
+      end;
       (* serialization point: the transaction is now committed, but its
          updates are still pending - the Section 2.3 window opens here *)
       Sched.yield ();
@@ -416,6 +469,7 @@ let commit ctx t =
            tid = Sched.self ();
            reads = List.length t.reads;
            writes = t.naccesses;
+           latency = latency t;
          }));
   ctx.stats.Stats.commits <- ctx.stats.Stats.commits + 1
 
@@ -443,5 +497,11 @@ let abort ctx t =
   Trace.emit
     (lazy
       (Trace.Txn_abort
-         { txid = t.txid; tid = Sched.self (); wounded = t.flag.killed }));
+         {
+           txid = t.txid;
+           tid = Sched.self ();
+           wounded = t.flag.killed;
+           cause = (if t.flag.killed then Trace.Cause_wounded else t.abort_cause);
+           latency = latency t;
+         }));
   ctx.stats.Stats.aborts <- ctx.stats.Stats.aborts + 1

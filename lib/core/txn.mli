@@ -50,6 +50,12 @@ exception Open_nest_conflict
 
 val begin_txn : ?parent:t -> ctx -> t
 val id : t -> int
+
+(** [set_abort_cause t c] records why the upcoming {!abort} happens (the
+    abort sites inside this module set it themselves; {!Stm} sets it for
+    user-level [retry] and for exceptions escaping the atomic block).
+    Reported in the {!Trace.Txn_abort} event. *)
+val set_abort_cause : t -> Trace.abort_cause -> unit
 val depth : t -> int
 val set_depth : t -> int -> unit
 

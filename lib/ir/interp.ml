@@ -98,6 +98,7 @@ let agg_active frame (o : Heap.obj) =
 (* A load from [o.(fld)] at a site annotated [note]. *)
 let load ex frame (note : Ir.note) o fld =
   profile_hit ex note;
+  if Trace.enabled () then Site.set note.Ir.site;
   let cfg = ex.cfg in
   if Stm.in_txn () then
     if note.Ir.txn_unlogged && not cfg.strong then begin
@@ -120,7 +121,7 @@ let load ex frame (note : Ir.note) o fld =
         match note.Ir.barrier with
         | Ir.Bar_removed _ -> Stm.read_nobarrier o fld
         | Ir.Bar_agg_start n when cfg.strong && cfg.strong_writes ->
-            let w = Barriers.acquire_anon cfg (Stm.stats ()) o in
+            let w = Barriers.acquire_anon ~op:Trace.Op_read cfg (Stm.stats ()) o in
             Sched.tick cfg.cost.Cost.plain_load;
             let v = Heap.get o fld in
             if n > 1 then frame.agg <- Some { a_obj = o; a_word = w; a_left = n - 1 }
@@ -130,6 +131,7 @@ let load ex frame (note : Ir.note) o fld =
 
 let store ex frame (note : Ir.note) o fld v =
   profile_hit ex note;
+  if Trace.enabled () then Site.set note.Ir.site;
   let cfg = ex.cfg in
   if Stm.in_txn () then Stm.write o fld v
   else
@@ -144,7 +146,7 @@ let store ex frame (note : Ir.note) o fld v =
         match note.Ir.barrier with
         | Ir.Bar_removed _ -> Stm.write_nobarrier o fld v
         | Ir.Bar_agg_start n when cfg.strong && cfg.strong_writes ->
-            let w = Barriers.acquire_anon cfg (Stm.stats ()) o in
+            let w = Barriers.acquire_anon ~op:Trace.Op_write cfg (Stm.stats ()) o in
             if cfg.dea && not (Txrec.is_private w) then
               Dea.publish_value (Stm.stats ()) cfg.cost v;
             Sched.tick cfg.cost.Cost.plain_store;
@@ -195,6 +197,11 @@ and builtin ex name (args : Heap.value list) : Heap.value =
       match List.assoc_opt key ex.params with
       | Some v -> Heap.Vint v
       | None -> err "param: no value supplied for %S" key)
+  | "param", [ Heap.Vstr key; Heap.Vint default ] ->
+      Heap.Vint
+        (match List.assoc_opt key ex.params with
+        | Some v -> v
+        | None -> default)
   | "tick", [ v ] ->
       Sched.tick (as_int "tick" v);
       Heap.Vnull

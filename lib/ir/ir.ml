@@ -91,10 +91,26 @@ type program = {
   classes : (string, cls) Hashtbl.t;
   mutable main_class : string;
   mutable next_site : int;
+  site_locs : (int, string * int) Hashtbl.t;
+      (* site id -> (source name, 1-based line), filled at lowering *)
 }
 
 let create_program () =
-  { classes = Hashtbl.create 32; main_class = "Main"; next_site = 0 }
+  {
+    classes = Hashtbl.create 32;
+    main_class = "Main";
+    next_site = 0;
+    site_locs = Hashtbl.create 64;
+  }
+
+let set_site_loc p site ~file ~line = Hashtbl.replace p.site_locs site (file, line)
+
+let site_loc p site = Hashtbl.find_opt p.site_locs site
+
+let pp_site p ppf site =
+  match site_loc p site with
+  | Some (file, line) -> Fmt.pf ppf "%s:%d" file line
+  | None -> Fmt.pf ppf "site %d" site
 
 let add_class p c =
   if Hashtbl.mem p.classes c.cname then

@@ -114,12 +114,24 @@ type program = {
   classes : (string, cls) Hashtbl.t;
   mutable main_class : string;
   mutable next_site : int;
+  site_locs : (int, string * int) Hashtbl.t;
+      (** site id -> (source name, 1-based line); filled by the Jt
+          front end so profiles and traces print [file:line] sites *)
 }
 
 val create_program : unit -> program
 val add_class : program -> cls -> unit
 val find_class : program -> string -> cls
 val fresh_site : program -> int
+
+val set_site_loc : program -> int -> file:string -> line:int -> unit
+(** Record the source location of an access or allocation site. *)
+
+val site_loc : program -> int -> (string * int) option
+
+val pp_site : program -> Format.formatter -> int -> unit
+(** Render a site id as ["file:line"], falling back to ["site N"] for
+    sites with no recorded location (programs built directly in IR). *)
 
 val is_subclass : program -> string -> string -> bool
 (** [is_subclass p c d]: is [c] equal to or a subclass of [d]? *)

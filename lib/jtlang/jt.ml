@@ -7,5 +7,5 @@ let parse ?name src =
 
 let compile ?name src =
   let ast = parse ?name src in
-  try Lower.lower ast with
+  try Lower.lower ?name ast with
   | Lower.Error (msg, line) -> raise (Error (msg, line))

@@ -43,6 +43,7 @@ let rec conv_ty line = function
 
 type env = {
   prog : Ir.program;
+  src : string;  (* source name, for site locations *)
   cls : Ir.cls;
   meth_static : bool;
   mutable code : Ir.instr list;  (* reversed *)
@@ -106,8 +107,13 @@ let lookup_var env name =
 
 let is_class env name = Hashtbl.mem env.prog.Ir.classes name
 
-let note env =
-  { Ir.site = Ir.fresh_site env.prog; barrier = Ir.Bar_auto; txn_unlogged = false }
+let fresh_site_at env line =
+  let site = Ir.fresh_site env.prog in
+  Ir.set_site_loc env.prog site ~file:env.src ~line;
+  site
+
+let note env line =
+  { Ir.site = fresh_site_at env line; barrier = Ir.Bar_auto; txn_unlogged = false }
 
 let default_value = function
   | Ir.Tint -> Ir.Cint 0
@@ -182,7 +188,7 @@ let rec lower_expr env (e : expr) : Ir.operand * Ir.ty =
         with Not_found -> fail line ("unknown field " ^ cls ^ "." ^ fld)
       in
       let d = fresh_reg env "t" f.Ir.fty in
-      emit env (Ir.Load { dst = d; obj = vr; cls; fld; fidx; note = note env });
+      emit env (Ir.Load { dst = d; obj = vr; cls; fld; fidx; note = note env line });
       (Ir.Reg d, f.Ir.fty)
   | Eindex (a, i) ->
       let va, ta = lower_expr env a in
@@ -194,7 +200,7 @@ let rec lower_expr env (e : expr) : Ir.operand * Ir.ty =
         | t -> fail line (Fmt.str "indexing non-array type %a" Ir.pp_ty t)
       in
       let d = fresh_reg env "t" elt in
-      emit env (Ir.ALoad { dst = d; arr = va; idx = vi; note = note env });
+      emit env (Ir.ALoad { dst = d; arr = va; idx = vi; note = note env line });
       (Ir.Reg d, elt)
   | Elen a ->
       let va, ta = lower_expr env a in
@@ -207,14 +213,14 @@ let rec lower_expr env (e : expr) : Ir.operand * Ir.ty =
   | Enew cls ->
       if not (is_class env cls) then fail line ("unknown class " ^ cls);
       let d = fresh_reg env "t" (Ir.Tref cls) in
-      emit env (Ir.New { dst = d; cls; site = Ir.fresh_site env.prog });
+      emit env (Ir.New { dst = d; cls; site = fresh_site_at env line });
       (Ir.Reg d, Ir.Tref cls)
   | Enewarr (elt, len) ->
       let ve, te = lower_expr env len in
       check_ty env line Ir.Tint te "array length";
       let ety = conv_ty line elt in
       let d = fresh_reg env "t" (Ir.Tarr ety) in
-      emit env (Ir.NewArr { dst = d; elt = ety; len = ve; site = Ir.fresh_site env.prog });
+      emit env (Ir.NewArr { dst = d; elt = ety; len = ve; site = fresh_site_at env line });
       (Ir.Reg d, Ir.Tarr ety)
   | Ecall (recv, name, args) -> (
       match lower_call env line recv name args with
@@ -229,14 +235,14 @@ and lower_implicit_field env line name =
   | fidx, f when not env.meth_static ->
       let d = fresh_reg env "t" f.Ir.fty in
       emit env
-        (Ir.Load { dst = d; obj = Ir.Reg 0; cls = cname; fld = name; fidx; note = note env });
+        (Ir.Load { dst = d; obj = Ir.Reg 0; cls = cname; fld = name; fidx; note = note env line });
       (Ir.Reg d, f.Ir.fty)
   | _ -> fail line ("instance field " ^ name ^ " in a static method")
   | exception Not_found -> (
       match Ir.static_field_index env.prog cname name with
       | dcls, fidx, f ->
           let d = fresh_reg env "t" f.Ir.fty in
-          emit env (Ir.LoadS { dst = d; cls = dcls; fld = name; fidx; note = note env });
+          emit env (Ir.LoadS { dst = d; cls = dcls; fld = name; fidx; note = note env line });
           (Ir.Reg d, f.Ir.fty)
       | exception Not_found -> fail line ("unbound identifier " ^ name))
 
@@ -244,7 +250,7 @@ and lower_static_load env line cname fld =
   match Ir.static_field_index env.prog cname fld with
   | dcls, fidx, f ->
       let d = fresh_reg env "t" f.Ir.fty in
-      emit env (Ir.LoadS { dst = d; cls = dcls; fld; fidx; note = note env });
+      emit env (Ir.LoadS { dst = d; cls = dcls; fld; fidx; note = note env line });
       (Ir.Reg d, f.Ir.fty)
   | exception Not_found -> fail line ("unknown static field " ^ cname ^ "." ^ fld)
 
@@ -366,6 +372,16 @@ and lower_builtin env line name args =
       if args <> [] then fail line "retry takes no arguments";
       emit env Ir.Retry;
       None
+  | "param" when List.length args = 2 ->
+      (* param("name", default): use the default when the runner supplies
+         no -P value, so examples stay self-contained *)
+      let vargs = lower_args env args in
+      (match vargs with
+      | [ (k, Ir.Tstr); (d, Ir.Tint) ] ->
+          let dst = fresh_reg env "t" Ir.Tint in
+          emit env (Ir.Builtin { dst = Some dst; name; args = [ k; d ] });
+          Some (Ir.Reg dst, Ir.Tint)
+      | _ -> fail line "param takes (string name [, int default])")
   | _ -> (
       match List.assoc_opt name builtin_sigs with
       | None -> fail line ("unknown function " ^ name)
@@ -505,7 +521,7 @@ and lower_assign env line lv e =
       | dcls, fidx, f ->
           let v, vt = lower_expr env e in
           check_ty env line f.Ir.fty vt ("assignment to " ^ recv ^ "." ^ fld);
-          emit env (Ir.StoreS { cls = dcls; fld; fidx; src = v; note = note env })
+          emit env (Ir.StoreS { cls = dcls; fld; fidx; src = v; note = note env line })
       | exception Not_found ->
           fail line ("unknown static field " ^ recv ^ "." ^ fld))
   | Lfield (r, fld) ->
@@ -521,7 +537,7 @@ and lower_assign env line lv e =
       in
       let v, vt = lower_expr env e in
       check_ty env line f.Ir.fty vt ("assignment to " ^ cls ^ "." ^ fld);
-      emit env (Ir.Store { obj = vr; cls; fld; fidx; src = v; note = note env })
+      emit env (Ir.Store { obj = vr; cls; fld; fidx; src = v; note = note env line })
   | Lindex (a, i) ->
       let va, ta = lower_expr env a in
       let vi, ti = lower_expr env i in
@@ -533,7 +549,7 @@ and lower_assign env line lv e =
       in
       let v, vt = lower_expr env e in
       check_ty env line elt vt "array store";
-      emit env (Ir.AStore { arr = va; idx = vi; src = v; note = note env })
+      emit env (Ir.AStore { arr = va; idx = vi; src = v; note = note env line })
 
 and lower_implicit_store env line name e =
   let cname = env.cls.Ir.cname in
@@ -544,13 +560,13 @@ and lower_implicit_store env line name e =
       let v, vt = lower_expr env e in
       check_ty env line f.Ir.fty vt ("assignment to " ^ name);
       emit env
-        (Ir.Store { obj = Ir.Reg 0; cls = cname; fld = name; fidx; src = v; note = note env })
+        (Ir.Store { obj = Ir.Reg 0; cls = cname; fld = name; fidx; src = v; note = note env line })
   | exception Not_found -> (
       match Ir.static_field_index env.prog cname name with
       | dcls, fidx, f ->
           let v, vt = lower_expr env e in
           check_ty env line f.Ir.fty vt ("assignment to " ^ name);
-          emit env (Ir.StoreS { cls = dcls; fld = name; fidx; src = v; note = note env })
+          emit env (Ir.StoreS { cls = dcls; fld = name; fidx; src = v; note = note env line })
       | exception Not_found -> fail line ("unbound identifier " ^ name))
 
 (* ------------------------------------------------------------------ *)
@@ -609,13 +625,14 @@ let declare_method prog cname (m : Ast.member) =
   | Mfield _ -> None
   [@@warning "-27"]
 
-let lower_method prog cls (am : Ast.member) (im : Ir.meth) =
+let lower_method prog src cls (am : Ast.member) (im : Ir.meth) =
   match am with
   | Mfield _ -> assert false
   | Mmethod { body; line = _; _ } ->
       let env =
         {
           prog;
+          src;
           cls;
           meth_static = im.Ir.m_static;
           code = [];
@@ -650,7 +667,7 @@ let lower_method prog cls (am : Ast.member) (im : Ir.meth) =
 let builtin_thread_class =
   { Ir.cname = "Thread"; super = None; fields = []; meths = [] }
 
-let lower (ast : Ast.program) : Ir.program =
+let lower ?(name = "<jt>") (ast : Ast.program) : Ir.program =
   let prog = Ir.create_program () in
   (* implicit base classes *)
   Ir.add_class prog builtin_thread_class;
@@ -675,7 +692,7 @@ let lower (ast : Ast.program) : Ir.program =
         List.filter (function Mmethod _ -> true | Mfield _ -> false) c.members
       in
       ic.Ir.meths <-
-        List.map2 (fun am im -> lower_method prog ic am im) ast_methods
+        List.map2 (fun am im -> lower_method prog name ic am im) ast_methods
           ic.Ir.meths)
     ast;
   (* find main *)

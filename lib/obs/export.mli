@@ -1,0 +1,27 @@
+(** Trace exporters: JSONL and Chrome [trace_event] JSON.
+
+    Both consume {!Recorder.entry} lists. The Chrome export loads in
+    [chrome://tracing] and {{:https://ui.perfetto.dev}Perfetto}: threads
+    appear as tracks, committed/aborted transactions as duration slices
+    spanning begin..end on the simulated cost clock (1 cycle = 1 µs),
+    and the remaining events as thread-scoped instants.
+
+    [resolve] maps access-site ids to source labels such as
+    ["counter.jt:12"] (e.g. {!Stm_ir.Ir.site_loc}); unresolved sites are
+    emitted as raw integers. *)
+
+val entry_json : (int -> string option) -> Recorder.entry -> Json.t
+(** One entry as a flat JSON object ([ev], [ts], [step], [tid], plus
+    event-specific fields). *)
+
+val to_jsonl :
+  ?resolve:(int -> string option) -> Buffer.t -> Recorder.entry list -> unit
+
+val write_jsonl :
+  ?resolve:(int -> string option) -> out_channel -> Recorder.entry list -> unit
+
+val to_chrome : ?resolve:(int -> string option) -> Recorder.entry list -> Json.t
+(** The full [{"traceEvents": [...]}] document. *)
+
+val write_chrome :
+  ?resolve:(int -> string option) -> out_channel -> Recorder.entry list -> unit

@@ -1,0 +1,31 @@
+(** Power-of-two histogram for cycle latencies: fixed 48 buckets, bucket
+    [i] holds samples in [(2^(i-2), 2^(i-1)]], allocation-free [add]. *)
+
+type t
+
+val create : unit -> t
+val add : t -> int -> unit
+
+val count : t -> int
+val sum : t -> int
+val mean : t -> float
+val min_value : t -> int
+val max_value : t -> int
+
+val quantile : t -> float -> int
+(** Approximate quantile (inclusive upper bound of the bucket holding the
+    q-th sample). *)
+
+val copy : t -> t
+
+val sub : t -> t -> t
+(** [sub later earlier]: histogram of the samples recorded between the
+    two snapshots (bucket-wise difference). *)
+
+val clear : t -> unit
+
+val bucket_le : int -> int
+(** Inclusive upper bound of bucket [i]. *)
+
+val to_json : t -> Json.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,18 @@
+(** Minimal JSON values and emitter (no external dependency). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val of_assoc : (string * int) list -> t
+(** Integer-counter association lists (e.g. {!Stm_core.Stats.to_assoc})
+    as one JSON object. *)

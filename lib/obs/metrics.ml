@@ -1,0 +1,166 @@
+open Stm_core
+
+(* Event-derived run metrics: lifecycle counters, abort causes, and
+   latency histograms. Unlike [Stats] (which the core increments
+   directly), this is fed purely from the trace stream, so a snapshot
+   can be taken around any window of a run and diffed. *)
+
+type t = {
+  mutable begins : int;
+  mutable commits : int;
+  mutable aborts : int;
+  mutable wounds : int;
+  mutable conflicts : int;
+  mutable publishes : int;
+  mutable quiesce_waits : int;
+  mutable backoffs : int;
+  mutable validations : int;
+  mutable validation_failures : int;
+  abort_causes : int array;  (* indexed by cause_index *)
+  commit_latency : Hist.t;
+  abort_latency : Hist.t;
+}
+
+let cause_index = function
+  | Trace.Cause_conflict -> 0
+  | Trace.Cause_validation -> 1
+  | Trace.Cause_wounded -> 2
+  | Trace.Cause_retry -> 3
+  | Trace.Cause_exn -> 4
+
+let all_causes =
+  [
+    Trace.Cause_conflict;
+    Trace.Cause_validation;
+    Trace.Cause_wounded;
+    Trace.Cause_retry;
+    Trace.Cause_exn;
+  ]
+
+let create () =
+  {
+    begins = 0;
+    commits = 0;
+    aborts = 0;
+    wounds = 0;
+    conflicts = 0;
+    publishes = 0;
+    quiesce_waits = 0;
+    backoffs = 0;
+    validations = 0;
+    validation_failures = 0;
+    abort_causes = Array.make 5 0;
+    commit_latency = Hist.create ();
+    abort_latency = Hist.create ();
+  }
+
+let handle t (ev : Trace.event) =
+  match ev with
+  | Trace.Txn_begin _ -> t.begins <- t.begins + 1
+  | Trace.Txn_commit { latency; _ } ->
+      t.commits <- t.commits + 1;
+      Hist.add t.commit_latency latency
+  | Trace.Txn_abort { cause; latency; _ } ->
+      t.aborts <- t.aborts + 1;
+      let i = cause_index cause in
+      t.abort_causes.(i) <- t.abort_causes.(i) + 1;
+      Hist.add t.abort_latency latency
+  | Trace.Txn_wound _ -> t.wounds <- t.wounds + 1
+  | Trace.Conflict _ -> t.conflicts <- t.conflicts + 1
+  | Trace.Publish _ -> t.publishes <- t.publishes + 1
+  | Trace.Quiesce_wait _ -> t.quiesce_waits <- t.quiesce_waits + 1
+  | Trace.Backoff _ -> t.backoffs <- t.backoffs + 1
+  | Trace.Validation { ok; _ } ->
+      t.validations <- t.validations + 1;
+      if not ok then t.validation_failures <- t.validation_failures + 1
+  | Trace.Barrier _ -> ()
+
+let install ?(level = Trace.Info) t = Trace.set_sink ~level (Some (handle t))
+
+let snapshot t =
+  {
+    t with
+    abort_causes = Array.copy t.abort_causes;
+    commit_latency = Hist.copy t.commit_latency;
+    abort_latency = Hist.copy t.abort_latency;
+  }
+
+let diff later earlier =
+  {
+    begins = later.begins - earlier.begins;
+    commits = later.commits - earlier.commits;
+    aborts = later.aborts - earlier.aborts;
+    wounds = later.wounds - earlier.wounds;
+    conflicts = later.conflicts - earlier.conflicts;
+    publishes = later.publishes - earlier.publishes;
+    quiesce_waits = later.quiesce_waits - earlier.quiesce_waits;
+    backoffs = later.backoffs - earlier.backoffs;
+    validations = later.validations - earlier.validations;
+    validation_failures = later.validation_failures - earlier.validation_failures;
+    abort_causes =
+      Array.init 5 (fun i -> later.abort_causes.(i) - earlier.abort_causes.(i));
+    commit_latency = Hist.sub later.commit_latency earlier.commit_latency;
+    abort_latency = Hist.sub later.abort_latency earlier.abort_latency;
+  }
+
+let begins t = t.begins
+let commits t = t.commits
+let aborts t = t.aborts
+let abort_cause_count t cause = t.abort_causes.(cause_index cause)
+let commit_latency t = t.commit_latency
+let abort_latency t = t.abort_latency
+
+let to_assoc t =
+  [
+    ("begins", t.begins);
+    ("commits", t.commits);
+    ("aborts", t.aborts);
+    ("wounds", t.wounds);
+    ("conflicts", t.conflicts);
+    ("publishes", t.publishes);
+    ("quiesce_waits", t.quiesce_waits);
+    ("backoffs", t.backoffs);
+    ("validations", t.validations);
+    ("validation_failures", t.validation_failures);
+  ]
+
+let to_json ?stats t =
+  let causes =
+    Json.Obj
+      (List.map
+         (fun c ->
+           (Trace.string_of_cause c, Json.Int t.abort_causes.(cause_index c)))
+         all_causes)
+  in
+  let base =
+    [
+      ("counters", Json.of_assoc (to_assoc t));
+      ("abort_causes", causes);
+      ("commit_latency", Hist.to_json t.commit_latency);
+      ("abort_latency", Hist.to_json t.abort_latency);
+    ]
+  in
+  let base =
+    match stats with
+    | None -> base
+    | Some s -> base @ [ ("stats", Json.of_assoc (Stats.to_assoc s)) ]
+  in
+  Json.Obj base
+
+let pp ppf t =
+  Fmt.pf ppf "txns: %d begun, %d committed, %d aborted@." t.begins t.commits
+    t.aborts;
+  if t.aborts > 0 then
+    Fmt.pf ppf "abort causes: %a@."
+      Fmt.(list ~sep:comma (pair ~sep:(any "=") string int))
+      (List.filter_map
+         (fun c ->
+           let n = t.abort_causes.(cause_index c) in
+           if n > 0 then Some (Trace.string_of_cause c, n) else None)
+         all_causes);
+  Fmt.pf ppf "conflicts=%d wounds=%d backoffs=%d quiesce_waits=%d@."
+    t.conflicts t.wounds t.backoffs t.quiesce_waits;
+  if Hist.count t.commit_latency > 0 then
+    Fmt.pf ppf "commit latency (cycles): %a@." Hist.pp t.commit_latency;
+  if Hist.count t.abort_latency > 0 then
+    Fmt.pf ppf "abort latency (cycles): %a@." Hist.pp t.abort_latency

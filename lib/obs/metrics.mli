@@ -1,0 +1,44 @@
+(** Event-derived run metrics with snapshot/diff.
+
+    A {!t} consumes {!Stm_core.Trace} events (an [Info]-level sink
+    suffices) and accumulates transaction lifecycle counters, per-cause
+    abort counts, and commit/abort latency histograms on the simulated
+    cost clock. {!snapshot} and {!diff} scope the metrics to any window
+    of a run — e.g. per benchmark iteration. *)
+
+open Stm_core
+
+type t
+
+val create : unit -> t
+
+val handle : t -> Trace.event -> unit
+(** The sink function; compose with other consumers or use {!install}. *)
+
+val install : ?level:Trace.level -> t -> unit
+(** Install as the global trace sink. Default level [Info] — metrics
+    need no per-access events, so the [Debug] payloads stay unforced. *)
+
+val snapshot : t -> t
+(** Immutable copy of the current totals. *)
+
+val diff : t -> t -> t
+(** [diff later earlier]: the activity between two snapshots. *)
+
+val begins : t -> int
+val commits : t -> int
+val aborts : t -> int
+val abort_cause_count : t -> Trace.abort_cause -> int
+
+(** Every abort cause, in serialization order. *)
+val all_causes : Trace.abort_cause list
+val commit_latency : t -> Hist.t
+val abort_latency : t -> Hist.t
+
+val to_assoc : t -> (string * int) list
+
+val to_json : ?stats:Stats.t -> t -> Json.t
+(** Full metrics object: counters, abort causes, latency histograms;
+    [stats] additionally embeds the run's global {!Stm_core.Stats}. *)
+
+val pp : Format.formatter -> t -> unit

@@ -285,4 +285,6 @@ let join tid =
 
 let thread_count () = (get_engine ()).nthreads
 
+let steps () = match !engine with Some e -> e.steps | None -> 0
+
 let running () = !engine <> None

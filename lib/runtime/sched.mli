@@ -85,5 +85,10 @@ val wake : tid -> unit
 val thread_count : unit -> int
 (** Number of threads created so far in this run (including finished). *)
 
+val steps : unit -> int
+(** Scheduling decisions taken so far in this run; [0] outside a
+    simulation. Tracing sinks record it as a global logical timestamp
+    alongside the per-thread cost clocks. *)
+
 val running : unit -> bool
 (** [true] iff called from inside a simulation. *)
