@@ -1,21 +1,23 @@
-(* CLI: regenerate individual evaluation figures.
+(* CLI: regenerate individual evaluation figures and run contention
+   stress scenarios.
 
    Examples:
      stm_bench fig6
      stm_bench fig15 --scale 0.5
      stm_bench fig18 --threads 1,2,4,8,16
-     stm_bench all *)
+     stm_bench all
+     stm_bench --stress all --cm timestamp --seed 7 --metrics-out m.json *)
 
 open Cmdliner
 
 let parse_threads s =
   String.split_on_char ',' s |> List.map int_of_string
 
-let run_figure name scale threads =
+let run_figure name scale threads cm =
   let threads = Option.map parse_threads threads in
   match name with
   | "fig6" ->
-      let cells = Stm_harness.Figures.fig6 () in
+      let cells = Stm_harness.Figures.fig6 ?cm () in
       Fmt.pr "%a" Stm_harness.Figures.pp_fig6 cells;
       Fmt.pr "matches the paper: %b@." (Stm_litmus.Matrix.all_match cells)
   | "privatization" ->
@@ -48,50 +50,145 @@ let all_figures =
   [ "fig6"; "privatization"; "fig13"; "fig15"; "fig16"; "fig17"; "fig18";
     "fig19"; "fig20" ]
 
-let main name scale threads metrics_out =
-  (* Collect run metrics across every figure executed by this
-     invocation; an Info-level sink keeps the per-access Debug events
-     unforced, so figure timings are unaffected on the fast paths. *)
-  let metrics =
-    Option.map
-      (fun _ ->
-        let m = Stm_obs.Metrics.create () in
-        Stm_obs.Metrics.install m;
-        m)
-      metrics_out
+let write_json path json =
+  try
+    Out_channel.with_open_text path (fun oc ->
+        output_string oc (Stm_obs.Json.to_string json);
+        output_char oc '\n')
+  with Sys_error msg ->
+    Fmt.epr "cannot write %s: %s@." path msg;
+    exit 2
+
+(* ------------------------------------------------------------------ *)
+(* Stress mode                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let stress_report_json (r : Stm_harness.Stress.report) =
+  let open Stm_obs in
+  Json.Obj
+    [
+      ( "status",
+        Json.Str
+          (match r.Stm_harness.Stress.status with
+          | Stm_runtime.Sched.Completed -> "completed"
+          | Stm_runtime.Sched.Fuel_exhausted -> "fuel-exhausted"
+          | Stm_runtime.Sched.Deadlock _ -> "deadlock") );
+      ("completed", Json.Bool r.Stm_harness.Stress.completed);
+      ("passed", Json.Bool (Stm_harness.Stress.passed r));
+      ("makespan", Json.Int r.Stm_harness.Stress.makespan);
+      ( "starved",
+        Json.List
+          (List.map (fun t -> Json.Int t) r.Stm_harness.Stress.starved) );
+      ( "metrics",
+        Metrics.to_json ~stats:r.Stm_harness.Stress.stats
+          r.Stm_harness.Stress.metrics );
+    ]
+
+let run_stress which cm seed fuel metrics_out =
+  let scenarios =
+    if which = "all" then Stm_harness.Stress.all_scenarios
+    else
+      match Stm_harness.Stress.scenario_of_string which with
+      | Some s -> [ s ]
+      | None -> Fmt.failwith "unknown stress scenario %s" which
   in
-  (try
-     if name = "all" then
-       List.iter
-         (fun f ->
-           Fmt.pr "== %s ==@." f;
-           run_figure f scale threads)
-         all_figures
-     else run_figure name scale threads
-   with Failure m ->
-     Fmt.epr "%s@." m;
-     exit 2);
-  Stm_core.Trace.set_sink None;
+  let reports =
+    List.map
+      (fun s ->
+        let r = Stm_harness.Stress.run ?seed ?fuel ~cm s in
+        Fmt.pr "%a@." Stm_harness.Stress.pp_report r;
+        r)
+      scenarios
+  in
   Option.iter
-    (fun m ->
-      let path = Option.get metrics_out in
-      try
-        Out_channel.with_open_text path (fun oc ->
-            output_string oc
-              (Stm_obs.Json.to_string (Stm_obs.Metrics.to_json m));
-            output_char oc '\n')
-      with Sys_error msg ->
-        Fmt.epr "cannot write %s: %s@." path msg;
+    (fun path ->
+      write_json path
+        (Stm_obs.Json.Obj
+           [
+             ("policy", Stm_obs.Json.Str (Stm_cm.Policy.to_string cm));
+             ("seed", Stm_obs.Json.Int (Option.value ~default:0 seed));
+             ( "threshold",
+               Stm_obs.Json.Int Stm_harness.Stress.starvation_threshold );
+             ( "scenarios",
+               Stm_obs.Json.Obj
+                 (List.map
+                    (fun r ->
+                      ( Stm_harness.Stress.scenario_name
+                          r.Stm_harness.Stress.scenario,
+                        stress_report_json r ))
+                    reports) );
+           ]))
+    metrics_out;
+  if List.for_all (fun r -> r.Stm_harness.Stress.completed) reports then 0
+  else 1
+
+(* ------------------------------------------------------------------ *)
+(* Entry                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let main name scale threads cm stress seed fuel metrics_out =
+  match stress with
+  | Some which -> (
+      try run_stress which cm seed fuel metrics_out
+      with Failure m ->
+        Fmt.epr "%s@." m;
         exit 2)
-    metrics;
-  0
+  | None ->
+      let name =
+        match name with
+        | Some n -> n
+        | None ->
+            Fmt.epr "a FIGURE argument or --stress is required@.";
+            exit 2
+      in
+      (* Collect run metrics across every figure executed by this
+         invocation; an Info-level sink keeps the per-access Debug events
+         unforced, so figure timings are unaffected on the fast paths. *)
+      let metrics =
+        Option.map
+          (fun _ ->
+            let m = Stm_obs.Metrics.create () in
+            Stm_obs.Metrics.install m;
+            m)
+          metrics_out
+      in
+      (try
+         if name = "all" then
+           List.iter
+             (fun f ->
+               Fmt.pr "== %s ==@." f;
+               run_figure f scale threads (Some cm))
+             all_figures
+         else run_figure name scale threads (Some cm)
+       with Failure m ->
+         Fmt.epr "%s@." m;
+         exit 2);
+      Stm_core.Trace.set_sink None;
+      Option.iter
+        (fun m ->
+          write_json (Option.get metrics_out) (Stm_obs.Metrics.to_json m))
+        metrics;
+      0
+
+let cm_conv =
+  let parse s =
+    match Stm_cm.Policy.of_string s with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg
+            (Fmt.str "unknown contention-management policy %s (expected %s)" s
+               (String.concat ", "
+                  (List.map Stm_cm.Policy.to_string Stm_cm.Policy.all))))
+  in
+  Arg.conv (parse, Stm_cm.Policy.pp)
 
 let name_arg =
   Arg.(
-    required
+    value
     & pos 0 (some string) None
     & info [] ~docv:"FIGURE"
-        ~doc:"One of fig6, privatization, fig13, fig15, fig16, fig17, fig18, fig19, fig20, all.")
+        ~doc:"One of fig6, privatization, fig13, fig15, fig16, fig17, fig18, fig19, fig20, all. Optional when $(b,--stress) is given.")
 
 let scale_arg =
   Arg.(
@@ -106,18 +203,55 @@ let threads_arg =
     & info [ "threads" ] ~docv:"LIST"
         ~doc:"Comma-separated simulated processor counts for fig18-20.")
 
+let cm_arg =
+  Arg.(
+    value
+    & opt cm_conv Stm_cm.Policy.Suicide
+    & info [ "cm" ] ~docv:"POLICY"
+        ~doc:
+          "Contention-management policy: suicide, wound-wait, exp-backoff, karma, or timestamp. Applies to --stress runs and to fig6.")
+
+let stress_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stress" ] ~docv:"SCENARIO"
+        ~doc:
+          "Run a contention stress scenario instead of a figure: long-vs-short, livelock-pair, inversion-chain, or all.")
+
+let seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "Random-scheduler seed for --stress runs (also seeds randomized backoff); runs are reproducible per seed. Default 0.")
+
+let fuel_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fuel" ] ~docv:"STEPS"
+        ~doc:
+          "Scheduler step bound for --stress runs (default 2000000); exceeding it reports fuel-exhausted.")
+
 let metrics_arg =
   Arg.(
     value
     & opt (some string) None
     & info [ "metrics-out" ] ~docv:"FILE"
         ~doc:
-          "Write aggregate STM metrics for the figure run (transaction counters, abort causes, commit/abort latency histograms) as JSON to $(docv).")
+          "Write aggregate STM metrics (transaction counters, abort causes, latency histograms, per-thread fairness incl. the Jain index) as JSON to $(docv).")
 
 let cmd =
-  let doc = "regenerate the PLDI 2007 evaluation figures" in
+  let doc =
+    "regenerate the PLDI 2007 evaluation figures and run contention stress \
+     scenarios"
+  in
   Cmd.v
     (Cmd.info "stm_bench" ~doc)
-    Term.(const main $ name_arg $ scale_arg $ threads_arg $ metrics_arg)
+    Term.(
+      const main $ name_arg $ scale_arg $ threads_arg $ cm_arg $ stress_arg
+      $ seed_arg $ fuel_arg $ metrics_arg)
 
 let () = exit (Cmd.eval' cmd)

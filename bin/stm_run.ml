@@ -84,14 +84,25 @@ let write_trace_file path ~resolve recorder =
     Fmt.epr "trace: ring full, dropped %d oldest events@."
       (Stm_obs.Recorder.dropped recorder)
 
-let main file config opt nait params verbose detect_races granule trace profile
-    trace_out profile_barriers metrics_out explore pct =
+let main file config opt nait params verbose detect_races granule cm seed trace
+    profile trace_out profile_barriers metrics_out explore pct =
   match config_of_string detect_races config with
   | Error m ->
       Fmt.epr "%s@." m;
       2
   | Ok cfg -> (
       let cfg = { cfg with Stm_core.Config.granule } in
+      let cfg =
+        match cm with
+        | Some p -> Stm_core.Config.with_cm p cfg
+        | None -> cfg
+      in
+      let cfg =
+        match seed with
+        | Some s -> { cfg with Stm_core.Config.cm_seed = s }
+        | None -> cfg
+      in
+      let policy = Option.map (fun s -> Stm_runtime.Sched.Random s) seed in
       let src = In_channel.with_open_text file In_channel.input_all in
       match Stm_jtlang.Jt.compile ~name:file src with
       | exception Stm_jtlang.Jt.Error (msg, line) ->
@@ -172,7 +183,7 @@ let main file config opt nait params verbose detect_races granule trace profile
             Stm_core.Trace.set_sink ~level
               (Some (fun ev -> List.iter (fun f -> f ev) consumers))
           end;
-          let out = Stm_ir.Interp.run ~cfg ~params ~profile prog in
+          let out = Stm_ir.Interp.run ?policy ~cfg ~params ~profile prog in
           Stm_core.Trace.set_sink None;
           Option.iter
             (fun r ->
@@ -290,6 +301,35 @@ let trace_arg =
     value & flag
     & info [ "trace" ] ~doc:"Print STM events (txn lifecycle, conflicts, publications) to stderr.")
 
+let cm_conv =
+  let parse s =
+    match Stm_cm.Policy.of_string s with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg
+            (Fmt.str "unknown contention-management policy %s (expected %s)" s
+               (String.concat ", "
+                  (List.map Stm_cm.Policy.to_string Stm_cm.Policy.all))))
+  in
+  Arg.conv (parse, Stm_cm.Policy.pp)
+
+let cm_arg =
+  Arg.(
+    value
+    & opt (some cm_conv) None
+    & info [ "cm" ] ~docv:"POLICY"
+        ~doc:
+          "Contention-management policy: suicide (default), wound-wait, exp-backoff, karma, or timestamp.")
+
+let seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "Run under the seeded random scheduler instead of the deterministic min-clock one (also seeds the contention manager's randomized backoff). Runs are reproducible per seed.")
+
 let granule_arg =
   Arg.(
     value & opt int 1
@@ -336,8 +376,8 @@ let cmd =
   Cmd.v (Cmd.info "stm_run" ~doc)
     Term.(
       const main $ file_arg $ config_arg $ opt_arg $ nait_arg $ params_arg
-      $ verbose_arg $ races_arg $ granule_arg $ trace_arg $ profile_arg
-      $ trace_out_arg $ profile_barriers_arg $ metrics_out_arg $ explore_arg
-      $ pct_arg)
+      $ verbose_arg $ races_arg $ granule_arg $ cm_arg $ seed_arg $ trace_arg
+      $ profile_arg $ trace_out_arg $ profile_barriers_arg $ metrics_out_arg
+      $ explore_arg $ pct_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,245 @@
+open Stm_runtime
+
+(* The contention manager proper: per-transaction priority state plus the
+   decision procedure each policy applies at a conflict. The manager is
+   deliberately independent of the STM core - it sees transactions only
+   as (tid, txid, clock) triples plus the work counters the core feeds
+   it - so the core can depend on it without a cycle, and policies can be
+   unit-tested without a heap or a scheduler. *)
+
+type decision =
+  | Wait of int  (* back off this many cycles, then retry the access *)
+  | Wound of { victim : int; delay : int }
+      (* kill the owning transaction, then back off and retry *)
+  | Abort_self
+
+type conflict = {
+  txid : int;
+  tid : int;
+  attempt : int;  (* failures so far for this access *)
+  writer : bool;
+  work : int;  (* read/write-set footprint of the asking transaction *)
+  owner : int option;  (* owning txid; None for anonymous (non-txn) owners *)
+  now : int;  (* asking thread's cost clock *)
+}
+
+(* One atomic block's contention state. A slot is created at the first
+   [on_begin] of a block and survives aborts until the block commits (or
+   its thread gives up), so age and banked work persist across restarts -
+   the property that makes Timestamp starvation-free and Karma
+   work-conserving. *)
+type slot = {
+  s_tid : int;
+  mutable s_txid : int;  (* current incarnation *)
+  s_first_txid : int;  (* stable across restarts; age tie-break *)
+  s_birth : int;  (* cost clock at the first incarnation *)
+  mutable s_karma : int;  (* work banked from aborted incarnations *)
+  mutable s_work : int;  (* footprint of the current incarnation *)
+  mutable s_active : bool;
+  mutable s_wounded : bool;  (* last incarnation died of a wound *)
+  s_rng : Det_rng.t;
+}
+
+type t = {
+  policy : Policy.t;
+  max_retries : int;
+  cost : Cost.t;
+  by_txid : (int, slot) Hashtbl.t;
+  stacks : (int, slot list) Hashtbl.t;  (* tid -> active blocks, innermost first *)
+  rng : Det_rng.t;  (* seeds per-slot generators deterministically *)
+}
+
+let create ?(seed = 0) ~max_retries ~cost policy =
+  {
+    policy;
+    max_retries;
+    cost;
+    by_txid = Hashtbl.create 32;
+    stacks = Hashtbl.create 8;
+    rng = Det_rng.create seed;
+  }
+
+let policy t = t.policy
+let name t = Policy.to_string t.policy
+
+(* ------------------------------------------------------------------ *)
+(* Backoff schedules                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let backoff_delay (cost : Cost.t) ~attempt =
+  let shift = min attempt 16 in
+  min (cost.backoff_base * (1 lsl shift)) (max cost.backoff_base cost.backoff_cap)
+
+(* Deterministic per-thread jitter: symmetric contenders that back off by
+   identical delays re-collide in lockstep forever (the classic livelock
+   randomized backoff prevents); salting the delay with the thread id
+   breaks the symmetry while keeping runs reproducible. *)
+let jittered_delay cost ~tid ~attempt =
+  let d = backoff_delay cost ~attempt in
+  d + (d * (tid land 7) / 8) + tid
+
+(* Randomized exponential backoff: uniform in [1, 2^attempt * base],
+   capped. Reproducible because the slot's generator is seeded from the
+   manager seed and the thread id. *)
+let randomized_delay t (slot : slot) ~attempt =
+  let bound = max 1 (backoff_delay t.cost ~attempt) in
+  1 + Det_rng.int slot.s_rng bound
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let stack t tid = Option.value ~default:[] (Hashtbl.find_opt t.stacks tid)
+
+let fresh_slot t ~tid ~txid ~now =
+  {
+    s_tid = tid;
+    s_txid = txid;
+    s_first_txid = txid;
+    s_birth = now;
+    s_karma = 0;
+    s_work = 0;
+    s_active = true;
+    s_wounded = false;
+    s_rng = Det_rng.create (((tid + 1) * 0x9E3779B9) lxor Det_rng.next t.rng);
+  }
+
+let on_begin t ~tid ~txid ~now =
+  let push slot rest =
+    Hashtbl.replace t.stacks tid (slot :: rest);
+    Hashtbl.replace t.by_txid txid slot
+  in
+  match stack t tid with
+  | top :: _ when not top.s_active ->
+      (* restart of the same atomic block: keep age, karma, rng *)
+      top.s_txid <- txid;
+      top.s_work <- 0;
+      top.s_active <- true;
+      Hashtbl.replace t.by_txid txid top
+  | rest -> push (fresh_slot t ~tid ~txid ~now) rest
+
+let drop_slot t slot =
+  Hashtbl.remove t.by_txid slot.s_txid;
+  let rest = List.filter (fun s -> s != slot) (stack t slot.s_tid) in
+  if rest = [] then Hashtbl.remove t.stacks slot.s_tid
+  else Hashtbl.replace t.stacks slot.s_tid rest
+
+let on_commit t ~txid =
+  match Hashtbl.find_opt t.by_txid txid with
+  | None -> ()
+  | Some slot -> drop_slot t slot
+
+(* [restart] is false when the enclosing atomic block is being torn down
+   for good (an exception is propagating, or the runner gave up): the
+   slot must not leak its age into the thread's next, unrelated block. *)
+let on_abort t ~txid ~restart ~wounded ~work =
+  match Hashtbl.find_opt t.by_txid txid with
+  | None -> ()
+  | Some slot ->
+      slot.s_karma <- slot.s_karma + max work slot.s_work;
+      slot.s_active <- false;
+      slot.s_wounded <- wounded;
+      if restart then Hashtbl.remove t.by_txid txid else drop_slot t slot
+
+(* ------------------------------------------------------------------ *)
+(* The decision procedure                                              *)
+(* ------------------------------------------------------------------ *)
+
+let priority slot = slot.s_karma + slot.s_work
+
+(* Lexicographic age: earlier birth wins, first-incarnation txid breaks
+   ties (all clocks are 0 under Cost.free, so the tie-break matters). *)
+let older a b =
+  a.s_birth < b.s_birth || (a.s_birth = b.s_birth && a.s_first_txid < b.s_first_txid)
+
+let on_conflict t (c : conflict) =
+  let self = Hashtbl.find_opt t.by_txid c.txid in
+  Option.iter (fun s -> s.s_work <- max s.s_work c.work) self;
+  let owner_slot = Option.bind c.owner (Hashtbl.find_opt t.by_txid) in
+  let budget_exhausted = c.attempt >= t.max_retries in
+  let jitter () = jittered_delay t.cost ~tid:c.tid ~attempt:c.attempt in
+  match t.policy with
+  | Policy.Suicide ->
+      if budget_exhausted then Abort_self else Wait (jitter ())
+  | Policy.Wound_wait ->
+      if budget_exhausted then Abort_self
+      else (
+        match c.owner with
+        | Some o when c.txid < o -> Wound { victim = o; delay = jitter () }
+        | Some _ | None -> Wait (jitter ()))
+  | Policy.Exp_backoff ->
+      if budget_exhausted then Abort_self
+      else
+        let delay =
+          match self with
+          | Some slot -> randomized_delay t slot ~attempt:c.attempt
+          | None -> jitter ()
+        in
+        Wait delay
+  | Policy.Karma -> (
+      if budget_exhausted then Abort_self
+      else
+        match (self, owner_slot) with
+        | Some s, Some o
+          when priority s > priority o
+               || (priority s = priority o && s.s_first_txid < o.s_first_txid)
+          ->
+            Wound { victim = o.s_txid; delay = jitter () }
+        | _ -> Wait (jitter ()))
+  | Policy.Timestamp -> (
+      match (self, owner_slot) with
+      | Some s, Some o when older s o ->
+          (* the oldest transaction never loses - and never gives up,
+             even past the retry budget, because its victim may need a
+             few more pauses to notice the wound *)
+          Wound { victim = o.s_txid; delay = jitter () }
+      | Some _, Some _ ->
+          (* younger waits for older without burning retry budget: waits
+             only ever point from younger to older (a younger owner would
+             be wounded instead), so the wait graph follows a total age
+             order and cannot cycle. Aborting here would restart-churn
+             the young side into exactly the starvation streaks the
+             policy exists to prevent. *)
+          Wait (jitter ())
+      | _ ->
+          (* anonymous or unknown owner: no age to order against, so fall
+             back to bounded retries like everyone else *)
+          if budget_exhausted then Abort_self else Wait (jitter ()))
+
+(* Delay charged between a conflict-driven abort and the block's next
+   incarnation. Same schedule the policy uses inside the transaction,
+   so Exp_backoff randomizes here too.
+
+   A wound victim gets an extra step-aside deferral: its wounder is
+   polling the contested record at jittered-backoff intervals, and if the
+   victim restarts inside one of those intervals it re-acquires the
+   record first and just gets wounded again - a wound/retry thrash in
+   which the winner of every conflict makes no progress. The deferral is
+   sized past the largest poll interval so the wounder wins the race. *)
+let step_aside t ~tid ~attempt =
+  (4 * max t.cost.Cost.backoff_base t.cost.backoff_cap)
+  + jittered_delay t.cost ~tid ~attempt
+
+let restart_delay t ~tid ~attempt =
+  let top = match stack t tid with slot :: _ -> Some slot | [] -> None in
+  let wounded =
+    match top with
+    | Some slot when slot.s_wounded ->
+        slot.s_wounded <- false;
+        true
+    | _ -> false
+  in
+  if wounded then step_aside t ~tid ~attempt
+  else
+    match t.policy with
+    | Policy.Exp_backoff -> (
+        match top with
+        | Some slot -> randomized_delay t slot ~attempt
+        | None -> jittered_delay t.cost ~tid ~attempt)
+    | Policy.Suicide | Policy.Wound_wait | Policy.Karma | Policy.Timestamp ->
+        jittered_delay t.cost ~tid ~attempt
+
+let string_of_decision = function
+  | Wait _ -> "wait"
+  | Wound _ -> "wound"
+  | Abort_self -> "abort-self"

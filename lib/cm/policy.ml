@@ -1,0 +1,37 @@
+type t = Suicide | Wound_wait | Exp_backoff | Karma | Timestamp
+
+let all = [ Suicide; Wound_wait; Exp_backoff; Karma; Timestamp ]
+
+let to_string = function
+  | Suicide -> "suicide"
+  | Wound_wait -> "wound-wait"
+  | Exp_backoff -> "exp-backoff"
+  | Karma -> "karma"
+  | Timestamp -> "timestamp"
+
+let of_string = function
+  | "suicide" -> Some Suicide
+  | "wound-wait" | "wound_wait" | "woundwait" -> Some Wound_wait
+  | "exp-backoff" | "exp_backoff" | "expbackoff" -> Some Exp_backoff
+  | "karma" -> Some Karma
+  | "timestamp" | "greedy" -> Some Timestamp
+  | _ -> None
+
+let describe = function
+  | Suicide ->
+      "back off with deterministic jitter, abort self after the retry budget \
+       (the McRT default)"
+  | Wound_wait ->
+      "older transaction kills a younger owner; younger backs off behind an \
+       older owner (deadlock-free by construction)"
+  | Exp_backoff ->
+      "randomized exponential backoff on the cost clock; abort self after \
+       the retry budget"
+  | Karma ->
+      "work-based priority: aborted work is banked, richer transaction \
+       wounds poorer owner"
+  | Timestamp ->
+      "greedy age-based: birth timestamp survives restarts, the oldest \
+       transaction never loses (starvation-free)"
+
+let pp ppf p = Fmt.string ppf (to_string p)

@@ -1,6 +1,5 @@
 type versioning = Eager | Lazy
 type conflict_policy = Backoff | Raise_error
-type txn_conflict_policy = Suicide | Wound_wait
 
 type t = {
   versioning : versioning;
@@ -13,8 +12,10 @@ type t = {
   detect_nontxn_races : bool;
   quiescence : bool;
   conflict : conflict_policy;
-  txn_conflict : txn_conflict_policy;
+  cm : Stm_cm.Policy.t;
+  cm_seed : int;
   max_txn_retries : int;
+  max_txn_restarts : int;
   validate_every : int;
   cost : Stm_runtime.Cost.t;
 }
@@ -31,8 +32,10 @@ let base =
     detect_nontxn_races = false;
     quiescence = false;
     conflict = Backoff;
-    txn_conflict = Suicide;
+    cm = Stm_cm.Policy.Suicide;
+    cm_seed = 0;
     max_txn_retries = 8;
+    max_txn_restarts = 0;
     validate_every = 128;
     cost = Stm_runtime.Cost.default;
   }
@@ -44,7 +47,8 @@ let lazy_strong = { base with versioning = Lazy; strong = true }
 let with_dea t = { t with dea = true; read_privacy_check = true }
 let with_granule granule t = { t with granule }
 let with_quiescence t = { t with quiescence = true }
-let with_wound_wait t = { t with txn_conflict = Wound_wait }
+let with_cm cm t = { t with cm }
+let with_wound_wait t = { t with cm = Stm_cm.Policy.Wound_wait }
 
 let describe t =
   let b = Buffer.create 32 in
@@ -55,7 +59,10 @@ let describe t =
   if t.dea then Buffer.add_string b "+dea";
   if t.quiescence then Buffer.add_string b "+quiesce";
   if t.granule > 1 then Buffer.add_string b (Printf.sprintf "+granule%d" t.granule);
-  if t.txn_conflict = Wound_wait then Buffer.add_string b "+woundwait";
+  (match t.cm with
+  | Stm_cm.Policy.Suicide -> ()
+  | Stm_cm.Policy.Wound_wait -> Buffer.add_string b "+woundwait"
+  | p -> Buffer.add_string b ("+cm-" ^ Stm_cm.Policy.to_string p));
   Buffer.contents b
 
 let pp ppf t = Fmt.string ppf (describe t)

@@ -16,16 +16,6 @@ type conflict_policy =
       (** signal the race by raising {!Conflict.Isolation_violation}
           — the paper's "barriers can aid in debugging" mode *)
 
-(** Contention management between transactions (how open-for-write
-    resolves a record owned by another transaction). *)
-type txn_conflict_policy =
-  | Suicide
-      (** back off and, after the retry budget, abort self (the McRT
-          default the paper uses) *)
-  | Wound_wait
-      (** older transaction wounds (kills) a younger owner; younger
-          waits for an older owner — deadlock-free by construction *)
-
 type t = {
   versioning : versioning;
   strong : bool;  (** insert non-transactional isolation barriers *)
@@ -49,9 +39,19 @@ type t = {
           transaction's isolation *)
   quiescence : bool;  (** commit-time quiescence (Section 3.4) *)
   conflict : conflict_policy;
-  txn_conflict : txn_conflict_policy;
+  cm : Stm_cm.Policy.t;
+      (** contention management between transactions: how an
+          open-for-read/-write resolves a record owned by another
+          transaction (see {!Stm_cm.Policy}) *)
+  cm_seed : int;
+      (** seed for the contention manager's randomized-backoff streams *)
   max_txn_retries : int;
-      (** open-for-write back-offs before a transaction aborts itself *)
+      (** per-access back-offs before the contention manager gives up and
+          aborts the transaction (the {!Stm_cm.Cm.create} retry budget) *)
+  max_txn_restarts : int;
+      (** consecutive failed attempts of one atomic block before
+          {!Stm.atomic} raises {!Stm.Starved} instead of retrying;
+          [0] = retry forever *)
   validate_every : int;
       (** re-validate the read set every N transactional accesses so that
           doomed transactions cannot run unboundedly on inconsistent
@@ -62,7 +62,7 @@ type t = {
 val base : t
 (** Weakly-atomic eager-versioning McRT-style STM: the paper's starting
     point. Strong atomicity and all optimizations off; field-granular
-    versioning; back-off conflict policy. *)
+    versioning; back-off conflict policy; suicide contention management. *)
 
 val eager_weak : t
 val lazy_weak : t
@@ -78,6 +78,12 @@ val with_dea : t -> t
 
 val with_granule : int -> t -> t
 val with_quiescence : t -> t
+
+val with_cm : Stm_cm.Policy.t -> t -> t
+(** Select a contention-management policy. *)
+
 val with_wound_wait : t -> t
+(** [with_cm Stm_cm.Policy.Wound_wait]. *)
+
 val pp : Format.formatter -> t -> unit
 val describe : t -> string

@@ -3,20 +3,17 @@ open Stm_runtime
 exception
   Isolation_violation of { cls : string; oid : int; writer : bool }
 
-let backoff_delay (cost : Cost.t) ~attempt =
-  let shift = min attempt 16 in
-  min (cost.backoff_base * (1 lsl shift)) (max cost.backoff_base cost.backoff_cap)
+(* The delay schedules live in Stm_cm.Cm so contention-manager policies
+   can reuse them; these wrappers keep the historical signatures (tid is
+   read off the running scheduler here, not passed in). *)
+let backoff_delay cost ~attempt = Stm_cm.Cm.backoff_delay cost ~attempt
 
-(* Deterministic per-thread jitter: symmetric contenders that back off by
-   identical delays re-collide in lockstep forever (the classic livelock
-   randomized backoff prevents); salting the delay with the thread id
-   breaks the symmetry while keeping runs reproducible. *)
 let jittered_delay cost ~attempt =
-  let d = backoff_delay cost ~attempt in
   let tid = if Sched.running () then Sched.self () else 0 in
-  d + (d * (tid land 7) / 8) + tid
+  Stm_cm.Cm.jittered_delay cost ~tid ~attempt
 
-let handle (cfg : Config.t) (stats : Stats.t) ~attempt ~writer (obj : Heap.obj) =
+let handle ?delay (cfg : Config.t) (stats : Stats.t) ~attempt ~writer
+    (obj : Heap.obj) =
   stats.Stats.conflicts <- stats.Stats.conflicts + 1;
   Trace.emit
     (lazy
@@ -32,7 +29,12 @@ let handle (cfg : Config.t) (stats : Stats.t) ~attempt ~writer (obj : Heap.obj) 
   | Config.Raise_error ->
       raise (Isolation_violation { cls = obj.Heap.cls; oid = obj.Heap.oid; writer })
   | Config.Backoff ->
-      let delay = jittered_delay cfg.cost ~attempt in
+      let delay =
+        match delay with
+        | Some d -> d
+        | None -> jittered_delay cfg.cost ~attempt
+      in
+      stats.Stats.backoff_cycles <- stats.Stats.backoff_cycles + delay;
       Trace.emit ~level:Trace.Debug
         (lazy
           (Trace.Backoff
@@ -41,5 +43,4 @@ let handle (cfg : Config.t) (stats : Stats.t) ~attempt ~writer (obj : Heap.obj) 
                attempt;
                delay;
              }));
-      Sched.tick delay;
-      Sched.yield ()
+      Sched.pause delay

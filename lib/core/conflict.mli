@@ -17,9 +17,17 @@ exception
   }
 
 val handle :
-  Config.t -> Stats.t -> attempt:int -> writer:bool -> Stm_runtime.Heap.obj -> unit
+  ?delay:int ->
+  Config.t ->
+  Stats.t ->
+  attempt:int ->
+  writer:bool ->
+  Stm_runtime.Heap.obj ->
+  unit
 (** Back off (or raise). [attempt] is the number of failures so far for
-    this access; the delay is [min (base * 2^attempt) cap]. *)
+    this access; the delay is [min (base * 2^attempt) cap] unless the
+    contention manager supplied an explicit [delay]. The cycles charged
+    are accumulated into [Stats.backoff_cycles]. *)
 
 val backoff_delay : Stm_runtime.Cost.t -> attempt:int -> int
 (** The base delay schedule, exposed for tests. *)

@@ -12,6 +12,7 @@ type t = {
   mutable validations : int;
   mutable retries : int;
   mutable wounds : int;
+  mutable backoff_cycles : int;
   mutable quiesce_waits : int;
 }
 
@@ -30,6 +31,7 @@ let create () =
     validations = 0;
     retries = 0;
     wounds = 0;
+    backoff_cycles = 0;
     quiesce_waits = 0;
   }
 
@@ -47,6 +49,7 @@ let reset t =
   t.validations <- 0;
   t.retries <- 0;
   t.wounds <- 0;
+  t.backoff_cycles <- 0;
   t.quiesce_waits <- 0
 
 let add acc t =
@@ -63,6 +66,7 @@ let add acc t =
   acc.validations <- acc.validations + t.validations;
   acc.retries <- acc.retries + t.retries;
   acc.wounds <- acc.wounds + t.wounds;
+  acc.backoff_cycles <- acc.backoff_cycles + t.backoff_cycles;
   acc.quiesce_waits <- acc.quiesce_waits + t.quiesce_waits
 
 let to_assoc t =
@@ -80,6 +84,7 @@ let to_assoc t =
     ("validations", t.validations);
     ("retries", t.retries);
     ("wounds", t.wounds);
+    ("backoff_cycles", t.backoff_cycles);
     ("quiesce_waits", t.quiesce_waits);
   ]
 
@@ -92,7 +97,8 @@ let pp ppf t =
   Fmt.pf ppf
     "commits=%d aborts=%d txn_r=%d txn_w=%d bar_r=%d bar_w=%d priv=%d \
      atomics=%d conflicts=%d publishes=%d validations=%d retries=%d \
-     wounds=%d quiesce=%d"
+     wounds=%d backoff=%d quiesce=%d"
     t.commits t.aborts t.txn_reads t.txn_writes t.barrier_reads
     t.barrier_writes t.barrier_private_hits t.atomic_ops t.conflicts
-    t.publishes t.validations t.retries t.wounds t.quiesce_waits
+    t.publishes t.validations t.retries t.wounds t.backoff_cycles
+    t.quiesce_waits

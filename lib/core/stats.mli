@@ -19,7 +19,9 @@ type t = {
   mutable publishes : int;  (** objects marked public by publishObject *)
   mutable validations : int;
   mutable retries : int;  (** user-initiated retry operations *)
-  mutable wounds : int;  (** wound-wait kills issued *)
+  mutable wounds : int;  (** contention-manager kills issued *)
+  mutable backoff_cycles : int;
+      (** virtual cycles spent in contention-manager waits *)
   mutable quiesce_waits : int;
 }
 

@@ -2,6 +2,7 @@ open Stm_runtime
 
 exception Not_installed
 exception Retry_outside_transaction
+exception Starved of { attempts : int }
 
 type system = {
   ctx : Txn.ctx;
@@ -141,12 +142,21 @@ let write_nobarrier obj fld v =
 (* Transactions                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let backoff_wait cfg attempt =
-  let delay = Conflict.jittered_delay cfg.Config.cost ~attempt in
+(* Inter-attempt backoff between an abort and the block's next
+   incarnation; the delay schedule is the contention manager's. *)
+let backoff_wait sys attempt =
+  let tid = Sched.self () in
+  let delay = Stm_cm.Cm.restart_delay (Txn.cm sys.ctx) ~tid ~attempt in
+  (Txn.stats sys.ctx).Stats.backoff_cycles <-
+    (Txn.stats sys.ctx).Stats.backoff_cycles + delay;
   Trace.emit ~level:Trace.Debug
-    (lazy (Trace.Backoff { tid = Sched.self (); attempt; delay }));
-  Sched.tick delay;
-  Sched.yield ()
+    (lazy (Trace.Backoff { tid; attempt; delay }));
+  Sched.pause delay
+
+(* Has this block burned through its whole restart budget? [n] is the
+   index of the attempt that just aborted, so [n + 1] attempts failed. *)
+let starved_out (cfg : Config.t) n =
+  cfg.max_txn_restarts > 0 && n + 1 >= cfg.max_txn_restarts
 
 (* Wait until some member of the read-set snapshot changes version
    (approximates the blocking retry of Harris et al.). *)
@@ -179,22 +189,22 @@ let atomic f =
         let txn = Txn.begin_txn sys.ctx in
         Hashtbl.replace sys.current tid txn;
         let cleanup () = Hashtbl.remove sys.current tid in
+        let aborted () =
+          let give_up = starved_out cfg n in
+          Txn.abort ~restart:(not give_up) sys.ctx txn;
+          cleanup ();
+          if give_up then raise (Starved { attempts = n + 1 });
+          backoff_wait sys n;
+          attempt (n + 1)
+        in
         match f () with
         | v -> (
             match Txn.commit sys.ctx txn with
             | () ->
                 cleanup ();
                 v
-            | exception Txn.Abort_txn ->
-                Txn.abort sys.ctx txn;
-                cleanup ();
-                backoff_wait cfg n;
-                attempt (n + 1))
-        | exception Txn.Abort_txn ->
-            Txn.abort sys.ctx txn;
-            cleanup ();
-            backoff_wait cfg n;
-            attempt (n + 1)
+            | exception Txn.Abort_txn -> aborted ())
+        | exception Txn.Abort_txn -> aborted ()
         | exception Txn.Retry_request ->
             let snap = Txn.reads_snapshot txn in
             (Txn.stats sys.ctx).Stats.retries <-
@@ -205,7 +215,7 @@ let atomic f =
             wait_for_change cfg snap;
             attempt n
         | exception ex ->
-            Txn.abort sys.ctx txn;
+            Txn.abort ~restart:false sys.ctx txn;
             cleanup ();
             raise ex
       in
@@ -222,24 +232,24 @@ let atomic_open f =
         let txn = Txn.begin_txn ~parent sys.ctx in
         Hashtbl.replace sys.current tid txn;
         let restore () = Hashtbl.replace sys.current tid parent in
+        let aborted () =
+          let give_up = starved_out cfg n in
+          Txn.abort ~restart:(not give_up) sys.ctx txn;
+          restore ();
+          if give_up then raise (Starved { attempts = n + 1 });
+          backoff_wait sys n;
+          attempt (n + 1)
+        in
         match f () with
         | v -> (
             match Txn.commit sys.ctx txn with
             | () ->
                 restore ();
                 v
-            | exception Txn.Abort_txn ->
-                Txn.abort sys.ctx txn;
-                restore ();
-                backoff_wait cfg n;
-                attempt (n + 1))
-        | exception Txn.Abort_txn ->
-            Txn.abort sys.ctx txn;
-            restore ();
-            backoff_wait cfg n;
-            attempt (n + 1)
+            | exception Txn.Abort_txn -> aborted ())
+        | exception Txn.Abort_txn -> aborted ()
         | exception ex ->
-            Txn.abort sys.ctx txn;
+            Txn.abort ~restart:false sys.ctx txn;
             restore ();
             raise ex
       in

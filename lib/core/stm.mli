@@ -24,6 +24,12 @@ open Stm_runtime
 exception Not_installed
 exception Retry_outside_transaction
 
+exception Starved of { attempts : int }
+(** Raised by {!atomic} when {!Config.t.max_txn_restarts} is positive and
+    that many consecutive attempts of one atomic block all aborted: the
+    block is starving and the caller gets a clean error instead of an
+    unbounded retry loop. [attempts] is the number of failed attempts. *)
+
 (** {1 System lifecycle} *)
 
 val install : Config.t -> unit
@@ -74,10 +80,12 @@ val write_nobarrier : Heap.obj -> int -> Heap.value -> unit
 (** {1 Transactions} *)
 
 val atomic : (unit -> 'a) -> 'a
-(** Run the function as a transaction; retries on conflict with
-    exponential back-off. Nested calls flatten (closed nesting by
+(** Run the function as a transaction; retries on conflict, with the
+    configured contention manager ({!Config.t.cm}) choosing the
+    inter-attempt backoff. Nested calls flatten (closed nesting by
     subsumption). An exception escaping the function aborts the
-    transaction and is re-raised. *)
+    transaction and is re-raised. Raises {!Starved} when a positive
+    {!Config.t.max_txn_restarts} budget is exhausted. *)
 
 val atomic_open : (unit -> 'a) -> 'a
 (** Open-nested transaction: runs and commits independently while the

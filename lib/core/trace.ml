@@ -33,11 +33,19 @@ type event =
   | Barrier of { tid : int; site : int; op : barrier_op; path : barrier_path }
   | Backoff of { tid : int; attempt : int; delay : int }
   | Validation of { txid : int; tid : int; ok : bool }
+  | Cm_decision of {
+      tid : int;
+      txid : int;
+      policy : string;
+      decision : string;
+      owner : int;
+      delay : int;
+    }
 
 (* Intrinsic verbosity of each event kind: per-access events are [Debug],
    transaction-lifecycle and structural events are [Info]. *)
 let event_level = function
-  | Barrier _ | Backoff _ | Validation _ -> Debug
+  | Barrier _ | Backoff _ | Validation _ | Cm_decision _ -> Debug
   | Txn_begin _ | Txn_commit _ | Txn_abort _ | Txn_wound _ | Conflict _
   | Publish _ | Quiesce_wait _ ->
       Info
@@ -114,3 +122,8 @@ let pp_event ppf = function
       Fmt.pf ppf "txn %d validation %s (thread %d)" txid
         (if ok then "ok" else "failed")
         tid
+  | Cm_decision { tid; txid; policy; decision; owner; delay } ->
+      Fmt.pf ppf "txn %d cm %s: %s%a (thread %d, %d cycles)" txid policy
+        decision
+        (fun ppf o -> if o >= 0 then Fmt.pf ppf " vs txn %d" o)
+        owner tid delay

@@ -60,6 +60,14 @@ type event =
   | Barrier of { tid : int; site : int; op : barrier_op; path : barrier_path }
   | Backoff of { tid : int; attempt : int; delay : int }
   | Validation of { txid : int; tid : int; ok : bool }
+  | Cm_decision of {
+      tid : int;
+      txid : int;
+      policy : string;
+      decision : string;  (** ["wait"], ["wound"], or ["abort-self"] *)
+      owner : int;  (** owning txid at decision time, [-1] when unknown *)
+      delay : int;  (** backoff cycles chosen (0 for abort-self) *)
+    }  (** one contention-manager decision (Debug level) *)
 
 val event_level : event -> level
 (** Intrinsic level of an event kind (per-access events are [Debug]). *)

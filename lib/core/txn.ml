@@ -8,6 +8,7 @@ type ctx = {
   cfg : Config.t;
   stats : Stats.t;
   q : Quiesce.t;
+  cm : Stm_cm.Cm.t;
   mutable next_id : int;
   registry : (int, killed_flag) Hashtbl.t;
       (* live transaction ids -> wound flag, for contention management *)
@@ -46,11 +47,15 @@ type t = {
   mutable abort_cause : Trace.abort_cause;
 }
 
-let make_ctx cfg =
+let make_ctx (cfg : Config.t) =
   {
     cfg;
     stats = Stats.create ();
     q = Quiesce.create ();
+    cm =
+      Stm_cm.Cm.create ~seed:cfg.Config.cm_seed
+        ~max_retries:cfg.Config.max_txn_retries ~cost:cfg.Config.cost
+        cfg.Config.cm;
     next_id = 0;
     registry = Hashtbl.create 32;
   }
@@ -58,6 +63,7 @@ let make_ctx cfg =
 let cfg ctx = ctx.cfg
 let stats ctx = ctx.stats
 let quiescer ctx = ctx.q
+let cm ctx = ctx.cm
 
 let begin_txn ?parent ctx =
   ctx.next_id <- ctx.next_id + 1;
@@ -65,6 +71,8 @@ let begin_txn ?parent ctx =
   let part = if ctx.cfg.quiescence then Some (Quiesce.register ctx.q) else None in
   let flag = { killed = false } in
   Hashtbl.replace ctx.registry ctx.next_id flag;
+  Stm_cm.Cm.on_begin ctx.cm ~tid:(Sched.self ()) ~txid:ctx.next_id
+    ~now:(Sched.time ());
   Trace.emit (lazy (Trace.Txn_begin { txid = ctx.next_id; tid = Sched.self () }));
   {
     txid = ctx.next_id;
@@ -124,43 +132,77 @@ let validate ctx t =
     (lazy (Trace.Validation { txid = t.txid; tid = Sched.self (); ok }));
   ok
 
-(* Wound-wait contention management: an older transaction (smaller id)
-   wounds a younger owner instead of waiting; the victim notices the flag
-   at its next pause or validation point and aborts. Deadlock-free: waits
-   only ever go from younger to older. *)
-let maybe_wound ctx t owner_word =
-  if ctx.cfg.txn_conflict = Config.Wound_wait && Txrec.is_exclusive owner_word
-  then begin
-    let owner = Txrec.owner owner_word in
-    if t.txid < owner then
-      match Hashtbl.find_opt ctx.registry owner with
-      | Some flag when not flag.killed ->
-          flag.killed <- true;
-          ctx.stats.Stats.wounds <- ctx.stats.Stats.wounds + 1;
-          Trace.emit (lazy (Trace.Txn_wound { victim = owner; by = t.txid }))
-      | Some _ | None -> ()
-  end
-
 let check_wounded t =
   if t.flag.killed then begin
     t.abort_cause <- Trace.Cause_wounded;
     raise Abort_txn
   end
 
+(* Apply a Wound decision: mark the victim's flag; the victim notices it
+   at its next pause or validation point and aborts. Idempotent. *)
+let wound ctx ~victim ~by =
+  match Hashtbl.find_opt ctx.registry victim with
+  | Some flag when not flag.killed ->
+      flag.killed <- true;
+      ctx.stats.Stats.wounds <- ctx.stats.Stats.wounds + 1;
+      Trace.emit (lazy (Trace.Txn_wound { victim; by }))
+  | Some _ | None -> ()
+
 (* A transaction pausing on a conflict revalidates (when quiescence is on)
    so that committers waiting in [Quiesce.commit_epoch_wait] observe it as
    consistent - and so that doomed transactions abort promptly instead of
    blocking a privatizer. *)
-let conflict_pause ctx t ~attempt ~writer obj =
-  check_wounded t;
-  maybe_wound ctx t (Atomic.get obj.Heap.txrec);
-  Conflict.handle ctx.cfg ctx.stats ~attempt ~writer obj;
+let conflict_pause ctx t ~attempt ~writer ~delay obj =
+  Conflict.handle ~delay ctx.cfg ctx.stats ~attempt ~writer obj;
   if ctx.cfg.quiescence then
     if validate ctx t then Option.iter (Quiesce.mark_consistent ctx.q) t.part
     else begin
       t.abort_cause <- Trace.Cause_validation;
       raise Abort_txn
     end
+
+(* Resolve a conflict on [obj] through the contention manager: ask the
+   configured policy what to do, trace its decision, and either abort
+   self, wound the owner and pause, or just pause. Raises [Abort_txn]
+   (never returns normally) on a self-abort. *)
+let cm_resolve ctx t ~attempt ~writer obj =
+  check_wounded t;
+  let w = Atomic.get obj.Heap.txrec in
+  let owner = if Txrec.is_exclusive w then Some (Txrec.owner w) else None in
+  let decision =
+    Stm_cm.Cm.on_conflict ctx.cm
+      {
+        Stm_cm.Cm.txid = t.txid;
+        tid = Sched.self ();
+        attempt;
+        writer;
+        work = t.naccesses;
+        owner;
+        now = Sched.time ();
+      }
+  in
+  Trace.emit ~level:Trace.Debug
+    (lazy
+      (Trace.Cm_decision
+         {
+           tid = Sched.self ();
+           txid = t.txid;
+           policy = Stm_cm.Cm.name ctx.cm;
+           decision = Stm_cm.Cm.string_of_decision decision;
+           owner = Option.value ~default:(-1) owner;
+           delay =
+             (match decision with
+             | Stm_cm.Cm.Wait d | Stm_cm.Cm.Wound { delay = d; _ } -> d
+             | Stm_cm.Cm.Abort_self -> 0);
+         }));
+  match decision with
+  | Stm_cm.Cm.Abort_self ->
+      t.abort_cause <- Trace.Cause_conflict;
+      raise Abort_txn
+  | Stm_cm.Cm.Wound { victim; delay } ->
+      wound ctx ~victim ~by:t.txid;
+      conflict_pause ctx t ~attempt ~writer ~delay obj
+  | Stm_cm.Cm.Wait delay -> conflict_pause ctx t ~attempt ~writer ~delay obj
 
 let periodic_validate ctx t =
   check_wounded t;
@@ -218,14 +260,8 @@ let acquire ctx t ?expect (obj : Heap.obj) =
         else go attempt)
     | Txrec.Exclusive _ when ancestor_owns t w -> raise Open_nest_conflict
     | Txrec.Exclusive _ | Txrec.Exclusive_anon _ ->
-        if attempt >= ctx.cfg.max_txn_retries then begin
-          t.abort_cause <- Trace.Cause_conflict;
-          raise Abort_txn
-        end
-        else begin
-          conflict_pause ctx t ~attempt ~writer:true obj;
-          go (attempt + 1)
-        end
+        cm_resolve ctx t ~attempt ~writer:true obj;
+        go (attempt + 1)
     | Txrec.Private ->
         (* The object was private when the caller checked and is being
            published concurrently - retry the whole access. *)
@@ -283,14 +319,8 @@ let eager_read ctx t (obj : Heap.obj) fld =
         v
     | Txrec.Exclusive _ when ancestor_owns t w -> raise Open_nest_conflict
     | Txrec.Exclusive _ | Txrec.Exclusive_anon _ ->
-        if attempt >= ctx.cfg.max_txn_retries then begin
-          t.abort_cause <- Trace.Cause_conflict;
-          raise Abort_txn
-        end
-        else begin
-          conflict_pause ctx t ~attempt ~writer:false obj;
-          go (attempt + 1)
-        end
+        cm_resolve ctx t ~attempt ~writer:false obj;
+        go (attempt + 1)
   in
   go 0
 
@@ -323,14 +353,8 @@ let lazy_slot ctx t (obj : Heap.obj) fld =
             | Txrec.Exclusive _ when ancestor_owns t w ->
                 raise Open_nest_conflict
             | Txrec.Exclusive _ | Txrec.Exclusive_anon _ ->
-                if attempt >= ctx.cfg.max_txn_retries then begin
-                  t.abort_cause <- Trace.Cause_conflict;
-                  raise Abort_txn
-                end
-                else begin
-                  conflict_pause ctx t ~attempt ~writer:true obj;
-                  observe (attempt + 1)
-                end
+                cm_resolve ctx t ~attempt ~writer:true obj;
+                observe (attempt + 1)
           in
           observe 0
         end
@@ -461,6 +485,7 @@ let commit ctx t =
       Option.iter (Quiesce.retire_ticket ctx.q) ticket);
   Option.iter (Quiesce.deregister ctx.q) t.part;
   Hashtbl.remove ctx.registry t.txid;
+  Stm_cm.Cm.on_commit ctx.cm ~txid:t.txid;
   Trace.emit
     (lazy
       (Trace.Txn_commit
@@ -473,7 +498,7 @@ let commit ctx t =
          }));
   ctx.stats.Stats.commits <- ctx.stats.Stats.commits + 1
 
-let abort ctx t =
+let abort ?(restart = true) ctx t =
   let cost = ctx.cfg.cost in
   Sched.tick cost.Cost.txn_abort;
   (* roll back the undo log, newest entry first; each store is visible to
@@ -494,6 +519,8 @@ let abort ctx t =
   release_all ctx t;
   Option.iter (Quiesce.deregister ctx.q) t.part;
   Hashtbl.remove ctx.registry t.txid;
+  Stm_cm.Cm.on_abort ctx.cm ~txid:t.txid ~restart ~wounded:t.flag.killed
+    ~work:t.naccesses;
   Trace.emit
     (lazy
       (Trace.Txn_abort

@@ -33,6 +33,10 @@ val cfg : ctx -> Config.t
 val stats : ctx -> Stats.t
 val quiescer : ctx -> Quiesce.t
 
+val cm : ctx -> Stm_cm.Cm.t
+(** The run's contention manager (built from {!Config.t.cm}); the
+    {!Stm.atomic} runner consults it for inter-attempt backoff. *)
+
 type t
 (** A transaction descriptor. *)
 
@@ -73,9 +77,13 @@ val commit : ctx -> t -> unit
     and release ownership. Raises {!Abort_txn} on validation failure
     {e without} cleaning up — the caller must then call {!abort}. *)
 
-val abort : ctx -> t -> unit
+val abort : ?restart:bool -> ctx -> t -> unit
 (** Roll back (eager) or discard the buffer (lazy), release ownership with
-    a version bump, update counters. *)
+    a version bump, update counters. [restart] (default [true]) tells the
+    contention manager whether the atomic block will be re-attempted —
+    pass [false] when the block is being torn down for good (an escaping
+    exception or a starved runner), so the block's priority state does not
+    leak into the thread's next transaction. *)
 
 val reads_snapshot : t -> (Heap.obj * int) list
 (** Read set as (object, observed version) pairs; used by the [retry]

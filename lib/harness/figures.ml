@@ -303,7 +303,7 @@ let pp_scaling ppf s =
 (* Figure 6                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let fig6 ?preemption_bound ?max_runs () =
-  Stm_litmus.Matrix.fig6 ?preemption_bound ?max_runs ()
+let fig6 ?preemption_bound ?max_runs ?cm () =
+  Stm_litmus.Matrix.fig6 ?preemption_bound ?max_runs ?cm ()
 
 let pp_fig6 = Stm_litmus.Matrix.pp_table

@@ -66,6 +66,10 @@ val pp_scaling : Format.formatter -> scaling -> unit
 (** {1 Figure 6} *)
 
 val fig6 :
-  ?preemption_bound:int -> ?max_runs:int -> unit -> Stm_litmus.Matrix.cell list
+  ?preemption_bound:int ->
+  ?max_runs:int ->
+  ?cm:Stm_cm.Policy.t ->
+  unit ->
+  Stm_litmus.Matrix.cell list
 
 val pp_fig6 : Format.formatter -> Stm_litmus.Matrix.cell list -> unit

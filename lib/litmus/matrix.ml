@@ -50,7 +50,7 @@ let expectation program mode =
       | Modes.Weak _ -> true
       | Modes.Locks | Modes.Strong _ | Modes.Weak_quiesce _ -> false)
 
-let run_cell ?(preemption_bound = 2) ?(max_runs = 6000) ?granule_override
+let run_cell ?(preemption_bound = 2) ?(max_runs = 6000) ?granule_override ?cm
     program mode =
   let granule =
     match granule_override with
@@ -58,6 +58,11 @@ let run_cell ?(preemption_bound = 2) ?(max_runs = 6000) ?granule_override
     | None -> program.Programs.needs_granule
   in
   let cfg = Modes.config ~granule mode in
+  (* contention management must not change which anomalies are
+     expressible, so a policy override reuses every expectation *)
+  let cfg =
+    match cm with None -> cfg | Some p -> Stm_core.Config.with_cm p cfg
+  in
   let make () = program.Programs.build (Modes.harness mode cfg) in
   let e =
     Explorer.explore ~preemption_bound ~max_runs
@@ -72,30 +77,31 @@ let run_cell ?(preemption_bound = 2) ?(max_runs = 6000) ?granule_override
     truncated = e.Explorer.truncated;
   }
 
-let fig6 ?preemption_bound ?max_runs () =
+let fig6 ?preemption_bound ?max_runs ?cm () =
   List.concat_map
     (fun program ->
       List.map
-        (fun mode -> run_cell ?preemption_bound ?max_runs program mode)
+        (fun mode -> run_cell ?preemption_bound ?max_runs ?cm program mode)
         Modes.all_fig6)
     Programs.fig6_rows
 
-let extras_rows ?preemption_bound ?max_runs () =
+let extras_rows ?preemption_bound ?max_runs ?cm () =
   List.concat_map
     (fun program ->
       List.map
-        (fun mode -> run_cell ?preemption_bound ?max_runs program mode)
+        (fun mode -> run_cell ?preemption_bound ?max_runs ?cm program mode)
         Modes.all_fig6)
     Programs.extras
 
-let privatization_row ?preemption_bound ?max_runs () =
+let privatization_row ?preemption_bound ?max_runs ?cm () =
   let modes =
     Modes.all_fig6
     @ [ Modes.Weak_quiesce Stm_core.Config.Eager;
         Modes.Weak_quiesce Stm_core.Config.Lazy ]
   in
   List.map
-    (fun mode -> run_cell ?preemption_bound ?max_runs Programs.privatization mode)
+    (fun mode ->
+      run_cell ?preemption_bound ?max_runs ?cm Programs.privatization mode)
     modes
 
 let all_match cells = List.for_all (fun c -> c.expected = c.observed) cells

@@ -22,20 +22,29 @@ val run_cell :
   ?preemption_bound:int ->
   ?max_runs:int ->
   ?granule_override:int ->
+  ?cm:Stm_cm.Policy.t ->
   Programs.t ->
   Modes.t ->
   cell
+(** [cm] overrides the contention-management policy of the mode's
+    configuration; the expectation is unchanged, because contention
+    management must not affect which anomalies are expressible. *)
 
-val fig6 : ?preemption_bound:int -> ?max_runs:int -> unit -> cell list
+val fig6 :
+  ?preemption_bound:int -> ?max_runs:int -> ?cm:Stm_cm.Policy.t -> unit ->
+  cell list
 (** All 45 cells (9 anomaly rows x 5 modes). *)
 
-val extras_rows : ?preemption_bound:int -> ?max_runs:int -> unit -> cell list
+val extras_rows :
+  ?preemption_bound:int -> ?max_runs:int -> ?cm:Stm_cm.Policy.t -> unit ->
+  cell list
 (** Two rows beyond Figure 6: the Section 2.1 write-then-read variant and
     the Section 4 transaction-vs-transaction dirty-read check (expected
     all-"no": transactional isolation holds even under weak atomicity). *)
 
 val privatization_row :
-  ?preemption_bound:int -> ?max_runs:int -> unit -> cell list
+  ?preemption_bound:int -> ?max_runs:int -> ?cm:Stm_cm.Policy.t -> unit ->
+  cell list
 (** Figure 1 under the five Figure 6 modes plus the two quiescence modes
     (Section 3.4): quiescence must fix this program even under weak
     atomicity. *)

@@ -69,6 +69,16 @@ let event_fields resolve (ev : Trace.event) =
           ("tid", Json.Int tid);
           ("ok", Json.Bool ok);
         ] )
+  | Trace.Cm_decision { tid; txid; policy; decision; owner; delay } ->
+      ( "cm_decision",
+        [
+          ("tid", Json.Int tid);
+          ("txid", Json.Int txid);
+          ("policy", Json.Str policy);
+          ("decision", Json.Str decision);
+          ("owner", Json.Int owner);
+          ("delay", Json.Int delay);
+        ] )
 
 let entry_json resolve (e : Recorder.entry) =
   let name, fields = event_fields resolve e.Recorder.ev in

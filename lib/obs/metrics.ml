@@ -16,9 +16,11 @@ type t = {
   mutable backoffs : int;
   mutable validations : int;
   mutable validation_failures : int;
+  mutable cm_decisions : int;
   abort_causes : int array;  (* indexed by cause_index *)
   commit_latency : Hist.t;
   abort_latency : Hist.t;
+  fairness : Stm_cm.Fairness.t;
 }
 
 let cause_index = function
@@ -49,19 +51,23 @@ let create () =
     backoffs = 0;
     validations = 0;
     validation_failures = 0;
+    cm_decisions = 0;
     abort_causes = Array.make 5 0;
     commit_latency = Hist.create ();
     abort_latency = Hist.create ();
+    fairness = Stm_cm.Fairness.create ();
   }
 
 let handle t (ev : Trace.event) =
   match ev with
   | Trace.Txn_begin _ -> t.begins <- t.begins + 1
-  | Trace.Txn_commit { latency; _ } ->
+  | Trace.Txn_commit { tid; latency; _ } ->
       t.commits <- t.commits + 1;
+      Stm_cm.Fairness.on_commit t.fairness ~tid;
       Hist.add t.commit_latency latency
-  | Trace.Txn_abort { cause; latency; _ } ->
+  | Trace.Txn_abort { tid; cause; latency; _ } ->
       t.aborts <- t.aborts + 1;
+      Stm_cm.Fairness.on_abort t.fairness ~tid ~wasted:latency;
       let i = cause_index cause in
       t.abort_causes.(i) <- t.abort_causes.(i) + 1;
       Hist.add t.abort_latency latency
@@ -73,6 +79,7 @@ let handle t (ev : Trace.event) =
   | Trace.Validation { ok; _ } ->
       t.validations <- t.validations + 1;
       if not ok then t.validation_failures <- t.validation_failures + 1
+  | Trace.Cm_decision _ -> t.cm_decisions <- t.cm_decisions + 1
   | Trace.Barrier _ -> ()
 
 let install ?(level = Trace.Info) t = Trace.set_sink ~level (Some (handle t))
@@ -83,6 +90,7 @@ let snapshot t =
     abort_causes = Array.copy t.abort_causes;
     commit_latency = Hist.copy t.commit_latency;
     abort_latency = Hist.copy t.abort_latency;
+    fairness = Stm_cm.Fairness.copy t.fairness;
   }
 
 let diff later earlier =
@@ -97,13 +105,16 @@ let diff later earlier =
     backoffs = later.backoffs - earlier.backoffs;
     validations = later.validations - earlier.validations;
     validation_failures = later.validation_failures - earlier.validation_failures;
+    cm_decisions = later.cm_decisions - earlier.cm_decisions;
     abort_causes =
       Array.init 5 (fun i -> later.abort_causes.(i) - earlier.abort_causes.(i));
     commit_latency = Hist.sub later.commit_latency earlier.commit_latency;
     abort_latency = Hist.sub later.abort_latency earlier.abort_latency;
+    fairness = Stm_cm.Fairness.sub later.fairness earlier.fairness;
   }
 
 let begins t = t.begins
+let fairness t = t.fairness
 let commits t = t.commits
 let aborts t = t.aborts
 let abort_cause_count t cause = t.abort_causes.(cause_index cause)
@@ -122,7 +133,23 @@ let to_assoc t =
     ("backoffs", t.backoffs);
     ("validations", t.validations);
     ("validation_failures", t.validation_failures);
+    ("cm_decisions", t.cm_decisions);
   ]
+
+let fairness_json t =
+  let f = t.fairness in
+  let per_thread =
+    List.map
+      (fun (tid, fields) ->
+        (string_of_int tid, Json.of_assoc fields))
+      (Stm_cm.Fairness.to_assoc f)
+  in
+  Json.Obj
+    [
+      ("jain_index", Json.Float (Stm_cm.Fairness.jain f));
+      ("max_consec_aborts", Json.Int (Stm_cm.Fairness.max_consec_aborts f));
+      ("per_thread", Json.Obj per_thread);
+    ]
 
 let to_json ?stats t =
   let causes =
@@ -138,6 +165,7 @@ let to_json ?stats t =
       ("abort_causes", causes);
       ("commit_latency", Hist.to_json t.commit_latency);
       ("abort_latency", Hist.to_json t.abort_latency);
+      ("fairness", fairness_json t);
     ]
   in
   let base =
@@ -160,6 +188,10 @@ let pp ppf t =
          all_causes);
   Fmt.pf ppf "conflicts=%d wounds=%d backoffs=%d quiesce_waits=%d@."
     t.conflicts t.wounds t.backoffs t.quiesce_waits;
+  if t.begins > 0 then
+    Fmt.pf ppf "fairness: jain=%.4f max_consec_aborts=%d@."
+      (Stm_cm.Fairness.jain t.fairness)
+      (Stm_cm.Fairness.max_consec_aborts t.fairness);
   if Hist.count t.commit_latency > 0 then
     Fmt.pf ppf "commit latency (cycles): %a@." Hist.pp t.commit_latency;
   if Hist.count t.abort_latency > 0 then

@@ -30,6 +30,11 @@ val commits : t -> int
 val aborts : t -> int
 val abort_cause_count : t -> Trace.abort_cause -> int
 
+val fairness : t -> Stm_cm.Fairness.t
+(** Per-thread commit/abort accounting derived from the [tid] fields of
+    the lifecycle events (Jain index, consecutive-abort streaks, wasted
+    cycles). *)
+
 (** Every abort cause, in serialization order. *)
 val all_causes : Trace.abort_cause list
 val commit_latency : t -> Hist.t
@@ -38,7 +43,9 @@ val abort_latency : t -> Hist.t
 val to_assoc : t -> (string * int) list
 
 val to_json : ?stats:Stats.t -> t -> Json.t
-(** Full metrics object: counters, abort causes, latency histograms;
-    [stats] additionally embeds the run's global {!Stm_core.Stats}. *)
+(** Full metrics object: counters, abort causes, latency histograms, and
+    a ["fairness"] block (Jain index, worst consecutive-abort streak,
+    per-thread counters); [stats] additionally embeds the run's global
+    {!Stm_core.Stats}. *)
 
 val pp : Format.formatter -> t -> unit

@@ -258,6 +258,30 @@ let tick n =
 
 let time () = (get_engine ()).current.clock
 
+(* A delay that actually cedes the processor. Under the clock-driven
+   policies one tick-then-yield suffices: Min_clock will not re-pick the
+   thread until every peer's clock has caught up, so the delay is honored
+   by construction. Under [Random] the picker ignores clocks entirely -
+   a single yield would make a 500-cycle backoff indistinguishable from
+   a 1-cycle one - so the delay is spread over proportionally many
+   yields, each a scheduling opportunity granted to the other threads. *)
+let pause n =
+  let e = get_engine () in
+  match e.policy with
+  | Random _ ->
+      let quantum = 16 in
+      let rec go remaining =
+        if remaining <= 0 then ()
+        else (
+          e.current.clock <- e.current.clock + min quantum remaining;
+          perform Yield;
+          go (remaining - quantum))
+      in
+      if n <= 0 then perform Yield else go n
+  | Round_robin | Min_clock | Controlled _ ->
+      e.current.clock <- e.current.clock + max n 0;
+      perform Yield
+
 let rebase () =
   let e = get_engine () in
   List.iter (fun t -> t.clock <- 0) e.threads

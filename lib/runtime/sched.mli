@@ -65,6 +65,15 @@ val self : unit -> tid
 val tick : int -> unit
 (** Charge cycles to the current thread's virtual clock. *)
 
+val pause : int -> unit
+(** Charge [n] cycles and cede the processor for their duration — the
+    primitive backoff delays are built on. Equivalent to
+    [tick n; yield ()] under the clock-driven policies, where {!Min_clock}
+    honors the delay by construction; under {!Random} (whose picker
+    ignores clocks) the delay is spread over proportionally many yields so
+    that a longer backoff really does grant the other threads more
+    scheduling opportunities. *)
+
 val rebase : unit -> unit
 (** Reset every live thread's virtual clock to zero. Benchmarks call this
     after their serial setup phase so that the makespan measures steady

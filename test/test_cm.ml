@@ -1,0 +1,341 @@
+(* The contention-management subsystem: policy decision procedures (pure
+   unit tests against Stm_cm.Cm), fairness accounting, the retry-budget /
+   starvation contract of Stm.atomic, and the livelock stress scenarios'
+   designed outcomes (timestamp starvation-free, suicide not). *)
+
+open Stm_core
+open Stm_runtime
+module Cm = Stm_cm.Cm
+module Policy = Stm_cm.Policy
+module Fairness = Stm_cm.Fairness
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Policy naming                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let policy_roundtrip () =
+  List.iter
+    (fun p ->
+      Alcotest.(check (option (of_pp Policy.pp)))
+        (Policy.to_string p) (Some p)
+        (Policy.of_string (Policy.to_string p)))
+    Policy.all
+
+let policy_aliases () =
+  let some p = Some p in
+  Alcotest.(check (option (of_pp Policy.pp)))
+    "wound_wait" (some Policy.Wound_wait)
+    (Policy.of_string "wound_wait");
+  Alcotest.(check (option (of_pp Policy.pp)))
+    "greedy" (some Policy.Timestamp)
+    (Policy.of_string "greedy");
+  Alcotest.(check (option (of_pp Policy.pp)))
+    "bogus" None (Policy.of_string "bogus")
+
+(* ------------------------------------------------------------------ *)
+(* Decision procedures (no scheduler, no heap)                         *)
+(* ------------------------------------------------------------------ *)
+
+let retries = 4
+
+let manager ?(seed = 0) policy = Cm.create ~seed ~max_retries:retries ~cost:Cost.default policy
+
+(* Two contenders on one manager: txid 1 (thread 1, born at 0) and
+   txid 2 (thread 2, born at [birth2]). *)
+let two_txns ?(birth2 = 10) m =
+  Cm.on_begin m ~tid:1 ~txid:1 ~now:0;
+  Cm.on_begin m ~tid:2 ~txid:2 ~now:birth2
+
+let conflict ?(attempt = 0) ?(work = 1) ~txid ~tid ~owner () =
+  { Cm.txid; tid; attempt; writer = true; work; owner; now = 50 }
+
+let is_wait = function Cm.Wait _ -> true | _ -> false
+let is_abort_self = function Cm.Abort_self -> true | _ -> false
+
+let wound_victim = function
+  | Cm.Wound { victim; _ } -> Some victim
+  | _ -> None
+
+let suicide_waits_then_aborts () =
+  let m = manager Policy.Suicide in
+  two_txns m;
+  check_bool "waits below budget" true
+    (is_wait (Cm.on_conflict m (conflict ~txid:1 ~tid:1 ~owner:(Some 2) ())));
+  check_bool "never wounds, aborts itself at budget" true
+    (is_abort_self
+       (Cm.on_conflict m
+          (conflict ~attempt:retries ~txid:1 ~tid:1 ~owner:(Some 2) ())))
+
+let wound_wait_by_txid () =
+  let m = manager Policy.Wound_wait in
+  two_txns m;
+  Alcotest.(check (option int))
+    "older txid wounds" (Some 2)
+    (wound_victim (Cm.on_conflict m (conflict ~txid:1 ~tid:1 ~owner:(Some 2) ())));
+  check_bool "younger txid waits" true
+    (is_wait (Cm.on_conflict m (conflict ~txid:2 ~tid:2 ~owner:(Some 1) ())));
+  check_bool "budget still bounds the younger side" true
+    (is_abort_self
+       (Cm.on_conflict m
+          (conflict ~attempt:retries ~txid:2 ~tid:2 ~owner:(Some 1) ())))
+
+let timestamp_oldest_never_loses () =
+  let m = manager Policy.Timestamp in
+  two_txns m;
+  Alcotest.(check (option int))
+    "oldest wounds even past the budget" (Some 2)
+    (wound_victim
+       (Cm.on_conflict m
+          (conflict ~attempt:(retries + 3) ~txid:1 ~tid:1 ~owner:(Some 2) ())));
+  check_bool "younger waits without burning budget" true
+    (is_wait
+       (Cm.on_conflict m
+          (conflict ~attempt:(retries + 3) ~txid:2 ~tid:2 ~owner:(Some 1) ())));
+  check_bool "anonymous owner falls back to bounded retries" true
+    (is_abort_self
+       (Cm.on_conflict m
+          (conflict ~attempt:retries ~txid:2 ~tid:2 ~owner:None ())))
+
+let timestamp_age_survives_restart () =
+  let m = manager Policy.Timestamp in
+  two_txns m;
+  (* txn 1 aborts and restarts as txid 3: it keeps its birth, so it still
+     outranks txn 2 even though 3 > 2 *)
+  Cm.on_abort m ~txid:1 ~restart:true ~wounded:false ~work:5;
+  Cm.on_begin m ~tid:1 ~txid:3 ~now:90;
+  Alcotest.(check (option int))
+    "restarted incarnation keeps its age" (Some 2)
+    (wound_victim (Cm.on_conflict m (conflict ~txid:3 ~tid:1 ~owner:(Some 2) ())))
+
+let timestamp_age_dropped_on_giveup () =
+  let m = manager Policy.Timestamp in
+  two_txns m;
+  (* txn 1 is torn down for good; its thread's next block is younger than
+     txn 2 and must wait, not wound *)
+  Cm.on_abort m ~txid:1 ~restart:false ~wounded:false ~work:5;
+  Cm.on_begin m ~tid:1 ~txid:3 ~now:90;
+  check_bool "fresh block after give-up is younger" true
+    (is_wait (Cm.on_conflict m (conflict ~txid:3 ~tid:1 ~owner:(Some 2) ())))
+
+let karma_banks_lost_work () =
+  let m = manager Policy.Karma in
+  two_txns m;
+  (* equal priority: txn 2 (larger first-txid) loses the tie-break and
+     waits. [work] counts toward priority, so keep both sides at zero. *)
+  check_bool "no karma yet: waits" true
+    (is_wait
+       (Cm.on_conflict m (conflict ~work:0 ~txid:2 ~tid:2 ~owner:(Some 1) ())));
+  (* two aborted incarnations bank karma for the block *)
+  Cm.on_abort m ~txid:2 ~restart:true ~wounded:false ~work:10;
+  Cm.on_begin m ~tid:2 ~txid:4 ~now:60;
+  Cm.on_abort m ~txid:4 ~restart:true ~wounded:false ~work:10;
+  Cm.on_begin m ~tid:2 ~txid:5 ~now:70;
+  Alcotest.(check (option int))
+    "banked karma now outranks the owner" (Some 1)
+    (wound_victim
+       (Cm.on_conflict m (conflict ~work:0 ~txid:5 ~tid:2 ~owner:(Some 1) ())))
+
+let exp_backoff_seeded () =
+  let delays seed =
+    let m = manager ~seed Policy.Exp_backoff in
+    Cm.on_begin m ~tid:1 ~txid:1 ~now:0;
+    List.init retries (fun attempt ->
+        match Cm.on_conflict m (conflict ~attempt ~txid:1 ~tid:1 ~owner:None ()) with
+        | Cm.Wait d -> d
+        | _ -> Alcotest.fail "expected Wait")
+  in
+  Alcotest.(check (list int)) "same seed, same delays" (delays 7) (delays 7);
+  check_bool "delays are positive" true (List.for_all (fun d -> d > 0) (delays 7));
+  check_bool "different seeds diverge" true (delays 7 <> delays 8)
+
+let backoff_schedule () =
+  let cost = { Cost.default with Cost.backoff_base = 10; backoff_cap = 100 } in
+  check_int "attempt 0" 10 (Cm.backoff_delay cost ~attempt:0);
+  check_int "attempt 2" 40 (Cm.backoff_delay cost ~attempt:2);
+  check_int "capped" 100 (Cm.backoff_delay cost ~attempt:20);
+  check_bool "jitter separates threads" true
+    (Cm.jittered_delay cost ~tid:1 ~attempt:3
+    <> Cm.jittered_delay cost ~tid:2 ~attempt:3)
+
+(* ------------------------------------------------------------------ *)
+(* Fairness accounting                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let jain_index () =
+  let f = Fairness.create () in
+  Alcotest.(check (float 1e-9)) "empty is fair" 1.0 (Fairness.jain f);
+  Fairness.on_commit f ~tid:1;
+  Fairness.on_commit f ~tid:2;
+  Fairness.on_commit f ~tid:3;
+  Alcotest.(check (float 1e-9)) "uniform is fair" 1.0 (Fairness.jain f);
+  let g = Fairness.create () in
+  Fairness.on_commit g ~tid:1;
+  Fairness.on_abort g ~tid:2 ~wasted:5;
+  Fairness.on_abort g ~tid:3 ~wasted:5;
+  Alcotest.(check (float 1e-9))
+    "one of three threads gets everything" (1. /. 3.) (Fairness.jain g)
+
+let abort_streaks () =
+  let f = Fairness.create () in
+  Fairness.on_abort f ~tid:1 ~wasted:10;
+  Fairness.on_abort f ~tid:1 ~wasted:10;
+  Fairness.on_commit f ~tid:1;
+  Fairness.on_abort f ~tid:1 ~wasted:10;
+  check_int "streak resets on commit" 2 (Fairness.max_consec_aborts_of f ~tid:1);
+  check_int "totals keep counting" 3 (Fairness.aborts f ~tid:1);
+  check_int "wasted accumulates" 30 (Fairness.wasted_cycles f ~tid:1)
+
+let starved_rules () =
+  let f = Fairness.create () in
+  (* tid 1: long streak but eventually commits - starved by threshold *)
+  for _ = 1 to 5 do
+    Fairness.on_abort f ~tid:1 ~wasted:1
+  done;
+  Fairness.on_commit f ~tid:1;
+  (* tid 2: a single abort and no commit ever - starved by zero progress *)
+  Fairness.on_abort f ~tid:2 ~wasted:1;
+  (* tid 3: healthy *)
+  Fairness.on_commit f ~tid:3;
+  Alcotest.(check (list int))
+    "threshold and zero-commit rules" [ 1; 2 ]
+    (Fairness.starved f ~threshold:5);
+  Alcotest.(check (list int))
+    "higher threshold keeps only the zero-commit thread" [ 2 ]
+    (Fairness.starved f ~threshold:6)
+
+let fairness_window () =
+  let f = Fairness.create () in
+  Fairness.on_commit f ~tid:1;
+  Fairness.on_abort f ~tid:1 ~wasted:7;
+  let early = Fairness.copy f in
+  Fairness.on_commit f ~tid:1;
+  Fairness.on_commit f ~tid:2;
+  let w = Fairness.sub f early in
+  check_int "window commits" 1 (Fairness.commits w ~tid:1);
+  check_int "window aborts" 0 (Fairness.aborts w ~tid:1);
+  check_int "new thread appears in window" 1 (Fairness.commits w ~tid:2)
+
+(* ------------------------------------------------------------------ *)
+(* Retry budget / Stm.Starved, under every policy                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A record held by an anonymous (non-transactional) owner can never be
+   wounded, so every policy - including timestamp - must fall back to the
+   bounded retry budget and give the runner a clean [Starved] instead of
+   spinning forever. *)
+let starved_after_budget policy () =
+  let cfg =
+    {
+      Config.eager_weak with
+      Config.cm = policy;
+      cost = Cost.free;
+      max_txn_retries = 3;
+      max_txn_restarts = 2;
+    }
+  in
+  let outcome = ref None in
+  let result, _ =
+    Stm.run ~cfg (fun () ->
+        let obj = Stm.alloc_public ~cls:"T" 1 in
+        Stm.write obj 0 (Stm.vint 0);
+        let word = Barriers.acquire_anon (Stm.config ()) (Stm.stats ()) obj in
+        (try Stm.atomic (fun () -> Stm.write obj 0 (Stm.vint 1))
+         with Stm.Starved { attempts } -> outcome := Some attempts);
+        Barriers.release_anon (Stm.config ()) obj word)
+  in
+  check_bool "run completed" true (result.Sched.status = Sched.Completed);
+  Alcotest.(check (list (pair int Alcotest.reject)))
+    "no escaped exceptions" []
+    (List.map (fun (t, e) -> (t, e)) result.Sched.exns);
+  Alcotest.(check (option int))
+    "Starved after max_txn_restarts attempts" (Some 2) !outcome
+
+let starved_cases =
+  List.map
+    (fun p ->
+      Alcotest.test_case
+        ("Starved under " ^ Policy.to_string p)
+        `Quick (starved_after_budget p))
+    Policy.all
+
+(* ------------------------------------------------------------------ *)
+(* Stress scenarios: the designed contrast                             *)
+(* ------------------------------------------------------------------ *)
+
+module Stress = Stm_harness.Stress
+
+let timestamp_starvation_free scenario () =
+  let r = Stress.run ~seed:0 ~cm:Policy.Timestamp scenario in
+  check_bool "completed within fuel" true r.Stress.completed;
+  Alcotest.(check (list int)) "no starved thread" [] r.Stress.starved
+
+let suicide_starves_on_ring () =
+  let r = Stress.run ~seed:0 ~cm:Policy.Suicide Stress.Inversion_chain in
+  check_bool "still makes eventual progress" true r.Stress.completed;
+  check_bool "but some thread starves" true (r.Stress.starved <> []);
+  check_bool "with a pathological abort streak" true
+    (Fairness.max_consec_aborts (Stm_obs.Metrics.fairness r.Stress.metrics)
+    >= Stress.starvation_threshold)
+
+let every_policy_completes scenario () =
+  List.iter
+    (fun p ->
+      let r = Stress.run ~seed:0 ~cm:p scenario in
+      check_bool (Policy.to_string p ^ " completes") true r.Stress.completed)
+    Policy.all
+
+let stress_deterministic () =
+  let r1 = Stress.run ~seed:0 ~cm:Policy.Timestamp Stress.Long_vs_short in
+  let r2 = Stress.run ~seed:0 ~cm:Policy.Timestamp Stress.Long_vs_short in
+  check_int "same makespan" r1.Stress.makespan r2.Stress.makespan;
+  check_int "same aborts" r1.Stress.stats.Stats.aborts r2.Stress.stats.Stats.aborts;
+  let r3 = Stress.run ~seed:1 ~cm:Policy.Timestamp Stress.Long_vs_short in
+  check_bool "different seed, different schedule" true
+    (r3.Stress.makespan <> r1.Stress.makespan
+    || r3.Stress.stats.Stats.aborts <> r1.Stress.stats.Stats.aborts)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    ( "cm:policy",
+      [
+        case "to_string/of_string roundtrip" policy_roundtrip;
+        case "aliases" policy_aliases;
+        case "backoff schedule" backoff_schedule;
+      ] );
+    ( "cm:decisions",
+      [
+        case "suicide waits then aborts itself" suicide_waits_then_aborts;
+        case "wound-wait wounds by txid order" wound_wait_by_txid;
+        case "timestamp: oldest never loses" timestamp_oldest_never_loses;
+        case "timestamp: age survives restart" timestamp_age_survives_restart;
+        case "timestamp: age dropped on give-up" timestamp_age_dropped_on_giveup;
+        case "karma banks lost work" karma_banks_lost_work;
+        case "exp-backoff is seeded and reproducible" exp_backoff_seeded;
+      ] );
+    ( "cm:fairness",
+      [
+        case "jain index" jain_index;
+        case "consecutive-abort streaks" abort_streaks;
+        case "starvation rules" starved_rules;
+        case "snapshot windows" fairness_window;
+      ] );
+    ("cm:starved", starved_cases);
+    ( "cm:stress",
+      [
+        case "timestamp starvation-free: long-vs-short"
+          (timestamp_starvation_free Stress.Long_vs_short);
+        case "timestamp starvation-free: livelock-pair"
+          (timestamp_starvation_free Stress.Livelock_pair);
+        case "timestamp starvation-free: inversion-chain"
+          (timestamp_starvation_free Stress.Inversion_chain);
+        case "suicide starves on the ring" suicide_starves_on_ring;
+        case "every policy completes the livelock pair"
+          (every_policy_completes Stress.Livelock_pair);
+        case "stress runs are deterministic per seed" stress_deterministic;
+      ] );
+  ]

@@ -138,6 +138,34 @@ let explorer_bound_zero_single_default () =
   check_bool "one schedule" true (e.Explorer.runs = 1);
   check_bool "one outcome" true (List.length e.Explorer.outcomes = 1)
 
+(* Contention management must not change which anomalies are expressible:
+   the Figure 6 matrix is a golden image that every policy must
+   reproduce. Policies only reorder who wins a conflict, never whether an
+   isolation violation can happen. *)
+let fig6_golden_under policy () =
+  let cells = Matrix.fig6 ~cm:policy () in
+  List.iter
+    (fun cell ->
+      if cell.Matrix.expected <> cell.Matrix.observed then
+        Alcotest.failf "%s [%s] under %s: paper says %b, explorer found %b"
+          cell.Matrix.program.Programs.name
+          (Modes.name cell.Matrix.mode)
+          (Stm_cm.Policy.to_string policy)
+          cell.Matrix.expected cell.Matrix.observed)
+    cells
+
+let cm_golden_cases =
+  List.filter_map
+    (fun policy ->
+      if policy = Stm_cm.Policy.Suicide then None
+        (* the default; already covered cell-by-cell above *)
+      else
+        Some
+          (Alcotest.test_case
+             ("fig6 golden under " ^ Stm_cm.Policy.to_string policy)
+             `Quick (fig6_golden_under policy)))
+    Stm_cm.Policy.all
+
 let explorer_counts_outcomes () =
   let make () =
     { Explorer.main = (fun () -> ()); observe = (fun () -> "only") }
@@ -155,6 +183,7 @@ let suite =
     ("litmus:fig6", fig6_cases);
     ("litmus:privatization", privatization_cases);
     ("litmus:extras", extras_cases);
+    ("litmus:cm-golden", cm_golden_cases);
     ( "litmus:ablations",
       [
         Alcotest.test_case "GLU gone at granule=1" `Quick
