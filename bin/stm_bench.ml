@@ -13,37 +13,49 @@ open Cmdliner
 let parse_threads s =
   String.split_on_char ',' s |> List.map int_of_string
 
+(* Returns false when a figure's built-in check fails (only fig6 has
+   one); the caller turns any failure into a non-zero exit. *)
 let run_figure name scale threads cm =
   let threads = Option.map parse_threads threads in
   match name with
   | "fig6" ->
       let cells = Stm_harness.Figures.fig6 ?cm () in
       Fmt.pr "%a" Stm_harness.Figures.pp_fig6 cells;
-      Fmt.pr "matches the paper: %b@." (Stm_litmus.Matrix.all_match cells)
+      let ok = Stm_litmus.Matrix.all_match cells in
+      Fmt.pr "matches the paper: %b@." ok;
+      ok
   | "privatization" ->
       let cells = Stm_litmus.Matrix.privatization_row () in
-      Fmt.pr "%a" Stm_litmus.Matrix.pp_table cells
+      Fmt.pr "%a" Stm_litmus.Matrix.pp_table cells;
+      true
   | "fig13" ->
       Fmt.pr "%a" Stm_analysis.Barrier_stats.pp_table
-        (Stm_harness.Figures.fig13 ())
+        (Stm_harness.Figures.fig13 ());
+      true
   | "fig15" ->
       Fmt.pr "%a" Stm_harness.Figures.pp_overhead
-        (Stm_harness.Figures.fig15 ?scale ())
+        (Stm_harness.Figures.fig15 ?scale ());
+      true
   | "fig16" ->
       Fmt.pr "%a" Stm_harness.Figures.pp_overhead
-        (Stm_harness.Figures.fig16 ?scale ())
+        (Stm_harness.Figures.fig16 ?scale ());
+      true
   | "fig17" ->
       Fmt.pr "%a" Stm_harness.Figures.pp_overhead
-        (Stm_harness.Figures.fig17 ?scale ())
+        (Stm_harness.Figures.fig17 ?scale ());
+      true
   | "fig18" ->
       Fmt.pr "%a" Stm_harness.Figures.pp_scaling
-        (Stm_harness.Figures.fig18 ?threads ?scale ())
+        (Stm_harness.Figures.fig18 ?threads ?scale ());
+      true
   | "fig19" ->
       Fmt.pr "%a" Stm_harness.Figures.pp_scaling
-        (Stm_harness.Figures.fig19 ?threads ?scale ())
+        (Stm_harness.Figures.fig19 ?threads ?scale ());
+      true
   | "fig20" ->
       Fmt.pr "%a" Stm_harness.Figures.pp_scaling
-        (Stm_harness.Figures.fig20 ?threads ?scale ())
+        (Stm_harness.Figures.fig20 ?threads ?scale ());
+      true
   | other -> Fmt.failwith "unknown figure %s" other
 
 let all_figures =
@@ -123,10 +135,78 @@ let run_stress which cm seed fuel metrics_out =
   else 1
 
 (* ------------------------------------------------------------------ *)
+(* Fuzz mode                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let sanitize_name s =
+  String.map
+    (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '.') as c -> c | _ -> '_')
+    s
+
+let run_fuzz ~programs ~seeds ~driver ~dir ~seed ~fuel ~metrics_out =
+  let open Stm_check in
+  let budget =
+    {
+      Fuzz.default_budget with
+      Fuzz.programs;
+      seeds;
+      base_seed = Option.value seed ~default:Fuzz.default_budget.Fuzz.base_seed;
+      max_steps = Option.value fuel ~default:Fuzz.default_budget.Fuzz.max_steps;
+      driver;
+    }
+  in
+  Option.iter
+    (fun d -> if not (Sys.file_exists d) then Sys.mkdir d 0o755)
+    dir;
+  let log msg = Fmt.pr "    %s@." msg in
+  let results =
+    List.map
+      (fun c ->
+        let r = Fuzz.run_campaign ~log budget c in
+        Fmt.pr "%-40s %4d runs %3d anomalies %3d inconclusive  %s@."
+          (Fuzz.campaign_name c) r.Fuzz.runs r.Fuzz.anomalies
+          r.Fuzz.inconclusive
+          (if r.Fuzz.ok then "ok" else "FAIL");
+        (match (r.Fuzz.repro, dir) with
+        | Some repro, Some d ->
+            let path =
+              Filename.concat d (sanitize_name (Fuzz.campaign_name c) ^ ".json")
+            in
+            Repro.save path repro;
+            Fmt.pr "    repro written to %s@." path
+        | Some repro, None ->
+            if not r.Fuzz.ok then
+              Fmt.pr "    repro: %s@." (Repro.to_string repro)
+        | None, _ -> ());
+        r)
+      Fuzz.default_plan
+  in
+  let summary = Fuzz.summary_json budget results in
+  Option.iter (fun path -> write_json path summary) metrics_out;
+  let ok = Fuzz.passed results in
+  Fmt.pr "fuzz sweep: %d campaigns, %d runs, %s@." (List.length results)
+    (List.fold_left (fun a r -> a + r.Stm_check.Fuzz.runs) 0 results)
+    (if ok then "all expectations met" else "EXPECTATIONS VIOLATED");
+  if ok then 0 else 1
+
+(* ------------------------------------------------------------------ *)
 (* Entry                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let main name scale threads cm stress seed fuel metrics_out =
+let main name scale threads cm stress seed fuel metrics_out fuzz fuzz_programs
+    fuzz_seeds fuzz_driver fuzz_dir =
+  if fuzz then
+    let driver =
+      match fuzz_driver with
+      | "random" -> Stm_check.Fuzz.Drv_random
+      | "explore" -> Stm_check.Fuzz.Drv_explore
+      | other ->
+          Fmt.epr "unknown fuzz driver %s (expected random or explore)@." other;
+          exit 2
+    in
+    run_fuzz ~programs:fuzz_programs ~seeds:fuzz_seeds ~driver ~dir:fuzz_dir
+      ~seed ~fuel ~metrics_out
+  else
   match stress with
   | Some which -> (
       try run_stress which cm seed fuel metrics_out
@@ -152,23 +232,25 @@ let main name scale threads cm stress seed fuel metrics_out =
             m)
           metrics_out
       in
-      (try
-         if name = "all" then
-           List.iter
-             (fun f ->
-               Fmt.pr "== %s ==@." f;
-               run_figure f scale threads (Some cm))
-             all_figures
-         else run_figure name scale threads (Some cm)
-       with Failure m ->
-         Fmt.epr "%s@." m;
-         exit 2);
+      let ok =
+        try
+          if name = "all" then
+            List.fold_left
+              (fun acc f ->
+                Fmt.pr "== %s ==@." f;
+                run_figure f scale threads (Some cm) && acc)
+              true all_figures
+          else run_figure name scale threads (Some cm)
+        with Failure m ->
+          Fmt.epr "%s@." m;
+          exit 2
+      in
       Stm_core.Trace.set_sink None;
       Option.iter
         (fun m ->
           write_json (Option.get metrics_out) (Stm_obs.Metrics.to_json m))
         metrics;
-      0
+      if ok then 0 else 1
 
 let cm_conv =
   let parse s =
@@ -188,7 +270,7 @@ let name_arg =
     value
     & pos 0 (some string) None
     & info [] ~docv:"FIGURE"
-        ~doc:"One of fig6, privatization, fig13, fig15, fig16, fig17, fig18, fig19, fig20, all. Optional when $(b,--stress) is given.")
+        ~doc:"One of fig6, privatization, fig13, fig15, fig16, fig17, fig18, fig19, fig20, all. Optional when $(b,--stress) or $(b,--fuzz) is given.")
 
 let scale_arg =
   Arg.(
@@ -243,15 +325,50 @@ let metrics_arg =
         ~doc:
           "Write aggregate STM metrics (transaction counters, abort causes, latency histograms, per-thread fairness incl. the Jain index) as JSON to $(docv).")
 
+let fuzz_arg =
+  Arg.(
+    value & flag
+    & info [ "fuzz" ]
+        ~doc:
+          "Run the property-based differential fuzz sweep: random programs per (configuration combo, profile) campaign, checked against the serializability oracle; counterexamples are shrunk and printed (or saved with $(b,--fuzz-dir)) as replayable JSON. Non-zero exit when any campaign misses its expectation. $(b,--seed) sets the base seed, $(b,--fuel) the per-run scheduler budget, $(b,--metrics-out) the JSON summary path.")
+
+let fuzz_programs_arg =
+  Arg.(
+    value & opt int Stm_check.Fuzz.default_budget.Stm_check.Fuzz.programs
+    & info [ "fuzz-programs" ] ~docv:"N"
+        ~doc:"Generated programs per fuzz campaign.")
+
+let fuzz_seeds_arg =
+  Arg.(
+    value & opt int Stm_check.Fuzz.default_budget.Stm_check.Fuzz.seeds
+    & info [ "fuzz-seeds" ] ~docv:"N"
+        ~doc:"Random schedules per generated program.")
+
+let fuzz_driver_arg =
+  Arg.(
+    value & opt string "random"
+    & info [ "fuzz-driver" ] ~docv:"DRIVER"
+        ~doc:
+          "Schedule source: $(b,random) (seeded random scheduler) or $(b,explore) (the litmus explorer's preemption-bounded DFS, one search per program).")
+
+let fuzz_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fuzz-dir" ] ~docv:"DIR"
+        ~doc:
+          "Write every minimized counterexample as a replayable repro JSON file into $(docv) (created if missing); replay with $(b,stm_run --repro FILE).")
+
 let cmd =
   let doc =
-    "regenerate the PLDI 2007 evaluation figures and run contention stress \
-     scenarios"
+    "regenerate the PLDI 2007 evaluation figures, run contention stress \
+     scenarios, and fuzz the STM against a serializability oracle"
   in
   Cmd.v
     (Cmd.info "stm_bench" ~doc)
     Term.(
       const main $ name_arg $ scale_arg $ threads_arg $ cm_arg $ stress_arg
-      $ seed_arg $ fuel_arg $ metrics_arg)
+      $ seed_arg $ fuel_arg $ metrics_arg $ fuzz_arg $ fuzz_programs_arg
+      $ fuzz_seeds_arg $ fuzz_driver_arg $ fuzz_dir_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -65,6 +65,35 @@ let explore_program prog params cfg bound pct_runs =
   end
   else 0
 
+(* --repro: replay a fuzzer counterexample deterministically and check
+   the verdict still matches the recorded one. *)
+let run_repro path =
+  match Stm_check.Repro.load path with
+  | Error e ->
+      Fmt.epr "%s: %s@." path e;
+      2
+  | Ok r ->
+      Fmt.pr "combo    : %s@." (Stm_check.Combo.name r.Stm_check.Repro.combo);
+      Fmt.pr "profile  : %s@." r.Stm_check.Repro.profile;
+      (match r.Stm_check.Repro.driver with
+      | Stm_check.Repro.Random_sched seed ->
+          Fmt.pr "driver   : random scheduler, seed %d@." seed
+      | Stm_check.Repro.Explore { preemption_bound; max_runs } ->
+          Fmt.pr "driver   : explorer DFS, preemption bound %d, max %d runs@."
+            preemption_bound max_runs);
+      Fmt.pr "program  : %s" (Stm_check.Prog.to_string r.Stm_check.Repro.prog);
+      let v = Stm_check.Repro.replay r in
+      Fmt.pr "verdict  : %a@." Stm_check.History.pp_verdict v;
+      if Stm_check.Repro.matches r v then begin
+        Fmt.pr "replay matches the recorded verdict@.";
+        0
+      end
+      else begin
+        Fmt.pr "replay DIVERGED from the recorded verdict@.recorded : %s@."
+          (Stm_obs.Json.to_string r.Stm_check.Repro.verdict);
+        1
+      end
+
 let try_write path f =
   try f ()
   with Sys_error m ->
@@ -84,8 +113,18 @@ let write_trace_file path ~resolve recorder =
     Fmt.epr "trace: ring full, dropped %d oldest events@."
       (Stm_obs.Recorder.dropped recorder)
 
-let main file config opt nait params verbose detect_races granule cm seed trace
-    profile trace_out profile_barriers metrics_out explore pct =
+let main repro file config opt nait params verbose detect_races granule cm seed
+    trace profile trace_out profile_barriers metrics_out explore pct =
+  match repro with
+  | Some path -> run_repro path
+  | None ->
+  let file =
+    match file with
+    | Some f -> f
+    | None ->
+        Fmt.epr "a FILE.jt argument or --repro is required@.";
+        exit 2
+  in
   match config_of_string detect_races config with
   | Error m ->
       Fmt.epr "%s@." m;
@@ -257,7 +296,18 @@ let main file config opt nait params verbose detect_races granule cm seed trace
           end)
 
 let file_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.jt")
+  Arg.(
+    value
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE.jt" ~doc:"Jt source file. Optional when $(b,--repro) is given.")
+
+let repro_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "repro" ] ~docv:"FILE"
+        ~doc:
+          "Replay a fuzzer counterexample (JSON written by $(b,stm_bench --fuzz)) instead of running a Jt program: re-executes the recorded program under the recorded configuration and schedule driver, prints the verdict, and exits 0 iff it matches the recorded one.")
 
 let config_arg =
   Arg.(
@@ -375,7 +425,7 @@ let cmd =
   let doc = "run a Jt program on the strong-atomicity STM" in
   Cmd.v (Cmd.info "stm_run" ~doc)
     Term.(
-      const main $ file_arg $ config_arg $ opt_arg $ nait_arg $ params_arg
+      const main $ repro_arg $ file_arg $ config_arg $ opt_arg $ nait_arg $ params_arg
       $ verbose_arg $ races_arg $ granule_arg $ cm_arg $ seed_arg $ trace_arg
       $ profile_arg $ trace_out_arg $ profile_barriers_arg $ metrics_out_arg
       $ explore_arg $ pct_arg)

@@ -1,0 +1,84 @@
+(* One point in the configuration space the sweep covers: versioning x
+   atomicity flavor x contention-management policy. *)
+
+module Config = Stm_core.Config
+
+type atomicity = Weak | Strong | Strong_dea | Quiesce
+
+type t = {
+  versioning : Config.versioning;
+  atomicity : atomicity;
+  cm : Stm_cm.Policy.t;
+}
+
+let atomicity_to_string = function
+  | Weak -> "weak"
+  | Strong -> "strong"
+  | Strong_dea -> "dea"
+  | Quiesce -> "quiesce"
+
+let atomicity_of_string = function
+  | "weak" -> Some Weak
+  | "strong" -> Some Strong
+  | "dea" -> Some Strong_dea
+  | "quiesce" -> Some Quiesce
+  | _ -> None
+
+let versioning_to_string = function Config.Eager -> "eager" | Config.Lazy -> "lazy"
+
+let versioning_of_string = function
+  | "eager" -> Some Config.Eager
+  | "lazy" -> Some Config.Lazy
+  | _ -> None
+
+let name t =
+  Printf.sprintf "%s-%s/%s"
+    (versioning_to_string t.versioning)
+    (atomicity_to_string t.atomicity)
+    (Stm_cm.Policy.to_string t.cm)
+
+let to_config ?(cm_seed = 0) t =
+  let base =
+    match (t.versioning, t.atomicity) with
+    | Config.Eager, Weak -> Config.eager_weak
+    | Config.Lazy, Weak -> Config.lazy_weak
+    | Config.Eager, Strong -> Config.eager_strong
+    | Config.Lazy, Strong -> Config.lazy_strong
+    | Config.Eager, Strong_dea -> Config.with_dea Config.eager_strong
+    | Config.Lazy, Strong_dea -> Config.with_dea Config.lazy_strong
+    | Config.Eager, Quiesce -> Config.with_quiescence Config.eager_weak
+    | Config.Lazy, Quiesce -> Config.with_quiescence Config.lazy_weak
+  in
+  { (Config.with_cm t.cm base) with Config.cm_seed }
+
+let all_atomicities = [ Weak; Strong; Strong_dea; Quiesce ]
+let all_versionings = [ Config.Eager; Config.Lazy ]
+
+let all =
+  List.concat_map
+    (fun v ->
+      List.concat_map
+        (fun a -> List.map (fun cm -> { versioning = v; atomicity = a; cm }) Stm_cm.Policy.all)
+        all_atomicities)
+    all_versionings
+
+open Stm_obs
+
+let to_json t =
+  Json.Obj
+    [
+      ("versioning", Json.Str (versioning_to_string t.versioning));
+      ("atomicity", Json.Str (atomicity_to_string t.atomicity));
+      ("cm", Json.Str (Stm_cm.Policy.to_string t.cm));
+    ]
+
+let ( let* ) = Option.bind
+
+let of_json j =
+  let* v = Option.bind (Json.member "versioning" j) Json.to_str_opt in
+  let* v = versioning_of_string v in
+  let* a = Option.bind (Json.member "atomicity" j) Json.to_str_opt in
+  let* a = atomicity_of_string a in
+  let* cm = Option.bind (Json.member "cm" j) Json.to_str_opt in
+  let* cm = Stm_cm.Policy.of_string cm in
+  Some { versioning = v; atomicity = a; cm }

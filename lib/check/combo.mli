@@ -1,0 +1,32 @@
+(** One point in the configuration space the fuzz sweep covers:
+    versioning x atomicity flavor x contention-management policy. *)
+
+type atomicity =
+  | Weak
+  | Strong
+  | Strong_dea  (** strong atomicity + dynamic escape analysis *)
+  | Quiesce  (** weak barriers + commit-time quiescence *)
+
+type t = {
+  versioning : Stm_core.Config.versioning;
+  atomicity : atomicity;
+  cm : Stm_cm.Policy.t;
+}
+
+val name : t -> string
+(** E.g. ["eager-weak/suicide"]. *)
+
+val to_config : ?cm_seed:int -> t -> Stm_core.Config.t
+
+val all : t list
+(** The full sweep grid: {eager,lazy} x {weak,strong,dea,quiesce} x all
+    contention-management policies (40 combos). *)
+
+val all_atomicities : atomicity list
+val all_versionings : Stm_core.Config.versioning list
+val atomicity_to_string : atomicity -> string
+val atomicity_of_string : string -> atomicity option
+val versioning_to_string : Stm_core.Config.versioning -> string
+val versioning_of_string : string -> Stm_core.Config.versioning option
+val to_json : t -> Stm_obs.Json.t
+val of_json : Stm_obs.Json.t -> t option

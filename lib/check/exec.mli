@@ -1,0 +1,39 @@
+(** Execute fuzz programs on the real STM and collect their histories.
+
+    A Debug-level trace sink turns the runtime's {!Stm_core.Trace.Access}
+    and {!Stm_core.Trace.Txn_serialized} events into a {!History.history}:
+    one node per committed transaction (stamped at its serialization
+    point) and per non-transactional unit access (stamped at its
+    linearization point). Aborted attempts are dropped; values observed
+    from them have no committed writer and surface as dirty reads.
+
+    Both entry points install the global trace sink for the duration of
+    the run and restore it to [None] afterwards. *)
+
+val default_fuel : int
+(** Default scheduler step budget per execution. *)
+
+val run :
+  ?policy:Stm_runtime.Sched.policy ->
+  ?max_steps:int ->
+  ?tee:(Stm_core.Trace.event -> unit) ->
+  cfg:Stm_core.Config.t ->
+  Prog.t ->
+  History.verdict * History.history option
+(** Run the program once under the given scheduling policy and check the
+    resulting history. The verdict is [Inconclusive] when the run hit the
+    step budget or deadlocked (no history to judge), [Anomalous
+    (Exec_failure _)] when a thread body raised. [tee] additionally
+    receives every trace event (for chaining an observability recorder). *)
+
+val explore :
+  ?preemption_bound:int ->
+  ?max_runs:int ->
+  ?max_steps:int ->
+  cfg:Stm_core.Config.t ->
+  Prog.t ->
+  History.verdict option * Stm_litmus.Explorer.exploration
+(** Drive the program through the litmus explorer's preemption-bounded
+    DFS instead of a single random schedule. Each explored schedule's
+    outcome is the verdict's JSON rendering; the search stops at the
+    first anomalous outcome, which is also returned directly. *)

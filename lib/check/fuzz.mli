@@ -1,0 +1,65 @@
+(** Differential fuzz sweep over the configuration grid.
+
+    Pairs every configuration combo with the program profiles it is
+    expected to keep serializable (see {!Gen.profile}), plus "hunt"
+    campaigns on weak configurations where the paper's anomalies must be
+    found and minimized — the oracle's positive control. *)
+
+type expectation =
+  | Expect_clean  (** any anomaly fails the campaign *)
+  | Expect_anomaly  (** finding no anomaly fails the campaign *)
+
+type driver_kind =
+  | Drv_random  (** one random schedule per (program, seed) pair *)
+  | Drv_explore  (** preemption-bounded DFS per program *)
+
+type budget = {
+  programs : int;
+  seeds : int;
+  base_seed : int;
+  max_steps : int;
+  driver : driver_kind;
+  preemption_bound : int;
+  max_runs : int;
+}
+
+val default_budget : budget
+
+type campaign = {
+  combo : Combo.t;
+  profile : Gen.profile;
+  expectation : expectation;
+  driver : driver_kind option;
+      (** per-campaign override of the budget's schedule driver (the
+          handoff hunts use the explorer: the privatization window is
+          too narrow for random sampling) *)
+}
+
+type campaign_result = {
+  campaign : campaign;
+  runs : int;
+  anomalies : int;
+  inconclusive : int;
+  repro : Repro.t option;  (** first counterexample, minimized *)
+  shrink_steps : int;  (** ops removed by shrinking *)
+  ok : bool;
+}
+
+val profiles_for : Combo.atomicity -> Gen.profile list
+(** The profiles a configuration flavor is expected to keep clean. *)
+
+val clean_campaigns : campaign list
+val hunt_campaigns : campaign list
+val default_plan : campaign list
+val campaign_name : campaign -> string
+
+val run_campaign : ?log:(string -> unit) -> budget -> campaign -> campaign_result
+(** Fuzz one campaign. On the first anomaly the failing program is
+    shrunk to a fixpoint (re-running the same deterministic driver as
+    the [keep] predicate) and packaged as a {!Repro.t}. Hunt campaigns
+    stop at the first witness. *)
+
+val sweep : ?log:(string -> unit) -> ?plan:campaign list -> budget -> campaign_result list
+val passed : campaign_result list -> bool
+val result_to_json : campaign_result -> Stm_obs.Json.t
+val summary_json : budget -> campaign_result list -> Stm_obs.Json.t

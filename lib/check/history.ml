@@ -1,0 +1,490 @@
+(* Serializability oracle.
+
+   An execution history is a list of committed nodes - transactions and
+   single non-transactional accesses - each carrying its read set, write
+   set and a serialization stamp taken at the node's linearization point
+   (see Trace.Txn_serialized). Because every write in a fuzz program
+   stores an occurrence-unique token, the reads-from relation is exact:
+   the token of an observed value names the (committed) write that
+   produced it, or convicts the execution of reading doomed data.
+
+   Two independent checks:
+
+   - [check_graph]: build the conflict graph (wr, ww, rw edges from the
+     per-location version order, plus program-order edges) and demand
+     acyclicity; also demand that every location's final value is its
+     last committed version.
+
+   - [differential]: replay the committed nodes, in stamp order, against
+     a sequential reference interpreter of the original program, and
+     diff the resulting heap against the observed final state. *)
+
+type box_id = Slot_box of int | New_box of { thread : int; step : int }
+
+type loc = Cell of int | Root of int | Box_field of box_id
+
+type value = Vi of int | Vr of box_id
+
+type part = Body | Pub_init | Priv_write | Priv_read
+
+type tag = { thread : int; step : int; part : part }
+
+type node = {
+  id : int;  (* dense, ascending with stamp *)
+  tid : int;  (* logical thread index *)
+  txn : bool;
+  stamp : int;
+  tag : tag option;
+  reads : (loc * value) list;  (* in program order, duplicates kept *)
+  writes : (loc * value) list;  (* last write per location *)
+}
+
+type history = {
+  init : (loc * value) list;
+  nodes : node list;  (* ascending stamp *)
+  final : (loc * value) list;
+}
+
+type edge_kind = Wr | Ww | Rw | Po
+
+type edge = { src : int; dst : int; kind : edge_kind; eloc : loc option }
+
+type anomaly =
+  | Cycle of edge list
+  | Dirty_read of { node : int; rloc : loc; seen : value }
+  | Final_mismatch of { floc : loc; expected : value option; actual : value option }
+  | Divergence of { dloc : loc; replayed : value option; actual : value option }
+  | Control_divergence of { thread : int; step : int; detail : string }
+  | Private_clobbered of { thread : int; step : int; expected : int; seen : value }
+  | Exec_failure of string
+
+type verdict = Serializable | Inconclusive of string | Anomalous of anomaly
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let box_to_string = function
+  | Slot_box s -> Printf.sprintf "b%d" s
+  | New_box { thread; step } -> Printf.sprintf "n%d.%d" thread step
+
+let loc_to_string = function
+  | Cell i -> Printf.sprintf "c%d" i
+  | Root s -> Printf.sprintf "s%d" s
+  | Box_field b -> box_to_string b ^ ".f"
+
+let value_to_string = function
+  | Vr b -> "&" ^ box_to_string b
+  | Vi n ->
+      if n >= Prog.token_scale then
+        Printf.sprintf "%d:%d" (n / Prog.token_scale) (n mod Prog.token_scale)
+      else string_of_int n
+
+let pp_loc ppf l = Fmt.string ppf (loc_to_string l)
+let pp_value ppf v = Fmt.string ppf (value_to_string v)
+
+let part_to_string = function
+  | Body -> "body"
+  | Pub_init -> "pub-init"
+  | Priv_write -> "priv-write"
+  | Priv_read -> "priv-read"
+
+let pp_tag ppf t = Fmt.pf ppf "T%d.%d/%s" t.thread t.step (part_to_string t.part)
+
+let pp_node ppf n =
+  Fmt.pf ppf "#%d %s tid=%d stamp=%d%a R[%a] W[%a]" n.id
+    (if n.txn then "txn" else "acc")
+    n.tid n.stamp
+    (Fmt.option (fun ppf t -> Fmt.pf ppf " %a" pp_tag t))
+    n.tag
+    Fmt.(list ~sep:comma (pair ~sep:(any "=") pp_loc pp_value))
+    n.reads
+    Fmt.(list ~sep:comma (pair ~sep:(any "=") pp_loc pp_value))
+    n.writes
+
+let pp_history ppf h =
+  Fmt.pf ppf "init: %a@."
+    Fmt.(list ~sep:comma (pair ~sep:(any "=") pp_loc pp_value))
+    h.init;
+  List.iter (fun n -> Fmt.pf ppf "  %a@." pp_node n) h.nodes;
+  Fmt.pf ppf "final: %a@."
+    Fmt.(list ~sep:comma (pair ~sep:(any "=") pp_loc pp_value))
+    h.final
+
+let kind_to_string = function Wr -> "wr" | Ww -> "ww" | Rw -> "rw" | Po -> "po"
+
+let pp_edge ppf e =
+  Fmt.pf ppf "#%d -%s%a-> #%d" e.src (kind_to_string e.kind)
+    (Fmt.option (fun ppf l -> Fmt.pf ppf "(%a)" pp_loc l))
+    e.eloc e.dst
+
+let pp_anomaly ppf = function
+  | Cycle edges ->
+      Fmt.pf ppf "dependency cycle: %a" Fmt.(list ~sep:(any " ") pp_edge) edges
+  | Dirty_read { node; rloc; seen } ->
+      Fmt.pf ppf "dirty read: node #%d read %a = %a (no committed writer)" node
+        pp_loc rloc pp_value seen
+  | Final_mismatch { floc; expected; actual } ->
+      Fmt.pf ppf "final state mismatch at %a: last committed version %a, heap has %a"
+        pp_loc floc
+        Fmt.(option ~none:(any "<none>") pp_value)
+        expected
+        Fmt.(option ~none:(any "<none>") pp_value)
+        actual
+  | Divergence { dloc; replayed; actual } ->
+      Fmt.pf ppf "differential divergence at %a: sequential replay %a, heap has %a"
+        pp_loc dloc
+        Fmt.(option ~none:(any "<none>") pp_value)
+        replayed
+        Fmt.(option ~none:(any "<none>") pp_value)
+        actual
+  | Control_divergence { thread; step; detail } ->
+      Fmt.pf ppf "control divergence at T%d.%d: %s" thread step detail
+  | Private_clobbered { thread; step; expected; seen } ->
+      Fmt.pf ppf
+        "privatized object clobbered at T%d.%d: wrote %s non-transactionally, read back %a"
+        thread step
+        (value_to_string (Vi expected))
+        pp_value seen
+  | Exec_failure msg -> Fmt.pf ppf "execution failure: %s" msg
+
+let pp_verdict ppf = function
+  | Serializable -> Fmt.string ppf "serializable"
+  | Inconclusive msg -> Fmt.pf ppf "inconclusive (%s)" msg
+  | Anomalous a -> Fmt.pf ppf "ANOMALY: %a" pp_anomaly a
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+open Stm_obs
+
+let value_to_json = function
+  | Vi n -> Json.Int n
+  | Vr b -> Json.Str ("&" ^ box_to_string b)
+
+let opt_value_to_json = function None -> Json.Null | Some v -> value_to_json v
+
+let edge_to_json e =
+  Json.Obj
+    [
+      ("src", Json.Int e.src);
+      ("dst", Json.Int e.dst);
+      ("kind", Json.Str (kind_to_string e.kind));
+      ( "loc",
+        match e.eloc with None -> Json.Null | Some l -> Json.Str (loc_to_string l)
+      );
+    ]
+
+let anomaly_to_json = function
+  | Cycle edges ->
+      Json.Obj
+        [ ("anomaly", Json.Str "cycle"); ("edges", Json.List (List.map edge_to_json edges)) ]
+  | Dirty_read { node; rloc; seen } ->
+      Json.Obj
+        [
+          ("anomaly", Json.Str "dirty-read");
+          ("node", Json.Int node);
+          ("loc", Json.Str (loc_to_string rloc));
+          ("seen", value_to_json seen);
+        ]
+  | Final_mismatch { floc; expected; actual } ->
+      Json.Obj
+        [
+          ("anomaly", Json.Str "final-mismatch");
+          ("loc", Json.Str (loc_to_string floc));
+          ("expected", opt_value_to_json expected);
+          ("actual", opt_value_to_json actual);
+        ]
+  | Divergence { dloc; replayed; actual } ->
+      Json.Obj
+        [
+          ("anomaly", Json.Str "divergence");
+          ("loc", Json.Str (loc_to_string dloc));
+          ("replayed", opt_value_to_json replayed);
+          ("actual", opt_value_to_json actual);
+        ]
+  | Control_divergence { thread; step; detail } ->
+      Json.Obj
+        [
+          ("anomaly", Json.Str "control-divergence");
+          ("thread", Json.Int thread);
+          ("step", Json.Int step);
+          ("detail", Json.Str detail);
+        ]
+  | Private_clobbered { thread; step; expected; seen } ->
+      Json.Obj
+        [
+          ("anomaly", Json.Str "private-clobbered");
+          ("thread", Json.Int thread);
+          ("step", Json.Int step);
+          ("expected", Json.Int expected);
+          ("seen", value_to_json seen);
+        ]
+  | Exec_failure msg ->
+      Json.Obj [ ("anomaly", Json.Str "exec-failure"); ("detail", Json.Str msg) ]
+
+let verdict_to_json = function
+  | Serializable -> Json.Obj [ ("verdict", Json.Str "serializable") ]
+  | Inconclusive msg ->
+      Json.Obj [ ("verdict", Json.Str "inconclusive"); ("detail", Json.Str msg) ]
+  | Anomalous a ->
+      Json.Obj [ ("verdict", Json.Str "anomalous"); ("detail", anomaly_to_json a) ]
+
+let verdict_equal a b =
+  Json.to_string (verdict_to_json a) = Json.to_string (verdict_to_json b)
+
+let is_anomalous = function Anomalous _ -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Conflict-graph check                                                *)
+(* ------------------------------------------------------------------ *)
+
+exception Found of anomaly
+
+let check_graph (h : history) : anomaly option =
+  let nodes = Array.of_list h.nodes in
+  let n = Array.length nodes in
+  Array.iteri (fun i nd -> assert (nd.id = i)) nodes;
+  (* Version order per location: committed writes sorted by stamp,
+     preceded by the initial value when the location has one. Writer id
+     -1 stands for "initial state". *)
+  let writes_by_loc : (loc, (int * int * value) list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  Array.iter
+    (fun nd ->
+      List.iter
+        (fun (l, v) ->
+          let r =
+            match Hashtbl.find_opt writes_by_loc l with
+            | Some r -> r
+            | None ->
+                let r = ref [] in
+                Hashtbl.add writes_by_loc l r;
+                r
+          in
+          r := (nd.stamp, nd.id, v) :: !r)
+        nd.writes)
+    nodes;
+  let versions : (loc, (int * value) array) Hashtbl.t = Hashtbl.create 64 in
+  let add_versions l ws =
+    let ws = List.sort (fun (s1, _, _) (s2, _, _) -> compare s1 s2) ws in
+    let ws = List.map (fun (_, id, v) -> (id, v)) ws in
+    let ws =
+      match List.assoc_opt l h.init with
+      | Some iv -> (-1, iv) :: ws
+      | None -> ws
+    in
+    Hashtbl.replace versions l (Array.of_list ws)
+  in
+  Hashtbl.iter (fun l r -> add_versions l !r) writes_by_loc;
+  List.iter
+    (fun (l, _) ->
+      if not (Hashtbl.mem versions l) then add_versions l [])
+    h.init;
+  (* (loc, value) -> version index. Values are unique per location
+     because tokens are unique per static occurrence and each occurrence
+     commits at most once. *)
+  let vindex : (loc * value, int) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun l vs -> Array.iteri (fun i (_, v) -> Hashtbl.replace vindex (l, v) i) vs)
+    versions;
+  let edges = ref [] in
+  let adj = Array.make n [] in
+  let add_edge src dst kind eloc =
+    if src <> dst && src >= 0 && dst >= 0 then begin
+      let e = { src; dst; kind; eloc } in
+      edges := e :: !edges;
+      adj.(src) <- e :: adj.(src)
+    end
+  in
+  try
+    (* ww: consecutive committed versions. *)
+    Hashtbl.iter
+      (fun l vs ->
+        for i = 0 to Array.length vs - 2 do
+          add_edge (fst vs.(i)) (fst vs.(i + 1)) Ww (Some l)
+        done)
+      versions;
+    (* wr and rw from each observed read. *)
+    Array.iter
+      (fun nd ->
+        List.iter
+          (fun (l, v) ->
+            match Hashtbl.find_opt vindex (l, v) with
+            | None -> raise (Found (Dirty_read { node = nd.id; rloc = l; seen = v }))
+            | Some i ->
+                let vs = Hashtbl.find versions l in
+                let writer = fst vs.(i) in
+                add_edge writer nd.id Wr (Some l);
+                if i + 1 < Array.length vs then
+                  add_edge nd.id (fst vs.(i + 1)) Rw (Some l))
+          nd.reads)
+      nodes;
+    (* Program order within each logical thread. *)
+    let last_of_tid : (int, int) Hashtbl.t = Hashtbl.create 8 in
+    Array.iter
+      (fun nd ->
+        (match Hashtbl.find_opt last_of_tid nd.tid with
+        | Some prev -> add_edge prev nd.id Po None
+        | None -> ());
+        Hashtbl.replace last_of_tid nd.tid nd.id)
+      nodes;
+    (* Final state: every location must hold its last committed version. *)
+    Hashtbl.iter
+      (fun l vs ->
+        match List.assoc_opt l h.final with
+        | None -> ()  (* location not snapshotted; nothing to check *)
+        | Some actual ->
+            let expected = snd vs.(Array.length vs - 1) in
+            if actual <> expected then
+              raise
+                (Found
+                   (Final_mismatch
+                      { floc = l; expected = Some expected; actual = Some actual })))
+      versions;
+    (* Acyclicity. Colors: 0 white, 1 gray, 2 black. *)
+    let color = Array.make n 0 in
+    let rec dfs path v =
+      color.(v) <- 1;
+      List.iter
+        (fun e ->
+          if color.(e.dst) = 1 then begin
+            (* Back edge: the cycle is [e] plus the path suffix from
+               e.dst back to v. *)
+            let rec suffix acc = function
+              | [] -> acc
+              | e' :: rest ->
+                  if e'.src = e.dst then e' :: acc else suffix (e' :: acc) rest
+            in
+            raise (Found (Cycle (suffix [ e ] path)))
+          end
+          else if color.(e.dst) = 0 then dfs (e :: path) e.dst)
+        adj.(v);
+      color.(v) <- 2
+    in
+    for v = 0 to n - 1 do
+      if color.(v) = 0 then dfs [] v
+    done;
+    None
+  with Found a -> Some a
+
+(* ------------------------------------------------------------------ *)
+(* Differential replay                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Replays the committed nodes in serialization order against a
+   sequential reference interpreter of the program, then diffs the
+   reference heap against the observed final state. Catches divergences
+   the per-location graph check cannot see (e.g. wrong data payloads
+   flowing through accumulators). *)
+
+let differential (prog : Prog.t) (h : history) : anomaly option =
+  let heap : (loc, value) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun (l, v) -> Hashtbl.replace heap l v) h.init;
+  let nthreads = Prog.nthreads prog in
+  let accs = Array.make (max 1 nthreads) 0 in
+  let priv = Array.make (max 1 nthreads) None in
+  let as_int = function Vi n -> n | Vr _ -> 0 in
+  let load l = Option.value (Hashtbl.find_opt heap l) ~default:(Vi 0) in
+  let exception Diverged of anomaly in
+  let apply_op thread step idx op =
+    match (op : Prog.op) with
+    | Prog.Read c -> accs.(thread) <- Prog.combine accs.(thread) (as_int (load (Cell c)))
+    | Prog.Write (c, e) ->
+        let token = Prog.op_token ~thread ~step ~op:idx in
+        Hashtbl.replace heap (Cell c)
+          (Vi (Prog.value_of e ~token ~acc:accs.(thread)))
+    | Prog.Box_read s -> (
+        match load (Root s) with
+        | Vr b -> accs.(thread) <- Prog.combine accs.(thread) (as_int (load (Box_field b)))
+        | _ -> ())
+    | Prog.Box_write s -> (
+        match load (Root s) with
+        | Vr b ->
+            let token = Prog.op_token ~thread ~step ~op:idx in
+            Hashtbl.replace heap (Box_field b)
+              (Vi (Prog.value_of Prog.Tok_acc ~token ~acc:accs.(thread)))
+        | _ -> ())
+  in
+  let step_of thread step =
+    match List.nth_opt prog.Prog.threads thread with
+    | None -> None
+    | Some steps -> List.nth_opt steps step
+  in
+  let replay_node (nd : node) =
+    match nd.tag with
+    | None -> ()
+    | Some { thread; step; part } -> (
+        match (part, step_of thread step) with
+        | Body, Some (Prog.Atomic ops) -> List.iteri (apply_op thread step) ops
+        | Body, Some (Prog.Plain op) -> apply_op thread step 0 op
+        | Body, Some (Prog.Publish s) ->
+            Hashtbl.replace heap (Root s) (Vr (New_box { thread; step }))
+        | Pub_init, Some (Prog.Publish _) ->
+            Hashtbl.replace heap
+              (Box_field (New_box { thread; step }))
+              (Vi (Prog.pub_token ~thread ~step * Prog.token_scale))
+        | Body, Some (Prog.Privatize s) -> (
+            match load (Root s) with
+            | Vr b ->
+                Hashtbl.replace heap (Root s)
+                  (Vi (Prog.tomb_token ~thread ~step * Prog.token_scale));
+                priv.(thread) <- Some b
+            | _ -> priv.(thread) <- None)
+        | Priv_write, Some (Prog.Privatize _) -> (
+            match priv.(thread) with
+            | Some b ->
+                Hashtbl.replace heap (Box_field b)
+                  (Vi (Prog.priv_token ~thread ~step * Prog.token_scale))
+            | None ->
+                raise
+                  (Diverged
+                     (Control_divergence
+                        {
+                          thread;
+                          step;
+                          detail =
+                            "execution privatized a box but the sequential replay \
+                             found the slot already detached";
+                        })))
+        | Priv_read, Some (Prog.Privatize _) -> (
+            match priv.(thread) with
+            | Some b ->
+                accs.(thread) <- Prog.combine accs.(thread) (as_int (load (Box_field b)))
+            | None -> ())
+        | _, None ->
+            raise
+              (Diverged
+                 (Control_divergence
+                    { thread; step; detail = "node refers to a step outside the program" }))
+        | _, Some _ ->
+            raise
+              (Diverged
+                 (Control_divergence
+                    { thread; step; detail = "node part does not match the step kind" })))
+  in
+  try
+    List.iter replay_node h.nodes;
+    List.iter
+      (fun (l, actual) ->
+        let replayed = Hashtbl.find_opt heap l in
+        let same =
+          match replayed with Some r -> r = actual | None -> actual = Vi 0
+        in
+        if not same then
+          raise (Diverged (Divergence { dloc = l; replayed; actual = Some actual })))
+      h.final;
+    None
+  with Diverged a -> Some a
+
+(* ------------------------------------------------------------------ *)
+(* Combined verdict                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let check prog h =
+  match check_graph h with
+  | Some a -> Anomalous a
+  | None -> (
+      match differential prog h with Some a -> Anomalous a | None -> Serializable)

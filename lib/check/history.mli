@@ -1,0 +1,85 @@
+(** Serializability oracle over committed-access histories.
+
+    A history is built from the runtime's trace stream (see
+    {!Exec}): one node per committed transaction and per
+    non-transactional unit access, stamped at its linearization point.
+    Occurrence-unique write tokens (see {!Prog}) make the reads-from
+    relation exact, so conflict serializability is decidable from the
+    history alone. *)
+
+type box_id = Slot_box of int | New_box of { thread : int; step : int }
+
+type loc = Cell of int | Root of int | Box_field of box_id
+
+type value = Vi of int | Vr of box_id
+
+type part = Body | Pub_init | Priv_write | Priv_read
+
+type tag = { thread : int; step : int; part : part }
+(** Which static program step (and which phase of a publish/privatize
+    step) a node corresponds to. *)
+
+type node = {
+  id : int;  (** dense index, ascending with [stamp] *)
+  tid : int;  (** logical thread index *)
+  txn : bool;
+  stamp : int;  (** serialization stamp (trace-arrival order) *)
+  tag : tag option;
+  reads : (loc * value) list;  (** program order, duplicates kept *)
+  writes : (loc * value) list;  (** last write per location *)
+}
+
+type history = {
+  init : (loc * value) list;
+  nodes : node list;  (** ascending stamp *)
+  final : (loc * value) list;
+}
+
+type edge_kind = Wr | Ww | Rw | Po
+
+type edge = { src : int; dst : int; kind : edge_kind; eloc : loc option }
+
+type anomaly =
+  | Cycle of edge list  (** conflict-graph cycle (the path of edges) *)
+  | Dirty_read of { node : int; rloc : loc; seen : value }
+      (** a committed node observed a value no committed write produced *)
+  | Final_mismatch of { floc : loc; expected : value option; actual : value option }
+      (** final heap state disagrees with the last committed version *)
+  | Divergence of { dloc : loc; replayed : value option; actual : value option }
+      (** sequential replay of the committed schedule disagrees with the
+          observed final state *)
+  | Control_divergence of { thread : int; step : int; detail : string }
+  | Private_clobbered of { thread : int; step : int; expected : int; seen : value }
+      (** a non-transactional store to a privatized object was overwritten
+          (the paper's figure-1 privatization race) *)
+  | Exec_failure of string
+
+type verdict = Serializable | Inconclusive of string | Anomalous of anomaly
+
+val check_graph : history -> anomaly option
+(** Conflict-graph acyclicity plus final-state agreement. [None] means
+    the history is conflict serializable. *)
+
+val differential : Prog.t -> history -> anomaly option
+(** Replay the committed nodes in stamp order on a sequential reference
+    interpreter of [prog] and diff the final heaps. *)
+
+val check : Prog.t -> history -> verdict
+(** Graph check first, then differential replay. *)
+
+val is_anomalous : verdict -> bool
+val verdict_equal : verdict -> verdict -> bool
+
+(** {1 Printing and serialization} *)
+
+val loc_to_string : loc -> string
+val value_to_string : value -> string
+val pp_loc : Format.formatter -> loc -> unit
+val pp_value : Format.formatter -> value -> unit
+val pp_node : Format.formatter -> node -> unit
+val pp_history : Format.formatter -> history -> unit
+val pp_edge : Format.formatter -> edge -> unit
+val pp_anomaly : Format.formatter -> anomaly -> unit
+val pp_verdict : Format.formatter -> verdict -> unit
+val anomaly_to_json : anomaly -> Stm_obs.Json.t
+val verdict_to_json : verdict -> Stm_obs.Json.t

@@ -1,0 +1,130 @@
+(* Replayable counterexamples.
+
+   A repro file pins everything an execution depends on - configuration
+   combo, schedule driver (random-scheduler seed or explorer bounds),
+   step budget, and the exact program - plus the verdict observed when
+   it was recorded. Replaying re-runs the deterministic simulator and
+   must reproduce the verdict bit for bit; [matches] compares the JSON
+   renderings. *)
+
+open Stm_obs
+
+let format_tag = "stm-fuzz-repro"
+let format_version = 1
+
+type driver =
+  | Random_sched of int  (* seed: Sched.Random schedule + cm_seed *)
+  | Explore of { preemption_bound : int; max_runs : int }
+
+type t = {
+  combo : Combo.t;
+  profile : string;  (* informational: generator profile *)
+  prog_seed : int option;  (* informational: generator seed, if any *)
+  driver : driver;
+  max_steps : int;
+  prog : Prog.t;
+  verdict : Json.t;  (* verdict as recorded, JSON form *)
+}
+
+let driver_to_json = function
+  | Random_sched seed ->
+      Json.Obj [ ("kind", Json.Str "random"); ("sched_seed", Json.Int seed) ]
+  | Explore { preemption_bound; max_runs } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "explore");
+          ("preemption_bound", Json.Int preemption_bound);
+          ("max_runs", Json.Int max_runs);
+        ]
+
+let ( let* ) = Option.bind
+
+let driver_of_json j =
+  let* kind = Option.bind (Json.member "kind" j) Json.to_str_opt in
+  match kind with
+  | "random" ->
+      let* seed = Option.bind (Json.member "sched_seed" j) Json.to_int_opt in
+      Some (Random_sched seed)
+  | "explore" ->
+      let* pb = Option.bind (Json.member "preemption_bound" j) Json.to_int_opt in
+      let* mr = Option.bind (Json.member "max_runs" j) Json.to_int_opt in
+      Some (Explore { preemption_bound = pb; max_runs = mr })
+  | _ -> None
+
+let to_json t =
+  Json.Obj
+    [
+      ("format", Json.Str format_tag);
+      ("version", Json.Int format_version);
+      ("combo", Combo.to_json t.combo);
+      ("profile", Json.Str t.profile);
+      ( "prog_seed",
+        match t.prog_seed with None -> Json.Null | Some s -> Json.Int s );
+      ("driver", driver_to_json t.driver);
+      ("max_steps", Json.Int t.max_steps);
+      ("prog", Prog.to_json t.prog);
+      ("verdict", t.verdict);
+    ]
+
+let of_json j =
+  let* tag = Option.bind (Json.member "format" j) Json.to_str_opt in
+  if tag <> format_tag then None
+  else
+    let* version = Option.bind (Json.member "version" j) Json.to_int_opt in
+    if version <> format_version then None
+    else
+      let* combo = Option.bind (Json.member "combo" j) Combo.of_json in
+      let* profile = Option.bind (Json.member "profile" j) Json.to_str_opt in
+      let prog_seed = Option.bind (Json.member "prog_seed" j) Json.to_int_opt in
+      let* driver = Option.bind (Json.member "driver" j) driver_of_json in
+      let* max_steps = Option.bind (Json.member "max_steps" j) Json.to_int_opt in
+      let* prog = Option.bind (Json.member "prog" j) Prog.of_json in
+      let* verdict = Json.member "verdict" j in
+      Some { combo; profile; prog_seed; driver; max_steps; prog; verdict }
+
+let to_string t = Json.to_string (to_json t)
+
+let of_string s =
+  match Json.of_string s with
+  | Error e -> Error e
+  | Ok j -> (
+      match of_json j with
+      | Some t -> Ok t
+      | None -> Error "not a valid stm-fuzz-repro document")
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string t);
+      output_char oc '\n')
+
+let load path =
+  let ic = open_in_bin path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string s
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_driver ~combo ~driver ~max_steps prog =
+  match driver with
+  | Random_sched seed ->
+      let cfg = Combo.to_config ~cm_seed:seed combo in
+      fst (Exec.run ~policy:(Stm_runtime.Sched.Random seed) ~max_steps ~cfg prog)
+  | Explore { preemption_bound; max_runs } -> (
+      let cfg = Combo.to_config combo in
+      match Exec.explore ~preemption_bound ~max_runs ~max_steps ~cfg prog with
+      | Some v, _ -> v
+      | None, _ -> History.Serializable)
+
+let replay t = run_driver ~combo:t.combo ~driver:t.driver ~max_steps:t.max_steps t.prog
+
+let matches t verdict =
+  Json.to_string t.verdict = Json.to_string (History.verdict_to_json verdict)

@@ -62,19 +62,40 @@ let publish obj =
 (* Context-sensitive accesses                                          *)
 (* ------------------------------------------------------------------ *)
 
+(* Emitted at the access's linearization point: after the heap update /
+   load and before any preemption point, so that the global order of
+   [Access] events is the memory-visibility order the serializability
+   oracle reconstructs. *)
+let emit_nontxn_access (obj : Heap.obj) fld value ~write =
+  Trace.emit ~level:Trace.Debug
+    (lazy
+      (Trace.Access
+         {
+           tid = Sched.self ();
+           txid = -1;
+           oid = obj.Heap.oid;
+           fld;
+           value;
+           write;
+         }))
+
 let nontxn_read sys (obj : Heap.obj) fld =
   let cfg = Txn.cfg sys.ctx in
-  if cfg.strong && cfg.strong_reads then
-    match cfg.versioning with
-    | Config.Eager -> Barriers.read cfg (Txn.stats sys.ctx) obj fld
-    | Config.Lazy -> Barriers.read_ordering cfg (Txn.stats sys.ctx) obj fld
-  else begin
-    (* direct access: any memory operation is a preemption point on a
-       real multiprocessor *)
-    Sched.yield ();
-    Sched.tick cfg.cost.Cost.plain_load;
-    Heap.get obj fld
-  end
+  let v =
+    if cfg.strong && cfg.strong_reads then
+      match cfg.versioning with
+      | Config.Eager -> Barriers.read cfg (Txn.stats sys.ctx) obj fld
+      | Config.Lazy -> Barriers.read_ordering cfg (Txn.stats sys.ctx) obj fld
+    else begin
+      (* direct access: any memory operation is a preemption point on a
+         real multiprocessor *)
+      Sched.yield ();
+      Sched.tick cfg.cost.Cost.plain_load;
+      Heap.get obj fld
+    end
+  in
+  emit_nontxn_access obj fld v ~write:false;
+  v
 
 let nontxn_write sys (obj : Heap.obj) fld v =
   let cfg = Txn.cfg sys.ctx in
@@ -86,7 +107,8 @@ let nontxn_write sys (obj : Heap.obj) fld v =
     Sched.yield ();
     Sched.tick cfg.cost.Cost.plain_store;
     Heap.set obj fld v
-  end
+  end;
+  emit_nontxn_access obj fld v ~write:true
 
 let read obj fld =
   let sys = get () in
@@ -119,7 +141,9 @@ let read_nobarrier obj fld =
       emit_elided Trace.Op_read;
       Sched.yield ();
       Sched.tick (Txn.cfg sys.ctx).cost.Cost.plain_load;
-      Heap.get obj fld
+      let v = Heap.get obj fld in
+      emit_nontxn_access obj fld v ~write:false;
+      v
 
 let write_nobarrier obj fld v =
   let sys = get () in
@@ -136,7 +160,8 @@ let write_nobarrier obj fld v =
         Dea.publish_value (Txn.stats sys.ctx) cfg.cost v;
       Sched.yield ();
       Sched.tick cfg.cost.Cost.plain_store;
-      Heap.set obj fld v
+      Heap.set obj fld v;
+      emit_nontxn_access obj fld v ~write:true
 
 (* ------------------------------------------------------------------ *)
 (* Transactions                                                        *)

@@ -41,11 +41,22 @@ type event =
       owner : int;
       delay : int;
     }
+  | Access of {
+      tid : int;
+      txid : int;
+      oid : int;
+      fld : int;
+      value : Stm_runtime.Heap.value;
+      write : bool;
+    }
+  | Txn_serialized of { txid : int; tid : int }
 
 (* Intrinsic verbosity of each event kind: per-access events are [Debug],
    transaction-lifecycle and structural events are [Info]. *)
 let event_level = function
-  | Barrier _ | Backoff _ | Validation _ | Cm_decision _ -> Debug
+  | Barrier _ | Backoff _ | Validation _ | Cm_decision _ | Access _
+  | Txn_serialized _ ->
+      Debug
   | Txn_begin _ | Txn_commit _ | Txn_abort _ | Txn_wound _ | Conflict _
   | Publish _ | Quiesce_wait _ ->
       Info
@@ -127,3 +138,11 @@ let pp_event ppf = function
         decision
         (fun ppf o -> if o >= 0 then Fmt.pf ppf " vs txn %d" o)
         owner tid delay
+  | Access { tid; txid; oid; fld; value; write } ->
+      Fmt.pf ppf "thread %d%a %s @%d.%d = %a" tid
+        (fun ppf t -> if t >= 0 then Fmt.pf ppf " txn %d" t)
+        txid
+        (if write then "store" else "load")
+        oid fld Stm_runtime.Heap.pp_value value
+  | Txn_serialized { txid; tid } ->
+      Fmt.pf ppf "txn %d serialized (thread %d)" txid tid

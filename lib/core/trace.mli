@@ -68,6 +68,30 @@ type event =
       owner : int;  (** owning txid at decision time, [-1] when unknown *)
       delay : int;  (** backoff cycles chosen (0 for abort-self) *)
     }  (** one contention-manager decision (Debug level) *)
+  | Access of {
+      tid : int;
+      txid : int;  (** enclosing transaction id, [-1] for non-transactional *)
+      oid : int;
+      fld : int;
+      value : Stm_runtime.Heap.value;
+          (** the value loaded / stored, at the point the access completed *)
+      write : bool;
+    }
+      (** One completed memory access with its location and value (Debug
+          level). Transactional accesses carry the transaction id so that
+          per-transaction read/write sets can be reconstructed from the
+          event stream; non-transactional accesses ([txid = -1]) are
+          emitted at their linearization point — after the heap update and
+          before any preemption point — so the global event order is the
+          memory-visibility order. The serializability oracle
+          ({!Stm_check.History}) is built entirely on these events. *)
+  | Txn_serialized of { txid : int; tid : int }
+      (** The transaction passed its commit-time validation and can no
+          longer abort: this is the serialization point (Debug level).
+          Under lazy versioning it precedes the write-back window, so the
+          order of these events — not of {!Txn_commit}, which fires after
+          write-back — is the order in which transactions logically
+          committed. *)
 
 val event_level : event -> level
 (** Intrinsic level of an event kind (per-access events are [Debug]). *)

@@ -395,21 +395,32 @@ let emit_txn_access op =
            path = Trace.Path_fired;
          }))
 
+let emit_access ~txid (obj : Heap.obj) fld value ~write =
+  Trace.emit ~level:Trace.Debug
+    (lazy
+      (Trace.Access
+         { tid = Sched.self (); txid; oid = obj.Heap.oid; fld; value; write }))
+
 let txn_read ctx t obj fld =
   ctx.stats.Stats.txn_reads <- ctx.stats.Stats.txn_reads + 1;
   emit_txn_access Trace.Op_txn_read;
   periodic_validate ctx t;
-  match ctx.cfg.versioning with
-  | Config.Eager -> eager_read ctx t obj fld
-  | Config.Lazy -> lazy_read ctx t obj fld
+  let v =
+    match ctx.cfg.versioning with
+    | Config.Eager -> eager_read ctx t obj fld
+    | Config.Lazy -> lazy_read ctx t obj fld
+  in
+  emit_access ~txid:t.txid obj fld v ~write:false;
+  v
 
 let txn_write ctx t obj fld v =
   ctx.stats.Stats.txn_writes <- ctx.stats.Stats.txn_writes + 1;
   emit_txn_access Trace.Op_txn_write;
   periodic_validate ctx t;
-  match ctx.cfg.versioning with
+  (match ctx.cfg.versioning with
   | Config.Eager -> eager_write ctx t obj fld v
-  | Config.Lazy -> lazy_write ctx t obj fld v
+  | Config.Lazy -> lazy_write ctx t obj fld v);
+  emit_access ~txid:t.txid obj fld v ~write:true
 
 let release_all ctx t =
   let cost = ctx.cfg.cost in
@@ -421,6 +432,10 @@ let release_all ctx t =
   t.owned_order <- [];
   Hashtbl.reset t.owned
 
+let emit_serialized t =
+  Trace.emit ~level:Trace.Debug
+    (lazy (Trace.Txn_serialized { txid = t.txid; tid = Sched.self () }))
+
 let commit ctx t =
   check_wounded t;
   let cost = ctx.cfg.cost in
@@ -431,6 +446,7 @@ let commit ctx t =
         t.abort_cause <- Trace.Cause_validation;
         raise Abort_txn
       end;
+      emit_serialized t;
       if ctx.cfg.quiescence then begin
         match t.part with
         | Some p ->
@@ -459,16 +475,22 @@ let commit ctx t =
       end;
       (* serialization point: the transaction is now committed, but its
          updates are still pending - the Section 2.3 window opens here *)
-      Sched.yield ();
+      emit_serialized t;
+      (* The ticket must be drawn at the serialization point itself,
+         before any yield: otherwise write-back order can invert
+         serialization order, and a later-serialized privatizer
+         completes (and hands the object to non-transactional code)
+         while an earlier transaction's flush is still pending - exactly
+         the figure-1 clobber this mechanism exists to prevent. *)
       let ticket =
-        if ctx.cfg.quiescence then begin
-          let n = Quiesce.take_ticket ctx.q in
-          ctx.stats.Stats.quiesce_waits <- ctx.stats.Stats.quiesce_waits + 1;
-          Quiesce.await_turn ctx.q n;
-          Some n
-        end
-        else None
+        if ctx.cfg.quiescence then Some (Quiesce.take_ticket ctx.q) else None
       in
+      Sched.yield ();
+      (match ticket with
+      | Some n ->
+          ctx.stats.Stats.quiesce_waits <- ctx.stats.Stats.quiesce_waits + 1;
+          Quiesce.await_turn ctx.q n
+      | None -> ());
       (* write back, one location at a time, yielding in between: this is
          the ordering-anomaly window of Section 2.3 *)
       List.iter

@@ -79,6 +79,18 @@ let event_fields resolve (ev : Trace.event) =
           ("owner", Json.Int owner);
           ("delay", Json.Int delay);
         ] )
+  | Trace.Access { tid; txid; oid; fld; value; write } ->
+      ( "access",
+        [
+          ("tid", Json.Int tid);
+          ("txid", Json.Int txid);
+          ("oid", Json.Int oid);
+          ("fld", Json.Int fld);
+          ("value", Json.Str (Stm_runtime.Heap.show_value value));
+          ("write", Json.Bool write);
+        ] )
+  | Trace.Txn_serialized { txid; tid } ->
+      ("txn_serialized", [ ("txid", Json.Int txid); ("tid", Json.Int tid) ])
 
 let entry_json resolve (e : Recorder.entry) =
   let name, fields = event_fields resolve e.Recorder.ev in

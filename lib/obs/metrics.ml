@@ -80,7 +80,7 @@ let handle t (ev : Trace.event) =
       t.validations <- t.validations + 1;
       if not ok then t.validation_failures <- t.validation_failures + 1
   | Trace.Cm_decision _ -> t.cm_decisions <- t.cm_decisions + 1
-  | Trace.Barrier _ -> ()
+  | Trace.Barrier _ | Trace.Access _ | Trace.Txn_serialized _ -> ()
 
 let install ?(level = Trace.Info) t = Trace.set_sink ~level (Some (handle t))
 

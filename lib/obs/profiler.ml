@@ -74,7 +74,8 @@ let handle t (ev : Trace.event) =
       bump t ~site ~tid (fun c -> c.conflicts <- c.conflicts + 1)
   | Trace.Txn_begin _ | Trace.Txn_commit _ | Trace.Txn_abort _
   | Trace.Txn_wound _ | Trace.Publish _ | Trace.Quiesce_wait _
-  | Trace.Backoff _ | Trace.Validation _ | Trace.Cm_decision _ ->
+  | Trace.Backoff _ | Trace.Validation _ | Trace.Cm_decision _
+  | Trace.Access _ | Trace.Txn_serialized _ ->
       ()
 
 let install ?(level = Trace.Debug) t = Trace.set_sink ~level (Some (handle t))

@@ -29,3 +29,21 @@ let float t bound =
   bound *. (x /. 9007199254740992.0)
 
 let split t = { state = next64 t }
+
+let range t lo hi =
+  assert (hi >= lo);
+  lo + int t (hi - lo + 1)
+
+let pick t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+let weighted t choices =
+  let total = List.fold_left (fun acc (w, _) -> acc + max 0 w) 0 choices in
+  assert (total > 0);
+  let n = int t total in
+  let rec go n = function
+    | [] -> assert false
+    | (w, x) :: rest -> if n < max 0 w then x else go (n - max 0 w) rest
+  in
+  go n choices

@@ -25,3 +25,13 @@ val float : t -> float -> float
 
 val split : t -> t
 (** A generator with a stream independent from the parent's. *)
+
+val range : t -> int -> int -> int
+(** [range t lo hi] is uniform in the inclusive range [\[lo, hi\]]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val weighted : t -> (int * 'a) list -> 'a
+(** Weighted choice: each element is drawn with probability proportional
+    to its (non-negative) weight. The total weight must be positive. *)

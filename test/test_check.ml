@@ -1,0 +1,529 @@
+(* Unit tests for the stm_check fuzzing stack: the serializability
+   oracle on hand-built histories, the shrinker, the generator, the
+   repro (de)serialization, replay determinism, and the quiescence
+   publish/privatize regression. *)
+
+open Stm_check
+
+(* ------------------------------------------------------------------ *)
+(* Hand-built histories for the graph oracle                           *)
+(* ------------------------------------------------------------------ *)
+
+let node ?(txn = true) ~id ~tid ~stamp ~reads ~writes () =
+  { History.id; tid; txn; stamp; tag = None; reads; writes }
+
+let cell i = History.Cell i
+
+let vi n = History.Vi n
+
+let check_anomaly = Alcotest.(check bool)
+
+let test_graph_serializable () =
+  (* T0 writes c0; T1 reads that write and overwrites it: a clean
+     wr-chain, final state is the last version. *)
+  let h =
+    {
+      History.init = [ (cell 0, vi 0) ];
+      nodes =
+        [
+          node ~id:0 ~tid:0 ~stamp:0
+            ~reads:[ (cell 0, vi 0) ]
+            ~writes:[ (cell 0, vi 10) ]
+            ();
+          node ~id:1 ~tid:1 ~stamp:1
+            ~reads:[ (cell 0, vi 10) ]
+            ~writes:[ (cell 0, vi 20) ]
+            ();
+        ];
+      final = [ (cell 0, vi 20) ];
+    }
+  in
+  check_anomaly "wr chain accepted" true (History.check_graph h = None)
+
+let test_graph_rw_cycle () =
+  (* Write skew: each transaction reads the initial value of the cell
+     the other one writes. Both rw edges point opposite ways. *)
+  let h =
+    {
+      History.init = [ (cell 0, vi 0); (cell 1, vi 0) ];
+      nodes =
+        [
+          node ~id:0 ~tid:0 ~stamp:0
+            ~reads:[ (cell 0, vi 0) ]
+            ~writes:[ (cell 1, vi 10) ]
+            ();
+          node ~id:1 ~tid:1 ~stamp:1
+            ~reads:[ (cell 1, vi 0) ]
+            ~writes:[ (cell 0, vi 20) ]
+            ();
+        ];
+      final = [ (cell 0, vi 20); (cell 1, vi 10) ];
+    }
+  in
+  match History.check_graph h with
+  | Some (History.Cycle edges) ->
+      Alcotest.(check bool) "cycle has >= 2 edges" true (List.length edges >= 2)
+  | other ->
+      Alcotest.failf "expected rw cycle, got %a"
+        Fmt.(option History.pp_anomaly)
+        other
+
+let test_graph_wr_cycle () =
+  (* Each transaction reads the other's write: wr edges both ways. *)
+  let h =
+    {
+      History.init = [ (cell 0, vi 0); (cell 1, vi 0) ];
+      nodes =
+        [
+          node ~id:0 ~tid:0 ~stamp:0
+            ~reads:[ (cell 1, vi 21) ]
+            ~writes:[ (cell 0, vi 10) ]
+            ();
+          node ~id:1 ~tid:1 ~stamp:1
+            ~reads:[ (cell 0, vi 10) ]
+            ~writes:[ (cell 1, vi 21) ]
+            ();
+        ];
+      final = [ (cell 0, vi 10); (cell 1, vi 21) ];
+    }
+  in
+  check_anomaly "wr cycle rejected" true
+    (match History.check_graph h with Some (History.Cycle _) -> true | _ -> false)
+
+let test_graph_lost_update () =
+  (* Both transactions read the initial value and write: ww orders them
+     but the later one's read points back - the classic lost update. *)
+  let h =
+    {
+      History.init = [ (cell 0, vi 0) ];
+      nodes =
+        [
+          node ~id:0 ~tid:0 ~stamp:0
+            ~reads:[ (cell 0, vi 0) ]
+            ~writes:[ (cell 0, vi 10) ]
+            ();
+          node ~id:1 ~tid:1 ~stamp:1
+            ~reads:[ (cell 0, vi 0) ]
+            ~writes:[ (cell 0, vi 20) ]
+            ();
+        ];
+      final = [ (cell 0, vi 20) ];
+    }
+  in
+  check_anomaly "lost update rejected" true
+    (match History.check_graph h with Some (History.Cycle _) -> true | _ -> false)
+
+let test_graph_dirty_read () =
+  let h =
+    {
+      History.init = [ (cell 0, vi 0) ];
+      nodes =
+        [ node ~id:0 ~tid:0 ~stamp:0 ~reads:[ (cell 0, vi 999) ] ~writes:[] () ];
+      final = [ (cell 0, vi 0) ];
+    }
+  in
+  check_anomaly "dirty read detected" true
+    (match History.check_graph h with
+    | Some (History.Dirty_read { seen = History.Vi 999; _ }) -> true
+    | _ -> false)
+
+let test_graph_final_mismatch () =
+  (* The only committed write never reached the heap (a lost
+     non-transactional overwrite would look like this). *)
+  let h =
+    {
+      History.init = [ (cell 0, vi 0) ];
+      nodes = [ node ~id:0 ~tid:0 ~stamp:0 ~reads:[] ~writes:[ (cell 0, vi 10) ] () ];
+      final = [ (cell 0, vi 0) ];
+    }
+  in
+  check_anomaly "final mismatch detected" true
+    (match History.check_graph h with
+    | Some (History.Final_mismatch _) -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Shrinker                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let count_ops (p : Prog.t) =
+  List.fold_left
+    (fun acc steps ->
+      List.fold_left
+        (fun acc -> function Prog.Atomic ops -> acc + List.length ops | _ -> acc + 1)
+        acc steps)
+    0 p.Prog.threads
+
+let has_box_write (p : Prog.t) =
+  List.exists
+    (List.exists (function
+      | Prog.Atomic ops ->
+          List.exists (function Prog.Box_write _ -> true | _ -> false) ops
+      | Prog.Plain (Prog.Box_write _) -> true
+      | _ -> false))
+    p.Prog.threads
+
+let shrink_start =
+  {
+    Prog.ncells = 2;
+    nslots = 2;
+    threads =
+      [
+        [
+          Prog.Atomic [ Prog.Read 0; Prog.Box_write 1; Prog.Write (1, Prog.Tok_acc) ];
+          Prog.Plain (Prog.Read 1);
+        ];
+        [ Prog.Atomic [ Prog.Write (0, Prog.Tok) ] ];
+      ];
+  }
+
+let test_shrink_minimum () =
+  let small = Shrink.minimize ~keep:has_box_write shrink_start in
+  Alcotest.(check int) "one op left" 1 (count_ops small);
+  Alcotest.(check bool) "box write survives" true (has_box_write small);
+  (* With the demotion pass on, the singleton atomic collapses to a
+     plain access and the slot index lowers to 0. *)
+  Alcotest.(check string) "minimal program"
+    (Prog.to_string
+       { shrink_start with Prog.threads = [ [ Prog.Plain (Prog.Box_write 0) ] ] })
+    (Prog.to_string small)
+
+let test_shrink_no_demotion () =
+  let small = Shrink.minimize ~demote_atomic:false ~keep:has_box_write shrink_start in
+  Alcotest.(check string) "atomic singleton preserved"
+    (Prog.to_string
+       { shrink_start with Prog.threads = [ [ Prog.Atomic [ Prog.Box_write 0 ] ] ] })
+    (Prog.to_string small)
+
+let test_shrink_fixpoint () =
+  let small = Shrink.minimize ~keep:has_box_write shrink_start in
+  (* Fixpoint: no single candidate of the minimum still satisfies keep. *)
+  Alcotest.(check bool) "no further shrink" true
+    (Seq.for_all (fun q -> not (has_box_write q)) (Shrink.candidates small));
+  (* Idempotence follows. *)
+  Alcotest.(check string) "idempotent"
+    (Prog.to_string small)
+    (Prog.to_string (Shrink.minimize ~keep:has_box_write small))
+
+let test_shrink_demotion_gate () =
+  let p = { Prog.ncells = 1; nslots = 0; threads = [ [ Prog.Atomic [ Prog.Read 0 ] ] ] } in
+  let plains cands =
+    List.length
+      (List.filter
+         (fun (q : Prog.t) ->
+           List.exists
+             (List.exists (function Prog.Plain _ -> true | _ -> false))
+             q.Prog.threads)
+         (List.of_seq cands))
+  in
+  Alcotest.(check int) "demotion offered" 1 (plains (Shrink.candidates p));
+  Alcotest.(check int) "demotion gated off" 0
+    (plains (Shrink.candidates ~demote_atomic:false p))
+
+(* ------------------------------------------------------------------ *)
+(* Generator                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let profiles = [ Gen.Txn_only; Gen.Mixed; Gen.Handoff ]
+
+let check_op g (op : Prog.op) =
+  match op with
+  | Prog.Read c | Prog.Write (c, _) -> c >= 0 && c < g.Gen.ncells
+  | Prog.Box_read s | Prog.Box_write s -> s >= 0 && s < g.Gen.nslots
+
+let check_step g profile (step : Prog.step) =
+  match step with
+  | Prog.Atomic ops ->
+      List.length ops >= 1
+      && List.length ops <= g.Gen.max_ops
+      && List.for_all (check_op g) ops
+      && (profile <> Gen.Txn_only && profile <> Gen.Mixed
+         || List.for_all
+              (function Prog.Box_read _ | Prog.Box_write _ -> false | _ -> true)
+              ops)
+  | Prog.Plain op -> profile = Gen.Mixed && check_op g op
+  | Prog.Publish s | Prog.Privatize s ->
+      profile = Gen.Handoff && s >= 0 && s < g.Gen.nslots
+
+let test_gen_well_formed () =
+  List.iter
+    (fun profile ->
+      let g = Gen.default profile in
+      for seed = 1 to 20 do
+        let p = Gen.generate g ~seed in
+        let nt = Prog.nthreads p in
+        if nt < g.Gen.min_threads || nt > g.Gen.max_threads then
+          Alcotest.failf "%s seed %d: %d threads" (Gen.profile_to_string profile)
+            seed nt;
+        List.iter
+          (fun steps ->
+            if List.length steps < 1 || List.length steps > g.Gen.max_steps then
+              Alcotest.failf "%s seed %d: bad step count"
+                (Gen.profile_to_string profile) seed;
+            List.iter
+              (fun step ->
+                if not (check_step g profile step) then
+                  Alcotest.failf "%s seed %d: step out of profile: %s"
+                    (Gen.profile_to_string profile) seed (Prog.to_string p))
+              steps)
+          p.Prog.threads
+      done)
+    profiles
+
+let test_gen_deterministic () =
+  List.iter
+    (fun profile ->
+      let g = Gen.default profile in
+      for seed = 1 to 10 do
+        let a = Gen.generate g ~seed and b = Gen.generate g ~seed in
+        Alcotest.(check string)
+          (Printf.sprintf "%s seed %d" (Gen.profile_to_string profile) seed)
+          (Prog.to_string a) (Prog.to_string b)
+      done)
+    profiles
+
+(* ------------------------------------------------------------------ *)
+(* JSON round trips                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_prog_json_roundtrip () =
+  List.iter
+    (fun profile ->
+      let g = Gen.default profile in
+      for seed = 1 to 10 do
+        let p = Gen.generate g ~seed in
+        match Prog.of_json (Prog.to_json p) with
+        | Some p' ->
+            Alcotest.(check string)
+              (Printf.sprintf "%s seed %d" (Gen.profile_to_string profile) seed)
+              (Prog.to_string p) (Prog.to_string p')
+        | None -> Alcotest.failf "of_json failed: %s" (Prog.to_string p)
+      done)
+    profiles
+
+let test_combo_json_roundtrip () =
+  List.iter
+    (fun combo ->
+      match Combo.of_json (Combo.to_json combo) with
+      | Some combo' -> Alcotest.(check string) "combo" (Combo.name combo) (Combo.name combo')
+      | None -> Alcotest.failf "combo of_json failed: %s" (Combo.name combo))
+    Combo.all
+
+let sample_repro driver =
+  {
+    Repro.combo =
+      { Combo.versioning = Stm_core.Config.Eager;
+        atomicity = Combo.Weak;
+        cm = Stm_cm.Policy.Suicide };
+    profile = "mixed";
+    prog_seed = Some 7;
+    driver;
+    max_steps = 10_000;
+    prog =
+      {
+        Prog.ncells = 2;
+        nslots = 0;
+        threads =
+          [
+            [ Prog.Plain (Prog.Write (0, Prog.Tok)) ];
+            [ Prog.Atomic [ Prog.Read 0; Prog.Write (1, Prog.Tok_acc) ] ];
+          ];
+      };
+    verdict = History.verdict_to_json History.Serializable;
+  }
+
+let test_repro_json_roundtrip () =
+  List.iter
+    (fun driver ->
+      let r = sample_repro driver in
+      match Repro.of_string (Repro.to_string r) with
+      | Ok r' -> Alcotest.(check string) "repro" (Repro.to_string r) (Repro.to_string r')
+      | Error msg -> Alcotest.failf "repro parse failed: %s" msg)
+    [ Repro.Random_sched 42; Repro.Explore { preemption_bound = 2; max_runs = 500 } ]
+
+let test_repro_rejects_garbage () =
+  (match Repro.of_string "{nope" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "parsed syntactically invalid repro");
+  match Repro.of_string "{\"format\": \"something-else\", \"version\": 1}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted wrong format tag"
+
+(* ------------------------------------------------------------------ *)
+(* Replay determinism                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let priv_race_prog =
+  (* One thread privatizes the slot-0 box; the other transactionally
+     writes the box, a cell, and reads it back. Under weak atomicity
+     this is the paper's figure-1 race. *)
+  {
+    Prog.ncells = 1;
+    nslots = 1;
+    threads =
+      [
+        [ Prog.Privatize 0 ];
+        [ Prog.Atomic [ Prog.Box_write 0; Prog.Write (0, Prog.Tok); Prog.Read 0 ] ];
+      ];
+  }
+
+let combo versioning atomicity =
+  { Combo.versioning; atomicity; cm = Stm_cm.Policy.Suicide }
+
+let test_replay_deterministic () =
+  List.iter
+    (fun (cmb, driver) ->
+      let run () =
+        Repro.run_driver ~combo:cmb ~driver ~max_steps:Exec.default_fuel
+          priv_race_prog
+      in
+      let a = run () and b = run () in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s deterministic" (Combo.name cmb))
+        true
+        (History.verdict_equal a b))
+    [
+      (combo Stm_core.Config.Eager Combo.Weak, Repro.Random_sched 42);
+      (combo Stm_core.Config.Lazy Combo.Weak, Repro.Random_sched 43);
+      (combo Stm_core.Config.Eager Combo.Quiesce, Repro.Random_sched 44);
+      ( combo Stm_core.Config.Eager Combo.Weak,
+        Repro.Explore { preemption_bound = 2; max_runs = 200 } );
+    ]
+
+let test_repro_replay_matches () =
+  (* Record a repro from a live driver run, then replay it. *)
+  let cmb = combo Stm_core.Config.Eager Combo.Weak in
+  let driver = Repro.Explore { preemption_bound = 2; max_runs = 500 } in
+  let verdict =
+    Repro.run_driver ~combo:cmb ~driver ~max_steps:Exec.default_fuel priv_race_prog
+  in
+  Alcotest.(check bool) "race found" true (History.is_anomalous verdict);
+  let r =
+    {
+      Repro.combo = cmb;
+      profile = "handoff";
+      prog_seed = None;
+      driver;
+      max_steps = Exec.default_fuel;
+      prog = priv_race_prog;
+      verdict = History.verdict_to_json verdict;
+    }
+  in
+  Alcotest.(check bool) "replay matches" true (Repro.matches r (Repro.replay r))
+
+(* ------------------------------------------------------------------ *)
+(* Quiescence / DEA privatization regression                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The same program explored under the full atomicity spectrum: weak
+   configurations must exhibit the privatization race; strong barriers,
+   dynamic escape analysis and commit-time quiescence must not. *)
+
+let explore_verdict cmb =
+  let cfg = Combo.to_config cmb in
+  let v, _ = Exec.explore ~preemption_bound:2 ~max_runs:1500 ~cfg priv_race_prog in
+  v
+
+let test_priv_race_weak () =
+  List.iter
+    (fun versioning ->
+      match explore_verdict (combo versioning Combo.Weak) with
+      | Some v when History.is_anomalous v -> ()
+      | _ ->
+          Alcotest.failf "%s-weak: privatization race not found"
+            (Combo.versioning_to_string versioning))
+    [ Stm_core.Config.Eager; Stm_core.Config.Lazy ]
+
+let test_priv_race_safe_configs () =
+  List.iter
+    (fun (versioning, atomicity) ->
+      match explore_verdict (combo versioning atomicity) with
+      | None -> ()
+      | Some v ->
+          Alcotest.failf "%s-%s: unexpected %s"
+            (Combo.versioning_to_string versioning)
+            (Combo.atomicity_to_string atomicity)
+            (Stm_obs.Json.to_string (History.verdict_to_json v)))
+    [
+      (Stm_core.Config.Eager, Combo.Strong);
+      (Stm_core.Config.Lazy, Combo.Strong);
+      (Stm_core.Config.Eager, Combo.Strong_dea);
+      (Stm_core.Config.Eager, Combo.Quiesce);
+      (Stm_core.Config.Lazy, Combo.Quiesce);
+    ]
+
+let test_publish_safe_configs () =
+  (* Publication handoff: T0 publishes a freshly initialized box while
+     T1 transactionally reads through the slot. Safe under the same
+     configurations as privatization. *)
+  let pub_prog =
+    {
+      Prog.ncells = 1;
+      nslots = 1;
+      threads =
+        [
+          [ Prog.Publish 0 ];
+          [ Prog.Atomic [ Prog.Box_read 0; Prog.Write (0, Prog.Tok_acc) ] ];
+        ];
+    }
+  in
+  List.iter
+    (fun (versioning, atomicity) ->
+      let cfg = Combo.to_config (combo versioning atomicity) in
+      let v, _ = Exec.explore ~preemption_bound:2 ~max_runs:1500 ~cfg pub_prog in
+      match v with
+      | None -> ()
+      | Some v ->
+          Alcotest.failf "publish %s-%s: unexpected %s"
+            (Combo.versioning_to_string versioning)
+            (Combo.atomicity_to_string atomicity)
+            (Stm_obs.Json.to_string (History.verdict_to_json v)))
+    [
+      (Stm_core.Config.Eager, Combo.Strong);
+      (Stm_core.Config.Eager, Combo.Strong_dea);
+      (Stm_core.Config.Eager, Combo.Quiesce);
+      (Stm_core.Config.Lazy, Combo.Quiesce);
+    ]
+
+let suite =
+  [
+    ( "check-oracle",
+      [
+        Alcotest.test_case "wr chain serializable" `Quick test_graph_serializable;
+        Alcotest.test_case "rw cycle (write skew)" `Quick test_graph_rw_cycle;
+        Alcotest.test_case "wr cycle" `Quick test_graph_wr_cycle;
+        Alcotest.test_case "lost update" `Quick test_graph_lost_update;
+        Alcotest.test_case "dirty read" `Quick test_graph_dirty_read;
+        Alcotest.test_case "final mismatch" `Quick test_graph_final_mismatch;
+      ] );
+    ( "check-shrink",
+      [
+        Alcotest.test_case "reaches minimum" `Quick test_shrink_minimum;
+        Alcotest.test_case "no demotion variant" `Quick test_shrink_no_demotion;
+        Alcotest.test_case "fixpoint" `Quick test_shrink_fixpoint;
+        Alcotest.test_case "demotion gate" `Quick test_shrink_demotion_gate;
+      ] );
+    ( "check-gen",
+      [
+        Alcotest.test_case "well-formed" `Quick test_gen_well_formed;
+        Alcotest.test_case "deterministic" `Quick test_gen_deterministic;
+      ] );
+    ( "check-json",
+      [
+        Alcotest.test_case "prog round trip" `Quick test_prog_json_roundtrip;
+        Alcotest.test_case "combo round trip" `Quick test_combo_json_roundtrip;
+        Alcotest.test_case "repro round trip" `Quick test_repro_json_roundtrip;
+        Alcotest.test_case "repro rejects garbage" `Quick test_repro_rejects_garbage;
+      ] );
+    ( "check-replay",
+      [
+        Alcotest.test_case "drivers deterministic" `Quick test_replay_deterministic;
+        Alcotest.test_case "recorded repro replays" `Quick test_repro_replay_matches;
+      ] );
+    ( "check-privatization",
+      [
+        Alcotest.test_case "weak exhibits race" `Quick test_priv_race_weak;
+        Alcotest.test_case "strong/dea/quiesce clean" `Quick test_priv_race_safe_configs;
+        Alcotest.test_case "publish clean" `Quick test_publish_safe_configs;
+      ] );
+  ]

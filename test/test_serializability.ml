@@ -1,128 +1,75 @@
-(* Property: committed transactions are serializable.
+(* Serializability property, as a budgeted differential fuzz sweep.
 
-   Random mini-transactions operate on a small shared array through an
-   accumulator register (reads feed later writes, creating real data
-   dependencies). Running them concurrently - under every STM
-   configuration and several schedules - must leave the heap in a state
-   produced by SOME serial order of the same transactions. *)
+   The old hand-rolled QCheck property (enumerate serial permutations,
+   compare final heaps) is superseded by the stm_check stack: generated
+   programs run on the real STM under every configuration combo, a
+   trace-based oracle checks conflict-graph acyclicity plus a
+   sequential differential replay, and failures shrink to a minimal
+   replayable counterexample whose repro JSON is printed so it can be
+   fed straight to [stm_run --repro].
 
-open Stm_runtime
-open Stm_core
+   The sweep doubles as the oracle's positive control: the hunt
+   campaigns on weak configurations MUST find (and minimize) the
+   paper's anomalies - lost updates for transactions racing plain
+   accesses, the figure-1 privatization race for handoff programs. *)
 
-type op =
-  | R of int  (* acc := cell[i] *)
-  | W of int * int * int  (* cell[i] := (acc * a + b) mod 1009 *)
+open Stm_check
 
-let ncells = 4
+let budget =
+  { Fuzz.default_budget with Fuzz.programs = 14; seeds = 2; base_seed = 1 }
 
-(* Serial oracle. *)
-let apply_serial txns order =
-  let heap = Array.make ncells 0 in
+let describe r =
+  let c = r.Fuzz.campaign in
+  Printf.sprintf "%s: %d runs, %d anomalies, %d inconclusive%s"
+    (Fuzz.campaign_name c) r.Fuzz.runs r.Fuzz.anomalies r.Fuzz.inconclusive
+    (match r.Fuzz.repro with
+    | None -> ""
+    | Some rp ->
+        Printf.sprintf "\n  minimized counterexample (feed to stm_run --repro):\n%s"
+          (Repro.to_string rp))
+
+let fail_results results =
+  let failed = List.filter (fun r -> not r.Fuzz.ok) results in
+  Alcotest.failf "%d campaign(s) failed:\n%s" (List.length failed)
+    (String.concat "\n" (List.map describe failed))
+
+let run_plan plan () =
+  let results = Fuzz.sweep ~plan budget in
+  if not (Fuzz.passed results) then fail_results results
+
+(* Split the plan so a failure names the offending slice directly. *)
+let clean_slice pred name =
+  Alcotest.test_case name `Quick
+    (run_plan (List.filter pred Fuzz.clean_campaigns))
+
+let is_atomicity a (c : Fuzz.campaign) = c.Fuzz.combo.Combo.atomicity = a
+
+let test_hunts_find_anomalies () =
+  let results = Fuzz.sweep ~plan:Fuzz.hunt_campaigns budget in
+  if not (Fuzz.passed results) then fail_results results;
+  (* Every hunt must also have produced a minimized repro that replays
+     to an anomalous verdict. *)
   List.iter
-    (fun idx ->
-      let acc = ref 0 in
-      List.iter
-        (function
-          | R i -> acc := heap.(i)
-          | W (i, a, b) -> heap.(i) <- ((!acc * a) + b) mod 1009)
-        (List.nth txns idx))
-    order;
-  Array.to_list heap
-
-let rec permutations = function
-  | [] -> [ [] ]
-  | l ->
-      List.concat_map
-        (fun x ->
-          let rest = List.filter (fun y -> y <> x) l in
-          List.map (fun p -> x :: p) (permutations rest))
-        l
-
-(* Concurrent execution on the STM. *)
-let run_concurrent cfg policy txns =
-  let final = ref [] in
-  let result, _ =
-    Stm.run ~policy ~cfg (fun () ->
-        let cells = Stm.alloc_public ~cls:"Cells" ncells in
-        for i = 0 to ncells - 1 do
-          Stm.write cells i (Stm.vint 0)
-        done;
-        let run_txn ops () =
-          Stm.atomic (fun () ->
-              let acc = ref 0 in
-              List.iter
-                (function
-                  | R i -> acc := Stm.to_int (Stm.read cells i)
-                  | W (i, a, b) ->
-                      Stm.write cells i (Stm.vint (((!acc * a) + b) mod 1009)))
-                ops)
-        in
-        let ts = List.map (fun ops -> Sched.spawn (run_txn ops)) txns in
-        List.iter Sched.join ts;
-        final :=
-          List.init ncells (fun i -> Stm.to_int (Stm.read cells i)))
-  in
-  match (result.Sched.status, result.Sched.exns) with
-  | Sched.Completed, [] -> Ok !final
-  | Sched.Completed, (_, e) :: _ -> Error (Printexc.to_string e)
-  | Sched.Deadlock _, _ -> Error "deadlock"
-  | Sched.Fuel_exhausted, _ -> Error "fuel"
-
-let gen_txn =
-  QCheck.Gen.(
-    list_size (int_range 1 5)
-      (frequency
-         [
-           (1, map (fun i -> R (i mod ncells)) nat);
-           ( 2,
-             map3
-               (fun i a b -> W (i mod ncells, 1 + (a mod 7), b mod 100))
-               nat nat nat );
-         ]))
-
-let gen_txns = QCheck.Gen.(list_size (int_range 2 3) gen_txn)
-
-let print_op = function
-  | R i -> Printf.sprintf "R%d" i
-  | W (i, a, b) -> Printf.sprintf "W%d(*%d+%d)" i a b
-
-let print_txns txns =
-  String.concat " | "
-    (List.map (fun t -> String.concat ";" (List.map print_op t)) txns)
-
-let serializable_under cfg policy =
-  QCheck.Test.make
-    ~name:
-      (Printf.sprintf "serializable [%s, %s]" (Config.describe cfg)
-         (match policy with
-         | Sched.Min_clock -> "min-clock"
-         | Sched.Random s -> "random-" ^ string_of_int s
-         | _ -> "other"))
-    ~count:60
-    (QCheck.make ~print:print_txns gen_txns)
-    (fun txns ->
-      let serial_outcomes =
-        List.map (apply_serial txns)
-          (permutations (List.init (List.length txns) Fun.id))
-      in
-      match run_concurrent cfg policy txns with
-      | Ok final -> List.mem final serial_outcomes
-      | Error msg -> QCheck.Test.fail_reportf "execution failed: %s" msg)
-
-let qsuite =
-  [
-    serializable_under Config.eager_weak Sched.Min_clock;
-    serializable_under Config.eager_weak (Sched.Random 7);
-    serializable_under Config.lazy_weak Sched.Min_clock;
-    serializable_under Config.lazy_weak (Sched.Random 13);
-    serializable_under Config.eager_strong (Sched.Random 21);
-    serializable_under Config.lazy_strong (Sched.Random 42);
-    serializable_under Config.(with_dea eager_strong) (Sched.Random 5);
-    serializable_under Config.(with_quiescence eager_weak) (Sched.Random 3);
-    serializable_under Config.(with_granule 2 eager_weak) (Sched.Random 11);
-    serializable_under Config.(with_wound_wait eager_weak) (Sched.Random 17);
-    serializable_under Config.(with_wound_wait lazy_weak) (Sched.Random 19);
-  ]
+    (fun r ->
+      match r.Fuzz.repro with
+      | None -> Alcotest.failf "%s: no repro" (Fuzz.campaign_name r.Fuzz.campaign)
+      | Some rp ->
+          let v = Repro.replay rp in
+          if not (Repro.matches rp v) then
+            Alcotest.failf "%s: repro does not replay:\n%s"
+              (Fuzz.campaign_name r.Fuzz.campaign)
+              (Repro.to_string rp))
+    results
 
 let suite =
-  [ ("serializability", List.map QCheck_alcotest.to_alcotest qsuite) ]
+  [
+    ( "serializability",
+      [
+        clean_slice (is_atomicity Combo.Weak) "fuzz clean: weak / txn-only";
+        clean_slice (is_atomicity Combo.Strong) "fuzz clean: strong / all profiles";
+        clean_slice (is_atomicity Combo.Strong_dea) "fuzz clean: dea / all profiles";
+        clean_slice (is_atomicity Combo.Quiesce) "fuzz clean: quiesce / txn+handoff";
+        Alcotest.test_case "hunts find+minimize the paper's anomalies" `Quick
+          test_hunts_find_anomalies;
+      ] );
+  ]
