@@ -190,12 +190,55 @@ let run_fuzz ~programs ~seeds ~driver ~dir ~seed ~fuel ~metrics_out =
   if ok then 0 else 1
 
 (* ------------------------------------------------------------------ *)
+(* Perf mode: host wall-clock microbenchmarks                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_perf ~quick ~out ~baseline ~threshold =
+  let report = Stm_perf.Perf.suite ~quick () in
+  Fmt.pr "%a" Stm_perf.Perf.pp_report report;
+  write_json out (Stm_perf.Perf.to_json report);
+  Fmt.pr "perf results written to %s@." out;
+  if not (Sys.file_exists baseline) then begin
+    Fmt.pr "no baseline at %s; skipping regression check@." baseline;
+    0
+  end
+  else
+    let doc = In_channel.with_open_text baseline In_channel.input_all in
+    match Stm_obs.Json.of_string doc with
+    | Error msg ->
+        Fmt.epr "cannot parse baseline %s: %s@." baseline msg;
+        2
+    | Ok json ->
+        let base = Stm_perf.Perf.baseline_of_json json in
+        let comps = Stm_perf.Perf.compare_to_baseline ~baseline:base report in
+        Fmt.pr "vs %s:@.%a" baseline Stm_perf.Perf.pp_comparison comps;
+        let regressed =
+          Stm_perf.Perf.regressions ~threshold_pct:threshold comps
+        in
+        if regressed = [] then begin
+          Fmt.pr "no microbench regressed more than %.0f%%@." threshold;
+          0
+        end
+        else begin
+          List.iter
+            (fun c ->
+              Fmt.epr "REGRESSION %s: %.0f ns/op vs baseline %.0f (>%g%%)@."
+                c.Stm_perf.Perf.c_name c.Stm_perf.Perf.c_ns
+                c.Stm_perf.Perf.c_baseline_ns threshold)
+            regressed;
+          1
+        end
+
+(* ------------------------------------------------------------------ *)
 (* Entry                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let main name scale threads cm stress seed fuel metrics_out fuzz fuzz_programs
-    fuzz_seeds fuzz_driver fuzz_dir =
-  if fuzz then
+    fuzz_seeds fuzz_driver fuzz_dir perf quick perf_out perf_baseline
+    perf_threshold =
+  if perf then run_perf ~quick ~out:perf_out ~baseline:perf_baseline
+      ~threshold:perf_threshold
+  else if fuzz then
     let driver =
       match fuzz_driver with
       | "random" -> Stm_check.Fuzz.Drv_random
@@ -351,6 +394,47 @@ let fuzz_driver_arg =
         ~doc:
           "Schedule source: $(b,random) (seeded random scheduler) or $(b,explore) (the litmus explorer's preemption-bounded DFS, one search per program).")
 
+let perf_arg =
+  Arg.(
+    value & flag
+    & info [ "perf" ]
+        ~doc:
+          "Run the host wall-clock performance suite (Bechamel): txn \
+           read/write/commit/abort microbenches, the fig6 explorer cell, \
+           the fig18 Tsp end-to-end unit and a fuzz-campaign throughput \
+           unit. Writes JSON to $(b,--perf-out) and, when \
+           $(b,--perf-baseline) exists, fails with non-zero exit if any \
+           bench regresses more than $(b,--perf-threshold) percent.")
+
+let quick_arg =
+  Arg.(
+    value & flag
+    & info [ "quick" ]
+        ~doc:
+          "Shrink the Bechamel sampling quota for CI smoke runs of \
+           $(b,--perf) (same operations, fewer samples).")
+
+let perf_out_arg =
+  Arg.(
+    value & opt string "BENCH_PR4.json"
+    & info [ "perf-out" ] ~docv:"FILE"
+        ~doc:"Where $(b,--perf) writes its JSON report.")
+
+let perf_baseline_arg =
+  Arg.(
+    value & opt string "bench/baseline.json"
+    & info [ "perf-baseline" ] ~docv:"FILE"
+        ~doc:
+          "Baseline report to ratchet against (same schema as \
+           $(b,--perf-out); refresh it by pointing $(b,--perf-out) here). \
+           Missing file skips the check.")
+
+let perf_threshold_arg =
+  Arg.(
+    value & opt float 25.0
+    & info [ "perf-threshold" ] ~docv:"PCT"
+        ~doc:"Allowed per-bench slowdown vs the baseline, in percent.")
+
 let fuzz_dir_arg =
   Arg.(
     value
@@ -369,6 +453,7 @@ let cmd =
     Term.(
       const main $ name_arg $ scale_arg $ threads_arg $ cm_arg $ stress_arg
       $ seed_arg $ fuel_arg $ metrics_arg $ fuzz_arg $ fuzz_programs_arg
-      $ fuzz_seeds_arg $ fuzz_driver_arg $ fuzz_dir_arg)
+      $ fuzz_seeds_arg $ fuzz_driver_arg $ fuzz_dir_arg $ perf_arg $ quick_arg
+      $ perf_out_arg $ perf_baseline_arg $ perf_threshold_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -4,6 +4,61 @@ exception Abort_txn
 exception Retry_request
 exception Open_nest_conflict
 
+type killed_flag = { mutable killed : bool }
+
+(* A transaction descriptor. Descriptors and their tables/logs are pooled
+   per context and recycled across attempts (clear-don't-reallocate): an
+   abort/retry storm reuses the same hash tables and grow-only arenas
+   instead of re-running [Hashtbl.create] per incarnation.
+
+   The read set is dedup-on-insert: [read_index] keys distinct objects by
+   oid, [read_objs]/[read_vers] keep the distinct entries in insertion
+   order (first-observed version wins), and [reads_obs] counts every
+   open-for-read observation - including re-reads - exactly as the old
+   cons-list length did, so the validation cost charge on the virtual
+   clock is unchanged while [validate] walks only distinct entries. *)
+type t = {
+  mutable txid : int;
+  mutable parent : t option;
+  (* read set; membership is an open-addressed int set keyed by oid
+     (linear probing, power-of-two capacity). A slot is live iff its
+     stamp equals [ridx_gen], so clearing the set on recycle is a
+     generation bump, not an array sweep. *)
+  mutable ridx_keys : int array;
+  mutable ridx_stamp : int array;
+  mutable ridx_gen : int;
+  mutable read_objs : Heap.obj array;  (* insertion order *)
+  mutable read_vers : int array;  (* first-observed versions *)
+  mutable nreads : int;  (* distinct entries *)
+  mutable reads_obs : int;  (* monotone observation count, incl. re-reads *)
+  (* ownership (eager open-for-write / lazy commit-time acquire) *)
+  owned : (int, int) Hashtbl.t;  (* oid -> arena slot *)
+  mutable owned_obj : Heap.obj array;
+  mutable owned_prior : int array;  (* prior record versions *)
+  mutable nowned : int;
+  (* undo log (eager versioning); grow-only arena, buffers reused *)
+  undo_saved : (int, unit) Hashtbl.t;  (* packed (oid, granule) saved? *)
+  mutable undo_obj : Heap.obj array;
+  mutable undo_base : int array;
+  mutable undo_buf : Heap.value array array;  (* slot buffers, len >= live *)
+  mutable undo_len : int array;  (* live prefix of each buffer *)
+  mutable nundo : int;
+  (* write buffer (lazy versioning); same arena discipline *)
+  wbuf : (int, int) Hashtbl.t;  (* packed (oid, granule) -> arena slot *)
+  mutable wbuf_obj : Heap.obj array;
+  mutable wbuf_base : int array;
+  mutable wbuf_prior : int array;  (* version at copy; -1 = private obj *)
+  mutable wbuf_buf : Heap.value array array;
+  mutable wbuf_len : int array;
+  mutable nwbuf : int;
+  mutable naccesses : int;
+  mutable nest_depth : int;
+  mutable part : Quiesce.participant option;
+  flag : killed_flag;  (* set by a wounding (older) transaction *)
+  mutable begin_ts : int;  (* cost clock at begin, for latency attribution *)
+  mutable abort_cause : Trace.abort_cause;
+}
+
 type ctx = {
   cfg : Config.t;
   stats : Stats.t;
@@ -12,39 +67,7 @@ type ctx = {
   mutable next_id : int;
   registry : (int, killed_flag) Hashtbl.t;
       (* live transaction ids -> wound flag, for contention management *)
-}
-
-and killed_flag = { mutable killed : bool }
-
-type owned = { o_obj : Heap.obj; prior_version : int }
-
-(* An undo-log entry: a saved copy of one granule (eager versioning). *)
-type undo_entry = { u_obj : Heap.obj; u_base : int; u_saved : Heap.value array }
-
-(* A write-buffer slot: a private copy of one granule (lazy versioning). *)
-type wslot = {
-  w_obj : Heap.obj;
-  w_base : int;
-  w_data : Heap.value array;
-  w_prior : int;  (* record version when the copy was made; -1 = private obj *)
-}
-
-type t = {
-  txid : int;
-  parent : t option;
-  mutable reads : (Heap.obj * int) list;
-  owned : (int, owned) Hashtbl.t;  (* oid -> ownership *)
-  mutable owned_order : owned list;  (* newest first *)
-  mutable undo : undo_entry list;  (* newest first *)
-  undo_saved : (int * int, unit) Hashtbl.t;  (* (oid, granule) saved? *)
-  wbuf : (int * int, wslot) Hashtbl.t;  (* (oid, granule) -> slot *)
-  mutable wbuf_order : wslot list;  (* newest first *)
-  mutable naccesses : int;
-  mutable nest_depth : int;
-  part : Quiesce.participant option;
-  flag : killed_flag;  (* set by a wounding (older) transaction *)
-  begin_ts : int;  (* cost clock at begin, for latency attribution *)
-  mutable abort_cause : Trace.abort_cause;
+  mutable pool : t list;  (* recycled descriptors *)
 }
 
 let make_ctx (cfg : Config.t) =
@@ -58,6 +81,7 @@ let make_ctx (cfg : Config.t) =
         cfg.Config.cm;
     next_id = 0;
     registry = Hashtbl.create 32;
+    pool = [];
   }
 
 let cfg ctx = ctx.cfg
@@ -65,45 +89,223 @@ let stats ctx = ctx.stats
 let quiescer ctx = ctx.q
 let cm ctx = ctx.cm
 
+(* ------------------------------------------------------------------ *)
+(* Descriptor pool and arenas                                          *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_descriptor () =
+  {
+    txid = 0;
+    parent = None;
+    ridx_keys = Array.make 32 0;
+    ridx_stamp = Array.make 32 0;
+    ridx_gen = 1;
+    read_objs = Array.make 16 Heap.dummy;
+    read_vers = Array.make 16 0;
+    nreads = 0;
+    reads_obs = 0;
+    owned = Hashtbl.create 16;
+    owned_obj = Array.make 8 Heap.dummy;
+    owned_prior = Array.make 8 0;
+    nowned = 0;
+    undo_saved = Hashtbl.create 16;
+    undo_obj = Array.make 8 Heap.dummy;
+    undo_base = Array.make 8 0;
+    undo_buf = Array.make 8 [||];
+    undo_len = Array.make 8 0;
+    nundo = 0;
+    wbuf = Hashtbl.create 16;
+    wbuf_obj = Array.make 8 Heap.dummy;
+    wbuf_base = Array.make 8 0;
+    wbuf_prior = Array.make 8 0;
+    wbuf_buf = Array.make 8 [||];
+    wbuf_len = Array.make 8 0;
+    nwbuf = 0;
+    naccesses = 0;
+    nest_depth = 0;
+    part = None;
+    flag = { killed = false };
+    begin_ts = 0;
+    abort_cause = Trace.Cause_exn;
+  }
+
+let grow_obj_array a n =
+  let a' = Array.make (2 * Array.length a) Heap.dummy in
+  Array.blit a 0 a' 0 n;
+  a'
+
+let grow_int_array a n =
+  let a' = Array.make (2 * Array.length a) 0 in
+  Array.blit a 0 a' 0 n;
+  a'
+
+let grow_buf_array a n =
+  let a' = Array.make (2 * Array.length a) [||] in
+  Array.blit a 0 a' 0 n;
+  a'
+
+(* Fibonacci-hash an oid into the probe table. The multiply may wrap
+   negative; masking with a positive power-of-two-minus-one keeps the
+   low bits, which is all we want. *)
+let ridx_hash oid mask = (oid * 0x9E3779B1) land mask
+
+(* Add [oid] to the membership set; true iff it was not yet present. *)
+let ridx_add t oid =
+  let keys = t.ridx_keys and stamps = t.ridx_stamp and gen = t.ridx_gen in
+  let mask = Array.length keys - 1 in
+  let i = ref (ridx_hash oid mask) in
+  let result = ref None in
+  while !result = None do
+    if stamps.(!i) <> gen then begin
+      keys.(!i) <- oid;
+      stamps.(!i) <- gen;
+      result := Some true
+    end
+    else if keys.(!i) = oid then result := Some false
+    else i := (!i + 1) land mask
+  done;
+  Option.get !result
+
+(* Keep the probe table at most half full; the distinct oids to re-insert
+   are exactly the live prefix of [read_objs]. *)
+let ridx_grow_if_needed t =
+  if 2 * (t.nreads + 1) > Array.length t.ridx_keys then begin
+    let cap = 2 * Array.length t.ridx_keys in
+    t.ridx_keys <- Array.make cap 0;
+    t.ridx_stamp <- Array.make cap 0;
+    t.ridx_gen <- 1;
+    for j = 0 to t.nreads - 1 do
+      ignore (ridx_add t t.read_objs.(j).Heap.oid)
+    done
+  end
+
+let ensure_read_capacity t =
+  if t.nreads >= Array.length t.read_objs then begin
+    t.read_objs <- grow_obj_array t.read_objs t.nreads;
+    t.read_vers <- grow_int_array t.read_vers t.nreads
+  end
+
+let ensure_owned_capacity t =
+  if t.nowned >= Array.length t.owned_obj then begin
+    t.owned_obj <- grow_obj_array t.owned_obj t.nowned;
+    t.owned_prior <- grow_int_array t.owned_prior t.nowned
+  end
+
+let ensure_undo_capacity t =
+  if t.nundo >= Array.length t.undo_obj then begin
+    t.undo_obj <- grow_obj_array t.undo_obj t.nundo;
+    t.undo_base <- grow_int_array t.undo_base t.nundo;
+    t.undo_buf <- grow_buf_array t.undo_buf t.nundo;
+    t.undo_len <- grow_int_array t.undo_len t.nundo
+  end
+
+let ensure_wbuf_capacity t =
+  if t.nwbuf >= Array.length t.wbuf_obj then begin
+    t.wbuf_obj <- grow_obj_array t.wbuf_obj t.nwbuf;
+    t.wbuf_base <- grow_int_array t.wbuf_base t.nwbuf;
+    t.wbuf_prior <- grow_int_array t.wbuf_prior t.nwbuf;
+    t.wbuf_buf <- grow_buf_array t.wbuf_buf t.nwbuf;
+    t.wbuf_len <- grow_int_array t.wbuf_len t.nwbuf
+  end
+
+(* Take a slot buffer of at least [len] values, reusing the arena's
+   previous allocation for that slot when it is big enough. *)
+let slot_buffer bufs i len =
+  if Array.length bufs.(i) >= len then bufs.(i)
+  else begin
+    let b = Array.make len Heap.Vnull in
+    bufs.(i) <- b;
+    b
+  end
+
+(* Return a finished descriptor to the context pool. Tables are cleared,
+   not re-created; arenas keep their capacity. Stale object references
+   beyond the live prefixes are harmless - heap objects live for the
+   whole simulated run - and are overwritten by the next user. *)
+let recycle ctx t =
+  t.ridx_gen <- t.ridx_gen + 1;
+  t.nreads <- 0;
+  t.reads_obs <- 0;
+  Hashtbl.clear t.owned;
+  t.nowned <- 0;
+  Hashtbl.clear t.undo_saved;
+  t.nundo <- 0;
+  Hashtbl.clear t.wbuf;
+  t.nwbuf <- 0;
+  t.naccesses <- 0;
+  t.nest_depth <- 0;
+  t.parent <- None;
+  t.part <- None;
+  ctx.pool <- t :: ctx.pool
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
 let begin_txn ?parent ctx =
   ctx.next_id <- ctx.next_id + 1;
   Sched.tick ctx.cfg.cost.Cost.txn_begin;
   let part = if ctx.cfg.quiescence then Some (Quiesce.register ctx.q) else None in
-  let flag = { killed = false } in
-  Hashtbl.replace ctx.registry ctx.next_id flag;
+  let t =
+    match ctx.pool with
+    | d :: rest ->
+        ctx.pool <- rest;
+        d
+    | [] -> fresh_descriptor ()
+  in
+  t.txid <- ctx.next_id;
+  t.parent <- parent;
+  t.part <- part;
+  t.flag.killed <- false;
+  t.begin_ts <- Sched.time ();
+  t.abort_cause <- Trace.Cause_exn;
+  Hashtbl.replace ctx.registry ctx.next_id t.flag;
   Stm_cm.Cm.on_begin ctx.cm ~tid:(Sched.self ()) ~txid:ctx.next_id
     ~now:(Sched.time ());
   Trace.emit (lazy (Trace.Txn_begin { txid = ctx.next_id; tid = Sched.self () }));
-  {
-    txid = ctx.next_id;
-    parent;
-    reads = [];
-    owned = Hashtbl.create 16;
-    owned_order = [];
-    undo = [];
-    undo_saved = Hashtbl.create 16;
-    wbuf = Hashtbl.create 16;
-    wbuf_order = [];
-    naccesses = 0;
-    nest_depth = 0;
-    part;
-    flag;
-    begin_ts = Sched.time ();
-    abort_cause = Trace.Cause_exn;
-  }
+  t
 
 let id t = t.txid
 let set_abort_cause t c = t.abort_cause <- c
 let latency t = Sched.time () - t.begin_ts
 let depth t = t.nest_depth
 let set_depth t d = t.nest_depth <- d
-let reads_snapshot t = t.reads
-let has_writes t = t.owned_order <> [] || t.wbuf_order <> [] || t.undo <> []
+
+let reads_snapshot t =
+  let rec go i acc =
+    if i >= t.nreads then acc
+    else go (i + 1) ((t.read_objs.(i), t.read_vers.(i)) :: acc)
+  in
+  go 0 []
+
+let has_writes t = t.nowned > 0 || t.nwbuf > 0 || t.nundo > 0
+
+(* Record an open-for-read observation of [obj] at version [ver]. Every
+   observation bumps the monotone counter (the virtual-time validation
+   charge is proportional to observations, as it always was); only the
+   first observation of an object enters the validated set, so re-reading
+   a granule no longer grows it. First-observed version wins: if the
+   version moved since, the retained entry is the stale one and validation
+   fails exactly as it did when both entries were kept. *)
+let note_read t (obj : Heap.obj) ver =
+  t.reads_obs <- t.reads_obs + 1;
+  ridx_grow_if_needed t;
+  if ridx_add t obj.Heap.oid then begin
+    ensure_read_capacity t;
+    t.read_objs.(t.nreads) <- obj;
+    t.read_vers.(t.nreads) <- ver;
+    t.nreads <- t.nreads + 1
+  end
 
 let granule_base (cfg : Config.t) fld = fld - (fld mod cfg.granule)
 
 let granule_len (cfg : Config.t) obj base =
   min cfg.granule (Heap.nfields obj - base)
+
+(* Undo-log / write-buffer key: (oid, granule base) packed into one int -
+   no tuple allocation per lookup. Base fits 26 bits; the largest
+   simulated objects are a few thousand fields. *)
+let gkey (obj : Heap.obj) base = (obj.Heap.oid lsl 26) lor base
 
 (* Does [t] or any of its open-nesting ancestors own this record word? *)
 let rec ancestor_owns t w =
@@ -114,20 +316,23 @@ let rec ancestor_owns t w =
 
 let validate ctx t =
   ctx.stats.Stats.validations <- ctx.stats.Stats.validations + 1;
-  Sched.tick (ctx.cfg.cost.Cost.txn_per_read * max 1 (List.length t.reads));
-  let ok =
-    List.for_all
-    (fun ((obj : Heap.obj), ver) ->
-      let w = Atomic.get obj.Heap.txrec in
-      match Txrec.decode w with
-      | Txrec.Shared v -> v = ver
-      | Txrec.Exclusive o when o = t.txid -> (
-          match Hashtbl.find_opt t.owned obj.Heap.oid with
-          | Some ow -> ow.prior_version = ver
-          | None -> false)
-      | Txrec.Exclusive _ | Txrec.Exclusive_anon _ | Txrec.Private -> false)
-      t.reads
+  Sched.tick (ctx.cfg.cost.Cost.txn_per_read * max 1 t.reads_obs);
+  let rec entries_ok i =
+    i >= t.nreads
+    ||
+    let obj = t.read_objs.(i) in
+    let ver = t.read_vers.(i) in
+    let w = Atomic.get obj.Heap.txrec in
+    (match Txrec.decode w with
+    | Txrec.Shared v -> v = ver
+    | Txrec.Exclusive o when o = t.txid -> (
+        match Hashtbl.find_opt t.owned obj.Heap.oid with
+        | Some slot -> t.owned_prior.(slot) = ver
+        | None -> false)
+    | Txrec.Exclusive _ | Txrec.Exclusive_anon _ | Txrec.Private -> false)
+    && entries_ok (i + 1)
   in
+  let ok = entries_ok 0 in
   Trace.emit ~level:Trace.Debug
     (lazy (Trace.Validation { txid = t.txid; tid = Sched.self (); ok }));
   ok
@@ -218,12 +423,20 @@ let periodic_validate ctx t =
 (* Save the granule containing [fld] in the undo log (eager). *)
 let save_undo ctx t (obj : Heap.obj) fld =
   let base = granule_base ctx.cfg fld in
-  let key = (obj.Heap.oid, base) in
+  let key = gkey obj base in
   if not (Hashtbl.mem t.undo_saved key) then begin
     Hashtbl.replace t.undo_saved key ();
     let len = granule_len ctx.cfg obj base in
-    let saved = Array.init len (fun i -> Heap.get obj (base + i)) in
-    t.undo <- { u_obj = obj; u_base = base; u_saved = saved } :: t.undo;
+    ensure_undo_capacity t;
+    let i = t.nundo in
+    let buf = slot_buffer t.undo_buf i len in
+    for j = 0 to len - 1 do
+      buf.(j) <- Heap.get obj (base + j)
+    done;
+    t.undo_obj.(i) <- obj;
+    t.undo_base.(i) <- base;
+    t.undo_len.(i) <- len;
+    t.nundo <- i + 1;
     Sched.tick (ctx.cfg.cost.Cost.plain_load * len)
   end
 
@@ -237,7 +450,7 @@ let acquire ctx t ?expect (obj : Heap.obj) =
     Sched.tick cost.Cost.plain_load;
     match Txrec.decode w with
     | Txrec.Exclusive o when o = t.txid ->
-        (Hashtbl.find t.owned obj.Heap.oid).prior_version
+        t.owned_prior.(Hashtbl.find t.owned obj.Heap.oid)
     | Txrec.Shared ver -> (
         (match expect with
         | Some e when e <> ver ->
@@ -251,9 +464,11 @@ let acquire ctx t ?expect (obj : Heap.obj) =
         Sched.yield ();
         if Atomic.compare_and_set obj.Heap.txrec w (Txrec.exclusive t.txid)
         then begin
-          let ow = { o_obj = obj; prior_version = ver } in
-          Hashtbl.replace t.owned obj.Heap.oid ow;
-          t.owned_order <- ow :: t.owned_order;
+          ensure_owned_capacity t;
+          Hashtbl.replace t.owned obj.Heap.oid t.nowned;
+          t.owned_obj.(t.nowned) <- obj;
+          t.owned_prior.(t.nowned) <- ver;
+          t.nowned <- t.nowned + 1;
           Sched.yield ();
           ver
         end
@@ -312,7 +527,7 @@ let eager_read ctx t (obj : Heap.obj) fld =
         Sched.tick cost.Cost.plain_load;
         v
     | Txrec.Shared ver ->
-        t.reads <- (obj, ver) :: t.reads;
+        note_read t obj ver;
         Sched.yield ();
         let v = Heap.get obj fld in
         Sched.tick cost.Cost.plain_load;
@@ -328,14 +543,14 @@ let eager_read ctx t (obj : Heap.obj) fld =
 (* Lazy versioning                                                     *)
 (* ------------------------------------------------------------------ *)
 
-(* Create (or find) the write-buffer slot covering [fld]. The private copy
-   spans the whole granule - the source of the Section 2.4 anomalies when
-   granule > 1. *)
+(* Create (or find) the write-buffer slot covering [fld]; returns its
+   arena index. The private copy spans the whole granule - the source of
+   the Section 2.4 anomalies when granule > 1. *)
 let lazy_slot ctx t (obj : Heap.obj) fld =
   let base = granule_base ctx.cfg fld in
-  let key = (obj.Heap.oid, base) in
+  let key = gkey obj base in
   match Hashtbl.find_opt t.wbuf key with
-  | Some s -> s
+  | Some i -> i
   | None ->
       let cost = ctx.cfg.cost in
       let len = granule_len ctx.cfg obj base in
@@ -347,7 +562,7 @@ let lazy_slot ctx t (obj : Heap.obj) fld =
             Sched.tick cost.Cost.plain_load;
             match Txrec.decode w with
             | Txrec.Shared ver ->
-                t.reads <- (obj, ver) :: t.reads;
+                note_read t obj ver;
                 ver
             | Txrec.Private -> -1
             | Txrec.Exclusive _ when ancestor_owns t w ->
@@ -359,24 +574,32 @@ let lazy_slot ctx t (obj : Heap.obj) fld =
           observe 0
         end
       in
-      let data = Array.init len (fun i -> Heap.get obj (base + i)) in
+      ensure_wbuf_capacity t;
+      let i = t.nwbuf in
+      let buf = slot_buffer t.wbuf_buf i len in
+      for j = 0 to len - 1 do
+        buf.(j) <- Heap.get obj (base + j)
+      done;
       Sched.tick (cost.Cost.plain_load * len);
-      let s = { w_obj = obj; w_base = base; w_data = data; w_prior = prior } in
-      Hashtbl.replace t.wbuf key s;
-      t.wbuf_order <- s :: t.wbuf_order;
-      s
+      t.wbuf_obj.(i) <- obj;
+      t.wbuf_base.(i) <- base;
+      t.wbuf_prior.(i) <- prior;
+      t.wbuf_len.(i) <- len;
+      Hashtbl.replace t.wbuf key i;
+      t.nwbuf <- i + 1;
+      i
 
 let lazy_write ctx t obj fld v =
-  let s = lazy_slot ctx t obj fld in
-  s.w_data.(fld - s.w_base) <- v;
+  let i = lazy_slot ctx t obj fld in
+  t.wbuf_buf.(i).(fld - t.wbuf_base.(i)) <- v;
   Sched.tick ctx.cfg.cost.Cost.plain_store
 
 let lazy_read ctx t (obj : Heap.obj) fld =
   let base = granule_base ctx.cfg fld in
-  match Hashtbl.find_opt t.wbuf (obj.Heap.oid, base) with
-  | Some s ->
+  match Hashtbl.find_opt t.wbuf (gkey obj base) with
+  | Some i ->
       Sched.tick ctx.cfg.cost.Cost.plain_load;
-      s.w_data.(fld - base)
+      t.wbuf_buf.(i).(fld - base)
   | None -> eager_read ctx t obj fld
 (* lazy open-for-read is the same protocol as eager: version + log *)
 
@@ -424,13 +647,13 @@ let txn_write ctx t obj fld v =
 
 let release_all ctx t =
   let cost = ctx.cfg.cost in
-  List.iter
-    (fun ow ->
-      Atomic.set ow.o_obj.Heap.txrec (Txrec.shared (ow.prior_version + 1));
-      Sched.tick cost.Cost.txn_per_write)
-    t.owned_order;
-  t.owned_order <- [];
-  Hashtbl.reset t.owned
+  for i = t.nowned - 1 downto 0 do
+    Atomic.set t.owned_obj.(i).Heap.txrec
+      (Txrec.shared (t.owned_prior.(i) + 1));
+    Sched.tick cost.Cost.txn_per_write
+  done;
+  t.nowned <- 0;
+  Hashtbl.clear t.owned
 
 let emit_serialized t =
   Trace.emit ~level:Trace.Debug
@@ -458,17 +681,16 @@ let commit ctx t =
       end;
       release_all ctx t
   | Config.Lazy ->
-      (* Acquire every written record at its buffered version. The slot
-         list is kept newest-first and flushed in that order: lazy STMs
-         copy buffered values back "one at a time in no particular order"
-         (Section 2.3), and the head-first traversal of the log is our
-         arbitrary order - deliberately not program order, so the
-         overlapped-writes anomaly of Figure 4a is expressible. *)
-      let slots = t.wbuf_order in
-      List.iter
-        (fun s ->
-          if s.w_prior >= 0 then ignore (acquire ctx t ~expect:s.w_prior s.w_obj))
-        slots;
+      (* Acquire every written record at its buffered version. The arena
+         is flushed newest-slot-first: lazy STMs copy buffered values back
+         "one at a time in no particular order" (Section 2.3), and the
+         newest-first traversal of the log is our arbitrary order -
+         deliberately not program order, so the overlapped-writes anomaly
+         of Figure 4a is expressible. *)
+      for i = t.nwbuf - 1 downto 0 do
+        if t.wbuf_prior.(i) >= 0 then
+          ignore (acquire ctx t ~expect:t.wbuf_prior.(i) t.wbuf_obj.(i))
+      done;
       if not (validate ctx t) then begin
         t.abort_cause <- Trace.Cause_validation;
         raise Abort_txn
@@ -493,16 +715,17 @@ let commit ctx t =
       | None -> ());
       (* write back, one location at a time, yielding in between: this is
          the ordering-anomaly window of Section 2.3 *)
-      List.iter
-        (fun s ->
-          Array.iteri
-            (fun i v ->
-              Sched.yield ();
-              publish_on_store ctx v;
-              Heap.set s.w_obj (s.w_base + i) v;
-              Sched.tick cost.Cost.plain_store)
-            s.w_data)
-        slots;
+      for i = t.nwbuf - 1 downto 0 do
+        let obj = t.wbuf_obj.(i) in
+        let base = t.wbuf_base.(i) in
+        let buf = t.wbuf_buf.(i) in
+        for j = 0 to t.wbuf_len.(i) - 1 do
+          Sched.yield ();
+          publish_on_store ctx buf.(j);
+          Heap.set obj (base + j) buf.(j);
+          Sched.tick cost.Cost.plain_store
+        done
+      done;
       release_all ctx t;
       Option.iter (Quiesce.retire_ticket ctx.q) ticket);
   Option.iter (Quiesce.deregister ctx.q) t.part;
@@ -514,30 +737,32 @@ let commit ctx t =
          {
            txid = t.txid;
            tid = Sched.self ();
-           reads = List.length t.reads;
+           reads = t.nreads;
            writes = t.naccesses;
            latency = latency t;
          }));
-  ctx.stats.Stats.commits <- ctx.stats.Stats.commits + 1
+  ctx.stats.Stats.commits <- ctx.stats.Stats.commits + 1;
+  recycle ctx t
 
 let abort ?(restart = true) ctx t =
   let cost = ctx.cfg.cost in
   Sched.tick cost.Cost.txn_abort;
   (* roll back the undo log, newest entry first; each store is visible to
      unsynchronized readers - the paper's "manufactured writes" *)
-  List.iter
-    (fun u ->
-      Array.iteri
-        (fun i v ->
-          Heap.set u.u_obj (u.u_base + i) v;
-          Sched.tick cost.Cost.plain_store;
-          Sched.yield ())
-        u.u_saved)
-    t.undo;
-  t.undo <- [];
-  Hashtbl.reset t.undo_saved;
-  Hashtbl.reset t.wbuf;
-  t.wbuf_order <- [];
+  for i = t.nundo - 1 downto 0 do
+    let obj = t.undo_obj.(i) in
+    let base = t.undo_base.(i) in
+    let buf = t.undo_buf.(i) in
+    for j = 0 to t.undo_len.(i) - 1 do
+      Heap.set obj (base + j) buf.(j);
+      Sched.tick cost.Cost.plain_store;
+      Sched.yield ()
+    done
+  done;
+  t.nundo <- 0;
+  Hashtbl.clear t.undo_saved;
+  Hashtbl.clear t.wbuf;
+  t.nwbuf <- 0;
   release_all ctx t;
   Option.iter (Quiesce.deregister ctx.q) t.part;
   Hashtbl.remove ctx.registry t.txid;
@@ -553,4 +778,5 @@ let abort ?(restart = true) ctx t =
            cause = (if t.flag.killed then Trace.Cause_wounded else t.abort_cause);
            latency = latency t;
          }));
-  ctx.stats.Stats.aborts <- ctx.stats.Stats.aborts + 1
+  ctx.stats.Stats.aborts <- ctx.stats.Stats.aborts + 1;
+  recycle ctx t

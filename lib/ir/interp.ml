@@ -13,6 +13,18 @@ type outcome = {
          profiling was requested *)
 }
 
+(* Precomputed barrier decision for one access site under the current
+   configuration: what the non-transactional path does ([p_nontxn]) and
+   whether the transactional path may elide logging ([p_unlogged]).
+   Folding the config tests in ahead of time turns the per-access
+   decision into one array read. *)
+type nontxn_plan =
+  | P_auto  (* full barrier (Stm.read / Stm.write) *)
+  | P_removed  (* compiler-removed: raw access *)
+  | P_agg of int  (* aggregated anonymous acquire covering n accesses *)
+
+type site_plan = { p_unlogged : bool; p_nontxn : nontxn_plan }
+
 type exec = {
   prog : Ir.program;
   mutable cfg : Config.t;
@@ -24,6 +36,9 @@ type exec = {
   mutable instrs : int;
   initialized : (string, unit) Hashtbl.t;  (* classes whose clinit ran *)
   profile : (int, int) Hashtbl.t option;  (* site id -> barrier executions *)
+  mutable plans : site_plan array;  (* site id -> plan, per current cfg *)
+  mutable plans_key : (bool * bool) option;
+      (* (strong, strong_writes) the plans were computed for *)
 }
 
 (* Aggregated-barrier state: ownership of one object's record held across
@@ -33,6 +48,30 @@ type agg = { a_obj : Heap.obj; a_word : int; mutable a_left : int }
 type frame = { regs : Heap.value array; mutable agg : agg option }
 
 let err fmt = Fmt.kstr (fun s -> raise (Interp_error s)) fmt
+
+(* (Re)compute the per-site barrier plans. The plan depends only on the
+   note annotations (fixed once the compiler passes have run) and on the
+   [strong]/[strong_writes] configuration bits, so runs that share a
+   configuration - every run of an explorer instance, in particular -
+   reuse the same table. *)
+let build_plans ex =
+  let strong = ex.cfg.Config.strong and sw = ex.cfg.Config.strong_writes in
+  if ex.plans_key <> Some (strong, sw) then begin
+    let default = { p_unlogged = false; p_nontxn = P_auto } in
+    let plans = Array.make (max 1 ex.prog.Ir.next_site) default in
+    Ir.iter_methods ex.prog (fun m ->
+        Ir.iter_access_notes m (fun _ note ->
+            let p_nontxn =
+              match note.Ir.barrier with
+              | Ir.Bar_removed _ -> P_removed
+              | Ir.Bar_agg_start n when strong && sw -> P_agg n
+              | Ir.Bar_agg_start _ | Ir.Bar_agg_member | Ir.Bar_auto -> P_auto
+            in
+            plans.(note.Ir.site) <-
+              { p_unlogged = note.Ir.txn_unlogged && not strong; p_nontxn }));
+    ex.plans <- plans;
+    ex.plans_key <- Some (strong, sw)
+  end
 
 let statics_obj ex cls =
   match Hashtbl.find_opt ex.statics cls with
@@ -95,13 +134,17 @@ let agg_active frame (o : Heap.obj) =
   | Some a when a.a_obj == o -> Some a
   | Some _ | None -> None
 
-(* A load from [o.(fld)] at a site annotated [note]. *)
+(* A load from [o.(fld)] at a site annotated [note]. The barrier
+   decision was precomputed into [ex.plans] at run start (see
+   {!build_plans}); per access only the dynamic facts remain: are we in
+   a transaction, and is an aggregated acquire covering this object. *)
 let load ex frame (note : Ir.note) o fld =
   profile_hit ex note;
   if Trace.enabled () then Site.set note.Ir.site;
   let cfg = ex.cfg in
+  let plan = ex.plans.(note.Ir.site) in
   if Stm.in_txn () then
-    if note.Ir.txn_unlogged && not cfg.strong then begin
+    if plan.p_unlogged then begin
       (* Section 5.2 extension: no transaction ever writes this object,
          so the open-for-read barrier (version log + validation entry)
          can be elided - but only under weak atomicity *)
@@ -118,16 +161,16 @@ let load ex frame (note : Ir.note) o fld =
         agg_step frame a;
         v
     | None -> (
-        match note.Ir.barrier with
-        | Ir.Bar_removed _ -> Stm.read_nobarrier o fld
-        | Ir.Bar_agg_start n when cfg.strong && cfg.strong_writes ->
+        match plan.p_nontxn with
+        | P_removed -> Stm.read_nobarrier o fld
+        | P_agg n ->
             let w = Barriers.acquire_anon ~op:Trace.Op_read cfg (Stm.stats ()) o in
             Sched.tick cfg.cost.Cost.plain_load;
             let v = Heap.get o fld in
             if n > 1 then frame.agg <- Some { a_obj = o; a_word = w; a_left = n - 1 }
             else Barriers.release_anon cfg o w;
             v
-        | Ir.Bar_agg_start _ | Ir.Bar_agg_member | Ir.Bar_auto -> Stm.read o fld)
+        | P_auto -> Stm.read o fld)
 
 let store ex frame (note : Ir.note) o fld v =
   profile_hit ex note;
@@ -143,9 +186,9 @@ let store ex frame (note : Ir.note) o fld v =
         Heap.set o fld v;
         agg_step frame a
     | None -> (
-        match note.Ir.barrier with
-        | Ir.Bar_removed _ -> Stm.write_nobarrier o fld v
-        | Ir.Bar_agg_start n when cfg.strong && cfg.strong_writes ->
+        match ex.plans.(note.Ir.site).p_nontxn with
+        | P_removed -> Stm.write_nobarrier o fld v
+        | P_agg n ->
             let w = Barriers.acquire_anon ~op:Trace.Op_write cfg (Stm.stats ()) o in
             if cfg.dea && not (Txrec.is_private w) then
               Dea.publish_value (Stm.stats ()) cfg.cost v;
@@ -153,8 +196,7 @@ let store ex frame (note : Ir.note) o fld v =
             Heap.set o fld v;
             if n > 1 then frame.agg <- Some { a_obj = o; a_word = w; a_left = n - 1 }
             else Barriers.release_anon cfg o w
-        | Ir.Bar_agg_start _ | Ir.Bar_agg_member | Ir.Bar_auto ->
-            Stm.write o fld v)
+        | P_auto -> Stm.write o fld v)
 
 (* ------------------------------------------------------------------ *)
 (* Builtins                                                            *)
@@ -426,9 +468,12 @@ let make_exec ?(params = []) ?(profile = false) ~cfg prog =
     instrs = 0;
     initialized = Hashtbl.create 16;
     profile = (if profile then Some (Hashtbl.create 64) else None);
+    plans = [||];
+    plans_key = None;
   }
 
 let exec_main ex =
+  build_plans ex;
   init_statics ex;
   let m =
     match Ir.find_method ex.prog ex.prog.Ir.main_class "main" with

@@ -21,6 +21,8 @@ type t = {
   commit_latency : Hist.t;
   abort_latency : Hist.t;
   fairness : Stm_cm.Fairness.t;
+  alloc_base : float;  (* Gc.allocated_bytes at creation *)
+  mutable alloc_frozen : float option;  (* words, fixed by snapshot *)
 }
 
 let cause_index = function
@@ -56,7 +58,21 @@ let create () =
     commit_latency = Hist.create ();
     abort_latency = Hist.create ();
     fairness = Stm_cm.Fairness.create ();
+    alloc_base = Gc.allocated_bytes ();
+    alloc_frozen = None;
   }
+
+(* Host-process words allocated over this metrics object's window: from
+   creation until now (live object) or until the snapshot was taken.
+   [Gc.allocated_bytes] reads the young pointer, so allocations still in
+   the current minor chunk are included. *)
+let alloc_bytes_so_far t =
+  match t.alloc_frozen with
+  | Some b -> b
+  | None -> Gc.allocated_bytes () -. t.alloc_base
+
+let host_alloc_words t =
+  alloc_bytes_so_far t /. float_of_int (Sys.word_size / 8)
 
 let handle t (ev : Trace.event) =
   match ev with
@@ -91,6 +107,7 @@ let snapshot t =
     commit_latency = Hist.copy t.commit_latency;
     abort_latency = Hist.copy t.abort_latency;
     fairness = Stm_cm.Fairness.copy t.fairness;
+    alloc_frozen = Some (alloc_bytes_so_far t);
   }
 
 let diff later earlier =
@@ -111,6 +128,8 @@ let diff later earlier =
     commit_latency = Hist.sub later.commit_latency earlier.commit_latency;
     abort_latency = Hist.sub later.abort_latency earlier.abort_latency;
     fairness = Stm_cm.Fairness.sub later.fairness earlier.fairness;
+    alloc_base = 0.;
+    alloc_frozen = Some (alloc_bytes_so_far later -. alloc_bytes_so_far earlier);
   }
 
 let begins t = t.begins
@@ -166,6 +185,7 @@ let to_json ?stats t =
       ("commit_latency", Hist.to_json t.commit_latency);
       ("abort_latency", Hist.to_json t.abort_latency);
       ("fairness", fairness_json t);
+      ("host_alloc_words", Json.Float (host_alloc_words t));
     ]
   in
   let base =

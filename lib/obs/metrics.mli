@@ -42,10 +42,17 @@ val abort_latency : t -> Hist.t
 
 val to_assoc : t -> (string * int) list
 
+val host_alloc_words : t -> float
+(** Host-process (OCaml GC) words allocated over this object's window:
+    creation to now for a live object, creation to {!snapshot} for a
+    snapshot, between the two snapshots for a {!diff}. A real-resource
+    counterpart to the simulated counters — the perf harness reports the
+    same quantity per benchmark op. *)
+
 val to_json : ?stats:Stats.t -> t -> Json.t
-(** Full metrics object: counters, abort causes, latency histograms, and
-    a ["fairness"] block (Jain index, worst consecutive-abort streak,
-    per-thread counters); [stats] additionally embeds the run's global
-    {!Stm_core.Stats}. *)
+(** Full metrics object: counters, abort causes, latency histograms, a
+    ["fairness"] block (Jain index, worst consecutive-abort streak,
+    per-thread counters), and ["host_alloc_words"] ({!host_alloc_words});
+    [stats] additionally embeds the run's global {!Stm_core.Stats}. *)
 
 val pp : Format.formatter -> t -> unit

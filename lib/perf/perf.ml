@@ -1,0 +1,268 @@
+open Bechamel
+open Toolkit
+
+type sample = {
+  name : string;
+  ns_per_op : float;
+  alloc_words_per_op : float;
+}
+
+type report = { quick : bool; samples : sample list }
+
+(* ------------------------------------------------------------------ *)
+(* Benchmark bodies                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Every body is a self-contained [Stm.run] (or explorer / fuzz-campaign
+   invocation): heap, site table and STM context are reset per call, so
+   repeated invocations are identical work. All virtual-time results are
+   deterministic; only the host wall-clock varies. *)
+
+let cell = "PerfCell"
+
+(* Re-read the same granule many times inside one transaction. Before the
+   dedup-on-insert read set this grew the read set by one entry per read
+   and made every periodic validation walk the whole list - the quadratic
+   hot path this suite exists to ratchet. *)
+let revalidate () =
+  ignore
+    (Stm_core.Stm.run ~cfg:Stm_core.Config.eager_weak (fun () ->
+         let o = Stm_core.Stm.alloc ~cls:cell 1 in
+         Stm_core.Stm.atomic (fun () ->
+             for _ = 1 to 4096 do
+               ignore (Stm_core.Stm.read o 0)
+             done)))
+
+(* Open-for-read of many distinct objects: read-set insertion cost. *)
+let read_distinct () =
+  ignore
+    (Stm_core.Stm.run ~cfg:Stm_core.Config.eager_weak (fun () ->
+         let objs =
+           Array.init 128 (fun _ -> Stm_core.Stm.alloc ~cls:cell 1)
+         in
+         for _ = 1 to 8 do
+           Stm_core.Stm.atomic (fun () ->
+               Array.iter (fun o -> ignore (Stm_core.Stm.read o 0)) objs)
+         done))
+
+(* Open-for-write + undo log + commit-time release, eager versioning. *)
+let write_commit () =
+  ignore
+    (Stm_core.Stm.run ~cfg:Stm_core.Config.eager_weak (fun () ->
+         let objs =
+           Array.init 64 (fun _ -> Stm_core.Stm.alloc ~cls:cell 1)
+         in
+         for i = 1 to 8 do
+           Stm_core.Stm.atomic (fun () ->
+               Array.iter
+                 (fun o -> Stm_core.Stm.write o 0 (Stm_core.Stm.vint i))
+                 objs)
+         done))
+
+(* Same shape under lazy versioning: write-buffer slots + write-back. *)
+let lazy_write_commit () =
+  ignore
+    (Stm_core.Stm.run ~cfg:Stm_core.Config.lazy_weak (fun () ->
+         let objs =
+           Array.init 64 (fun _ -> Stm_core.Stm.alloc ~cls:cell 1)
+         in
+         for i = 1 to 8 do
+           Stm_core.Stm.atomic (fun () ->
+               Array.iter
+                 (fun o -> Stm_core.Stm.write o 0 (Stm_core.Stm.vint i))
+                 objs)
+         done))
+
+(* Deliberate abort/retry churn: descriptor, table and log turnover. *)
+let abort_retry () =
+  ignore
+    (Stm_core.Stm.run ~cfg:Stm_core.Config.eager_weak (fun () ->
+         let o = Stm_core.Stm.alloc ~cls:cell 1 in
+         for _ = 1 to 32 do
+           let tries = ref 0 in
+           Stm_core.Stm.atomic (fun () ->
+               ignore (Stm_core.Stm.read o 0);
+               Stm_core.Stm.write o 0 (Stm_core.Stm.vint !tries);
+               incr tries;
+               if !tries < 8 then Stm_core.Stm.abort_and_retry ())
+         done))
+
+(* One systematic-explorer cell of the Figure 6 matrix: scheduler pick
+   rate under the Controlled policy. *)
+let fig6_explorer () =
+  ignore
+    (Stm_litmus.Matrix.run_cell ~max_runs:500
+       Stm_litmus.Programs.speculative_lost_update
+       (Stm_litmus.Modes.Weak Stm_core.Config.Eager))
+
+(* End-to-end Tsp at 4 simulated processors (the fig18 unit): IR
+   interpreter dispatch + Min_clock scheduler + full STM protocol. *)
+let fig18_tsp =
+  let w = Stm_workloads.Workload.scaled Stm_workloads.Tsp.tsp 0.25 in
+  let prog = Stm_workloads.Workload.program w in
+  let params =
+    [ ("threads", 4); ("use_locks", 0) ] @ w.Stm_workloads.Workload.params
+  in
+  fun () ->
+    ignore
+      (Stm_ir.Interp.run ~cfg:Stm_core.Config.eager_strong ~params prog)
+
+(* One small expect-clean fuzz campaign: generation + random-schedule
+   execution + serializability oracle. *)
+let fuzz_campaign =
+  let budget =
+    {
+      Stm_check.Fuzz.default_budget with
+      Stm_check.Fuzz.programs = 6;
+      seeds = 2;
+      base_seed = 7;
+    }
+  in
+  let campaign = List.hd Stm_check.Fuzz.clean_campaigns in
+  fun () -> ignore (Stm_check.Fuzz.run_campaign budget campaign)
+
+let bodies : (string * (unit -> unit)) list =
+  [
+    ("txn/revalidate", revalidate);
+    ("txn/read-distinct", read_distinct);
+    ("txn/write-commit", write_commit);
+    ("txn/lazy-write-commit", lazy_write_commit);
+    ("txn/abort-retry", abort_retry);
+    ("fig6/explorer-cell", fig6_explorer);
+    ("fig18/tsp-4t", fig18_tsp);
+    ("fuzz/clean-campaign", fuzz_campaign);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Measurement                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Words allocated by one invocation, after one warm-up call so one-time
+   setup is excluded. [Gc.allocated_bytes] reads the young pointer, so
+   allocations still sitting in the current minor chunk are counted
+   (unlike [Gc.quick_stat]). *)
+let alloc_words_of f =
+  f ();
+  let b0 = Gc.allocated_bytes () in
+  f ();
+  let b1 = Gc.allocated_bytes () in
+  (b1 -. b0) /. float_of_int (Sys.word_size / 8)
+
+let group_name = "perf"
+
+let suite ?(quick = false) () =
+  let tests =
+    Test.make_grouped ~name:group_name
+      (List.map (fun (n, f) -> Test.make ~name:n (Staged.stage f)) bodies)
+  in
+  let cfg =
+    if quick then Benchmark.cfg ~limit:10 ~quota:(Time.second 0.1) ~kde:None ()
+    else Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let ns_of name =
+    match Hashtbl.find_opt results (group_name ^ "/" ^ name) with
+    | Some est -> (
+        match Analyze.OLS.estimates est with
+        | Some [ ns ] -> ns
+        | Some _ | None -> nan)
+    | None -> nan
+  in
+  let samples =
+    List.map
+      (fun (name, f) ->
+        {
+          name;
+          ns_per_op = ns_of name;
+          alloc_words_per_op = alloc_words_of f;
+        })
+      bodies
+    |> List.sort (fun a b -> compare a.name b.name)
+  in
+  { quick; samples }
+
+(* ------------------------------------------------------------------ *)
+(* JSON, baseline comparison                                           *)
+(* ------------------------------------------------------------------ *)
+
+let to_json r =
+  let open Stm_obs in
+  Json.Obj
+    [
+      ("schema", Json.Str "stm-perf/1");
+      ("quick", Json.Bool r.quick);
+      ( "benches",
+        Json.Obj
+          (List.map
+             (fun s ->
+               ( s.name,
+                 Json.Obj
+                   [
+                     ("ns_per_op", Json.Float s.ns_per_op);
+                     ("alloc_words_per_op", Json.Float s.alloc_words_per_op);
+                   ] ))
+             r.samples) );
+    ]
+
+let json_float = function
+  | Stm_obs.Json.Float f -> Some f
+  | Stm_obs.Json.Int i -> Some (float_of_int i)
+  | _ -> None
+
+let baseline_of_json json =
+  match Stm_obs.Json.member "benches" json with
+  | Some (Stm_obs.Json.Obj benches) ->
+      List.filter_map
+        (fun (name, v) ->
+          match Option.bind (Stm_obs.Json.member "ns_per_op" v) json_float with
+          | Some ns -> Some (name, ns)
+          | None -> None)
+        benches
+  | Some _ | None -> []
+
+type comparison = {
+  c_name : string;
+  c_ns : float;
+  c_baseline_ns : float;
+  c_speedup : float;
+}
+
+let compare_to_baseline ~baseline r =
+  List.filter_map
+    (fun s ->
+      match List.assoc_opt s.name baseline with
+      | Some b when b > 0. && not (Float.is_nan s.ns_per_op) ->
+          Some
+            {
+              c_name = s.name;
+              c_ns = s.ns_per_op;
+              c_baseline_ns = b;
+              c_speedup = b /. s.ns_per_op;
+            }
+      | Some _ | None -> None)
+    r.samples
+
+let regressions ~threshold_pct comps =
+  List.filter
+    (fun c -> c.c_ns > c.c_baseline_ns *. (1. +. (threshold_pct /. 100.)))
+    comps
+
+let pp_report ppf r =
+  Fmt.pf ppf "%-24s %14s %16s@." "bench" "ns/op" "alloc words/op";
+  List.iter
+    (fun s ->
+      Fmt.pf ppf "%-24s %14.0f %16.0f@." s.name s.ns_per_op
+        s.alloc_words_per_op)
+    r.samples
+
+let pp_comparison ppf comps =
+  Fmt.pf ppf "%-24s %14s %14s %9s@." "bench" "ns/op" "baseline" "speedup";
+  List.iter
+    (fun c ->
+      Fmt.pf ppf "%-24s %14.0f %14.0f %8.2fx@." c.c_name c.c_ns c.c_baseline_ns
+        c.c_speedup)
+    comps

@@ -1,0 +1,51 @@
+(** Wall-clock performance harness for the STM runtime's hot paths.
+
+    Unlike every other harness in this repository, which measures
+    {e simulated} cycles on the deterministic cost clock, this suite
+    measures {e host} wall-clock time (Bechamel monotonic clock, OLS
+    estimate) and host allocation (GC words per operation). It exists to
+    ratchet the reproduction-overhead of the simulator itself: read-set
+    maintenance, validation, descriptor churn, scheduler picks, and
+    interpreter dispatch.
+
+    The suite is run by [stm_bench --perf]; results are written as JSON
+    ([BENCH_PR4.json] by default) and compared against the checked-in
+    [bench/baseline.json]. See [docs/PERFORMANCE.md]. *)
+
+type sample = {
+  name : string;
+  ns_per_op : float;  (** OLS wall-clock estimate per operation *)
+  alloc_words_per_op : float;  (** GC-allocated words per operation *)
+}
+
+type report = {
+  quick : bool;
+  samples : sample list;  (** sorted by name *)
+}
+
+val suite : ?quick:bool -> unit -> report
+(** Run every microbench and end-to-end bench. [quick] shrinks the
+    Bechamel quota for CI smoke runs (same operations, fewer samples). *)
+
+val to_json : report -> Stm_obs.Json.t
+
+val baseline_of_json : Stm_obs.Json.t -> (string * float) list
+(** Extract [name -> ns_per_op] pairs from a report JSON (the baseline
+    file uses the same schema as {!to_json} output). *)
+
+type comparison = {
+  c_name : string;
+  c_ns : float;
+  c_baseline_ns : float;
+  c_speedup : float;  (** baseline / current; > 1 means faster now *)
+}
+
+val compare_to_baseline :
+  baseline:(string * float) list -> report -> comparison list
+
+val regressions :
+  threshold_pct:float -> comparison list -> comparison list
+(** Benches slower than baseline by more than [threshold_pct] percent. *)
+
+val pp_report : Format.formatter -> report -> unit
+val pp_comparison : Format.formatter -> comparison list -> unit

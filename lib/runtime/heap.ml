@@ -53,6 +53,18 @@ let alloc_statics ?(txrec = shared_txrec0) ~cls n =
     fields = Array.make n Vnull;
   }
 
+(* Sentinel for unused slots of growable arrays of objects (the STM's
+   reusable logs). Never registered, never reachable from user code; its
+   negative oid cannot collide with an allocated object's. *)
+let dummy =
+  {
+    oid = -1;
+    cls = "<dummy>";
+    kind = `Obj;
+    txrec = Atomic.make shared_txrec0;
+    fields = [||];
+  }
+
 let get o i = o.fields.(i)
 let set o i v = o.fields.(i) <- v
 let nfields o = Array.length o.fields

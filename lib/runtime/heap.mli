@@ -40,6 +40,10 @@ val alloc_array : ?txrec:int -> int -> value -> obj
 val alloc_statics : ?txrec:int -> cls:string -> int -> obj
 (** Statics holder for class [cls]; always public. *)
 
+val dummy : obj
+(** Sentinel object (oid [-1], no fields) for pre-sizing growable arrays
+    of objects; never a real heap object, never synchronized on. *)
+
 val get : obj -> int -> value
 (** Raw field load — no barrier, no cost. The STM builds barriers on top. *)
 

@@ -33,10 +33,23 @@ type thread = {
   mutable joiners : tid list;
 }
 
+(* The engine keeps every thread in [by_tid] (tid-indexed, grow-only) and
+   the runnable set in two forms: an O(1) [nrunnable] count, and - under
+   [Min_clock] - a binary min-heap on the key (clock, tid).
+
+   The heap needs no lazy deletion because a runnable thread's key is
+   immutable: [tick] charges only the Running thread (never enqueued),
+   and [wake]/[finish] bump only Suspended threads, before re-enqueueing
+   them. The single exception is [rebase], which rewrites every clock and
+   therefore rebuilds the heap. Since tids are unique the pop order is a
+   total order on (clock, tid) - bit-for-bit the pick sequence of the
+   linear min-scan it replaces, independent of heap internals. *)
 type engine = {
-  mutable threads : thread list;  (* newest first *)
-  mutable by_tid : thread array;  (* grows *)
+  mutable by_tid : thread array;  (* grows; index = tid *)
   mutable nthreads : int;
+  mutable nrunnable : int;
+  mutable heap : thread array;  (* Min_clock only; live prefix [heap_len] *)
+  mutable heap_len : int;
   mutable current : thread;
   policy : policy;
   rng : Det_rng.t option;
@@ -60,6 +73,79 @@ let thread_of e tid =
   if tid < 0 || tid >= e.nthreads then invalid_arg "Sched: bad tid";
   e.by_tid.(tid)
 
+(* ------------------------------------------------------------------ *)
+(* Runnable-set maintenance                                            *)
+(* ------------------------------------------------------------------ *)
+
+let heap_less a b = a.clock < b.clock || (a.clock = b.clock && a.tid < b.tid)
+
+let heap_push e t =
+  let n = Array.length e.heap in
+  if e.heap_len >= n then begin
+    let a = Array.make (max 8 (2 * n)) t in
+    Array.blit e.heap 0 a 0 n;
+    e.heap <- a
+  end;
+  let h = e.heap in
+  let i = ref e.heap_len in
+  e.heap_len <- e.heap_len + 1;
+  h.(!i) <- t;
+  (* sift up *)
+  let continue_ = ref true in
+  while !continue_ && !i > 0 do
+    let p = (!i - 1) / 2 in
+    if heap_less h.(!i) h.(p) then begin
+      let tmp = h.(p) in
+      h.(p) <- h.(!i);
+      h.(!i) <- tmp;
+      i := p
+    end
+    else continue_ := false
+  done
+
+let heap_pop e =
+  let h = e.heap in
+  let root = h.(0) in
+  e.heap_len <- e.heap_len - 1;
+  if e.heap_len > 0 then begin
+    h.(0) <- h.(e.heap_len);
+    (* sift down *)
+    let i = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let s = ref !i in
+      if l < e.heap_len && heap_less h.(l) h.(!s) then s := l;
+      if r < e.heap_len && heap_less h.(r) h.(!s) then s := r;
+      if !s <> !i then begin
+        let tmp = h.(!s) in
+        h.(!s) <- h.(!i);
+        h.(!i) <- tmp;
+        i := !s
+      end
+      else continue_ := false
+    done
+  end;
+  root
+
+(* Transition [t] to Runnable. The caller must have finished updating
+   [t.clock]: under Min_clock the (clock, tid) key is frozen on entry. *)
+let make_runnable e t =
+  t.state <- Runnable;
+  e.nrunnable <- e.nrunnable + 1;
+  match e.policy with Min_clock -> heap_push e t | _ -> ()
+
+(* Rebuild the heap from scratch (after [rebase] rewrites the keys). *)
+let heap_rebuild e =
+  match e.policy with
+  | Min_clock ->
+      e.heap_len <- 0;
+      for tid = 0 to e.nthreads - 1 do
+        let t = e.by_tid.(tid) in
+        if t.state = Runnable then heap_push e t
+      done
+  | _ -> ()
+
 let grow_by_tid e t =
   let n = Array.length e.by_tid in
   if e.nthreads >= n then begin
@@ -76,14 +162,14 @@ let new_thread e name body =
       tid = e.nthreads;
       name;
       clock = e.current.clock;
-      state = Runnable;
+      state = Suspended;  (* transitioned by make_runnable below *)
       starter = Some body;
       cont = None;
       joiners = [];
     }
   in
   grow_by_tid e t;
-  e.threads <- t :: e.threads;
+  make_runnable e t;
   t
 
 (* Mark a thread finished and release its joiners (they block with
@@ -95,8 +181,8 @@ let finish e t =
       let j = thread_of e jid in
       match j.state with
       | Suspended ->
-          j.state <- Runnable;
-          if j.clock < t.clock then j.clock <- t.clock
+          if j.clock < t.clock then j.clock <- t.clock;
+          make_runnable e j
       | Runnable | Running | Done -> ())
     t.joiners;
   t.joiners <- []
@@ -117,8 +203,8 @@ let start_body e t body =
           | Yield ->
               Some
                 (fun (k : (a, unit) continuation) ->
-                  t.state <- Runnable;
-                  t.cont <- Some k)
+                  t.cont <- Some k;
+                  make_runnable e t)
           | Suspend ->
               Some
                 (fun (k : (a, unit) continuation) ->
@@ -127,49 +213,59 @@ let start_body e t body =
           | _ -> None);
     }
 
+(* Ascending list of runnable tids (the [Controlled] callback contract). *)
 let runnables e =
-  List.fold_left
-    (fun acc t -> match t.state with Runnable -> t.tid :: acc | _ -> acc)
-    [] e.threads
-(* threads is newest-first, so the fold yields ascending tids *)
+  let acc = ref [] in
+  for tid = e.nthreads - 1 downto 0 do
+    if e.by_tid.(tid).state = Runnable then acc := tid :: !acc
+  done;
+  !acc
+
+(* The k-th runnable thread in tid order: [Random]'s pick, replacing the
+   old [List.nth ready k] without building the list. *)
+let kth_runnable e k =
+  let i = ref 0 and seen = ref (-1) and found = ref None in
+  while !found = None do
+    let t = e.by_tid.(!i) in
+    if t.state = Runnable then begin
+      incr seen;
+      if !seen = k then found := Some t
+    end;
+    incr i
+  done;
+  Option.get !found
 
 let pick e =
-  match runnables e with
-  | [] -> None
-  | ready -> (
-      match e.policy with
-      | Round_robin ->
-          (* first runnable tid strictly greater than the cursor, else the
-             smallest *)
-          let above = List.filter (fun tid -> tid > e.rr_cursor) ready in
-          let chosen =
-            match above with tid :: _ -> tid | [] -> List.hd ready
-          in
-          e.rr_cursor <- chosen;
-          Some (thread_of e chosen)
-      | Random _ ->
-          let rng = Option.get e.rng in
-          let n = List.length ready in
-          Some (thread_of e (List.nth ready (Det_rng.int rng n)))
-      | Min_clock ->
-          let best =
-            List.fold_left
-              (fun acc tid ->
-                let t = thread_of e tid in
-                match acc with
-                | None -> Some t
-                | Some b ->
-                    if t.clock < b.clock || (t.clock = b.clock && t.tid < b.tid)
-                    then Some t
-                    else acc)
-              None ready
-          in
-          best
-      | Controlled choose ->
-          let tid = choose e.current.tid ready in
-          if not (List.mem tid ready) then
-            invalid_arg "Sched.Controlled: chose a non-runnable thread";
-          Some (thread_of e tid))
+  if e.nrunnable = 0 then None
+  else
+    match e.policy with
+    | Round_robin ->
+        (* first runnable tid strictly greater than the cursor, else the
+           smallest *)
+        let chosen = ref None in
+        let tid = ref (e.rr_cursor + 1) in
+        while !chosen = None && !tid < e.nthreads do
+          if e.by_tid.(!tid).state = Runnable then chosen := Some !tid;
+          incr tid
+        done;
+        let tid = ref 0 in
+        while !chosen = None do
+          if e.by_tid.(!tid).state = Runnable then chosen := Some !tid;
+          incr tid
+        done;
+        let chosen = Option.get !chosen in
+        e.rr_cursor <- chosen;
+        Some (thread_of e chosen)
+    | Random _ ->
+        let rng = Option.get e.rng in
+        Some (kth_runnable e (Det_rng.int rng e.nrunnable))
+    | Min_clock -> Some (heap_pop e)
+    | Controlled choose ->
+        let ready = runnables e in
+        let tid = choose e.current.tid ready in
+        if not (List.mem tid ready) then
+          invalid_arg "Sched.Controlled: chose a non-runnable thread";
+        Some (thread_of e tid)
 
 let rec loop e =
   if e.steps >= e.max_steps then e.fuel_out <- true
@@ -180,6 +276,7 @@ let rec loop e =
         e.steps <- e.steps + 1;
         e.current <- t;
         t.state <- Running;
+        e.nrunnable <- e.nrunnable - 1;
         (match t.starter with
         | Some body ->
             t.starter <- None;
@@ -208,9 +305,11 @@ let run ?(max_steps = 10_000_000) ?(policy = Min_clock) main =
   in
   let e =
     {
-      threads = [ t0 ];
       by_tid = Array.make 8 t0;
       nthreads = 1;
+      nrunnable = 1;
+      heap = Array.make 8 t0;
+      heap_len = (match policy with Min_clock -> 1 | _ -> 0);
       current = t0;
       policy;
       rng;
@@ -228,20 +327,22 @@ let run ?(max_steps = 10_000_000) ?(policy = Min_clock) main =
      finalize ();
      raise ex);
   finalize ();
-  let makespan =
-    List.fold_left (fun acc t -> max acc t.clock) 0 e.threads
-  in
+  let makespan = ref 0 in
+  for tid = 0 to e.nthreads - 1 do
+    makespan := max !makespan e.by_tid.(tid).clock
+  done;
   let status =
     if e.fuel_out then Fuel_exhausted
     else
-      let stuck =
-        List.filter_map
-          (fun t -> match t.state with Done -> None | _ -> Some t.tid)
-          e.threads
-      in
-      match stuck with [] -> Completed | l -> Deadlock (List.sort compare l)
+      let stuck = ref [] in
+      for tid = e.nthreads - 1 downto 0 do
+        match e.by_tid.(tid).state with
+        | Done -> ()
+        | Runnable | Running | Suspended -> stuck := tid :: !stuck
+      done;
+      match !stuck with [] -> Completed | l -> Deadlock l
   in
-  { status; makespan; exns = List.rev e.exns; switches = e.steps }
+  { status; makespan = !makespan; exns = List.rev e.exns; switches = e.steps }
 
 let spawn ?(name = "thread") body =
   let e = get_engine () in
@@ -284,7 +385,10 @@ let pause n =
 
 let rebase () =
   let e = get_engine () in
-  List.iter (fun t -> t.clock <- 0) e.threads
+  for tid = 0 to e.nthreads - 1 do
+    e.by_tid.(tid).clock <- 0
+  done;
+  heap_rebuild e
 
 let suspend () =
   match !engine with None -> raise Not_in_simulation | Some _ -> perform Suspend
@@ -294,8 +398,8 @@ let wake tid =
   let t = thread_of e tid in
   match t.state with
   | Suspended ->
-      t.state <- Runnable;
-      if t.clock < e.current.clock then t.clock <- e.current.clock
+      if t.clock < e.current.clock then t.clock <- e.current.clock;
+      make_runnable e t
   | _ -> ()
 
 let join tid =
@@ -308,6 +412,8 @@ let join tid =
       perform Suspend
 
 let thread_count () = (get_engine ()).nthreads
+
+let runnable_count () = (get_engine ()).nrunnable
 
 let steps () = match !engine with Some e -> e.steps | None -> 0
 

@@ -94,6 +94,10 @@ val wake : tid -> unit
 val thread_count : unit -> int
 (** Number of threads created so far in this run (including finished). *)
 
+val runnable_count : unit -> int
+(** Number of currently runnable threads (excluding the running one);
+    O(1) — maintained incrementally, not by scanning the thread table. *)
+
 val steps : unit -> int
 (** Scheduling decisions taken so far in this run; [0] outside a
     simulation. Tracing sinks record it as a global logical timestamp

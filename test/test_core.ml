@@ -1017,3 +1017,102 @@ let suite =
           case "footnote-2 off by default" nontxn_race_detection_off_by_default;
         ] );
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Read-set dedup (PR 4): re-reads must not grow the validated set,    *)
+(* must not change virtual time, and must keep first-observed versions *)
+(* ------------------------------------------------------------------ *)
+
+(* Re-reading the same granule many times: the commit event must report
+   the number of distinct granules read, not the number of read
+   observations (the old cons-list appended one entry per observation). *)
+let reread_commit_reads_distinct () =
+  let commits = ref [] in
+  Trace.set_sink
+    (Some
+       (function
+       | Trace.Txn_commit { reads; _ } -> commits := reads :: !commits
+       | _ -> ()));
+  Fun.protect ~finally:(fun () -> Trace.set_sink None) (fun () ->
+      with_stm ~cfg:Config.eager_weak (fun () ->
+          let o = Stm.alloc_public ~cls:"C" 1 in
+          let others = List.init 3 (fun _ -> Stm.alloc_public ~cls:"C" 1) in
+          Stm.atomic (fun () ->
+              for _ = 1 to 50 do
+                ignore (Stm.read o 0)
+              done;
+              List.iter (fun p -> ignore (Stm.read p 0)) others)));
+  match !commits with
+  | [ reads ] -> check_int "commit reads = distinct granules" 4 reads
+  | l -> Alcotest.failf "expected one commit event, got %d" (List.length l)
+
+(* The validation cost charge counts read observations (including
+   re-reads), exactly as when the read set kept duplicates: the makespan
+   of a re-read-heavy program is pinned so that any change to the charge
+   - e.g. "optimizing" it to count distinct entries - is caught. *)
+let reread_makespan_golden () =
+  Heap.reset ();
+  Stm.install Config.eager_weak;
+  let r =
+    Fun.protect ~finally:Stm.uninstall (fun () ->
+        Sched.run (fun () ->
+            let o = Stm.alloc_public ~cls:"C" 1 in
+            Stm.atomic (fun () ->
+                for _ = 1 to 200 do
+                  ignore (Stm.read o 0)
+                done)))
+  in
+  check_bool "completed" true (r.Sched.status = Sched.Completed);
+  check_int "virtual time unchanged by dedup" 1119 r.Sched.makespan
+
+(* Dedup keeps the FIRST observed version: if the object changes between
+   two reads of the same transaction, validation must fail (the retained
+   stale entry catches it) and the transaction must retry - last-wins
+   would let an inconsistent first read slip through. *)
+let reread_keeps_first_version () =
+  let causes = ref [] in
+  Trace.set_sink
+    (Some
+       (function
+       | Trace.Txn_abort { cause; _ } -> causes := cause :: !causes
+       | _ -> ()));
+  let attempts = ref 0 in
+  Fun.protect ~finally:(fun () -> Trace.set_sink None) (fun () ->
+      (* strong atomicity so the non-transactional write fires the
+         isolation barrier and bumps the record version *)
+      with_stm ~cfg:Config.eager_strong (fun () ->
+          let o = Stm.alloc_public ~cls:"C" 1 in
+          Stm.write o 0 (vi 1);
+          let reader =
+            Sched.spawn (fun () ->
+                Stm.atomic (fun () ->
+                    incr attempts;
+                    ignore (Stm.read o 0);
+                    (* park past the writer's instant; the re-read then
+                       observes the bumped version *)
+                    Sched.pause 500;
+                    ignore (Stm.read o 0)))
+          in
+          let writer =
+            Sched.spawn (fun () ->
+                (* after the reader's first read, before its re-read *)
+                Sched.pause 100;
+                Stm.write o 0 (vi 2))
+          in
+          Sched.join reader;
+          Sched.join writer;
+          check_int "writer value survived" 2 (geti o 0)));
+  check_int "first attempt failed validation, second committed" 2 !attempts;
+  check_bool "abort cause was validation" true
+    (List.mem Trace.Cause_validation !causes)
+
+let suite =
+  suite
+  @ [
+      ( "core:read-set",
+        [
+          case "commit reads = distinct granules" reread_commit_reads_distinct;
+          case "re-read charge pins makespan" reread_makespan_golden;
+          case "dedup keeps first version" reread_keeps_first_version;
+        ] );
+    ]

@@ -397,3 +397,181 @@ let suite =
         case "statics" heap_statics;
       ] );
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Heap-based Min_clock picker (PR 4): the binary heap must reproduce  *)
+(* the old linear min-scan's pick sequence bit-for-bit                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Reference model: workers indexed 1..n, each a list of tick amounts.
+   A worker is picked len+1 times (start, then once per yield); pick k
+   executes tick k. The model is the old linear scan: min (clock, tid)
+   over the unfinished workers. Main (tid 0) spawns then joins; its own
+   picks never reorder the workers (it only suspends and bumps its own
+   clock), so the workers' resume sequence is exactly the model's. *)
+let model_min_clock_order workss =
+  let clocks = Array.of_list (List.map (fun _ -> 0) workss) in
+  let rest = Array.of_list workss in
+  let alive = Array.map (fun _ -> true) clocks in
+  let n = Array.length clocks in
+  let order = ref [] in
+  let any_alive () = Array.exists (fun a -> a) alive in
+  while any_alive () do
+    let best = ref (-1) in
+    for i = n - 1 downto 0 do
+      if
+        alive.(i)
+        && (!best = -1
+           || clocks.(i) < clocks.(!best)
+           || (clocks.(i) = clocks.(!best) && i < !best))
+      then best := i
+    done;
+    let i = !best in
+    order := (i + 1) :: !order;
+    (match rest.(i) with
+    | c :: tl ->
+        clocks.(i) <- clocks.(i) + c;
+        rest.(i) <- tl
+    | [] -> alive.(i) <- false)
+  done;
+  List.rev !order
+
+let run_min_clock_order workss =
+  let order = ref [] in
+  let r =
+    Sched.run ~policy:Sched.Min_clock (fun () ->
+        let ts =
+          List.map
+            (fun works ->
+              Sched.spawn (fun () ->
+                  order := Sched.self () :: !order;
+                  List.iter
+                    (fun c ->
+                      Sched.tick c;
+                      Sched.yield ();
+                      order := Sched.self () :: !order)
+                    works))
+            workss
+        in
+        List.iter Sched.join ts)
+  in
+  Alcotest.(check bool) "completed" true (r.Sched.status = Sched.Completed);
+  List.rev !order
+
+let sched_heap_qcheck =
+  let open QCheck in
+  [
+    (* heap pick order = linear-scan model, with tick 0 forcing clock
+       ties so the (clock, tid) tie-break is exercised *)
+    Test.make ~name:"sched: heap picks = linear min-scan model" ~count:300
+      (list_of_size (Gen.int_range 1 7)
+         (list_of_size (Gen.int_range 0 9) (int_range 0 3)))
+      (fun workss -> run_min_clock_order workss = model_min_clock_order workss);
+    (* replay a recorded schedule trace through the Controlled policy:
+       the same decisions must reproduce the run exactly *)
+    Test.make ~name:"sched: recorded trace replays identically" ~count:100
+      (pair (int_range 0 9999)
+         (list_of_size (Gen.int_range 1 5)
+            (list_of_size (Gen.int_range 1 8) (int_range 0 5))))
+      (fun (seed, workss) ->
+        let record policy =
+          let order = ref [] in
+          let note () = order := Sched.self () :: !order in
+          let body works () =
+            note ();
+            List.iter
+              (fun c ->
+                Sched.tick c;
+                Sched.yield ();
+                note ())
+              works
+          in
+          let r =
+            Sched.run ~policy (fun () ->
+                note ();
+                (* main spawns then runs its own segment; no joins, so
+                   every scheduling decision hits an instrumented resume
+                   point and the recording is the full pick sequence *)
+                (match workss with
+                | main_works :: rest ->
+                    List.iter (fun w -> ignore (Sched.spawn (body w))) rest;
+                    List.iter
+                      (fun c ->
+                        Sched.tick c;
+                        Sched.yield ();
+                        note ())
+                      main_works
+                | [] -> ()))
+          in
+          (List.rev !order, r.Sched.makespan, r.Sched.status)
+        in
+        let trace, makespan, status = record (Sched.Random seed) in
+        (* every pick resumes an instrumented point, so the recording is
+           the complete decision sequence, first pick included *)
+        let script = ref trace in
+        let controlled =
+          Sched.Controlled
+            (fun _current ready ->
+              match !script with
+              | tid :: tl ->
+                  script := tl;
+                  if List.mem tid ready then tid else List.hd ready
+              | [] -> List.hd ready)
+        in
+        let trace', makespan', status' = record controlled in
+        status = Sched.Completed && status' = Sched.Completed
+        && trace = trace' && makespan = makespan' && !script = []);
+  ]
+
+(* Wake/suspend through the heap: wakes re-enqueue at the waker's clock,
+   so the resume order interleaves by (clock, tid), not by wake order. *)
+let sched_heap_wake_order () =
+  let order = ref [] in
+  let note () = order := Sched.self () :: !order in
+  let r =
+    Sched.run ~policy:Sched.Min_clock (fun () ->
+        let ws =
+          List.init 3 (fun _ ->
+              Sched.spawn (fun () ->
+                  note ();
+                  Sched.suspend ();
+                  note ()))
+        in
+        (* workers all start and suspend at clock 0 while main is parked
+           at 5; then wake w3 at clock 5 and w1 at clock 6 *)
+        Sched.tick 5;
+        Sched.yield ();
+        Sched.wake (List.nth ws 2);
+        Sched.tick 1;
+        Sched.wake (List.nth ws 0);
+        Sched.yield ();
+        Sched.wake (List.nth ws 1);
+        List.iter Sched.join ws)
+  in
+  Alcotest.(check bool) "completed" true (r.Sched.status = Sched.Completed);
+  Alcotest.(check (list int)) "resume order follows (clock, tid)"
+    [ 1; 2; 3; 3; 1; 2 ]
+    (List.rev !order)
+
+let sched_runnable_count () =
+  Sched.run (fun () ->
+      check_int "alone" 0 (Sched.runnable_count ());
+      let ts = List.init 3 (fun _ -> Sched.spawn (fun () -> Sched.tick 1)) in
+      check_int "three spawned" 3 (Sched.runnable_count ());
+      ignore (Sched.spawn (fun () -> ()) : Sched.tid);
+      check_int "four" 4 (Sched.runnable_count ());
+      List.iter Sched.join ts;
+      check_int "all spawned threads done" 0 (Sched.runnable_count ()))
+  |> fun r ->
+  Alcotest.(check bool) "completed" true (r.Sched.status = Sched.Completed)
+
+let suite =
+  suite
+  @ [
+      ( "runtime:sched-heap",
+        List.map QCheck_alcotest.to_alcotest sched_heap_qcheck
+        @ [
+            case "wake order follows (clock, tid)" sched_heap_wake_order;
+            case "O(1) runnable count" sched_runnable_count;
+          ] );
+    ]
