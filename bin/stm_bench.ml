@@ -96,7 +96,7 @@ let stress_report_json (r : Stm_harness.Stress.report) =
           r.Stm_harness.Stress.metrics );
     ]
 
-let run_stress which cm seed fuel metrics_out =
+let run_stress which cm seed fuel metrics_out diag_out =
   let scenarios =
     if which = "all" then Stm_harness.Stress.all_scenarios
     else
@@ -104,14 +104,55 @@ let run_stress which cm seed fuel metrics_out =
       | Some s -> [ s ]
       | None -> Fmt.failwith "unknown stress scenario %s" which
   in
+  (* --diag-out: run the conflict-diagnosis pipeline live alongside the
+     scenarios and keep the raw entries, so the file is a JSONL trace
+     that `stm_diag` replays to the same conclusions *)
+  let diag =
+    Option.map
+      (fun _ -> (Stm_diag.Diag.create (), Stm_obs.Recorder.create ()))
+      diag_out
+  in
+  let consumer =
+    Option.map
+      (fun (d, rec_) ev ->
+        Stm_obs.Recorder.record rec_ ev;
+        Stm_diag.Diag.consumer d ev)
+      diag
+  in
   let reports =
     List.map
       (fun s ->
-        let r = Stm_harness.Stress.run ?seed ?fuel ~cm s in
+        let r = Stm_harness.Stress.run ?seed ?fuel ?consumer ~cm s in
         Fmt.pr "%a@." Stm_harness.Stress.pp_report r;
+        (match (diag, r.Stm_harness.Stress.starved) with
+        | Some (d, _), (_ :: _ as tids) ->
+            Stm_diag.Diag.force_incident d
+              ~reason:
+                (Fmt.str "starvation verdict: %s under %s starved threads [%s]"
+                   (Stm_harness.Stress.scenario_name s)
+                   (Stm_cm.Policy.to_string cm)
+                   (String.concat "; " (List.map string_of_int tids)))
+        | _ -> ());
         r)
       scenarios
   in
+  Option.iter
+    (fun (d, rec_) ->
+      let path = Option.get diag_out in
+      (try
+         Out_channel.with_open_text path (fun oc ->
+             Stm_obs.Export.write_jsonl oc (Stm_obs.Recorder.entries rec_))
+       with Sys_error msg ->
+         Fmt.epr "cannot write %s: %s@." path msg;
+         exit 2);
+      if Stm_obs.Recorder.dropped rec_ > 0 then
+        Fmt.epr "diag trace: ring full, dropped %d oldest events@."
+          (Stm_obs.Recorder.dropped rec_);
+      Fmt.pr "@.=== conflict diagnosis ===@.%a"
+        (fun ppf -> Stm_diag.Diag.report ppf)
+        d;
+      Fmt.pr "diag trace written to %s (replay with stm_diag)@." path)
+    diag;
   Option.iter
     (fun path ->
       write_json path
@@ -143,7 +184,7 @@ let sanitize_name s =
     (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '.') as c -> c | _ -> '_')
     s
 
-let run_fuzz ~programs ~seeds ~driver ~dir ~seed ~fuel ~metrics_out =
+let run_fuzz ~programs ~seeds ~driver ~dir ~seed ~fuel ~metrics_out ~diag_out =
   let open Stm_check in
   let budget =
     {
@@ -158,6 +199,16 @@ let run_fuzz ~programs ~seeds ~driver ~dir ~seed ~fuel ~metrics_out =
   Option.iter
     (fun d -> if not (Sys.file_exists d) then Sys.mkdir d 0o755)
     dir;
+  (* The fuzzer's executor owns the trace sink (it rebuilds the access
+     history per run), so fuzz mode feeds the flight recorder through the
+     anomaly hook alone: each unexpected anomaly freezes an incident
+     naming the campaign, program seed and schedule seed. *)
+  let diag = Option.map (fun _ -> Stm_diag.Diag.create ()) diag_out in
+  Option.iter
+    (fun d ->
+      Fuzz.set_anomaly_hook
+        (Some (fun reason -> Stm_diag.Diag.force_incident d ~reason)))
+    diag;
   let log msg = Fmt.pr "    %s@." msg in
   let results =
     List.map
@@ -183,6 +234,13 @@ let run_fuzz ~programs ~seeds ~driver ~dir ~seed ~fuel ~metrics_out =
   in
   let summary = Fuzz.summary_json budget results in
   Option.iter (fun path -> write_json path summary) metrics_out;
+  Option.iter
+    (fun d ->
+      Fuzz.set_anomaly_hook None;
+      let path = Option.get diag_out in
+      write_json path (Stm_diag.Diag.to_json d);
+      Fmt.pr "fuzz diag report written to %s@." path)
+    diag;
   let ok = Fuzz.passed results in
   Fmt.pr "fuzz sweep: %d campaigns, %d runs, %s@." (List.length results)
     (List.fold_left (fun a r -> a + r.Stm_check.Fuzz.runs) 0 results)
@@ -193,7 +251,20 @@ let run_fuzz ~programs ~seeds ~driver ~dir ~seed ~fuel ~metrics_out =
 (* Perf mode: host wall-clock microbenchmarks                          *)
 (* ------------------------------------------------------------------ *)
 
-let run_perf ~quick ~out ~baseline ~threshold =
+(* --diag-gate: the diagnosis layer must be free when disabled. The STM
+   hot paths (the txn/ benches) and the explorer cell (fig6/) run with no
+   trace sink installed, so merging the diag code must not move them:
+   hold those benches to a tighter budget than the general ratchet. *)
+let diag_gate_pct = 5.0
+
+let diag_gated c =
+  let pre p =
+    String.length c.Stm_perf.Perf.c_name >= String.length p
+    && String.sub c.Stm_perf.Perf.c_name 0 (String.length p) = p
+  in
+  pre "txn/" || pre "fig6/"
+
+let run_perf ~quick ~out ~baseline ~threshold ~diag_gate =
   let report = Stm_perf.Perf.suite ~quick () in
   Fmt.pr "%a" Stm_perf.Perf.pp_report report;
   write_json out (Stm_perf.Perf.to_json report);
@@ -215,7 +286,17 @@ let run_perf ~quick ~out ~baseline ~threshold =
         let regressed =
           Stm_perf.Perf.regressions ~threshold_pct:threshold comps
         in
-        if regressed = [] then begin
+        let diag_regressed =
+          if not diag_gate then []
+          else
+            Stm_perf.Perf.regressions ~threshold_pct:diag_gate_pct
+              (List.filter diag_gated comps)
+        in
+        if diag_gate then
+          Fmt.pr "diag overhead gate: %d txn/fig6 benches held to %.0f%%@."
+            (List.length (List.filter diag_gated comps))
+            diag_gate_pct;
+        if regressed = [] && diag_regressed = [] then begin
           Fmt.pr "no microbench regressed more than %.0f%%@." threshold;
           0
         end
@@ -226,6 +307,14 @@ let run_perf ~quick ~out ~baseline ~threshold =
                 c.Stm_perf.Perf.c_name c.Stm_perf.Perf.c_ns
                 c.Stm_perf.Perf.c_baseline_ns threshold)
             regressed;
+          List.iter
+            (fun c ->
+              Fmt.epr
+                "DIAG OVERHEAD %s: %.0f ns/op vs baseline %.0f (>%g%% with \
+                 diagnosis disabled)@."
+                c.Stm_perf.Perf.c_name c.Stm_perf.Perf.c_ns
+                c.Stm_perf.Perf.c_baseline_ns diag_gate_pct)
+            diag_regressed;
           1
         end
 
@@ -233,11 +322,11 @@ let run_perf ~quick ~out ~baseline ~threshold =
 (* Entry                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let main name scale threads cm stress seed fuel metrics_out fuzz fuzz_programs
-    fuzz_seeds fuzz_driver fuzz_dir perf quick perf_out perf_baseline
-    perf_threshold =
+let main name scale threads cm stress seed fuel metrics_out diag_out fuzz
+    fuzz_programs fuzz_seeds fuzz_driver fuzz_dir perf quick perf_out
+    perf_baseline perf_threshold diag_gate =
   if perf then run_perf ~quick ~out:perf_out ~baseline:perf_baseline
-      ~threshold:perf_threshold
+      ~threshold:perf_threshold ~diag_gate
   else if fuzz then
     let driver =
       match fuzz_driver with
@@ -248,11 +337,11 @@ let main name scale threads cm stress seed fuel metrics_out fuzz fuzz_programs
           exit 2
     in
     run_fuzz ~programs:fuzz_programs ~seeds:fuzz_seeds ~driver ~dir:fuzz_dir
-      ~seed ~fuel ~metrics_out
+      ~seed ~fuel ~metrics_out ~diag_out
   else
   match stress with
   | Some which -> (
-      try run_stress which cm seed fuel metrics_out
+      try run_stress which cm seed fuel metrics_out diag_out
       with Failure m ->
         Fmt.epr "%s@." m;
         exit 2)
@@ -368,6 +457,14 @@ let metrics_arg =
         ~doc:
           "Write aggregate STM metrics (transaction counters, abort causes, latency histograms, per-thread fairness incl. the Jain index) as JSON to $(docv).")
 
+let diag_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "diag-out" ] ~docv:"FILE"
+        ~doc:
+          "For --stress runs: attach the conflict-diagnosis pipeline (contention heatmap, abort-causality graph, flight recorder) live, print its report after the scenario reports, and write the full Debug-level event stream as a JSONL trace to $(docv) for offline replay with $(b,stm_diag). A starvation verdict forces a flight-recorder incident.")
+
 let fuzz_arg =
   Arg.(
     value & flag
@@ -435,6 +532,16 @@ let perf_threshold_arg =
     & info [ "perf-threshold" ] ~docv:"PCT"
         ~doc:"Allowed per-bench slowdown vs the baseline, in percent.")
 
+let diag_gate_arg =
+  Arg.(
+    value & flag
+    & info [ "diag-gate" ]
+        ~doc:
+          "With $(b,--perf): additionally hold the txn/* and fig6/* benches \
+           (which run with no trace sink, i.e. diagnosis disabled) to a 5% \
+           budget vs the baseline — the conflict-diagnosis layer must be \
+           free when off.")
+
 let fuzz_dir_arg =
   Arg.(
     value
@@ -452,8 +559,9 @@ let cmd =
     (Cmd.info "stm_bench" ~doc)
     Term.(
       const main $ name_arg $ scale_arg $ threads_arg $ cm_arg $ stress_arg
-      $ seed_arg $ fuel_arg $ metrics_arg $ fuzz_arg $ fuzz_programs_arg
-      $ fuzz_seeds_arg $ fuzz_driver_arg $ fuzz_dir_arg $ perf_arg $ quick_arg
-      $ perf_out_arg $ perf_baseline_arg $ perf_threshold_arg)
+      $ seed_arg $ fuel_arg $ metrics_arg $ diag_out_arg $ fuzz_arg
+      $ fuzz_programs_arg $ fuzz_seeds_arg $ fuzz_driver_arg $ fuzz_dir_arg
+      $ perf_arg $ quick_arg $ perf_out_arg $ perf_baseline_arg
+      $ perf_threshold_arg $ diag_gate_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -114,7 +114,7 @@ let write_trace_file path ~resolve recorder =
       (Stm_obs.Recorder.dropped recorder)
 
 let main repro file config opt nait params verbose detect_races granule cm seed
-    trace profile trace_out profile_barriers metrics_out explore pct =
+    trace profile trace_out profile_barriers metrics_out diag explore pct =
   match repro with
   | Some path -> run_repro path
   | None ->
@@ -185,6 +185,9 @@ let main repro file config opt nait params verbose detect_races granule cm seed
             if metrics_out <> None then Some (Stm_obs.Metrics.create ())
             else None
           in
+          let diagnoser =
+            if diag then Some (Stm_diag.Diag.create ~resolve ()) else None
+          in
           let consumers =
             List.concat
               [
@@ -211,12 +214,18 @@ let main repro file config opt nait params verbose detect_races granule cm seed
                 (match metrics with
                 | Some m -> [ Stm_obs.Metrics.handle m ]
                 | None -> []);
+                (match diagnoser with
+                | Some d -> [ Stm_diag.Diag.consumer d ]
+                | None -> []);
               ]
           in
           if consumers <> [] then begin
             let level =
-              if recorder <> None || profiler <> None then
-                Stm_core.Trace.Debug
+              (* the diagnoser wants the Debug stream too: CM decisions
+                 and serialization points feed the causality graph and
+                 the post-mortems *)
+              if recorder <> None || profiler <> None || diagnoser <> None
+              then Stm_core.Trace.Debug
               else Stm_core.Trace.Info
             in
             Stm_core.Trace.set_sink ~level
@@ -234,6 +243,12 @@ let main repro file config opt nait params verbose detect_races granule cm seed
                 (fun ppf -> Stm_obs.Profiler.pp ~resolve ppf)
                 p)
             profiler;
+          Option.iter
+            (fun d ->
+              Fmt.epr "%a"
+                (fun ppf -> Stm_diag.Diag.report ppf)
+                d)
+            diagnoser;
           Option.iter
             (fun m ->
               let path = Option.get metrics_out in
@@ -408,6 +423,13 @@ let metrics_out_arg =
         ~doc:
           "Write run metrics (transaction counters, abort causes, commit/abort latency histograms, global stats) as JSON to $(docv).")
 
+let diag_arg =
+  Arg.(
+    value & flag
+    & info [ "diag" ]
+        ~doc:
+          "Run the conflict-diagnosis pipeline live and print its report (contention heatmap with source sites, abort-causality graph with kill chains, starvation verdicts, flight-recorder post-mortems) to stderr after the run.")
+
 let explore_arg =
   Arg.(
     value & flag
@@ -428,6 +450,6 @@ let cmd =
       const main $ repro_arg $ file_arg $ config_arg $ opt_arg $ nait_arg $ params_arg
       $ verbose_arg $ races_arg $ granule_arg $ cm_arg $ seed_arg $ trace_arg
       $ profile_arg $ trace_out_arg $ profile_barriers_arg $ metrics_out_arg
-      $ explore_arg $ pct_arg)
+      $ diag_arg $ explore_arg $ pct_arg)
 
 let () = exit (Cmd.eval' cmd)

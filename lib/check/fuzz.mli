@@ -53,6 +53,15 @@ val hunt_campaigns : campaign list
 val default_plan : campaign list
 val campaign_name : campaign -> string
 
+val set_anomaly_hook : (string -> unit) option -> unit
+(** Install (or clear) a callback fired the moment an [Expect_clean]
+    campaign observes an anomalous history — before shrinking re-runs
+    the program and scrolls recent state away. The argument names the
+    campaign, the program seed, and the schedule seed. The diagnosis
+    layer uses it to freeze a flight-recorder incident
+    ({!Stm_diag.Diag.force_incident}); hunt campaigns, which find
+    anomalies by design, never fire it. *)
+
 val run_campaign : ?log:(string -> unit) -> budget -> campaign -> campaign_result
 (** Fuzz one campaign. On the first anomaly the failing program is
     shrunk to a fixpoint (re-running the same deterministic driver as

@@ -129,6 +129,9 @@ let on_commit t ~txid =
   | None -> ()
   | Some slot -> drop_slot t slot
 
+let tid_of t ~txid =
+  Option.map (fun s -> s.s_tid) (Hashtbl.find_opt t.by_txid txid)
+
 (* [restart] is false when the enclosing atomic block is being torn down
    for good (an exception is propagating, or the runner gave up): the
    slot must not leak its age into the thread's next, unrelated block. *)

@@ -12,6 +12,7 @@ type barrier_path = Path_fired | Path_private | Path_elided
 type abort_cause =
   | Cause_conflict
   | Cause_validation
+  | Cause_stale_lock
   | Cause_wounded
   | Cause_retry
   | Cause_exn
@@ -25,6 +26,9 @@ type event =
       wounded : bool;
       cause : abort_cause;
       latency : int;
+      by : int;
+      by_tid : int;
+      oid : int;
     }
   | Txn_wound of { victim : int; by : int }
   | Conflict of { tid : int; oid : int; cls : string; writer : bool; site : int }
@@ -87,6 +91,7 @@ let enabled_at level =
 let string_of_cause = function
   | Cause_conflict -> "conflict"
   | Cause_validation -> "validation"
+  | Cause_stale_lock -> "stale-lock"
   | Cause_wounded -> "wounded"
   | Cause_retry -> "retry"
   | Cause_exn -> "exception"
@@ -108,11 +113,14 @@ let pp_event ppf = function
   | Txn_commit { txid; tid; reads; writes; latency } ->
       Fmt.pf ppf "txn %d commit (thread %d, %d reads, %d writes, %d cycles)"
         txid tid reads writes latency
-  | Txn_abort { txid; tid; wounded; cause; latency } ->
-      Fmt.pf ppf "txn %d abort (thread %d, %s%s, %d cycles)" txid tid
+  | Txn_abort { txid; tid; wounded; cause; latency; by; oid; _ } ->
+      Fmt.pf ppf "txn %d abort (thread %d, %s%s%a%a, %d cycles)" txid tid
         (string_of_cause cause)
         (if wounded then ", wounded" else "")
-        latency
+        (fun ppf b -> if b >= 0 then Fmt.pf ppf ", by txn %d" b)
+        by
+        (fun ppf o -> if o >= 0 then Fmt.pf ppf ", on @%d" o)
+        oid latency
   | Txn_wound { victim; by } -> Fmt.pf ppf "txn %d wounded by txn %d" victim by
   | Conflict { tid; oid; cls; writer; site } ->
       Fmt.pf ppf "thread %d %s-conflict on %s@%d%a" tid

@@ -36,6 +36,10 @@ type barrier_path = Path_fired | Path_private | Path_elided
 type abort_cause =
   | Cause_conflict  (** conflict retry budget exhausted *)
   | Cause_validation  (** read-set validation failed *)
+  | Cause_stale_lock
+      (** lazy commit-time acquisition found the buffered granule's
+          version moved since it was read (the read that seeded the
+          write buffer is stale) *)
   | Cause_wounded  (** killed by an older transaction (wound-wait) *)
   | Cause_retry  (** user-initiated [retry] *)
   | Cause_exn  (** an exception escaped the atomic block *)
@@ -50,7 +54,18 @@ type event =
       wounded : bool;
       cause : abort_cause;
       latency : int;
+      by : int;
+          (** aggressor txid: the wounding transaction, or the owner of
+              the record whose conflict/validation killed this
+              transaction; [-1] when unknown (e.g. user retry) *)
+      by_tid : int;  (** aggressor's simulated thread, [-1] unknown *)
+      oid : int;
+          (** the contended granule the abort is attributed to: the
+              object of the last losing conflict, the failing read-set
+              entry, or the stale lazily-buffered record; [-1] unknown *)
     }
+      (** The [by]/[by_tid]/[oid] attribution fields feed the
+          {!Stm_diag} abort-causality graph and contention heatmap. *)
   | Txn_wound of { victim : int; by : int }
   | Conflict of { tid : int; oid : int; cls : string; writer : bool; site : int }
       (** [site] is the source access site ({!Site.current}), [-1] when

@@ -4,7 +4,13 @@ exception Abort_txn
 exception Retry_request
 exception Open_nest_conflict
 
-type killed_flag = { mutable killed : bool }
+type killed_flag = {
+  mutable killed : bool;
+  (* who wounded us, recorded by the aggressor at wound time so the
+     victim's abort event can name it (diag causality graph) *)
+  mutable killed_by : int;  (* wounding txid, -1 unknown *)
+  mutable killed_by_tid : int;  (* wounding thread, -1 unknown *)
+}
 
 (* A transaction descriptor. Descriptors and their tables/logs are pooled
    per context and recycled across attempts (clear-don't-reallocate): an
@@ -57,6 +63,13 @@ type t = {
   flag : killed_flag;  (* set by a wounding (older) transaction *)
   mutable begin_ts : int;  (* cost clock at begin, for latency attribution *)
   mutable abort_cause : Trace.abort_cause;
+  (* last losing contention point, for abort attribution: the granule and
+     (when a live transaction holds it) the owning txid/tid. Plain field
+     writes on conflict paths only - the access fast paths never touch
+     them, so the cost model and hot-path timings are unchanged. *)
+  mutable last_oid : int;
+  mutable last_aggr : int;
+  mutable last_aggr_tid : int;
 }
 
 type ctx = {
@@ -124,9 +137,12 @@ let fresh_descriptor () =
     naccesses = 0;
     nest_depth = 0;
     part = None;
-    flag = { killed = false };
+    flag = { killed = false; killed_by = -1; killed_by_tid = -1 };
     begin_ts = 0;
     abort_cause = Trace.Cause_exn;
+    last_oid = -1;
+    last_aggr = -1;
+    last_aggr_tid = -1;
   }
 
 let grow_obj_array a n =
@@ -257,8 +273,13 @@ let begin_txn ?parent ctx =
   t.parent <- parent;
   t.part <- part;
   t.flag.killed <- false;
+  t.flag.killed_by <- -1;
+  t.flag.killed_by_tid <- -1;
   t.begin_ts <- Sched.time ();
   t.abort_cause <- Trace.Cause_exn;
+  t.last_oid <- -1;
+  t.last_aggr <- -1;
+  t.last_aggr_tid <- -1;
   Hashtbl.replace ctx.registry ctx.next_id t.flag;
   Stm_cm.Cm.on_begin ctx.cm ~tid:(Sched.self ()) ~txid:ctx.next_id
     ~now:(Sched.time ());
@@ -323,14 +344,30 @@ let validate ctx t =
     let obj = t.read_objs.(i) in
     let ver = t.read_vers.(i) in
     let w = Atomic.get obj.Heap.txrec in
-    (match Txrec.decode w with
-    | Txrec.Shared v -> v = ver
-    | Txrec.Exclusive o when o = t.txid -> (
-        match Hashtbl.find_opt t.owned obj.Heap.oid with
-        | Some slot -> t.owned_prior.(slot) = ver
-        | None -> false)
-    | Txrec.Exclusive _ | Txrec.Exclusive_anon _ | Txrec.Private -> false)
-    && entries_ok (i + 1)
+    let dec = Txrec.decode w in
+    let entry_ok =
+      match dec with
+      | Txrec.Shared v -> v = ver
+      | Txrec.Exclusive o when o = t.txid -> (
+          match Hashtbl.find_opt t.owned obj.Heap.oid with
+          | Some slot -> t.owned_prior.(slot) = ver
+          | None -> false)
+      | Txrec.Exclusive _ | Txrec.Exclusive_anon _ | Txrec.Private -> false
+    in
+    if not entry_ok then begin
+      (* attribute the failure: the granule whose version moved, and its
+         current owner when a live transaction still holds it *)
+      t.last_oid <- obj.Heap.oid;
+      match dec with
+      | Txrec.Exclusive o when o <> t.txid ->
+          t.last_aggr <- o;
+          t.last_aggr_tid <-
+            Option.value ~default:(-1) (Stm_cm.Cm.tid_of ctx.cm ~txid:o)
+      | _ ->
+          t.last_aggr <- -1;
+          t.last_aggr_tid <- -1
+    end;
+    entry_ok && entries_ok (i + 1)
   in
   let ok = entries_ok 0 in
   Trace.emit ~level:Trace.Debug
@@ -349,6 +386,8 @@ let wound ctx ~victim ~by =
   match Hashtbl.find_opt ctx.registry victim with
   | Some flag when not flag.killed ->
       flag.killed <- true;
+      flag.killed_by <- by;
+      flag.killed_by_tid <- Sched.self ();
       ctx.stats.Stats.wounds <- ctx.stats.Stats.wounds + 1;
       Trace.emit (lazy (Trace.Txn_wound { victim; by }))
   | Some _ | None -> ()
@@ -374,6 +413,15 @@ let cm_resolve ctx t ~attempt ~writer obj =
   check_wounded t;
   let w = Atomic.get obj.Heap.txrec in
   let owner = if Txrec.is_exclusive w then Some (Txrec.owner w) else None in
+  t.last_oid <- obj.Heap.oid;
+  (match owner with
+  | Some o ->
+      t.last_aggr <- o;
+      t.last_aggr_tid <-
+        Option.value ~default:(-1) (Stm_cm.Cm.tid_of ctx.cm ~txid:o)
+  | None ->
+      t.last_aggr <- -1;
+      t.last_aggr_tid <- -1);
   let decision =
     Stm_cm.Cm.on_conflict ctx.cm
       {
@@ -456,7 +504,10 @@ let acquire ctx t ?expect (obj : Heap.obj) =
         | Some e when e <> ver ->
             (* a lazily buffered record changed version before commit-time
                acquisition: the read that seeded the buffer is stale *)
-            t.abort_cause <- Trace.Cause_validation;
+            t.last_oid <- obj.Heap.oid;
+            t.last_aggr <- -1;
+            t.last_aggr_tid <- -1;
+            t.abort_cause <- Trace.Cause_stale_lock;
             raise Abort_txn
         | Some _ | None -> ());
         ctx.stats.Stats.atomic_ops <- ctx.stats.Stats.atomic_ops + 1;
@@ -768,6 +819,18 @@ let abort ?(restart = true) ctx t =
   Hashtbl.remove ctx.registry t.txid;
   Stm_cm.Cm.on_abort ctx.cm ~txid:t.txid ~restart ~wounded:t.flag.killed
     ~work:t.naccesses;
+  let cause = if t.flag.killed then Trace.Cause_wounded else t.abort_cause in
+  (* [by]/[oid] attribution is only meaningful for contention-driven
+     aborts; a user retry or an escaping exception has no aggressor, and
+     any leftover conflict fields from earlier in the attempt would
+     mislead the causality graph. *)
+  let by, by_tid, oid =
+    match cause with
+    | Trace.Cause_wounded -> (t.flag.killed_by, t.flag.killed_by_tid, t.last_oid)
+    | Trace.Cause_conflict | Trace.Cause_validation | Trace.Cause_stale_lock ->
+        (t.last_aggr, t.last_aggr_tid, t.last_oid)
+    | Trace.Cause_retry | Trace.Cause_exn -> (-1, -1, -1)
+  in
   Trace.emit
     (lazy
       (Trace.Txn_abort
@@ -775,8 +838,11 @@ let abort ?(restart = true) ctx t =
            txid = t.txid;
            tid = Sched.self ();
            wounded = t.flag.killed;
-           cause = (if t.flag.killed then Trace.Cause_wounded else t.abort_cause);
+           cause;
            latency = latency t;
+           by;
+           by_tid;
+           oid;
          }));
   ctx.stats.Stats.aborts <- ctx.stats.Stats.aborts + 1;
   recycle ctx t

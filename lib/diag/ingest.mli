@@ -1,0 +1,35 @@
+(** Offline trace ingestion: JSONL (as written by
+    {!Stm_obs.Export.write_jsonl}) back into {!Stm_obs.Recorder.entry}
+    values, so the analyzer replays a checked-in trace through the same
+    pipeline that runs live.
+
+    Site labels that were resolved to source strings at export time are
+    re-interned into synthetic ids (from a range no real site id uses)
+    and surfaced through [resolve]. Malformed lines and unknown event
+    kinds are counted and skipped, never fatal. *)
+
+type result = {
+  entries : Stm_obs.Recorder.entry list;  (** in file order *)
+  resolve : int -> string option;
+      (** maps interned synthetic site ids back to their labels *)
+  parsed : int;
+  skipped : int;
+}
+
+val of_file : string -> result
+(** Raises [Sys_error] if the file cannot be opened. *)
+
+val of_channel : in_channel -> result
+
+val of_string : string -> result
+(** Newline-separated JSONL in memory (tests). *)
+
+val event_of_json :
+  intern:(string -> int) -> Stm_obs.Json.t -> Stm_core.Trace.event option
+(** One parsed line to an event; [None] for unknown kinds. [intern]
+    assigns ids to resolved (string) site labels. Abort events missing
+    the attribution fields ([by], [by_tid], [oid] — traces from before
+    they existed) default them to [-1]. *)
+
+val entry_of_json :
+  intern:(string -> int) -> Stm_obs.Json.t -> Stm_obs.Recorder.entry option

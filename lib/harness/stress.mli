@@ -39,11 +39,19 @@ type report = {
 }
 
 val run :
-  ?seed:int -> ?fuel:int -> cm:Stm_cm.Policy.t -> scenario -> report
+  ?seed:int ->
+  ?fuel:int ->
+  ?consumer:(Stm_core.Trace.event -> unit) ->
+  cm:Stm_cm.Policy.t ->
+  scenario ->
+  report
 (** Execute one scenario under one policy. [fuel] bounds scheduler steps
     (default 2M); a run that exhausts it reports
     [status = Fuel_exhausted] and [completed = false]. Installs (and
-    removes) its own trace sink. *)
+    removes) its own trace sink. [consumer] additionally receives the
+    full Debug-level event stream (e.g. {!Stm_diag.Diag.consumer});
+    the report's own metrics still count only Info events, so a run
+    reports identical counters with or without it. *)
 
 val passed : report -> bool
 (** Completed with zero starved threads. *)

@@ -24,7 +24,7 @@ let event_fields resolve (ev : Trace.event) =
           ("writes", Json.Int writes);
           ("latency", Json.Int latency);
         ] )
-  | Trace.Txn_abort { txid; tid; wounded; cause; latency } ->
+  | Trace.Txn_abort { txid; tid; wounded; cause; latency; by; by_tid; oid } ->
       ( "txn_abort",
         [
           ("txid", Json.Int txid);
@@ -32,6 +32,9 @@ let event_fields resolve (ev : Trace.event) =
           ("wounded", Json.Bool wounded);
           ("cause", Json.Str (Trace.string_of_cause cause));
           ("latency", Json.Int latency);
+          ("by", Json.Int by);
+          ("by_tid", Json.Int by_tid);
+          ("oid", Json.Int oid);
         ] )
   | Trace.Txn_wound { victim; by } ->
       ("txn_wound", [ ("victim", Json.Int victim); ("by", Json.Int by) ])

@@ -20,6 +20,13 @@ val to_jsonl :
 val write_jsonl :
   ?resolve:(int -> string option) -> out_channel -> Recorder.entry list -> unit
 
+val chrome_events :
+  ?resolve:(int -> string option) -> Recorder.entry list -> Json.t list
+(** The bare [trace_event] objects (thread-name metadata followed by
+    slices/instants), for callers that splice extra annotation events
+    into the stream — {!Stm_diag} appends contention-heatmap counters
+    and abort-causality flow arrows before wrapping the document. *)
+
 val to_chrome : ?resolve:(int -> string option) -> Recorder.entry list -> Json.t
 (** The full [{"traceEvents": [...]}] document. *)
 

@@ -28,14 +28,18 @@ type t = {
 let cause_index = function
   | Trace.Cause_conflict -> 0
   | Trace.Cause_validation -> 1
-  | Trace.Cause_wounded -> 2
-  | Trace.Cause_retry -> 3
-  | Trace.Cause_exn -> 4
+  | Trace.Cause_stale_lock -> 2
+  | Trace.Cause_wounded -> 3
+  | Trace.Cause_retry -> 4
+  | Trace.Cause_exn -> 5
+
+let ncauses = 6
 
 let all_causes =
   [
     Trace.Cause_conflict;
     Trace.Cause_validation;
+    Trace.Cause_stale_lock;
     Trace.Cause_wounded;
     Trace.Cause_retry;
     Trace.Cause_exn;
@@ -54,7 +58,7 @@ let create () =
     validations = 0;
     validation_failures = 0;
     cm_decisions = 0;
-    abort_causes = Array.make 5 0;
+    abort_causes = Array.make ncauses 0;
     commit_latency = Hist.create ();
     abort_latency = Hist.create ();
     fairness = Stm_cm.Fairness.create ();
@@ -124,7 +128,8 @@ let diff later earlier =
     validation_failures = later.validation_failures - earlier.validation_failures;
     cm_decisions = later.cm_decisions - earlier.cm_decisions;
     abort_causes =
-      Array.init 5 (fun i -> later.abort_causes.(i) - earlier.abort_causes.(i));
+      Array.init ncauses (fun i ->
+          later.abort_causes.(i) - earlier.abort_causes.(i));
     commit_latency = Hist.sub later.commit_latency earlier.commit_latency;
     abort_latency = Hist.sub later.abort_latency earlier.abort_latency;
     fairness = Stm_cm.Fairness.sub later.fairness earlier.fairness;

@@ -17,7 +17,12 @@ val handle : t -> Trace.event -> unit
 
 val install : ?level:Trace.level -> t -> unit
 (** Install as the global trace sink. Default level [Info] — metrics
-    need no per-access events, so the [Debug] payloads stay unforced. *)
+    need no per-access events, so the [Debug] payloads stay unforced.
+    This deliberately differs from {!Recorder.install}'s [Debug]
+    default: installing a metrics sink keeps the access fast paths
+    cheap, installing a recorder captures everything. A sink that feeds
+    both (as [stm_run --diag] does) must be installed at [Debug] and
+    filter Info events to the metrics side itself. *)
 
 val snapshot : t -> t
 (** Immutable copy of the current totals. *)

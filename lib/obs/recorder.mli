@@ -25,7 +25,12 @@ val record : t -> Trace.event -> unit
 
 val install : ?level:Trace.level -> t -> unit
 (** Install this recorder as the global trace sink (default [Debug]:
-    record everything). *)
+    record everything). Note the deliberate asymmetry with
+    {!Metrics.install}, which defaults to [Info]: a recorder exists to
+    capture the full stream for offline analysis, while metrics only
+    need the per-transaction lifecycle events — so swapping one for the
+    other changes which events are delivered. Pass [~level] explicitly
+    when composing both into one sink. *)
 
 val uninstall : unit -> unit
 

@@ -121,6 +121,33 @@ let fuzz_campaign =
   let campaign = List.hd Stm_check.Fuzz.clean_campaigns in
   fun () -> ignore (Stm_check.Fuzz.run_campaign budget campaign)
 
+(* Two threads incrementing one public counter: the conflict/abort event
+   shape the diagnosis layer exists for. Measured once bare and once with
+   the full pipeline (heatmap + causality + flight recorder) attached as
+   a Debug sink - the difference is the live cost of [--diag]. The
+   *disabled* cost (diag code merged but no sink installed) is what the
+   [--diag-gate] ratchet bounds on the txn/fig6 benches. *)
+let diag_churn () =
+  ignore
+    (Stm_core.Stm.run ~cfg:Stm_core.Config.eager_weak (fun () ->
+         let o = Stm_core.Stm.alloc_public ~cls:cell 1 in
+         let worker () =
+           for i = 1 to 64 do
+             Stm_core.Stm.atomic (fun () ->
+                 let v = Stm_core.Stm.to_int (Stm_core.Stm.read o 0) in
+                 Stm_core.Stm.write o 0 (Stm_core.Stm.vint (v + i)))
+           done
+         in
+         let t = Stm_runtime.Sched.spawn worker in
+         worker ();
+         Stm_runtime.Sched.join t))
+
+let diag_churn_on () =
+  let d = Stm_diag.Diag.create () in
+  Stm_core.Trace.set_sink ~level:Stm_core.Trace.Debug
+    (Some (Stm_diag.Diag.consumer d));
+  Fun.protect ~finally:(fun () -> Stm_core.Trace.set_sink None) diag_churn
+
 let bodies : (string * (unit -> unit)) list =
   [
     ("txn/revalidate", revalidate);
@@ -131,6 +158,8 @@ let bodies : (string * (unit -> unit)) list =
     ("fig6/explorer-cell", fig6_explorer);
     ("fig18/tsp-4t", fig18_tsp);
     ("fuzz/clean-campaign", fuzz_campaign);
+    ("diag/churn-off", diag_churn);
+    ("diag/churn-on", diag_churn_on);
   ]
 
 (* ------------------------------------------------------------------ *)
