@@ -319,12 +319,305 @@ let run_perf ~quick ~out ~baseline ~threshold ~diag_gate =
         end
 
 (* ------------------------------------------------------------------ *)
+(* Store mode: KV workload engine                                      *)
+(* ------------------------------------------------------------------ *)
+
+type store_opts = {
+  so_mode : Stm_store.Kv.mode;
+  so_shards : int;
+  so_clients : int;
+  so_keys : int;
+  so_ops : int;
+  so_batch : int;
+  so_value_size : int;
+  so_dist : string;
+  so_theta : float;
+  so_check : bool;
+}
+
+let store_dist so =
+  match Stm_store.Keydist.dist_of_string ~theta:so.so_theta so.so_dist with
+  | Some d -> d
+  | None ->
+      Fmt.failwith "unknown key distribution %s (expected zipfian or uniform)"
+        so.so_dist
+
+let store_params so profile ~record ~mode ~shards cm seed fuel =
+  {
+    Stm_store.Engine.default with
+    Stm_store.Engine.mode;
+    shards;
+    clients = so.so_clients;
+    keys = so.so_keys;
+    value_size = so.so_value_size;
+    batch = so.so_batch;
+    ops_per_client = so.so_ops;
+    dist = store_dist so;
+    profile;
+    seed = Option.value seed ~default:0;
+    cm;
+    record;
+    fuel =
+      Option.value fuel
+        ~default:Stm_store.Engine.default.Stm_store.Engine.fuel;
+  }
+
+(* One profile run, with the optional diagnosis pipeline attached the
+   same way --stress attaches it; the heatmap's hot granules are joined
+   back to store keys through the report's oid resolver. *)
+let run_store_profile so profile cm seed fuel metrics_out diag_out =
+  let p =
+    store_params so profile ~record:so.so_check ~mode:so.so_mode
+      ~shards:so.so_shards cm seed fuel
+  in
+  let diag =
+    Option.map
+      (fun _ -> (Stm_diag.Diag.create (), Stm_obs.Recorder.create ()))
+      diag_out
+  in
+  let consumer =
+    Option.map
+      (fun (d, rec_) ev ->
+        Stm_obs.Recorder.record rec_ ev;
+        Stm_diag.Diag.consumer d ev)
+      diag
+  in
+  let r = Stm_store.Engine.run ?consumer p in
+  Fmt.pr "%a@." Stm_store.Engine.pp_report r;
+  Option.iter
+    (fun (d, rec_) ->
+      let path = Option.get diag_out in
+      (try
+         Out_channel.with_open_text path (fun oc ->
+             Stm_obs.Export.write_jsonl oc (Stm_obs.Recorder.entries rec_))
+       with Sys_error msg ->
+         Fmt.epr "cannot write %s: %s@." path msg;
+         exit 2);
+      Fmt.pr "@.=== conflict diagnosis ===@.%a"
+        (fun ppf -> Stm_diag.Diag.report ppf)
+        d;
+      Fmt.pr "hot keys (heatmap granules resolved to store keys):@.";
+      List.iter
+        (fun (c : Stm_diag.Heatmap.cell) ->
+          match r.Stm_store.Engine.r_resolve_oid c.Stm_diag.Heatmap.oid with
+          | Some (k, sh) ->
+              Fmt.pr "  key %-6d shard %-3d heat %d@." k sh
+                (Stm_diag.Heatmap.heat c)
+          | None ->
+              Fmt.pr "  oid %-6d (store structure)  heat %d@."
+                c.Stm_diag.Heatmap.oid
+                (Stm_diag.Heatmap.heat c))
+        (Stm_diag.Heatmap.top (Stm_diag.Diag.heatmap d) ~k:10);
+      Fmt.pr "diag trace written to %s (replay with stm_diag)@." path)
+    diag;
+  Option.iter
+    (fun path -> write_json path (Stm_store.Engine.to_json r))
+    metrics_out;
+  let failures = ref [] in
+  let fail fmt = Fmt.kstr (fun s -> failures := s :: !failures) fmt in
+  if not r.Stm_store.Engine.r_completed then fail "run did not complete";
+  List.iter (fun v -> fail "invariant violated: %s" v)
+    r.Stm_store.Engine.r_invariants;
+  (* Weak mode is *expected* to misbehave on mixed traffic — its verdict
+     and deviation are findings, not failures. *)
+  (match (so.so_mode, r.Stm_store.Engine.r_verdict) with
+  | (Stm_store.Kv.Strong | Stm_store.Kv.Lock), Some verdict -> (
+      match verdict with
+      | Stm_check.History.Serializable -> ()
+      | v ->
+          fail "oracle rejected a %s-mode run: %a"
+            (Stm_store.Kv.mode_to_string so.so_mode)
+            Stm_check.History.pp_verdict v)
+  | _ -> ());
+  (match (so.so_mode, r.Stm_store.Engine.r_deviation) with
+  | (Stm_store.Kv.Strong | Stm_store.Kv.Lock), Some d when d <> 0 ->
+      fail "update deviation %d in %s mode" d
+        (Stm_store.Kv.mode_to_string so.so_mode)
+  | _ -> ());
+  match !failures with
+  | [] -> 0
+  | fs ->
+      List.iter (fun f -> Fmt.epr "STORE FAILURE: %s@." f) (List.rev fs);
+      1
+
+(* The acceptance sweep: shard scaling on read-heavy Zipfian traffic,
+   then strong-vs-weak barrier overhead on the same traffic. *)
+let sweep_shards = [ 1; 2; 4; 8 ]
+
+let run_store_sweep so cm seed fuel metrics_out =
+  let profile = Stm_store.Profile.read_heavy in
+  let mk mode shards =
+    store_params so profile ~record:false ~mode ~shards cm seed fuel
+  in
+  Fmt.pr "== shard scaling: %s, %s, %d clients ==@."
+    profile.Stm_store.Profile.pname
+    (Stm_store.Keydist.dist_to_string (store_dist so))
+    so.so_clients;
+  let points =
+    List.map
+      (fun s ->
+        let r = Stm_store.Engine.run (mk Stm_store.Kv.Strong s) in
+        Fmt.pr "%a@." Stm_store.Engine.pp_report r;
+        (s, r))
+      sweep_shards
+  in
+  let thr (_, r) = r.Stm_store.Engine.r_throughput in
+  let first = List.hd points and last = List.nth points (List.length points - 1) in
+  let scaling_ok = thr last > thr first in
+  Fmt.pr "shard scaling %d -> %d: %.1f -> %.1f ops/Mcycle (%s)@.@." (fst first)
+    (fst last) (thr first) (thr last)
+    (if scaling_ok then "ok" else "NOT SCALING");
+  Fmt.pr "== barrier overhead: strong vs weak, %d shards ==@." so.so_shards;
+  let rs = Stm_store.Engine.run (mk Stm_store.Kv.Strong so.so_shards) in
+  Fmt.pr "%a@." Stm_store.Engine.pp_report rs;
+  let rw = Stm_store.Engine.run (mk Stm_store.Kv.Weak so.so_shards) in
+  Fmt.pr "%a@." Stm_store.Engine.pp_report rw;
+  (* Overhead is measured where barriers live: the per-op latency of the
+     non-transactional classes. Makespan would fold in contention-manager
+     timing noise (abort/backoff divergence between the two runs). *)
+  let lat_strong = Stm_store.Engine.nontxn_mean_latency rs in
+  let lat_weak = Stm_store.Engine.nontxn_mean_latency rw in
+  let overhead_pct =
+    if lat_weak > 0. then (lat_strong -. lat_weak) /. lat_weak *. 100. else 0.
+  in
+  Fmt.pr
+    "strong-atomicity barrier overhead at %d shards: %+.1f%% per \
+     non-transactional op (%.1f vs %.1f cycles)@."
+    so.so_shards overhead_pct lat_strong lat_weak;
+  let runs = List.map snd points @ [ rs; rw ] in
+  let completed =
+    List.for_all (fun r -> r.Stm_store.Engine.r_completed) runs
+  in
+  let invariants_ok =
+    List.for_all (fun r -> r.Stm_store.Engine.r_invariants = []) runs
+  in
+  Option.iter
+    (fun path ->
+      let open Stm_obs in
+      write_json path
+        (Json.Obj
+           [
+             ("schema", Json.Str "stm-store/1");
+             ("kind", Json.Str "sweep");
+             ( "scaling",
+               Json.Obj
+                 [
+                   ("profile", Json.Str profile.Stm_store.Profile.pname);
+                   ( "dist",
+                     Json.Str (Stm_store.Keydist.dist_to_string (store_dist so))
+                   );
+                   ("clients", Json.Int so.so_clients);
+                   ( "points",
+                     Json.List
+                       (List.map
+                          (fun (s, r) ->
+                            Json.Obj
+                              [
+                                ("shards", Json.Int s);
+                                ( "throughput_ops_per_mcycle",
+                                  Json.Float r.Stm_store.Engine.r_throughput );
+                                ( "makespan",
+                                  Json.Int r.Stm_store.Engine.r_makespan );
+                              ])
+                          points) );
+                   ("scaling_ok", Json.Bool scaling_ok);
+                 ] );
+             ( "barrier_overhead",
+               Json.Obj
+                 [
+                   ("shards", Json.Int so.so_shards);
+                   ("strong_makespan", Json.Int rs.Stm_store.Engine.r_makespan);
+                   ("weak_makespan", Json.Int rw.Stm_store.Engine.r_makespan);
+                   ( "strong_throughput",
+                     Json.Float rs.Stm_store.Engine.r_throughput );
+                   ( "weak_throughput",
+                     Json.Float rw.Stm_store.Engine.r_throughput );
+                   ("strong_nontxn_latency", Json.Float lat_strong);
+                   ("weak_nontxn_latency", Json.Float lat_weak);
+                   ("overhead_pct", Json.Float overhead_pct);
+                   ("overhead_positive", Json.Bool (overhead_pct > 0.));
+                 ] );
+             ( "runs",
+               Json.List (List.map Stm_store.Engine.to_json runs) );
+           ]))
+    metrics_out;
+  if completed && invariants_ok && scaling_ok && overhead_pct > 0. then 0
+  else begin
+    if not completed then Fmt.epr "STORE FAILURE: a sweep run did not complete@.";
+    if not invariants_ok then Fmt.epr "STORE FAILURE: invariant violations@.";
+    if not scaling_ok then
+      Fmt.epr "STORE FAILURE: throughput did not increase with shard count@.";
+    if overhead_pct <= 0. then
+      Fmt.epr "STORE FAILURE: strong-atomicity barrier overhead not measurable@.";
+    1
+  end
+
+let run_store which so cm seed fuel metrics_out diag_out =
+  match which with
+  | "sweep" -> run_store_sweep so cm seed fuel metrics_out
+  | name -> (
+      match Stm_store.Profile.of_string name with
+      | Some profile ->
+          run_store_profile so profile cm seed fuel metrics_out diag_out
+      | None ->
+          Fmt.failwith
+            "unknown store profile %s (try --list; or --store sweep)" name)
+
+(* ------------------------------------------------------------------ *)
+(* List mode                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_list () =
+  Fmt.pr "figures (positional FIGURE argument):@.";
+  List.iter (fun f -> Fmt.pr "  %s@." f) all_figures;
+  Fmt.pr "@.workloads (Jt programs behind the figures):@.";
+  List.iter
+    (fun fam ->
+      Fmt.pr "  %-8s %s@." fam.Stm_workloads.Catalog.fam_name
+        fam.Stm_workloads.Catalog.fam_descr;
+      List.iter
+        (fun (w : Stm_workloads.Workload.t) ->
+          Fmt.pr "    %-12s %s@." w.Stm_workloads.Workload.name
+            w.Stm_workloads.Workload.descr)
+        fam.Stm_workloads.Catalog.members)
+    Stm_workloads.Catalog.families;
+  Fmt.pr "@.store profiles (--store PROFILE, or --store sweep):@.";
+  List.iter
+    (fun (p : Stm_store.Profile.t) ->
+      Fmt.pr "  %-12s %-10s %s@." p.Stm_store.Profile.pname
+        (match p.Stm_store.Profile.aliases with
+        | [] -> ""
+        | a -> "(" ^ String.concat ", " a ^ ")")
+        p.Stm_store.Profile.pdescr)
+    Stm_store.Profile.all;
+  Fmt.pr "@.stress scenarios (--stress SCENARIO):@.";
+  List.iter
+    (fun s -> Fmt.pr "  %s@." (Stm_harness.Stress.scenario_name s))
+    Stm_harness.Stress.all_scenarios;
+  Fmt.pr "@.fuzz campaigns (--fuzz):@.";
+  List.iter
+    (fun c -> Fmt.pr "  %s@." (Stm_check.Fuzz.campaign_name c))
+    Stm_check.Fuzz.default_plan;
+  Fmt.pr "@.perf benches (--perf):@.";
+  List.iter (fun n -> Fmt.pr "  %s@." n) Stm_perf.Perf.bench_names;
+  0
+
+(* ------------------------------------------------------------------ *)
 (* Entry                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let main name scale threads cm stress seed fuel metrics_out diag_out fuzz
-    fuzz_programs fuzz_seeds fuzz_driver fuzz_dir perf quick perf_out
-    perf_baseline perf_threshold diag_gate =
+let main list store store_opts name scale threads cm stress seed fuel
+    metrics_out diag_out fuzz fuzz_programs fuzz_seeds fuzz_driver fuzz_dir
+    perf quick perf_out perf_baseline perf_threshold diag_gate =
+  if list then run_list ()
+  else
+  match store with
+  | Some which -> (
+      try run_store which store_opts cm seed fuel metrics_out diag_out
+      with Failure m | Invalid_argument m ->
+        Fmt.epr "%s@." m;
+        exit 2)
+  | None ->
   if perf then run_perf ~quick ~out:perf_out ~baseline:perf_baseline
       ~threshold:perf_threshold ~diag_gate
   else if fuzz then
@@ -542,6 +835,133 @@ let diag_gate_arg =
            budget vs the baseline — the conflict-diagnosis layer must be \
            free when off.")
 
+let list_arg =
+  Arg.(
+    value & flag
+    & info [ "list" ]
+        ~doc:
+          "List everything this binary can run — figures, workloads, store \
+           profiles, stress scenarios, fuzz campaigns, and perf benches — \
+           then exit.")
+
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"PROFILE"
+        ~doc:
+          "Run the KV-store workload engine with the given operation-mix \
+           profile (see $(b,--list); YCSB letter aliases accepted), or \
+           $(b,sweep) for the acceptance sweep: shard scaling on read-heavy \
+           Zipfian traffic plus strong-vs-weak barrier overhead on the same \
+           traffic. Knobs: $(b,--store-mode), $(b,--shards), $(b,--clients), \
+           $(b,--keys), $(b,--store-ops), $(b,--batch), $(b,--value-size), \
+           $(b,--dist), $(b,--theta); $(b,--seed), $(b,--cm), $(b,--fuel), \
+           $(b,--metrics-out) and $(b,--diag-out) apply as for --stress. \
+           $(b,--store-check) records the run and audits it against the \
+           serializability oracle.")
+
+let store_mode_conv =
+  let parse s =
+    match Stm_store.Kv.mode_of_string s with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+            (Fmt.str "unknown store mode %s (expected strong, weak, or lock)"
+               s))
+  in
+  Arg.conv (parse, fun ppf m -> Fmt.string ppf (Stm_store.Kv.mode_to_string m))
+
+let store_mode_arg =
+  Arg.(
+    value
+    & opt store_mode_conv Stm_store.Kv.Strong
+    & info [ "store-mode" ] ~docv:"MODE"
+        ~doc:
+          "Concurrency discipline for --store: $(b,strong) (STM, strong \
+           atomicity barriers), $(b,weak) (STM, weak atomicity — mixed \
+           traffic may exhibit Figure-6 anomalies), or $(b,lock) (shard \
+           mutexes, no barriers).")
+
+let shards_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "shards" ] ~docv:"N" ~doc:"Store shard count for --store.")
+
+let clients_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "clients" ] ~docv:"N"
+        ~doc:"Closed-loop client threads for --store.")
+
+let keys_arg =
+  Arg.(
+    value & opt int 1024
+    & info [ "keys" ] ~docv:"N" ~doc:"Preloaded key-space size for --store.")
+
+let store_ops_arg =
+  Arg.(
+    value & opt int 128
+    & info [ "store-ops" ] ~docv:"N"
+        ~doc:"Operations per client for --store.")
+
+let batch_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "batch" ] ~docv:"N"
+        ~doc:"Keys per multi-get (and per scan) for --store.")
+
+let value_size_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "value-size" ] ~docv:"WORDS"
+        ~doc:"Heap words per store value; writes touch all of them.")
+
+let dist_arg =
+  Arg.(
+    value & opt string "zipfian"
+    & info [ "dist" ] ~docv:"DIST"
+        ~doc:"Key distribution for --store: $(b,zipfian) or $(b,uniform).")
+
+let theta_arg =
+  Arg.(
+    value & opt float 0.99
+    & info [ "theta" ] ~docv:"F"
+        ~doc:"Zipfian skew exponent in (0, 1) for --dist zipfian.")
+
+let store_check_arg =
+  Arg.(
+    value & flag
+    & info [ "store-check" ]
+        ~doc:
+          "With --store: rewrite stored values to globally-unique tokens, \
+           record the value-access history, and check it against the \
+           serializability oracle. Non-zero exit if a strong- or lock-mode \
+           run is rejected (a weak-mode anomaly is reported, not fatal). \
+           Only non-structural profiles (no insert/delete) can be checked.")
+
+let store_opts_term =
+  let mk so_mode so_shards so_clients so_keys so_ops so_batch so_value_size
+      so_dist so_theta so_check =
+    {
+      so_mode;
+      so_shards;
+      so_clients;
+      so_keys;
+      so_ops;
+      so_batch;
+      so_value_size;
+      so_dist;
+      so_theta;
+      so_check;
+    }
+  in
+  Term.(
+    const mk $ store_mode_arg $ shards_arg $ clients_arg $ keys_arg
+    $ store_ops_arg $ batch_arg $ value_size_arg $ dist_arg $ theta_arg
+    $ store_check_arg)
+
 let fuzz_dir_arg =
   Arg.(
     value
@@ -558,7 +978,8 @@ let cmd =
   Cmd.v
     (Cmd.info "stm_bench" ~doc)
     Term.(
-      const main $ name_arg $ scale_arg $ threads_arg $ cm_arg $ stress_arg
+      const main $ list_arg $ store_arg $ store_opts_term $ name_arg
+      $ scale_arg $ threads_arg $ cm_arg $ stress_arg
       $ seed_arg $ fuel_arg $ metrics_arg $ diag_out_arg $ fuzz_arg
       $ fuzz_programs_arg $ fuzz_seeds_arg $ fuzz_driver_arg $ fuzz_dir_arg
       $ perf_arg $ quick_arg $ perf_out_arg $ perf_baseline_arg

@@ -148,6 +148,27 @@ let diag_churn_on () =
     (Some (Stm_diag.Diag.consumer d));
   Fun.protect ~finally:(fun () -> Stm_core.Trace.set_sink None) diag_churn
 
+(* End-to-end store engine runs (KV shards + YCSB-style clients + full
+   STM protocol + Min_clock scheduler), sized to finish in host
+   microseconds: host cost per simulated store operation. *)
+let store_bench profile =
+  let p =
+    {
+      Stm_store.Engine.default with
+      Stm_store.Engine.profile;
+      shards = 4;
+      clients = 4;
+      keys = 256;
+      buckets = 32;
+      ops_per_client = 32;
+    }
+  in
+  fun () -> ignore (Stm_store.Engine.run p)
+
+let store_read_heavy = store_bench Stm_store.Profile.read_heavy
+let store_write_heavy = store_bench Stm_store.Profile.write_heavy
+let store_batch = store_bench Stm_store.Profile.batch_mix
+
 let bodies : (string * (unit -> unit)) list =
   [
     ("txn/revalidate", revalidate);
@@ -160,7 +181,12 @@ let bodies : (string * (unit -> unit)) list =
     ("fuzz/clean-campaign", fuzz_campaign);
     ("diag/churn-off", diag_churn);
     ("diag/churn-on", diag_churn_on);
+    ("store/read-heavy", store_read_heavy);
+    ("store/write-heavy", store_write_heavy);
+    ("store/batch", store_batch);
   ]
+
+let bench_names = List.map fst bodies
 
 (* ------------------------------------------------------------------ *)
 (* Measurement                                                         *)

@@ -23,6 +23,9 @@ type report = {
   samples : sample list;  (** sorted by name *)
 }
 
+val bench_names : string list
+(** Every bench the suite runs, in definition order ([stm_bench --list]). *)
+
 val suite : ?quick:bool -> unit -> report
 (** Run every microbench and end-to-end bench. [quick] shrinks the
     Bechamel quota for CI smoke runs (same operations, fewer samples). *)

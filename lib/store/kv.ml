@@ -1,0 +1,367 @@
+open Stm_runtime
+module Stm = Stm_core.Stm
+
+type mode = Strong | Weak | Lock
+
+let mode_to_string = function
+  | Strong -> "strong"
+  | Weak -> "weak"
+  | Lock -> "lock"
+
+let mode_of_string = function
+  | "strong" -> Some Strong
+  | "weak" -> Some Weak
+  | "lock" -> Some Lock
+  | _ -> None
+
+let config = function
+  | Strong -> Stm_core.Config.eager_strong
+  | Weak | Lock -> Stm_core.Config.eager_weak
+
+(* Entry object layout: field 0 = key, field 1 = next link,
+   fields 2 .. 2+value_size-1 = value words. *)
+let fld_key = 0
+let fld_next = 1
+let fld_val = 2
+
+(* Shard header layout: field 0 = commit seqno, field 1 = entry count. *)
+let fld_seqno = 0
+let fld_count = 1
+
+type t = {
+  mode : mode;
+  shards : int;
+  buckets : int;
+  value_size : int;
+  tables : Heap.obj array;  (** per shard: fields are the chain heads *)
+  headers : Heap.obj array;
+  locks : Sim_mutex.t array;  (** empty unless [Lock] *)
+  oid_shard : (int, int) Hashtbl.t;
+  oid_key : (int, int) Hashtbl.t;
+}
+
+let mode t = t.mode
+let shards t = t.shards
+let value_size t = t.value_size
+
+let mix k =
+  let k = (k + 0x27d4eb2f165667c5) land max_int in
+  let k = k lxor (k lsr 29) in
+  let k = k * 0x165667b19e3779f9 land max_int in
+  let k = k lxor (k lsr 32) in
+  k
+
+let shard_of_key t k = mix k mod t.shards
+let bucket_of_key t k = mix k / t.shards mod t.buckets
+
+let create ?(buckets = 64) ?(value_size = 4) ~mode ~shards ~cost () =
+  if shards <= 0 then invalid_arg "Kv.create: shards must be positive";
+  if buckets <= 0 then invalid_arg "Kv.create: buckets must be positive";
+  if value_size <= 0 then invalid_arg "Kv.create: value_size must be positive";
+  let oid_shard = Hashtbl.create 1024 in
+  let tables =
+    Array.init shards (fun s ->
+        let o = Stm.alloc_public ~cls:"StoreTable" buckets in
+        Hashtbl.replace oid_shard o.Heap.oid s;
+        o)
+  in
+  let headers =
+    Array.init shards (fun s ->
+        let o = Stm.alloc_public ~cls:"StoreHeader" 2 in
+        Heap.set o fld_seqno (Heap.Vint 0);
+        Heap.set o fld_count (Heap.Vint 0);
+        Hashtbl.replace oid_shard o.Heap.oid s;
+        o)
+  in
+  let locks =
+    match mode with
+    | Lock ->
+        Array.init shards (fun s ->
+            Sim_mutex.create ~name:(Printf.sprintf "shard-%d" s) cost)
+    | Strong | Weak -> [||]
+  in
+  {
+    mode;
+    shards;
+    buckets;
+    value_size;
+    tables;
+    headers;
+    locks;
+    oid_shard;
+    oid_key = Hashtbl.create 4096;
+  }
+
+(* Mode-sensitive access path: the lock baseline runs on the
+   barrier-elided accesses (the paper's "Synch" series has no STM
+   barriers at all); the STM modes go through the context-sensitive
+   read/write, which is transactional inside [Stm.atomic] and the
+   configured non-transactional path outside. *)
+let rd t o f =
+  match t.mode with
+  | Lock -> Stm.read_nobarrier o f
+  | Strong | Weak -> Stm.read o f
+
+let wr t o f v =
+  match t.mode with
+  | Lock -> Stm.write_nobarrier o f v
+  | Strong | Weak -> Stm.write o f v
+
+(* Run [f] atomically with respect to the given shards: an atomic block
+   under the STM modes, the shard mutexes in ascending order under the
+   lock baseline (total order on locks = no simulated deadlock). *)
+let atomically t shs f =
+  match t.mode with
+  | Strong | Weak -> Stm.atomic f
+  | Lock ->
+      let shs = List.sort_uniq compare shs in
+      let rec go = function
+        | [] -> f ()
+        | s :: rest -> Sim_mutex.with_lock t.locks.(s) (fun () -> go rest)
+      in
+      go shs
+
+(* Single-key non-transactional ops take the shard lock in [Lock] mode
+   and run bare otherwise (that is the point of the mixed traffic). *)
+let nontxn t sh f =
+  match t.mode with
+  | Strong | Weak -> f ()
+  | Lock -> Sim_mutex.with_lock t.locks.(sh) f
+
+let register_entry t e k sh =
+  Hashtbl.replace t.oid_shard e.Heap.oid sh;
+  Hashtbl.replace t.oid_key e.Heap.oid k
+
+let find t k =
+  let sh = shard_of_key t k and b = bucket_of_key t k in
+  let rec walk v =
+    match v with
+    | Heap.Vref e ->
+        if Stm.to_int (rd t e fld_key) = k then Some e else walk (rd t e fld_next)
+    | _ -> None
+  in
+  walk (rd t t.tables.(sh) b)
+
+let write_value t e v =
+  for i = 0 to t.value_size - 1 do
+    wr t e (fld_val + i) (Stm.vint v)
+  done
+
+let read_value t e = Stm.to_int (rd t e fld_val)
+
+let bump_seqno t sh =
+  let h = t.headers.(sh) in
+  wr t h fld_seqno (Stm.vint (Stm.to_int (rd t h fld_seqno) + 1))
+
+let adjust_count t sh d =
+  let h = t.headers.(sh) in
+  wr t h fld_count (Stm.vint (Stm.to_int (rd t h fld_count) + d))
+
+(* ------------------------------------------------------------------ *)
+(* Preload                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let preload t ~keys ~value =
+  let counts = Array.make t.shards 0 in
+  for k = 0 to keys - 1 do
+    let sh = shard_of_key t k and b = bucket_of_key t k in
+    let e = Heap.alloc ~cls:"StoreEntry" (fld_val + t.value_size) in
+    register_entry t e k sh;
+    Heap.set e fld_key (Heap.Vint k);
+    Heap.set e fld_next (Heap.get t.tables.(sh) b);
+    for i = 0 to t.value_size - 1 do
+      Heap.set e (fld_val + i) (Heap.Vint (value k))
+    done;
+    Heap.set t.tables.(sh) b (Heap.Vref e);
+    counts.(sh) <- counts.(sh) + 1
+  done;
+  Array.iteri
+    (fun sh n ->
+      let h = t.headers.(sh) in
+      match Heap.get h fld_count with
+      | Heap.Vint c -> Heap.set h fld_count (Heap.Vint (c + n))
+      | _ -> Heap.set h fld_count (Heap.Vint n))
+    counts
+
+(* ------------------------------------------------------------------ *)
+(* Operations                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let get t k =
+  nontxn t (shard_of_key t k) (fun () ->
+      match find t k with Some e -> Some (read_value t e) | None -> None)
+
+let insert_body t k v =
+  let sh = shard_of_key t k and b = bucket_of_key t k in
+  bump_seqno t sh;
+  match find t k with
+  | Some e ->
+      write_value t e v;
+      false
+  | None ->
+      let e = Stm.alloc_public ~cls:"StoreEntry" (fld_val + t.value_size) in
+      register_entry t e k sh;
+      wr t e fld_key (Stm.vint k);
+      wr t e fld_next (rd t t.tables.(sh) b);
+      write_value t e v;
+      wr t t.tables.(sh) b (Stm.vref e);
+      adjust_count t sh 1;
+      true
+
+let insert t k v = atomically t [ shard_of_key t k ] (fun () -> insert_body t k v)
+
+let put t k v =
+  let sh = shard_of_key t k in
+  let updated =
+    nontxn t sh (fun () ->
+        match find t k with
+        | Some e ->
+            write_value t e v;
+            true
+        | None -> false)
+  in
+  if updated then false else insert t k v
+
+let add t k d =
+  nontxn t (shard_of_key t k) (fun () ->
+      match find t k with
+      | Some e ->
+          let v = read_value t e + d in
+          write_value t e v;
+          Some v
+      | None -> None)
+
+(* rmw bumps the seqno *after* the entry write: writers still serialize
+   per shard on the header granule, but a conflict between two writers
+   of the same hot key is detected at the entry first, so the diag
+   heatmap attributes it to the key rather than to the shard header. *)
+let rmw t k ~f =
+  atomically t
+    [ shard_of_key t k ]
+    (fun () ->
+      let r =
+        match find t k with
+        | Some e ->
+            let v = f (read_value t e) in
+            write_value t e v;
+            Some v
+        | None -> None
+      in
+      bump_seqno t (shard_of_key t k);
+      r)
+
+let delete t k =
+  let sh = shard_of_key t k and b = bucket_of_key t k in
+  atomically t [ sh ] (fun () ->
+      bump_seqno t sh;
+      let table = t.tables.(sh) in
+      let rec walk prev v =
+        match v with
+        | Heap.Vref e ->
+            if Stm.to_int (rd t e fld_key) = k then begin
+              let nxt = rd t e fld_next in
+              (match prev with
+              | None -> wr t table b nxt
+              | Some p -> wr t p fld_next nxt);
+              adjust_count t sh (-1);
+              true
+            end
+            else walk (Some e) (rd t e fld_next)
+        | _ -> false
+      in
+      walk None (rd t table b))
+
+let shards_of_keys t ks =
+  Array.fold_left
+    (fun acc k ->
+      let s = shard_of_key t k in
+      if List.mem s acc then acc else s :: acc)
+    [] ks
+
+let read_headers t shs =
+  match t.mode with
+  | Lock -> ()  (* the locks are held; no snapshot validation needed *)
+  | Strong | Weak ->
+      List.iter (fun s -> ignore (rd t t.headers.(s) fld_seqno)) shs
+
+let multi_get t ks =
+  let shs = List.sort_uniq compare (shards_of_keys t ks) in
+  atomically t shs (fun () ->
+      read_headers t shs;
+      Array.map
+        (fun k -> match find t k with Some e -> Some (read_value t e) | None -> None)
+        ks)
+
+let scan t k0 ~len =
+  let ks = Array.init (max 1 len) (fun i -> k0 + i) in
+  let shs = List.sort_uniq compare (shards_of_keys t ks) in
+  atomically t shs (fun () ->
+      read_headers t shs;
+      Array.fold_left
+        (fun n k -> match find t k with Some _ -> n + 1 | None -> n)
+        0 ks)
+
+(* ------------------------------------------------------------------ *)
+(* Post-run inspection                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let raw_int o f = match Heap.get o f with Heap.Vint n -> n | _ -> 0
+
+let fold t ~init ~f =
+  let acc = ref init in
+  for s = 0 to t.shards - 1 do
+    for b = 0 to t.buckets - 1 do
+      let rec walk v =
+        match v with
+        | Heap.Vref e ->
+            acc := f !acc (raw_int e fld_key) (raw_int e fld_val);
+            walk (Heap.get e fld_next)
+        | _ -> ()
+      in
+      walk (Heap.get t.tables.(s) b)
+    done
+  done;
+  !acc
+
+let entry_count t = fold t ~init:0 ~f:(fun n _ _ -> n + 1)
+
+let seqno_sum t =
+  Array.fold_left (fun acc h -> acc + raw_int h fld_seqno) 0 t.headers
+
+let check_invariants t =
+  let viols = ref [] in
+  let viol fmt = Printf.ksprintf (fun s -> viols := s :: !viols) fmt in
+  (* a chain longer than every entry ever linked must be a cycle *)
+  let chain_bound = 1 + Hashtbl.length t.oid_key in
+  for s = 0 to t.shards - 1 do
+    let seen = Hashtbl.create 64 in
+    let count = ref 0 in
+    for b = 0 to t.buckets - 1 do
+      let steps = ref 0 in
+      let rec walk v =
+        match v with
+        | Heap.Vref e ->
+            incr steps;
+            if !steps > chain_bound then
+              viol "shard %d bucket %d: chain cycle" s b
+            else begin
+              let k = raw_int e fld_key in
+              if shard_of_key t k <> s || bucket_of_key t k <> b then
+                viol "key %d misplaced in shard %d bucket %d" k s b;
+              if Hashtbl.mem seen k then viol "key %d duplicated in shard %d" k s
+              else Hashtbl.replace seen k ();
+              incr count;
+              walk (Heap.get e fld_next)
+            end
+        | _ -> ()
+      in
+      walk (Heap.get t.tables.(s) b)
+    done;
+    let declared = raw_int t.headers.(s) fld_count in
+    if declared <> !count then
+      viol "shard %d header count %d but %d entries reachable" s declared !count
+  done;
+  List.rev !viols
+
+let key_of_oid t oid = Hashtbl.find_opt t.oid_key oid
+let shard_of_oid t oid = Hashtbl.find_opt t.oid_shard oid

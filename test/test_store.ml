@@ -1,0 +1,355 @@
+(* Tests for the KV-store subsystem: key-distribution sampler
+   determinism and skew (chi-square-style), single-threaded Kv
+   semantics, structural invariants after every profile, the Figure-6
+   anomaly demonstration (weak mode provably loses updates, strong and
+   lock modes are exact), shard scaling, strong-vs-weak barrier
+   overhead, and the serializability-oracle differential check on
+   recorded store traffic. *)
+
+open Stm_runtime
+open Stm_store
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let case name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* Keydist                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let draws ~keys ~dist ~seed n =
+  let s = Keydist.create ~keys ~dist (Det_rng.create seed) in
+  List.init n (fun _ -> Keydist.next s)
+
+let keydist_deterministic () =
+  List.iter
+    (fun dist ->
+      let a = draws ~keys:257 ~dist ~seed:42 500 in
+      let b = draws ~keys:257 ~dist ~seed:42 500 in
+      Alcotest.(check (list int))
+        (Keydist.dist_to_string dist ^ " same seed, same sequence")
+        a b;
+      let c = draws ~keys:257 ~dist ~seed:43 500 in
+      check_bool
+        (Keydist.dist_to_string dist ^ " different seed, different sequence")
+        true (a <> c);
+      List.iter
+        (fun k -> check_bool "in range" true (0 <= k && k < 257))
+        a)
+    [ Keydist.Uniform; Keydist.Zipfian 0.99 ]
+
+(* Pearson chi-square against the uniform null: 64 cells, 6400 draws,
+   expected 100 per cell. df = 63; the 99.9th percentile of chi2(63) is
+   ~106, so a bound of 120 is a sanity check, not a flakiness trap —
+   and the sampler is deterministic, so the statistic is a constant. *)
+let uniform_chi_square () =
+  let keys = 64 and n = 6400 in
+  let counts = Array.make keys 0 in
+  List.iter
+    (fun k -> counts.(k) <- counts.(k) + 1)
+    (draws ~keys ~dist:Keydist.Uniform ~seed:7 n);
+  let expected = float_of_int n /. float_of_int keys in
+  let chi2 =
+    Array.fold_left
+      (fun acc c ->
+        let d = float_of_int c -. expected in
+        acc +. (d *. d /. expected))
+      0. counts
+  in
+  check_bool (Printf.sprintf "chi2 %.1f < 120" chi2) true (chi2 < 120.)
+
+(* The same statistic on Zipfian draws must blow far past the uniform
+   acceptance region: the skew is real, not cosmetic. *)
+let zipfian_not_uniform () =
+  let keys = 64 and n = 6400 in
+  let s = Keydist.create ~keys ~dist:(Keydist.Zipfian 0.99) (Det_rng.create 7) in
+  let counts = Array.make keys 0 in
+  for _ = 1 to n do
+    let r = Keydist.next_rank s in
+    counts.(r) <- counts.(r) + 1
+  done;
+  let expected = float_of_int n /. float_of_int keys in
+  let chi2 =
+    Array.fold_left
+      (fun acc c ->
+        let d = float_of_int c -. expected in
+        acc +. (d *. d /. expected))
+      0. counts
+  in
+  check_bool (Printf.sprintf "chi2 %.0f > 1000" chi2) true (chi2 > 1000.)
+
+let zipfian_skew_shape () =
+  let keys = 1024 and n = 20_000 in
+  let s =
+    Keydist.create ~keys ~dist:(Keydist.Zipfian 0.99) (Det_rng.create 11)
+  in
+  let counts = Array.make keys 0 in
+  for _ = 1 to n do
+    let r = Keydist.next_rank s in
+    counts.(r) <- counts.(r) + 1
+  done;
+  (* rank 0's share under theta=0.99, n=1024 is 1/zeta ~ 0.13 *)
+  let share0 = float_of_int counts.(0) /. float_of_int n in
+  check_bool
+    (Printf.sprintf "rank-0 share %.3f in [0.08, 0.20]" share0)
+    true
+    (share0 > 0.08 && share0 < 0.20);
+  (* mass decays across rank quartiles *)
+  let mass lo hi =
+    let m = ref 0 in
+    for r = lo to hi - 1 do
+      m := !m + counts.(r)
+    done;
+    !m
+  in
+  let q1 = mass 0 256 and q4 = mass 768 1024 in
+  check_bool "first quartile carries >10x the last" true (q1 > 10 * q4)
+
+let scramble_spreads () =
+  (* the 16 hottest ranks must not clump: they land on >= 12 distinct
+     keys, spread across most of a 4-shard partition *)
+  let keys = 1024 in
+  let hot = List.init 16 (fun r -> Keydist.scramble ~keys r) in
+  let distinct = List.sort_uniq compare hot in
+  check_bool "hot ranks map to distinct keys" true (List.length distinct >= 12);
+  List.iter (fun k -> check_bool "in range" true (0 <= k && k < keys)) hot
+
+(* ------------------------------------------------------------------ *)
+(* Kv semantics (single simulated thread)                              *)
+(* ------------------------------------------------------------------ *)
+
+let with_store ~mode f =
+  let cfg = Kv.config mode in
+  let result, _stats =
+    Stm_core.Stm.run ~cfg (fun () ->
+        let t =
+          Kv.create ~buckets:8 ~value_size:2 ~mode ~shards:4
+            ~cost:cfg.Stm_core.Config.cost ()
+        in
+        f t)
+  in
+  (match result.Sched.exns with
+  | [] -> ()
+  | (tid, e) :: _ ->
+      Alcotest.failf "thread %d raised %s" tid (Printexc.to_string e));
+  check_bool "completed" true (result.Sched.status = Sched.Completed)
+
+let kv_semantics mode () =
+  with_store ~mode (fun t ->
+      Kv.preload t ~keys:50 ~value:(fun k -> k * 10);
+      check_int "entry_count" 50 (Kv.entry_count t);
+      Alcotest.(check (option int)) "get 7" (Some 70) (Kv.get t 7);
+      Alcotest.(check (option int)) "get absent" None (Kv.get t 50);
+      check_bool "put existing updates" false (Kv.put t 7 700);
+      Alcotest.(check (option int)) "get after put" (Some 700) (Kv.get t 7);
+      check_bool "put absent inserts" true (Kv.put t 50 500);
+      Alcotest.(check (option int)) "get inserted" (Some 500) (Kv.get t 50);
+      Alcotest.(check (option int)) "add" (Some 501) (Kv.add t 50 1);
+      Alcotest.(check (option int))
+        "rmw" (Some 1002)
+        (Kv.rmw t 50 ~f:(fun v -> v * 2));
+      Alcotest.(check (option int)) "rmw absent" None (Kv.rmw t 99 ~f:succ);
+      check_bool "insert fresh" true (Kv.insert t 60 6);
+      check_bool "insert existing updates" false (Kv.insert t 60 66);
+      check_bool "delete" true (Kv.delete t 60);
+      check_bool "delete absent" false (Kv.delete t 60);
+      let vs = Kv.multi_get t [| 0; 7; 99 |] in
+      Alcotest.(check (array (option int)))
+        "multi_get"
+        [| Some 0; Some 700; None |]
+        vs;
+      check_int "scan finds the present run" 10 (Kv.scan t 0 ~len:10);
+      check_int "entry_count after churn" 51 (Kv.entry_count t);
+      Alcotest.(check (list string)) "invariants" [] (Kv.check_invariants t);
+      (* oid maps round-trip *)
+      let sum = Kv.fold t ~init:0 ~f:(fun acc _ _ -> acc + 1) in
+      check_int "fold visits every entry" 51 sum)
+
+(* ------------------------------------------------------------------ *)
+(* Engine: determinism, invariants across profiles                     *)
+(* ------------------------------------------------------------------ *)
+
+let small p =
+  {
+    p with
+    Engine.clients = 4;
+    keys = 128;
+    buckets = 16;
+    ops_per_client = 48;
+    batch = 4;
+    scan_len = 4;
+  }
+
+(* Everything in the report is a pure function of (params, seed) except
+   the host GC accounting inside the metrics block. *)
+let deterministic_facets r =
+  ( r.Engine.r_makespan,
+    r.Engine.r_total_ops,
+    r.Engine.r_stats,
+    Array.to_list r.Engine.r_shard_aborts,
+    Array.to_list r.Engine.r_shard_commits,
+    r.Engine.r_deviation,
+    List.map
+      (fun (op, c) ->
+        ( Profile.op_name op,
+          c.Engine.cs_ops,
+          c.Engine.cs_misses,
+          Stm_obs.Json.to_string (Stm_obs.Hist.to_json c.Engine.cs_hist) ))
+      r.Engine.r_classes )
+
+let engine_deterministic () =
+  let p = small { Engine.default with Engine.seed = 5 } in
+  let a = Engine.run p and b = Engine.run p in
+  check_bool "completed" true a.Engine.r_completed;
+  check_bool "identical reports" true
+    (deterministic_facets a = deterministic_facets b)
+
+let invariants_all_profiles () =
+  List.iter
+    (fun profile ->
+      List.iter
+        (fun mode ->
+          let p =
+            small { Engine.default with Engine.profile; mode; seed = 3 }
+          in
+          let r = Engine.run p in
+          check_bool
+            (profile.Profile.pname ^ "/" ^ Kv.mode_to_string mode
+           ^ " completed")
+            true r.Engine.r_completed;
+          Alcotest.(check (list string))
+            (profile.Profile.pname ^ "/" ^ Kv.mode_to_string mode
+           ^ " invariants")
+            [] r.Engine.r_invariants;
+          check_int
+            (profile.Profile.pname ^ " runs every op")
+            (p.Engine.clients * p.Engine.ops_per_client)
+            r.Engine.r_total_ops)
+        [ Kv.Strong; Kv.Weak; Kv.Lock ])
+    Profile.all
+
+(* ------------------------------------------------------------------ *)
+(* Figure-6 anomaly demonstration on store traffic                     *)
+(* ------------------------------------------------------------------ *)
+
+let anomaly_params mode =
+  { Engine.default with Engine.profile = Profile.anomaly; mode }
+
+let weak_loses_updates () =
+  let r = Engine.run (anomaly_params Kv.Weak) in
+  check_bool "completed" true r.Engine.r_completed;
+  match r.Engine.r_deviation with
+  | None -> Alcotest.fail "anomaly profile must report a deviation"
+  | Some d ->
+      check_bool
+        (Printf.sprintf "weak atomicity drifted (deviation %d)" d)
+        true (d <> 0)
+
+let strong_exact () =
+  List.iter
+    (fun mode ->
+      let r = Engine.run (anomaly_params mode) in
+      check_bool "completed" true r.Engine.r_completed;
+      Alcotest.(check (option int))
+        (Kv.mode_to_string mode ^ " deviation")
+        (Some 0) r.Engine.r_deviation;
+      check_bool "increments happened" true (r.Engine.r_increments > 0))
+    [ Kv.Strong; Kv.Lock ]
+
+(* ------------------------------------------------------------------ *)
+(* Scaling and barrier overhead                                        *)
+(* ------------------------------------------------------------------ *)
+
+let shard_scaling () =
+  let run shards =
+    Engine.run { Engine.default with Engine.shards }
+  in
+  let r1 = run 1 and r8 = run 8 in
+  check_bool "both completed" true
+    (r1.Engine.r_completed && r8.Engine.r_completed);
+  check_bool
+    (Printf.sprintf "throughput scales with shards (%.0f -> %.0f ops/Mcycle)"
+       r1.Engine.r_throughput r8.Engine.r_throughput)
+    true
+    (r8.Engine.r_throughput > r1.Engine.r_throughput)
+
+let barrier_overhead () =
+  let run mode = Engine.run { Engine.default with Engine.mode } in
+  let rs = run Kv.Strong and rw = run Kv.Weak in
+  let ls = Engine.nontxn_mean_latency rs
+  and lw = Engine.nontxn_mean_latency rw in
+  check_bool
+    (Printf.sprintf "strong non-txn ops pay barriers (%.1f > %.1f cycles)" ls
+       lw)
+    true (ls > lw)
+
+(* ------------------------------------------------------------------ *)
+(* Differential check against the serializability oracle               *)
+(* ------------------------------------------------------------------ *)
+
+let record_params mode =
+  { (anomaly_params mode) with Engine.record = true }
+
+let oracle_certifies_strong () =
+  List.iter
+    (fun mode ->
+      let r = Engine.run (record_params mode) in
+      check_bool "completed" true r.Engine.r_completed;
+      match r.Engine.r_verdict with
+      | Some Stm_check.History.Serializable -> ()
+      | Some v ->
+          Alcotest.failf "%s-mode store traffic rejected: %a"
+            (Kv.mode_to_string mode) Stm_check.History.pp_verdict v
+      | None -> Alcotest.fail "record run must produce a verdict")
+    [ Kv.Strong; Kv.Lock ]
+
+let oracle_rejects_weak () =
+  let r = Engine.run (record_params Kv.Weak) in
+  check_bool "completed" true r.Engine.r_completed;
+  match r.Engine.r_verdict with
+  | Some (Stm_check.History.Anomalous _) -> ()
+  | Some v ->
+      Alcotest.failf "weak-mode mixed traffic came back %a"
+        Stm_check.History.pp_verdict v
+  | None -> Alcotest.fail "record run must produce a verdict"
+
+let record_rejects_structural () =
+  Alcotest.check_raises "churn cannot be recorded"
+    (Invalid_argument
+       "store: profile churn inserts/deletes keys and cannot be \
+        oracle-recorded")
+    (fun () ->
+      ignore
+        (Engine.run
+           {
+             Engine.default with
+             Engine.profile = Profile.churn;
+             record = true;
+           }))
+
+let suite =
+  [
+    ( "store",
+      [
+        case "keydist: deterministic per seed" keydist_deterministic;
+        case "keydist: uniform passes chi-square" uniform_chi_square;
+        case "keydist: zipfian fails uniform chi-square" zipfian_not_uniform;
+        case "keydist: zipfian skew shape" zipfian_skew_shape;
+        case "keydist: scramble spreads hot ranks" scramble_spreads;
+        case "kv: semantics (strong)" (kv_semantics Kv.Strong);
+        case "kv: semantics (weak)" (kv_semantics Kv.Weak);
+        case "kv: semantics (lock)" (kv_semantics Kv.Lock);
+        case "engine: deterministic per seed" engine_deterministic;
+        case "engine: invariants across all profiles and modes"
+          invariants_all_profiles;
+        case "fig6: weak mode loses updates" weak_loses_updates;
+        case "fig6: strong and lock modes are exact" strong_exact;
+        case "perf: throughput scales with shard count" shard_scaling;
+        case "perf: strong pays barriers on non-txn ops" barrier_overhead;
+        case "oracle: certifies strong and lock traffic"
+          oracle_certifies_strong;
+        case "oracle: rejects weak mixed traffic" oracle_rejects_weak;
+        case "oracle: structural profiles are not recordable"
+          record_rejects_structural;
+      ] );
+  ]
