@@ -96,7 +96,7 @@ let stress_report_json (r : Stm_harness.Stress.report) =
           r.Stm_harness.Stress.metrics );
     ]
 
-let run_stress which cm seed fuel metrics_out diag_out =
+let run_stress which versioning isolation cm seed fuel metrics_out diag_out =
   let scenarios =
     if which = "all" then Stm_harness.Stress.all_scenarios
     else
@@ -122,7 +122,10 @@ let run_stress which cm seed fuel metrics_out diag_out =
   let reports =
     List.map
       (fun s ->
-        let r = Stm_harness.Stress.run ?seed ?fuel ?consumer ~cm s in
+        let r =
+          Stm_harness.Stress.run ?seed ?fuel ?consumer ~versioning ~isolation
+            ~cm s
+        in
         Fmt.pr "%a@." Stm_harness.Stress.pp_report r;
         (match (diag, r.Stm_harness.Stress.starved) with
         | Some (d, _), (_ :: _ as tids) ->
@@ -159,6 +162,12 @@ let run_stress which cm seed fuel metrics_out diag_out =
         (Stm_obs.Json.Obj
            [
              ("policy", Stm_obs.Json.Str (Stm_cm.Policy.to_string cm));
+             ( "backend",
+               Stm_obs.Json.Str
+                 (Stm_core.Config.versioning_to_string versioning) );
+             ( "isolation",
+               Stm_obs.Json.Str
+                 (Stm_core.Config.isolation_to_string isolation) );
              ("seed", Stm_obs.Json.Int (Option.value ~default:0 seed));
              ( "threshold",
                Stm_obs.Json.Int Stm_harness.Stress.starvation_threshold );
@@ -247,6 +256,66 @@ let run_fuzz ~programs ~seeds ~driver ~dir ~seed ~fuel ~metrics_out ~diag_out =
     (if ok then "all expectations met" else "EXPECTATIONS VIOLATED");
   if ok then 0 else 1
 
+(* --fuzz-differential: the same seeded programs and schedules run on
+   every backend in the grid (eager, lazy, mvcc-serializable, all
+   certified serializable, plus mvcc-snapshot certified at snapshot
+   isolation); any member certifying anomalous at its own level is a
+   cross-backend divergence, saved as a replayable repro. *)
+let run_fuzz_differential ~programs ~seeds ~dir ~seed ~fuel ~metrics_out =
+  let open Stm_check in
+  let budget =
+    {
+      Fuzz.default_budget with
+      Fuzz.programs;
+      seeds;
+      base_seed = Option.value seed ~default:Fuzz.default_budget.Fuzz.base_seed;
+      max_steps = Option.value fuel ~default:Fuzz.default_budget.Fuzz.max_steps;
+    }
+  in
+  Option.iter
+    (fun d -> if not (Sys.file_exists d) then Sys.mkdir d 0o755)
+    dir;
+  let log msg = Fmt.pr "    %s@." msg in
+  let r = Fuzz.run_differential ~log budget in
+  Fmt.pr "backend grid:@.";
+  List.iter
+    (fun c -> Fmt.pr "  %s@." (Combo.name c))
+    r.Fuzz.diff_combos;
+  List.iter
+    (fun (d : Fuzz.divergence) ->
+      Fmt.pr "DIVERGENCE program seed %d, schedule seed %d:@."
+        d.Fuzz.div_prog_seed d.Fuzz.div_sched_seed;
+      List.iter
+        (fun (combo, v) ->
+          Fmt.pr "  %-32s %a@." combo Stm_check.History.pp_verdict v)
+        d.Fuzz.div_verdicts;
+      List.iteri
+        (fun i repro ->
+          match dir with
+          | Some dd ->
+              let path =
+                Filename.concat dd
+                  (Fmt.str "divergence-p%d-s%d-%d.json" d.Fuzz.div_prog_seed
+                     d.Fuzz.div_sched_seed i)
+              in
+              Repro.save path repro;
+              Fmt.pr "  repro written to %s@." path
+          | None -> Fmt.pr "  repro: %s@." (Repro.to_string repro))
+        d.Fuzz.div_repros)
+    r.Fuzz.divergences;
+  Option.iter
+    (fun path -> write_json path (Fuzz.differential_to_json r))
+    metrics_out;
+  let ok = Fuzz.differential_passed r in
+  Fmt.pr
+    "differential sweep: %d backends x %d programs, %d executions, %d \
+     divergences — %s@."
+    (List.length r.Fuzz.diff_combos)
+    r.Fuzz.diff_programs r.Fuzz.diff_executions
+    (List.length r.Fuzz.divergences)
+    (if ok then "backends agree" else "BACKENDS DIVERGED");
+  if ok then 0 else 1
+
 (* ------------------------------------------------------------------ *)
 (* Perf mode: host wall-clock microbenchmarks                          *)
 (* ------------------------------------------------------------------ *)
@@ -264,8 +333,19 @@ let diag_gated c =
   in
   pre "txn/" || pre "fig6/"
 
-let run_perf ~quick ~out ~baseline ~threshold ~diag_gate =
-  let report = Stm_perf.Perf.suite ~quick () in
+(* Each backend ratchets against its own checked-in baseline; an
+   explicit --perf-baseline overrides the choice. *)
+let default_baseline = function
+  | Stm_core.Config.Mvcc -> "bench/baseline-mvcc.json"
+  | Stm_core.Config.Eager | Stm_core.Config.Lazy -> "bench/baseline.json"
+
+let run_perf ~quick ~backend ~out ~baseline ~threshold ~diag_gate =
+  let baseline =
+    Option.value baseline ~default:(default_baseline backend)
+  in
+  let report = Stm_perf.Perf.suite ~quick ~backend () in
+  Fmt.pr "backend: %s@."
+    (Stm_core.Config.versioning_to_string backend);
   Fmt.pr "%a" Stm_perf.Perf.pp_report report;
   write_json out (Stm_perf.Perf.to_json report);
   Fmt.pr "perf results written to %s@." out;
@@ -421,7 +501,8 @@ let run_store_profile so profile cm seed fuel metrics_out diag_out =
   (* Weak mode is *expected* to misbehave on mixed traffic — its verdict
      and deviation are findings, not failures. *)
   (match (so.so_mode, r.Stm_store.Engine.r_verdict) with
-  | (Stm_store.Kv.Strong | Stm_store.Kv.Lock), Some verdict -> (
+  | (Stm_store.Kv.Strong | Stm_store.Kv.Lock | Stm_store.Kv.Mvcc), Some verdict
+    -> (
       match verdict with
       | Stm_check.History.Serializable -> ()
       | v ->
@@ -430,7 +511,8 @@ let run_store_profile so profile cm seed fuel metrics_out diag_out =
             Stm_check.History.pp_verdict v)
   | _ -> ());
   (match (so.so_mode, r.Stm_store.Engine.r_deviation) with
-  | (Stm_store.Kv.Strong | Stm_store.Kv.Lock), Some d when d <> 0 ->
+  | (Stm_store.Kv.Strong | Stm_store.Kv.Lock | Stm_store.Kv.Mvcc), Some d
+    when d <> 0 ->
       fail "update deviation %d in %s mode" d
         (Stm_store.Kv.mode_to_string so.so_mode)
   | _ -> ());
@@ -606,9 +688,10 @@ let run_list () =
 (* Entry                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let main list store store_opts name scale threads cm stress seed fuel
-    metrics_out diag_out fuzz fuzz_programs fuzz_seeds fuzz_driver fuzz_dir
-    perf quick perf_out perf_baseline perf_threshold diag_gate =
+let main list store store_opts name scale threads backend isolation cm stress
+    seed fuel metrics_out diag_out fuzz fuzz_differential fuzz_programs
+    fuzz_seeds fuzz_driver fuzz_dir perf quick perf_out perf_baseline
+    perf_threshold diag_gate =
   if list then run_list ()
   else
   match store with
@@ -618,8 +701,11 @@ let main list store store_opts name scale threads cm stress seed fuel
         Fmt.epr "%s@." m;
         exit 2)
   | None ->
-  if perf then run_perf ~quick ~out:perf_out ~baseline:perf_baseline
+  if perf then run_perf ~quick ~backend ~out:perf_out ~baseline:perf_baseline
       ~threshold:perf_threshold ~diag_gate
+  else if fuzz_differential then
+    run_fuzz_differential ~programs:fuzz_programs ~seeds:fuzz_seeds
+      ~dir:fuzz_dir ~seed ~fuel ~metrics_out
   else if fuzz then
     let driver =
       match fuzz_driver with
@@ -634,7 +720,7 @@ let main list store store_opts name scale threads cm stress seed fuel
   else
   match stress with
   | Some which -> (
-      try run_stress which cm seed fuel metrics_out diag_out
+      try run_stress which backend isolation cm seed fuel metrics_out diag_out
       with Failure m ->
         Fmt.epr "%s@." m;
         exit 2)
@@ -710,6 +796,56 @@ let threads_arg =
     & info [ "threads" ] ~docv:"LIST"
         ~doc:"Comma-separated simulated processor counts for fig18-20.")
 
+let backend_conv =
+  let parse s =
+    match Stm_core.Config.versioning_of_string s with
+    | Some v -> Ok v
+    | None ->
+        Error
+          (`Msg (Fmt.str "unknown backend %s (expected eager, lazy, or mvcc)" s))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf v -> Fmt.string ppf (Stm_core.Config.versioning_to_string v) )
+
+let backend_arg =
+  Arg.(
+    value
+    & opt backend_conv Stm_core.Config.Eager
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Versioning backend: $(b,eager) (in-place + undo log, the \
+           default), $(b,lazy) (write buffer), or $(b,mvcc) (bounded \
+           per-granule version chains; read-only transactions run \
+           abort-free against consistent snapshots). Applies to \
+           $(b,--stress) runs and selects which benches/baseline \
+           $(b,--perf) uses; $(b,--store) has its own $(b,--store-mode \
+           mvcc).")
+
+let isolation_conv =
+  let parse s =
+    match Stm_core.Config.isolation_of_string s with
+    | Some i -> Ok i
+    | None ->
+        Error
+          (`Msg
+            (Fmt.str "unknown isolation level %s (expected serializable or \
+                      snapshot)" s))
+  in
+  Arg.conv
+    (parse, fun ppf i -> Fmt.string ppf (Stm_core.Config.isolation_to_string i))
+
+let isolation_arg =
+  Arg.(
+    value
+    & opt isolation_conv Stm_core.Config.Serializable
+    & info [ "isolation" ] ~docv:"LEVEL"
+        ~doc:
+          "Isolation level for $(b,--backend mvcc): $(b,serializable) \
+           (commit-time read revalidation, the default) or $(b,snapshot) \
+           (first-committer-wins only — write skew and long fork are \
+           admitted). The single-version backends ignore it.")
+
 let cm_arg =
   Arg.(
     value
@@ -765,6 +901,22 @@ let fuzz_arg =
         ~doc:
           "Run the property-based differential fuzz sweep: random programs per (configuration combo, profile) campaign, checked against the serializability oracle; counterexamples are shrunk and printed (or saved with $(b,--fuzz-dir)) as replayable JSON. Non-zero exit when any campaign misses its expectation. $(b,--seed) sets the base seed, $(b,--fuel) the per-run scheduler budget, $(b,--metrics-out) the JSON summary path.")
 
+let fuzz_differential_arg =
+  Arg.(
+    value & flag
+    & info [ "fuzz-differential" ]
+        ~doc:
+          "Run the cross-backend differential fuzz sweep: the same seeded \
+           transaction-only programs under the same schedule seeds on every \
+           backend in the grid (eager, lazy, mvcc at serializable — all \
+           certified serializable — plus mvcc at snapshot isolation, \
+           certified at snapshot level). Any member certifying anomalous at \
+           its own level is a divergence: its verdicts are printed, a \
+           replayable repro per anomalous member is saved with \
+           $(b,--fuzz-dir), and the exit status is non-zero. \
+           $(b,--fuzz-programs), $(b,--fuzz-seeds), $(b,--seed), $(b,--fuel) \
+           and $(b,--metrics-out) apply as for $(b,--fuzz).")
+
 let fuzz_programs_arg =
   Arg.(
     value & opt int Stm_check.Fuzz.default_budget.Stm_check.Fuzz.programs
@@ -812,11 +964,14 @@ let perf_out_arg =
 
 let perf_baseline_arg =
   Arg.(
-    value & opt string "bench/baseline.json"
+    value
+    & opt (some string) None
     & info [ "perf-baseline" ] ~docv:"FILE"
         ~doc:
           "Baseline report to ratchet against (same schema as \
            $(b,--perf-out); refresh it by pointing $(b,--perf-out) here). \
+           Defaults to $(b,bench/baseline.json), or \
+           $(b,bench/baseline-mvcc.json) under $(b,--backend mvcc). \
            Missing file skips the check.")
 
 let perf_threshold_arg =
@@ -868,7 +1023,8 @@ let store_mode_conv =
     | None ->
         Error
           (`Msg
-            (Fmt.str "unknown store mode %s (expected strong, weak, or lock)"
+            (Fmt.str
+               "unknown store mode %s (expected strong, weak, lock, or mvcc)"
                s))
   in
   Arg.conv (parse, fun ppf m -> Fmt.string ppf (Stm_store.Kv.mode_to_string m))
@@ -881,8 +1037,10 @@ let store_mode_arg =
         ~doc:
           "Concurrency discipline for --store: $(b,strong) (STM, strong \
            atomicity barriers), $(b,weak) (STM, weak atomicity — mixed \
-           traffic may exhibit Figure-6 anomalies), or $(b,lock) (shard \
-           mutexes, no barriers).")
+           traffic may exhibit Figure-6 anomalies), $(b,lock) (shard \
+           mutexes, no barriers), or $(b,mvcc) (multi-version STM with \
+           strong barriers; held to the same zero-deviation bar as strong \
+           and lock).")
 
 let shards_arg =
   Arg.(
@@ -979,10 +1137,10 @@ let cmd =
     (Cmd.info "stm_bench" ~doc)
     Term.(
       const main $ list_arg $ store_arg $ store_opts_term $ name_arg
-      $ scale_arg $ threads_arg $ cm_arg $ stress_arg
-      $ seed_arg $ fuel_arg $ metrics_arg $ diag_out_arg $ fuzz_arg
-      $ fuzz_programs_arg $ fuzz_seeds_arg $ fuzz_driver_arg $ fuzz_dir_arg
-      $ perf_arg $ quick_arg $ perf_out_arg $ perf_baseline_arg
-      $ perf_threshold_arg $ diag_gate_arg)
+      $ scale_arg $ threads_arg $ backend_arg $ isolation_arg $ cm_arg
+      $ stress_arg $ seed_arg $ fuel_arg $ metrics_arg $ diag_out_arg
+      $ fuzz_arg $ fuzz_differential_arg $ fuzz_programs_arg $ fuzz_seeds_arg
+      $ fuzz_driver_arg $ fuzz_dir_arg $ perf_arg $ quick_arg $ perf_out_arg
+      $ perf_baseline_arg $ perf_threshold_arg $ diag_gate_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -20,6 +20,10 @@ let config_of_string detect_races s =
     | "strong-lazy-dea" -> Ok Stm_core.Config.(with_dea lazy_strong)
     | "quiesce-eager" -> Ok Stm_core.Config.(with_quiescence eager_weak)
     | "quiesce-lazy" -> Ok Stm_core.Config.(with_quiescence lazy_weak)
+    | "weak-mvcc" -> Ok Stm_core.Config.mvcc_weak
+    | "strong-mvcc" -> Ok Stm_core.Config.mvcc_strong
+    | "mvcc-snapshot" ->
+        Ok Stm_core.Config.(with_snapshot_isolation mvcc_weak)
     | other -> Error ("unknown config " ^ other)
   in
   Result.map
@@ -329,7 +333,7 @@ let config_arg =
     value & opt string "strong-eager-dea"
     & info [ "c"; "config" ] ~docv:"CFG"
         ~doc:
-          "STM configuration: weak-eager, weak-lazy, strong-eager, strong-lazy, strong-eager-dea, strong-lazy-dea, quiesce-eager, quiesce-lazy.")
+          "STM configuration: weak-eager, weak-lazy, strong-eager, strong-lazy, strong-eager-dea, strong-lazy-dea, quiesce-eager, quiesce-lazy, weak-mvcc, strong-mvcc, mvcc-snapshot (multi-version at snapshot isolation).")
 
 let opt_arg =
   Arg.(

@@ -1,5 +1,5 @@
 (* One point in the configuration space the sweep covers: versioning x
-   atomicity flavor x contention-management policy. *)
+   isolation level x atomicity flavor x contention-management policy. *)
 
 module Config = Stm_core.Config
 
@@ -7,6 +7,7 @@ type atomicity = Weak | Strong | Strong_dea | Quiesce
 
 type t = {
   versioning : Config.versioning;
+  isolation : Config.isolation;
   atomicity : atomicity;
   cm : Stm_cm.Policy.t;
 }
@@ -24,16 +25,20 @@ let atomicity_of_string = function
   | "quiesce" -> Some Quiesce
   | _ -> None
 
-let versioning_to_string = function Config.Eager -> "eager" | Config.Lazy -> "lazy"
+let versioning_to_string = Config.versioning_to_string
+let versioning_of_string = Config.versioning_of_string
 
-let versioning_of_string = function
-  | "eager" -> Some Config.Eager
-  | "lazy" -> Some Config.Lazy
-  | _ -> None
+(* The isolation knob only distinguishes mvcc combos; it is silent in
+   names and JSON for the single-version backends (and for mvcc at the
+   default serializable level), so existing repro artifacts keep their
+   identity. *)
+let backend_string t =
+  match (t.versioning, t.isolation) with
+  | Config.Mvcc, Config.Snapshot -> "mvcc-si"
+  | v, _ -> versioning_to_string v
 
 let name t =
-  Printf.sprintf "%s-%s/%s"
-    (versioning_to_string t.versioning)
+  Printf.sprintf "%s-%s/%s" (backend_string t)
     (atomicity_to_string t.atomicity)
     (Stm_cm.Policy.to_string t.cm)
 
@@ -42,35 +47,70 @@ let to_config ?(cm_seed = 0) t =
     match (t.versioning, t.atomicity) with
     | Config.Eager, Weak -> Config.eager_weak
     | Config.Lazy, Weak -> Config.lazy_weak
+    | Config.Mvcc, Weak -> Config.mvcc_weak
     | Config.Eager, Strong -> Config.eager_strong
     | Config.Lazy, Strong -> Config.lazy_strong
+    | Config.Mvcc, Strong -> Config.mvcc_strong
     | Config.Eager, Strong_dea -> Config.with_dea Config.eager_strong
     | Config.Lazy, Strong_dea -> Config.with_dea Config.lazy_strong
+    | Config.Mvcc, Strong_dea -> Config.with_dea Config.mvcc_strong
     | Config.Eager, Quiesce -> Config.with_quiescence Config.eager_weak
     | Config.Lazy, Quiesce -> Config.with_quiescence Config.lazy_weak
+    | Config.Mvcc, Quiesce ->
+        (* quiescence is an eager-commit epoch protocol; mvcc commits have
+           no write-back window to order, so the flag would be inert -
+           map the combo to plain weak mvcc rather than pretend *)
+        Config.mvcc_weak
   in
+  let base = Config.with_isolation t.isolation base in
   { (Config.with_cm t.cm base) with Config.cm_seed }
 
 let all_atomicities = [ Weak; Strong; Strong_dea; Quiesce ]
-let all_versionings = [ Config.Eager; Config.Lazy ]
+let all_versionings = [ Config.Eager; Config.Lazy; Config.Mvcc ]
 
+(* The classic grid: {eager,lazy} x all atomicities x all CM policies.
+   mvcc extends it on two axes of its own - {serializable,snapshot} x
+   {weak,strong,dea} - but with the suicide policy only: mvcc takes no
+   ownership, so transactions never meet in the contention manager and
+   the CM axis is degenerate there. *)
 let all =
   List.concat_map
     (fun v ->
       List.concat_map
-        (fun a -> List.map (fun cm -> { versioning = v; atomicity = a; cm }) Stm_cm.Policy.all)
+        (fun a ->
+          List.map
+            (fun cm ->
+              { versioning = v; isolation = Config.Serializable; atomicity = a; cm })
+            Stm_cm.Policy.all)
         all_atomicities)
-    all_versionings
+    [ Config.Eager; Config.Lazy ]
+  @ List.concat_map
+      (fun isolation ->
+        List.map
+          (fun a ->
+            {
+              versioning = Config.Mvcc;
+              isolation;
+              atomicity = a;
+              cm = Stm_cm.Policy.Suicide;
+            })
+          [ Weak; Strong; Strong_dea ])
+      [ Config.Serializable; Config.Snapshot ]
 
 open Stm_obs
 
 let to_json t =
   Json.Obj
-    [
-      ("versioning", Json.Str (versioning_to_string t.versioning));
-      ("atomicity", Json.Str (atomicity_to_string t.atomicity));
-      ("cm", Json.Str (Stm_cm.Policy.to_string t.cm));
-    ]
+    ([
+       ("versioning", Json.Str (versioning_to_string t.versioning));
+       ("atomicity", Json.Str (atomicity_to_string t.atomicity));
+       ("cm", Json.Str (Stm_cm.Policy.to_string t.cm));
+     ]
+    @
+    match t.isolation with
+    | Config.Serializable -> []
+    | Config.Snapshot ->
+        [ ("isolation", Json.Str (Config.isolation_to_string t.isolation)) ])
 
 let ( let* ) = Option.bind
 
@@ -81,4 +121,10 @@ let of_json j =
   let* a = atomicity_of_string a in
   let* cm = Option.bind (Json.member "cm" j) Json.to_str_opt in
   let* cm = Stm_cm.Policy.of_string cm in
-  Some { versioning = v; atomicity = a; cm }
+  (* absent isolation member = serializable: pre-mvcc repro files *)
+  let* isolation =
+    match Option.bind (Json.member "isolation" j) Json.to_str_opt with
+    | None -> Some Config.Serializable
+    | Some s -> Config.isolation_of_string s
+  in
+  Some { versioning = v; isolation; atomicity = a; cm }

@@ -1,5 +1,6 @@
 (** One point in the configuration space the fuzz sweep covers:
-    versioning x atomicity flavor x contention-management policy. *)
+    versioning x isolation level x atomicity flavor x
+    contention-management policy. *)
 
 type atomicity =
   | Weak
@@ -9,18 +10,24 @@ type atomicity =
 
 type t = {
   versioning : Stm_core.Config.versioning;
+  isolation : Stm_core.Config.isolation;
+      (** [Snapshot] is only meaningful with [Mvcc]; the single-version
+          backends are always serializable *)
   atomicity : atomicity;
   cm : Stm_cm.Policy.t;
 }
 
 val name : t -> string
-(** E.g. ["eager-weak/suicide"]. *)
+(** E.g. ["eager-weak/suicide"], ["mvcc-si-weak/suicide"]. *)
 
 val to_config : ?cm_seed:int -> t -> Stm_core.Config.t
 
 val all : t list
 (** The full sweep grid: {eager,lazy} x {weak,strong,dea,quiesce} x all
-    contention-management policies (40 combos). *)
+    contention-management policies (40 combos), plus the mvcc block:
+    {serializable,snapshot} x {weak,strong,dea} x suicide (6 combos —
+    mvcc transactions never contend for ownership, so the CM axis is
+    degenerate there). *)
 
 val all_atomicities : atomicity list
 val all_versionings : Stm_core.Config.versioning list

@@ -27,12 +27,14 @@ module Trace = Stm_core.Trace
 type frame = {
   f_txid : int;
   f_tag : History.tag option;
+  f_begin : int;  (* arrival stamp of Txn_begin = snapshot point under mvcc *)
   mutable f_accs : (History.loc * History.value * bool) list;  (* reversed *)
   mutable f_serial : int option;
 }
 
 type collector = {
   mutable enabled : bool;
+  mutable mv : bool;  (* multi-version run: ro txns serialize at snapshot *)
   mutable stamp : int;
   mutable cells_oid : int;
   mutable roots_oid : int;
@@ -49,6 +51,7 @@ type collector = {
 let create_collector () =
   {
     enabled = false;
+    mv = false;
     stamp = 0;
     cells_oid = -1;
     roots_oid = -1;
@@ -155,10 +158,13 @@ let on_event col (ev : Trace.event) =
                 }
         | _ -> ())
     | Trace.Txn_begin { txid; tid } ->
+        (* begin_txn takes the mvcc snapshot and emits this event in one
+           yield-free stretch, so [now] doubles as the snapshot stamp *)
         push_frame col tid
           {
             f_txid = txid;
             f_tag = Hashtbl.find_opt col.tags tid;
+            f_begin = now;
             f_accs = [];
             f_serial = None;
           }
@@ -171,12 +177,22 @@ let on_event col (ev : Trace.event) =
         | None -> ()
         | Some f ->
             let reads, writes = split_accs f.f_accs in
+            (* A multi-version read-only transaction serializes at its
+               snapshot, not at commit: it reads the versions current at
+               begin and skips validation, so a commit that lands between
+               its snapshot and its (arbitrarily later) commit event must
+               order AFTER it. Update transactions keep the commit-time
+               stamp - their writes install at the commit clock. *)
+            let stamp =
+              if col.mv && writes = [] then f.f_begin
+              else Option.value f.f_serial ~default:now
+            in
             add_raw col
               {
                 History.id = 0;
                 tid = logical_tid col tid;
                 txn = true;
-                stamp = Option.value f.f_serial ~default:now;
+                stamp;
                 tag = f.f_tag;
                 reads;
                 writes;
@@ -204,10 +220,19 @@ let finalize_history col =
 type ctx = {
   col : collector;
   prog : Prog.t;
+  level : Config.isolation;  (* which contract the oracle certifies *)
   mutable cells : Heap.obj option;
   mutable roots : Heap.obj option;
   mutable clobbered : History.anomaly option;
 }
+
+(* The certification level follows the configuration: an mvcc run at the
+   snapshot isolation level is judged against the SI contract (write
+   skew is legal there); everything else must be serializable. *)
+let check_level (cfg : Config.t) =
+  match cfg.Config.versioning with
+  | Config.Mvcc -> cfg.Config.isolation
+  | Config.Eager | Config.Lazy -> Config.Serializable
 
 let set_tag ctx ~thread ~step part =
   Hashtbl.replace ctx.col.tags (Sched.self ()) { History.thread; step; part }
@@ -381,12 +406,20 @@ let verdict_of_run ctx (result : Sched.result) =
           let h = finalize_history ctx.col in
           match ctx.clobbered with
           | Some a -> (History.Anomalous a, Some h)
-          | None -> (History.check ctx.prog h, Some h)))
+          | None -> (History.check_at ctx.level ctx.prog h, Some h)))
 
 let run ?policy ?(max_steps = default_fuel) ?tee ~cfg prog =
   let ctx =
-    { col = create_collector (); prog; cells = None; roots = None; clobbered = None }
+    {
+      col = create_collector ();
+      prog;
+      level = check_level cfg;
+      cells = None;
+      roots = None;
+      clobbered = None;
+    }
   in
+  ctx.col.mv <- cfg.Config.versioning = Config.Mvcc;
   let sink =
     match tee with
     | None -> on_event ctx.col
@@ -414,8 +447,16 @@ let explore ?preemption_bound ?max_runs ?(max_steps = 60_000) ~cfg prog =
   let first = ref None in
   let make () =
     let ctx =
-      { col = create_collector (); prog; cells = None; roots = None; clobbered = None }
+      {
+        col = create_collector ();
+        prog;
+        level = check_level cfg;
+        cells = None;
+        roots = None;
+        clobbered = None;
+      }
     in
+    ctx.col.mv <- cfg.Config.versioning = Config.Mvcc;
     Trace.set_sink ~level:Trace.Debug (Some (on_event ctx.col));
     {
       Stm_litmus.Explorer.main = main ctx;
@@ -428,7 +469,7 @@ let explore ?preemption_bound ?max_runs ?(max_steps = 60_000) ~cfg prog =
               let v =
                 match ctx.clobbered with
                 | Some a -> History.Anomalous a
-                | None -> History.check prog h
+                | None -> History.check_at ctx.level prog h
               in
               (match v with
               | History.Anomalous _ when !first = None -> first := Some v

@@ -72,3 +72,34 @@ val sweep : ?log:(string -> unit) -> ?plan:campaign list -> budget -> campaign_r
 val passed : campaign_result list -> bool
 val result_to_json : campaign_result -> Stm_obs.Json.t
 val summary_json : budget -> campaign_result list -> Stm_obs.Json.t
+
+(** {1 Cross-backend differential sweep} *)
+
+val backend_grid : Combo.t list
+(** One weak/suicide combo per backend — eager, lazy, mvcc — certified
+    serializable, plus mvcc at snapshot isolation. *)
+
+type divergence = {
+  div_prog_seed : int;
+  div_sched_seed : int;
+  div_verdicts : (string * History.verdict) list;
+      (** combo name -> certified verdict, one entry per grid member *)
+  div_repros : Repro.t list;  (** one replayable repro per anomalous member *)
+}
+
+type differential_result = {
+  diff_combos : Combo.t list;
+  diff_programs : int;
+  diff_executions : int;
+  divergences : divergence list;
+}
+
+val run_differential :
+  ?log:(string -> unit) -> ?combos:Combo.t list -> budget -> differential_result
+(** Run the same seeded txn-only programs, under the same schedule
+    seeds, on every combo in the grid, certifying each at its own
+    isolation level. Every member must come back clean; an anomalous
+    member is recorded as a divergence with a replayable repro. *)
+
+val differential_passed : differential_result -> bool
+val differential_to_json : differential_result -> Stm_obs.Json.t

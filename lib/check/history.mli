@@ -5,7 +5,14 @@
     non-transactional unit access, stamped at its linearization point.
     Occurrence-unique write tokens (see {!Prog}) make the reads-from
     relation exact, so conflict serializability is decidable from the
-    history alone. *)
+    history alone.
+
+    The oracle certifies at two isolation levels: {!check} demands
+    conflict serializability; {!check_si} certifies the weaker
+    snapshot-isolation contract, rejecting dirty reads, fractured reads,
+    lost updates and final-state mismatches while admitting write skew
+    and long fork. {!certify} classifies a history into
+    serializable / SI-only / anomalous. *)
 
 type box_id = Slot_box of int | New_box of { thread : int; step : int }
 
@@ -53,6 +60,14 @@ type anomaly =
       (** a non-transactional store to a privatized object was overwritten
           (the paper's figure-1 privatization race) *)
   | Exec_failure of string
+  | Lost_update of { node : int; uloc : loc; read_idx : int; write_idx : int }
+      (** the node read version [read_idx] of the location but installed
+          version [write_idx] <> [read_idx + 1]: a concurrent committed
+          write was silently overwritten (forbidden even under snapshot
+          isolation - first-committer-wins) *)
+  | Fractured_read of { node : int; floc : loc; first : value; second : value }
+      (** one transaction observed two different committed versions of
+          the same location: no single snapshot contains both *)
 
 type verdict = Serializable | Inconclusive of string | Anomalous of anomaly
 
@@ -66,6 +81,46 @@ val differential : Prog.t -> history -> anomaly option
 
 val check : Prog.t -> history -> verdict
 (** Graph check first, then differential replay. *)
+
+val check_si_graph : history -> anomaly option
+(** Snapshot-isolation consistency: no dirty reads, no fractured reads,
+    no lost updates (every read-modify-write installs the version
+    directly after the one it read), final state = last committed
+    version per location. Deliberately no cycle check and no sequential
+    replay: write skew and long fork pass. *)
+
+val check_si : history -> verdict
+(** [check_si_graph] as a verdict. *)
+
+val check_at : Stm_core.Config.isolation -> Prog.t -> history -> verdict
+(** Certify at the given isolation level: [Serializable] is {!check},
+    [Snapshot] is {!check_si}. *)
+
+(** Two-level classification of one history. *)
+type certification =
+  | Cert_serializable
+  | Cert_snapshot_only of anomaly
+      (** SI-consistent but not serializable; carries the
+          serializability violation (e.g. the write-skew rw-cycle) *)
+  | Cert_anomalous of anomaly  (** violates snapshot isolation too *)
+
+val certify : Prog.t -> history -> certification
+val certification_to_string : certification -> string
+
+val anomaly_kind : anomaly -> string
+(** Stable kind string of an anomaly (matches the ["anomaly"] field of
+    {!anomaly_to_json}). The implementation is an exhaustive match, so
+    extending [anomaly] without classifying the new constructor is a
+    compile error. *)
+
+val all_anomaly_kinds : string list
+(** Every string {!anomaly_kind} can produce. *)
+
+val si_forbids : anomaly -> bool
+(** Whether the snapshot-isolation contract forbids this anomaly kind
+    (dirty reads, lost updates, fractured reads, final mismatches,
+    clobbered privatized objects, execution failures) or admits it
+    (cycles and replay divergences - write skew and long fork shapes). *)
 
 val is_anomalous : verdict -> bool
 val verdict_equal : verdict -> verdict -> bool

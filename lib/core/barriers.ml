@@ -1,4 +1,5 @@
 open Stm_runtime
+module Mvcc = Stm_mvcc.Mvcc
 
 (* Every emission sits next to the [Stats] increment it mirrors, so the
    per-site profiler's column sums reproduce the global counters exactly
@@ -137,4 +138,48 @@ let write (cfg : Config.t) (stats : Stats.t) (obj : Heap.obj) fld v =
     Sched.tick cost.Cost.plain_store;
     Sched.yield ();
     release_anon cfg obj w
+  end
+
+(* mvcc strong-atomicity read barrier: the latest committed version of a
+   granule is its current fields — mvcc commits write back without a
+   yield, so there is no pending-write-back window to order against and
+   no ownership to test. A plain load after a preemption point is the
+   whole barrier. *)
+let read_latest (cfg : Config.t) (stats : Stats.t) (obj : Heap.obj) fld =
+  let cost = cfg.cost in
+  stats.Stats.barrier_reads <- stats.Stats.barrier_reads + 1;
+  if cfg.dea && cfg.read_privacy_check && Dea.is_private obj then begin
+    stats.Stats.barrier_private_hits <- stats.Stats.barrier_private_hits + 1;
+    emit_barrier Trace.Op_read Trace.Path_private
+  end
+  else emit_barrier Trace.Op_read Trace.Path_fired;
+  Sched.tick cost.Cost.barrier_entry;
+  Sched.yield ();
+  let v = Heap.get obj fld in
+  Sched.tick cost.Cost.plain_load;
+  v
+
+(* mvcc strong-atomicity write barrier: a non-transactional store is a
+   one-field committed transaction — retire the current fields into the
+   version chain and stamp a fresh clock tick, then store. Concurrent
+   snapshots keep reading their own versions; the install + store runs
+   yield-free so no reader can observe the stamp without the store. *)
+let write_versioned (cfg : Config.t) (stats : Stats.t) mv (obj : Heap.obj) fld
+    v =
+  let cost = cfg.cost in
+  stats.Stats.barrier_writes <- stats.Stats.barrier_writes + 1;
+  emit_barrier Trace.Op_write Trace.Path_fired;
+  Sched.tick cost.Cost.barrier_entry;
+  if cfg.dea && Dea.is_private obj then begin
+    stats.Stats.barrier_private_hits <- stats.Stats.barrier_private_hits + 1;
+    emit_barrier Trace.Op_write Trace.Path_private;
+    Heap.set obj fld v;
+    Sched.tick cost.Cost.plain_store
+  end
+  else begin
+    if cfg.dea then Dea.publish_value stats cost v;
+    Sched.yield ();
+    Mvcc.install mv obj ~ts:(Mvcc.advance mv);
+    Heap.set obj fld v;
+    Sched.tick cost.Cost.plain_store
   end

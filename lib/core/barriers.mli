@@ -33,6 +33,17 @@ val read_ordering : Config.t -> Stats.t -> Heap.obj -> int -> Heap.value
 val write : Config.t -> Stats.t -> Heap.obj -> int -> Heap.value -> unit
 (** Isolation write barrier. *)
 
+val read_latest : Config.t -> Stats.t -> Heap.obj -> int -> Heap.value
+(** Strong-atomicity read barrier for the mvcc backend: the latest
+    committed version is the current fields (mvcc write-back is
+    yield-free), so this is a plain load behind the barrier accounting. *)
+
+val write_versioned :
+  Config.t -> Stats.t -> Stm_mvcc.Mvcc.t -> Heap.obj -> int -> Heap.value -> unit
+(** Strong-atomicity write barrier for the mvcc backend: installs a fresh
+    version at a new commit-clock tick (a one-store committed
+    transaction), preserving every live snapshot's view. *)
+
 val acquire_anon :
   ?op:Trace.barrier_op -> Config.t -> Stats.t -> Heap.obj -> int
 (** Acquire Exclusive-anonymous ownership of an object's record (the

@@ -1,8 +1,11 @@
-type versioning = Eager | Lazy
+type versioning = Eager | Lazy | Mvcc
+type isolation = Serializable | Snapshot
 type conflict_policy = Backoff | Raise_error
 
 type t = {
   versioning : versioning;
+  isolation : isolation;
+  mvcc_max_versions : int;
   strong : bool;
   strong_reads : bool;
   strong_writes : bool;
@@ -23,6 +26,8 @@ type t = {
 let base =
   {
     versioning = Eager;
+    isolation = Serializable;
+    mvcc_max_versions = 8;
     strong = false;
     strong_reads = true;
     strong_writes = true;
@@ -44,16 +49,42 @@ let eager_weak = base
 let lazy_weak = { base with versioning = Lazy }
 let eager_strong = { base with strong = true }
 let lazy_strong = { base with versioning = Lazy; strong = true }
+let mvcc_weak = { base with versioning = Mvcc }
+let mvcc_strong = { base with versioning = Mvcc; strong = true }
 let with_dea t = { t with dea = true; read_privacy_check = true }
 let with_granule granule t = { t with granule }
 let with_quiescence t = { t with quiescence = true }
 let with_cm cm t = { t with cm }
 let with_wound_wait t = { t with cm = Stm_cm.Policy.Wound_wait }
+let with_isolation isolation t = { t with isolation }
+let with_snapshot_isolation t = { t with isolation = Snapshot }
+
+let versioning_to_string = function
+  | Eager -> "eager"
+  | Lazy -> "lazy"
+  | Mvcc -> "mvcc"
+
+let versioning_of_string = function
+  | "eager" -> Some Eager
+  | "lazy" -> Some Lazy
+  | "mvcc" -> Some Mvcc
+  | _ -> None
+
+let isolation_to_string = function
+  | Serializable -> "serializable"
+  | Snapshot -> "snapshot"
+
+let isolation_of_string = function
+  | "serializable" | "ser" -> Some Serializable
+  | "snapshot" | "si" -> Some Snapshot
+  | _ -> None
 
 let describe t =
   let b = Buffer.create 32 in
-  Buffer.add_string b (match t.versioning with Eager -> "eager" | Lazy -> "lazy");
+  Buffer.add_string b (versioning_to_string t.versioning);
   Buffer.add_string b (if t.strong then "+strong" else "+weak");
+  if t.versioning = Mvcc && t.isolation = Snapshot then
+    Buffer.add_string b "+si";
   if t.strong && not t.strong_reads then Buffer.add_string b "(writes-only)";
   if t.strong && not t.strong_writes then Buffer.add_string b "(reads-only)";
   if t.dea then Buffer.add_string b "+dea";

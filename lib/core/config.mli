@@ -9,6 +9,20 @@
 type versioning =
   | Eager  (** in-place updates + undo log (McRT-STM, the paper's base) *)
   | Lazy  (** private write buffer, write-back after commit *)
+  | Mvcc
+      (** multi-version: per-granule bounded version chains stamped with
+          commit clocks; snapshot reads, buffered writes installed
+          first-committer-wins at commit (see {!Stm_mvcc.Mvcc}) *)
+
+type isolation =
+  | Serializable
+      (** mvcc commits additionally validate that every read granule is
+          still current — except for read-only transactions, which
+          serialize at their snapshot point and commit validation-free *)
+  | Snapshot
+      (** first-committer-wins only: write skew and long fork are
+          admitted, dirty reads and lost updates are not. Meaningful only
+          under {!Mvcc}; the single-version backends ignore it. *)
 
 type conflict_policy =
   | Backoff  (** exponential back-off and retry (the paper's default) *)
@@ -18,6 +32,10 @@ type conflict_policy =
 
 type t = {
   versioning : versioning;
+  isolation : isolation;  (** mvcc isolation level (default [Serializable]) *)
+  mvcc_max_versions : int;
+      (** mvcc version-chain bound per granule, current version included;
+          reads older than the retained chain abort snapshot-too-old *)
   strong : bool;  (** insert non-transactional isolation barriers *)
   strong_reads : bool;
       (** insert read barriers (Figure 16 measures reads only) *)
@@ -73,6 +91,14 @@ val eager_strong : t
 
 val lazy_strong : t
 
+val mvcc_weak : t
+(** Multi-version backend, weak atomicity, [Serializable] isolation. *)
+
+val mvcc_strong : t
+(** Multi-version backend with strong-atomicity barriers:
+    non-transactional reads see the latest committed version,
+    non-transactional writes install a fresh version. *)
+
 val with_dea : t -> t
 (** Enable dynamic escape analysis (+ read privacy check). *)
 
@@ -84,6 +110,16 @@ val with_cm : Stm_cm.Policy.t -> t -> t
 
 val with_wound_wait : t -> t
 (** [with_cm Stm_cm.Policy.Wound_wait]. *)
+
+val with_isolation : isolation -> t -> t
+
+val with_snapshot_isolation : t -> t
+(** [with_isolation Snapshot]. *)
+
+val versioning_to_string : versioning -> string
+val versioning_of_string : string -> versioning option
+val isolation_to_string : isolation -> string
+val isolation_of_string : string -> isolation option
 
 val pp : Format.formatter -> t -> unit
 val describe : t -> string

@@ -86,6 +86,7 @@ let nontxn_read sys (obj : Heap.obj) fld =
       match cfg.versioning with
       | Config.Eager -> Barriers.read cfg (Txn.stats sys.ctx) obj fld
       | Config.Lazy -> Barriers.read_ordering cfg (Txn.stats sys.ctx) obj fld
+      | Config.Mvcc -> Barriers.read_latest cfg (Txn.stats sys.ctx) obj fld
     else begin
       (* direct access: any memory operation is a preemption point on a
          real multiprocessor *)
@@ -100,7 +101,12 @@ let nontxn_read sys (obj : Heap.obj) fld =
 let nontxn_write sys (obj : Heap.obj) fld v =
   let cfg = Txn.cfg sys.ctx in
   if cfg.strong && cfg.strong_writes then
-    Barriers.write cfg (Txn.stats sys.ctx) obj fld v
+    match cfg.versioning with
+    | Config.Eager | Config.Lazy ->
+        Barriers.write cfg (Txn.stats sys.ctx) obj fld v
+    | Config.Mvcc ->
+        Barriers.write_versioned cfg (Txn.stats sys.ctx) (Txn.mvcc sys.ctx)
+          obj fld v
   else begin
     (* Even under weak atomicity with DEA off, reference stores into the
        heap never publish: objects are born public in that mode. *)
@@ -192,7 +198,13 @@ let wait_for_change cfg snap =
       let changed () =
         List.exists
           (fun ((obj : Heap.obj), ver) ->
-            Atomic.get obj.Heap.txrec <> Txrec.shared ver)
+            match cfg.Config.versioning with
+            | Config.Mvcc ->
+                (* mvcc read sets record version stamps, not record
+                   words: a change is a newer installed version *)
+                Heap.version_ts obj <> ver
+            | Config.Eager | Config.Lazy ->
+                Atomic.get obj.Heap.txrec <> Txrec.shared ver)
           snap
       in
       while not (changed ()) do

@@ -15,6 +15,7 @@ type abort_cause =
   | Cause_stale_lock
   | Cause_wounded
   | Cause_retry
+  | Cause_snapshot
   | Cause_exn
 
 type event =
@@ -94,6 +95,7 @@ let string_of_cause = function
   | Cause_stale_lock -> "stale-lock"
   | Cause_wounded -> "wounded"
   | Cause_retry -> "retry"
+  | Cause_snapshot -> "snapshot-too-old"
   | Cause_exn -> "exception"
 
 let string_of_op = function

@@ -42,6 +42,10 @@ type abort_cause =
           write buffer is stale) *)
   | Cause_wounded  (** killed by an older transaction (wound-wait) *)
   | Cause_retry  (** user-initiated [retry] *)
+  | Cause_snapshot
+      (** an mvcc read needed a version older than the granule's retained
+          chain (snapshot too old — the [mvcc_max_versions] bound evicted
+          it) *)
   | Cause_exn  (** an exception escaped the atomic block *)
 
 type event =

@@ -1,4 +1,5 @@
 open Stm_runtime
+module Mvcc = Stm_mvcc.Mvcc
 
 exception Abort_txn
 exception Retry_request
@@ -61,6 +62,7 @@ type t = {
   mutable nest_depth : int;
   mutable part : Quiesce.participant option;
   flag : killed_flag;  (* set by a wounding (older) transaction *)
+  mutable snap : int;  (* mvcc snapshot timestamp; -1 outside mvcc *)
   mutable begin_ts : int;  (* cost clock at begin, for latency attribution *)
   mutable abort_cause : Trace.abort_cause;
   (* last losing contention point, for abort attribution: the granule and
@@ -77,6 +79,7 @@ type ctx = {
   stats : Stats.t;
   q : Quiesce.t;
   cm : Stm_cm.Cm.t;
+  mv : Mvcc.t;  (* commit clock + snapshot registry (mvcc versioning) *)
   mutable next_id : int;
   registry : (int, killed_flag) Hashtbl.t;
       (* live transaction ids -> wound flag, for contention management *)
@@ -92,6 +95,7 @@ let make_ctx (cfg : Config.t) =
       Stm_cm.Cm.create ~seed:cfg.Config.cm_seed
         ~max_retries:cfg.Config.max_txn_retries ~cost:cfg.Config.cost
         cfg.Config.cm;
+    mv = Mvcc.create ~max_versions:cfg.Config.mvcc_max_versions ();
     next_id = 0;
     registry = Hashtbl.create 32;
     pool = [];
@@ -101,6 +105,7 @@ let cfg ctx = ctx.cfg
 let stats ctx = ctx.stats
 let quiescer ctx = ctx.q
 let cm ctx = ctx.cm
+let mvcc ctx = ctx.mv
 
 (* ------------------------------------------------------------------ *)
 (* Descriptor pool and arenas                                          *)
@@ -138,6 +143,7 @@ let fresh_descriptor () =
     nest_depth = 0;
     part = None;
     flag = { killed = false; killed_by = -1; killed_by_tid = -1 };
+    snap = -1;
     begin_ts = 0;
     abort_cause = Trace.Cause_exn;
     last_oid = -1;
@@ -275,6 +281,10 @@ let begin_txn ?parent ctx =
   t.flag.killed <- false;
   t.flag.killed_by <- -1;
   t.flag.killed_by_tid <- -1;
+  t.snap <-
+    (match ctx.cfg.versioning with
+    | Config.Mvcc -> Mvcc.begin_snapshot ctx.mv
+    | Config.Eager | Config.Lazy -> -1);
   t.begin_ts <- Sched.time ();
   t.abort_cause <- Trace.Cause_exn;
   t.last_oid <- -1;
@@ -335,6 +345,31 @@ let rec ancestor_owns t w =
   let o = Txrec.owner w in
   o = t.txid || (match t.parent with Some p -> ancestor_owns p w | None -> false)
 
+(* Does the write buffer touch any public (shared) granule? Private-only
+   writers commit like read-only transactions: nothing to certify. *)
+let mvcc_has_public t =
+  let rec go i = i < t.nwbuf && (t.wbuf_prior.(i) >= 0 || go (i + 1)) in
+  go 0
+
+(* mvcc read currency: every granule in the read set is still at the
+   version the snapshot saw, i.e. no commit has installed a newer version
+   since. Only serializable update transactions need this; snapshot reads
+   are internally consistent by construction. *)
+let mvcc_entries_ok t =
+  let rec go i =
+    i >= t.nreads
+    ||
+    let obj = t.read_objs.(i) in
+    let ok = Heap.version_ts obj <= t.snap in
+    if not ok then begin
+      t.last_oid <- obj.Heap.oid;
+      t.last_aggr <- -1;
+      t.last_aggr_tid <- -1
+    end;
+    ok && go (i + 1)
+  in
+  go 0
+
 let validate ctx t =
   ctx.stats.Stats.validations <- ctx.stats.Stats.validations + 1;
   Sched.tick (ctx.cfg.cost.Cost.txn_per_read * max 1 t.reads_obs);
@@ -369,7 +404,14 @@ let validate ctx t =
     end;
     entry_ok && entries_ok (i + 1)
   in
-  let ok = entries_ok 0 in
+  let ok =
+    match ctx.cfg.versioning with
+    | Config.Mvcc ->
+        ctx.cfg.isolation = Config.Snapshot
+        || (not (mvcc_has_public t))
+        || mvcc_entries_ok t
+    | Config.Eager | Config.Lazy -> entries_ok 0
+  in
   Trace.emit ~level:Trace.Debug
     (lazy (Trace.Validation { txid = t.txid; tid = Sched.self (); ok }));
   ok
@@ -655,6 +697,90 @@ let lazy_read ctx t (obj : Heap.obj) fld =
 (* lazy open-for-read is the same protocol as eager: version + log *)
 
 (* ------------------------------------------------------------------ *)
+(* Multi-version (mvcc)                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Read [fld] as of this transaction's snapshot. [None] from the version
+   chain means the bounded chain no longer retains a version old enough:
+   abort snapshot-too-old (the only way an mvcc reader aborts). *)
+let mvcc_read_field ctx t (obj : Heap.obj) fld =
+  match Mvcc.read ctx.mv obj fld ~snap:t.snap with
+  | Some v -> v
+  | None ->
+      t.last_oid <- obj.Heap.oid;
+      t.last_aggr <- -1;
+      t.last_aggr_tid <- -1;
+      t.abort_cause <- Trace.Cause_snapshot;
+      raise Abort_txn
+
+(* mvcc open-for-read takes no ownership and never waits on a writer:
+   the read set records the current version stamp only so a serializable
+   update transaction can check read currency at commit. *)
+let mvcc_read ctx t (obj : Heap.obj) fld =
+  let cost = ctx.cfg.cost in
+  let base = granule_base ctx.cfg fld in
+  match Hashtbl.find_opt t.wbuf (gkey obj base) with
+  | Some i ->
+      Sched.tick cost.Cost.plain_load;
+      t.wbuf_buf.(i).(fld - base)
+  | None ->
+      if ctx.cfg.dea && Dea.is_private obj then begin
+        let v = Heap.get obj fld in
+        Sched.tick cost.Cost.plain_load;
+        v
+      end
+      else begin
+        note_read t obj (Heap.version_ts obj);
+        Sched.yield ();
+        let v = mvcc_read_field ctx t obj fld in
+        Sched.tick cost.Cost.plain_load;
+        v
+      end
+
+(* Write-buffer slot seeded from the snapshot image, not the current
+   fields: commit write-back must not resurrect a concurrent committer's
+   updates to granule fields this transaction never stored to (under
+   snapshot isolation the concurrent commit is allowed to stand when the
+   granules are disjoint; when they overlap first-committer-wins aborts
+   us anyway). *)
+let mvcc_slot ctx t (obj : Heap.obj) fld =
+  let base = granule_base ctx.cfg fld in
+  let key = gkey obj base in
+  match Hashtbl.find_opt t.wbuf key with
+  | Some i -> i
+  | None ->
+      let cost = ctx.cfg.cost in
+      let len = granule_len ctx.cfg obj base in
+      let priv = ctx.cfg.dea && Dea.is_private obj in
+      ensure_wbuf_capacity t;
+      let i = t.nwbuf in
+      let buf = slot_buffer t.wbuf_buf i len in
+      for j = 0 to len - 1 do
+        buf.(j) <-
+          (if priv then Heap.get obj (base + j)
+           else mvcc_read_field ctx t obj (base + j))
+      done;
+      Sched.tick (cost.Cost.plain_load * len);
+      t.wbuf_obj.(i) <- obj;
+      t.wbuf_base.(i) <- base;
+      t.wbuf_prior.(i) <- (if priv then -1 else 0);
+      t.wbuf_len.(i) <- len;
+      Hashtbl.replace t.wbuf key i;
+      t.nwbuf <- i + 1;
+      i
+
+let mvcc_write ctx t obj fld v =
+  let i = mvcc_slot ctx t obj fld in
+  t.wbuf_buf.(i).(fld - t.wbuf_base.(i)) <- v;
+  Sched.tick ctx.cfg.cost.Cost.plain_store
+
+let mvcc_end_snapshot ctx t =
+  if t.snap >= 0 then begin
+    Mvcc.end_snapshot ctx.mv t.snap;
+    t.snap <- -1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -683,6 +809,7 @@ let txn_read ctx t obj fld =
     match ctx.cfg.versioning with
     | Config.Eager -> eager_read ctx t obj fld
     | Config.Lazy -> lazy_read ctx t obj fld
+    | Config.Mvcc -> mvcc_read ctx t obj fld
   in
   emit_access ~txid:t.txid obj fld v ~write:false;
   v
@@ -693,7 +820,8 @@ let txn_write ctx t obj fld v =
   periodic_validate ctx t;
   (match ctx.cfg.versioning with
   | Config.Eager -> eager_write ctx t obj fld v
-  | Config.Lazy -> lazy_write ctx t obj fld v);
+  | Config.Lazy -> lazy_write ctx t obj fld v
+  | Config.Mvcc -> mvcc_write ctx t obj fld v);
   emit_access ~txid:t.txid obj fld v ~write:true
 
 let release_all ctx t =
@@ -778,7 +906,62 @@ let commit ctx t =
         done
       done;
       release_all ctx t;
-      Option.iter (Quiesce.retire_ticket ctx.q) ticket);
+      Option.iter (Quiesce.retire_ticket ctx.q) ticket
+  | Config.Mvcc ->
+      let update = mvcc_has_public t in
+      (* Commit does not happen in zero time after the last access: a
+         preemption point here models the gap in which concurrent plain
+         stores (weak atomicity) or other commits can land. Everything
+         after it - first-committer-wins, validation, write-back - runs
+         without another yield. *)
+      Sched.yield ();
+      if update then begin
+        (* first-committer-wins: abort if any written granule gained a
+           newer version since our snapshot *)
+        for i = t.nwbuf - 1 downto 0 do
+          if t.wbuf_prior.(i) >= 0 then begin
+            let obj = t.wbuf_obj.(i) in
+            if not (Mvcc.fcw_ok obj ~snap:t.snap) then begin
+              t.last_oid <- obj.Heap.oid;
+              t.last_aggr <- -1;
+              t.last_aggr_tid <- -1;
+              t.abort_cause <- Trace.Cause_conflict;
+              raise Abort_txn
+            end
+          end
+        done;
+        (* serializable: reads must additionally still be current;
+           snapshot isolation stops at first-committer-wins, which is
+           exactly what admits write skew *)
+        if not (validate ctx t) then begin
+          t.abort_cause <- Trace.Cause_validation;
+          raise Abort_txn
+        end
+      end;
+      emit_serialized t;
+      if not update then Mvcc.note_ro_commit ctx.mv;
+      (* Install versions and write back without a single yield: on the
+         cooperative scheduler the mvcc commit is atomic by construction.
+         There is no write-back window (contrast the lazy branch above),
+         so read-only transactions — and non-transactional readers under
+         strong atomicity — only ever observe complete committed states.
+         [version_ts <> ts] dedupes installs when several granule slots
+         share an object: the fresh timestamp can't equal a pre-commit
+         stamp, and the first install sets it. *)
+      let ts = if update then Mvcc.advance ctx.mv else 0 in
+      for i = t.nwbuf - 1 downto 0 do
+        let obj = t.wbuf_obj.(i) in
+        let base = t.wbuf_base.(i) in
+        let buf = t.wbuf_buf.(i) in
+        if t.wbuf_prior.(i) >= 0 && Heap.version_ts obj <> ts then
+          Mvcc.install ctx.mv obj ~ts;
+        for j = 0 to t.wbuf_len.(i) - 1 do
+          publish_on_store ctx buf.(j);
+          Heap.set obj (base + j) buf.(j);
+          Sched.tick cost.Cost.plain_store
+        done
+      done;
+      mvcc_end_snapshot ctx t);
   Option.iter (Quiesce.deregister ctx.q) t.part;
   Hashtbl.remove ctx.registry t.txid;
   Stm_cm.Cm.on_commit ctx.cm ~txid:t.txid;
@@ -798,6 +981,7 @@ let commit ctx t =
 let abort ?(restart = true) ctx t =
   let cost = ctx.cfg.cost in
   Sched.tick cost.Cost.txn_abort;
+  mvcc_end_snapshot ctx t;
   (* roll back the undo log, newest entry first; each store is visible to
      unsynchronized readers - the paper's "manufactured writes" *)
   for i = t.nundo - 1 downto 0 do
@@ -827,7 +1011,8 @@ let abort ?(restart = true) ctx t =
   let by, by_tid, oid =
     match cause with
     | Trace.Cause_wounded -> (t.flag.killed_by, t.flag.killed_by_tid, t.last_oid)
-    | Trace.Cause_conflict | Trace.Cause_validation | Trace.Cause_stale_lock ->
+    | Trace.Cause_conflict | Trace.Cause_validation | Trace.Cause_stale_lock
+    | Trace.Cause_snapshot ->
         (t.last_aggr, t.last_aggr_tid, t.last_oid)
     | Trace.Cause_retry | Trace.Cause_exn -> (-1, -1, -1)
   in

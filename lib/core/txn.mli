@@ -12,6 +12,15 @@
       commit acquires the records, validates, then writes back after the
       serialization point — the write-back window behind the ordering
       anomalies of Section 2.3.
+    - {b Mvcc}: multi-version — reads are served from per-granule version
+      chains as of a begin-time snapshot and take no ownership; writes are
+      buffered and installed first-committer-wins at commit under a global
+      commit clock (see {!Stm_mvcc.Mvcc}). Read-only transactions
+      serialize at their snapshot point and commit validation-free — they
+      are abort-free (up to the {!Config.t.mvcc_max_versions} chain
+      bound). Under {!Config.Serializable} an update transaction's commit
+      additionally re-checks that every read granule is still current;
+      under {!Config.Snapshot} it does not, admitting write skew.
 
     Undo-log entries and write-buffer slots cover
     {!Config.t.granule}-field granules, so setting [granule > 1]
@@ -36,6 +45,11 @@ val quiescer : ctx -> Quiesce.t
 val cm : ctx -> Stm_cm.Cm.t
 (** The run's contention manager (built from {!Config.t.cm}); the
     {!Stm.atomic} runner consults it for inter-attempt backoff. *)
+
+val mvcc : ctx -> Stm_mvcc.Mvcc.t
+(** The run's commit clock and snapshot registry (only advanced under
+    {!Config.Mvcc}; the non-transactional strong-atomicity write barrier
+    also installs versions through it). *)
 
 type t
 (** A transaction descriptor. *)

@@ -7,19 +7,21 @@ open Stm_runtime
    consecutive-abort streaks), while an age-based policy ([timestamp])
    lets every thread finish. All runs are deterministic given a seed. *)
 
-type scenario = Long_vs_short | Livelock_pair | Inversion_chain
+type scenario = Long_vs_short | Livelock_pair | Inversion_chain | Read_heavy
 
-let all_scenarios = [ Long_vs_short; Livelock_pair; Inversion_chain ]
+let all_scenarios = [ Long_vs_short; Livelock_pair; Inversion_chain; Read_heavy ]
 
 let scenario_name = function
   | Long_vs_short -> "long-vs-short"
   | Livelock_pair -> "livelock-pair"
   | Inversion_chain -> "inversion-chain"
+  | Read_heavy -> "read-heavy"
 
 let scenario_of_string = function
   | "long-vs-short" | "long_vs_short" | "longvshort" -> Some Long_vs_short
   | "livelock-pair" | "livelock_pair" | "livelock" -> Some Livelock_pair
   | "inversion-chain" | "inversion_chain" | "inversion" -> Some Inversion_chain
+  | "read-heavy" | "read_heavy" | "readheavy" -> Some Read_heavy
   | _ -> None
 
 let describe_scenario = function
@@ -33,6 +35,11 @@ let describe_scenario = function
   | Inversion_chain ->
       "a ring of writers, each holding its own record while asking for \
        its neighbor's; circular contention with no global owner order"
+  | Read_heavy ->
+      "one writer sweeps every record per transaction while a crowd of \
+       read-only scanners checks the all-equal invariant; single-version \
+       backends abort the scanners, mvcc serves them from snapshots \
+       abort-free"
 
 (* A thread has "starved" when it lost this many times in a row. The
    constant is calibrated against the scenario sizes below: under
@@ -57,15 +64,23 @@ type report = {
   starved : int list;
 }
 
-let config ~cm ~seed =
-  {
-    Config.eager_weak with
-    Config.cm;
-    cm_seed = seed;
-    cost = stress_cost;
-    max_txn_retries = 6;
-    validate_every = 16;
-  }
+let config ?(versioning = Config.Eager) ?(isolation = Config.Serializable)
+    ~cm ~seed () =
+  let base =
+    match versioning with
+    | Config.Eager -> Config.eager_weak
+    | Config.Lazy -> Config.lazy_weak
+    | Config.Mvcc -> Config.mvcc_weak
+  in
+  Config.with_isolation isolation
+    {
+      base with
+      Config.cm;
+      cm_seed = seed;
+      cost = stress_cost;
+      max_txn_retries = 6;
+      validate_every = 16;
+    }
 
 (* ------------------------------------------------------------------ *)
 (* Scenario bodies (run inside Stm.run's main thread)                  *)
@@ -167,17 +182,62 @@ let inversion_chain () =
     assert (Stm.to_int (Stm.read recs i) = 2 * rounds)
   done
 
+(* One writer sweeps every record inside a single transaction; [readers]
+   scanners run read-only transactions that copy all records out. The
+   writer's sweep is all-or-nothing, so a committed scan must see all
+   records equal - the assert runs on the values a COMMITTED transaction
+   observed (doomed attempts may see torn state under eager versioning
+   and retry). Under mvcc the scanners serve from snapshots and commit
+   abort-free; under the single-version backends they conflict with the
+   writer's ownership and pay aborts. *)
+let read_heavy () =
+  let n = 8 in
+  let readers = 4 in
+  let iters = 30 in
+  let rounds = 20 in
+  let recs = alloc_counters n in
+  let writer () =
+    for _ = 1 to rounds do
+      Stm.atomic (fun () ->
+          for i = 0 to n - 1 do
+            incr_field recs i;
+            Sched.pause 40
+          done);
+      Sched.pause 20
+    done
+  in
+  let reader () =
+    let vals = Array.make n 0 in
+    for _ = 1 to iters do
+      Stm.atomic (fun () ->
+          for i = 0 to n - 1 do
+            vals.(i) <- Stm.to_int (Stm.read recs i)
+          done);
+      Array.iter (fun v -> assert (v = vals.(0))) vals;
+      Sched.pause 15
+    done
+  in
+  let tw = Sched.spawn ~name:"writer" writer in
+  let ts = List.init readers (fun _ -> Sched.spawn ~name:"reader" reader) in
+  Sched.join tw;
+  List.iter Sched.join ts;
+  for i = 0 to n - 1 do
+    assert (Stm.to_int (Stm.read recs i) = rounds)
+  done
+
 let body = function
   | Long_vs_short -> long_vs_short
   | Livelock_pair -> livelock_pair
   | Inversion_chain -> inversion_chain
+  | Read_heavy -> read_heavy
 
 (* ------------------------------------------------------------------ *)
 (* Runner                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(seed = 0) ?(fuel = 2_000_000) ?consumer ~cm scenario =
-  let cfg = config ~cm ~seed in
+let run ?(seed = 0) ?(fuel = 2_000_000) ?consumer ?versioning ?isolation ~cm
+    scenario =
+  let cfg = config ?versioning ?isolation ~cm ~seed () in
   let metrics = Stm_obs.Metrics.create () in
   (match consumer with
   | None -> Stm_obs.Metrics.install ~level:Trace.Info metrics

@@ -10,7 +10,7 @@
     every scenario within fuel with no starved thread, while [suicide]
     exceeds {!starvation_threshold} consecutive aborts on at least one. *)
 
-type scenario = Long_vs_short | Livelock_pair | Inversion_chain
+type scenario = Long_vs_short | Livelock_pair | Inversion_chain | Read_heavy
 
 val all_scenarios : scenario list
 val scenario_name : scenario -> string
@@ -42,6 +42,8 @@ val run :
   ?seed:int ->
   ?fuel:int ->
   ?consumer:(Stm_core.Trace.event -> unit) ->
+  ?versioning:Stm_core.Config.versioning ->
+  ?isolation:Stm_core.Config.isolation ->
   cm:Stm_cm.Policy.t ->
   scenario ->
   report
@@ -51,7 +53,10 @@ val run :
     removes) its own trace sink. [consumer] additionally receives the
     full Debug-level event stream (e.g. {!Stm_diag.Diag.consumer});
     the report's own metrics still count only Info events, so a run
-    reports identical counters with or without it. *)
+    reports identical counters with or without it. [versioning]
+    (default eager) and [isolation] (default serializable) select the
+    backend; under mvcc the {!Read_heavy} scanners must commit
+    abort-free. *)
 
 val passed : report -> bool
 (** Completed with zero starved threads. *)

@@ -37,8 +37,8 @@ type exec = {
   initialized : (string, unit) Hashtbl.t;  (* classes whose clinit ran *)
   profile : (int, int) Hashtbl.t option;  (* site id -> barrier executions *)
   mutable plans : site_plan array;  (* site id -> plan, per current cfg *)
-  mutable plans_key : (bool * bool) option;
-      (* (strong, strong_writes) the plans were computed for *)
+  mutable plans_key : (bool * bool * Config.versioning) option;
+      (* (strong, strong_writes, versioning) the plans were computed for *)
 }
 
 (* Aggregated-barrier state: ownership of one object's record held across
@@ -56,7 +56,13 @@ let err fmt = Fmt.kstr (fun s -> raise (Interp_error s)) fmt
    reuse the same table. *)
 let build_plans ex =
   let strong = ex.cfg.Config.strong and sw = ex.cfg.Config.strong_writes in
-  if ex.plans_key <> Some (strong, sw) then begin
+  let versioning = ex.cfg.Config.versioning in
+  (* Aggregated acquires hold the object's ownership record across the
+     group, but mvcc transactions never consult ownership - they commit
+     against version stamps - so the hold would exclude nothing. Fall
+     back to full per-access barriers there. *)
+  let agg_ok = strong && sw && versioning <> Config.Mvcc in
+  if ex.plans_key <> Some (strong, sw, versioning) then begin
     let default = { p_unlogged = false; p_nontxn = P_auto } in
     let plans = Array.make (max 1 ex.prog.Ir.next_site) default in
     Ir.iter_methods ex.prog (fun m ->
@@ -64,13 +70,13 @@ let build_plans ex =
             let p_nontxn =
               match note.Ir.barrier with
               | Ir.Bar_removed _ -> P_removed
-              | Ir.Bar_agg_start n when strong && sw -> P_agg n
+              | Ir.Bar_agg_start n when agg_ok -> P_agg n
               | Ir.Bar_agg_start _ | Ir.Bar_agg_member | Ir.Bar_auto -> P_auto
             in
             plans.(note.Ir.site) <-
               { p_unlogged = note.Ir.txn_unlogged && not strong; p_nontxn }));
     ex.plans <- plans;
-    ex.plans_key <- Some (strong, sw)
+    ex.plans_key <- Some (strong, sw, versioning)
   end
 
 let statics_obj ex cls =

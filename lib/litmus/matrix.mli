@@ -49,5 +49,28 @@ val privatization_row :
     (Section 3.4): quiescence must fix this program even under weak
     atomicity. *)
 
+val expected_mvcc : (string * bool list) list
+(** Per-program expectations under the multi-version columns, in
+    {!Modes.all_mvcc} order: weak-mvcc, weak-mvcc-si, strong-mvcc,
+    strong-mvcc-si. Covers every litmus program including privatization
+    and the SI rows. *)
+
+val si_rows :
+  ?preemption_bound:int -> ?max_runs:int -> ?cm:Stm_cm.Policy.t -> unit ->
+  cell list
+(** The snapshot-isolation litmus programs (write skew, long fork,
+    read-only snapshot) under all nine columns: write skew must appear
+    exactly in the two snapshot-isolation columns. *)
+
+val mvcc_rows :
+  ?preemption_bound:int ->
+  ?max_runs:int ->
+  ?cm:Stm_cm.Policy.t ->
+  ?programs:Programs.t list ->
+  unit ->
+  cell list
+(** Every litmus program (or [programs]) under the four multi-version
+    columns. *)
+
 val all_match : cell list -> bool
 val pp_table : Format.formatter -> cell list -> unit

@@ -6,6 +6,8 @@ type t =
   | Weak of Config.versioning
   | Strong of Config.versioning
   | Weak_quiesce of Config.versioning
+  | Snapshot_weak
+  | Snapshot_strong
 
 let all_fig6 =
   [
@@ -16,13 +18,24 @@ let all_fig6 =
     Strong Config.Lazy;
   ]
 
-let vname = function Config.Eager -> "eager" | Config.Lazy -> "lazy"
+(* The multi-version columns: serializable and snapshot isolation, each
+   at weak and strong atomicity. Order is the column order of the
+   expectation tables in Matrix. *)
+let all_mvcc =
+  [ Weak Config.Mvcc; Snapshot_weak; Strong Config.Mvcc; Snapshot_strong ]
+
+let vname = function
+  | Config.Eager -> "eager"
+  | Config.Lazy -> "lazy"
+  | Config.Mvcc -> "mvcc"
 
 let name = function
   | Locks -> "locks"
   | Weak v -> "weak-" ^ vname v
   | Strong v -> "strong-" ^ vname v
   | Weak_quiesce v -> "quiesce-" ^ vname v
+  | Snapshot_weak -> "weak-mvcc-si"
+  | Snapshot_strong -> "strong-mvcc-si"
 
 let config ?(granule = 1) mode =
   let tune c =
@@ -34,6 +47,21 @@ let config ?(granule = 1) mode =
   | Strong v -> tune { Config.base with versioning = v; strong = true }
   | Weak_quiesce v ->
       tune { Config.base with versioning = v; quiescence = true }
+  | Snapshot_weak ->
+      tune
+        {
+          Config.base with
+          versioning = Config.Mvcc;
+          isolation = Config.Snapshot;
+        }
+  | Snapshot_strong ->
+      tune
+        {
+          Config.base with
+          versioning = Config.Mvcc;
+          isolation = Config.Snapshot;
+          strong = true;
+        }
 
 type harness = {
   atomic : (unit -> unit) -> unit;
@@ -45,7 +73,7 @@ let harness mode (cfg : Config.t) =
   | Locks ->
       let lock = Sim_mutex.create ~name:"litmus" cfg.cost in
       { atomic = (fun f -> Sim_mutex.with_lock lock f); force_abort = (fun () -> ()) }
-  | Weak _ | Strong _ | Weak_quiesce _ ->
+  | Weak _ | Strong _ | Weak_quiesce _ | Snapshot_weak | Snapshot_strong ->
       let fired = ref false in
       {
         atomic = (fun f -> Stm.atomic f);

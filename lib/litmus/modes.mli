@@ -9,10 +9,16 @@ type t =
   | Strong of Config.versioning
   | Weak_quiesce of Config.versioning
       (** weak atomicity plus the quiescence commit protocol *)
+  | Snapshot_weak  (** mvcc at snapshot isolation, weak barriers *)
+  | Snapshot_strong  (** mvcc at snapshot isolation, strong barriers *)
 
 val all_fig6 : t list
 (** The five Figure 6 columns: eager-weak, lazy-weak, locks, strong-eager,
     strong-lazy. *)
+
+val all_mvcc : t list
+(** The four multi-version columns, in expectation-table order:
+    weak-mvcc, weak-mvcc-si, strong-mvcc, strong-mvcc-si. *)
 
 val name : t -> string
 

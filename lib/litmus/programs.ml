@@ -31,6 +31,16 @@ let race t1 t2 =
   Sched.join a;
   Sched.join b
 
+let race4 t1 t2 t3 t4 =
+  let a = Sched.spawn ~name:"T1" t1 in
+  let b = Sched.spawn ~name:"T2" t2 in
+  let c = Sched.spawn ~name:"T3" t3 in
+  let d = Sched.spawn ~name:"T4" t4 in
+  Sched.join a;
+  Sched.join b;
+  Sched.join c;
+  Sched.join d
+
 let non_repeatable_read =
   {
     name = "nr";
@@ -414,6 +424,120 @@ let txn_dirty_read =
         { Explorer.main; observe });
   }
 
+(* The two guards read the location the other transaction writes; the
+   write sets are disjoint, so first-committer-wins never fires and both
+   commit under snapshot isolation. Serializable backends (and mvcc with
+   commit-time read validation) must forbid the (1, 1) outcome. *)
+let write_skew =
+  {
+    name = "write-skew";
+    figure = "si";
+    group = "TXN-TXN";
+    anomaly = "x = 1 and y = 1 (both guards saw the other side still 0)";
+    needs_granule = 1;
+    is_anomalous = (fun s -> s = "x=1 y=1");
+    build =
+      (fun h ->
+        let xo = ref None and yo = ref None in
+        let main () =
+          let x = Stm.alloc_public ~cls:"X" 1 in
+          let y = Stm.alloc_public ~cls:"Y" 1 in
+          init_int x 0 0;
+          init_int y 0 0;
+          xo := Some x;
+          yo := Some y;
+          race
+            (fun () ->
+              h.atomic (fun () -> if geti y 0 = 0 then seti x 0 1))
+            (fun () ->
+              h.atomic (fun () -> if geti x 0 = 0 then seti y 0 1))
+        in
+        let observe () =
+          Printf.sprintf "x=%d y=%d"
+            (raw (Option.get !xo) 0)
+            (raw (Option.get !yo) 0)
+        in
+        { Explorer.main; observe });
+  }
+
+(* Two independent writers, two read-only observers. Under parallel
+   snapshot isolation the observers may see the writes in opposite
+   orders (the "long fork"); the SI oracle deliberately admits that
+   shape. A single global commit clock totally orders the two writes,
+   so no backend in this repo can actually exhibit it - an all-"no"
+   row documenting that the mvcc backend is stronger than PSI. *)
+let long_fork =
+  {
+    name = "long-fork";
+    figure = "si";
+    group = "TXN-TXN";
+    anomaly = "observers see x and y committed in opposite orders";
+    needs_granule = 1;
+    is_anomalous =
+      (fun s ->
+        scan2 s "ax=%d ay=%d by=%d bx=%d" (fun ax ay by bx ->
+            ax = 1 && ay = 0 && by = 1 && bx = 0));
+    build =
+      (fun h ->
+        let ax = ref 0 and ay = ref 0 and bx = ref 0 and by = ref 0 in
+        let main () =
+          let x = Stm.alloc_public ~cls:"X" 1 in
+          let y = Stm.alloc_public ~cls:"Y" 1 in
+          init_int x 0 0;
+          init_int y 0 0;
+          race4
+            (fun () -> h.atomic (fun () -> seti x 0 1))
+            (fun () -> h.atomic (fun () -> seti y 0 1))
+            (fun () ->
+              h.atomic (fun () ->
+                  ax := geti x 0;
+                  ay := geti y 0))
+            (fun () ->
+              h.atomic (fun () ->
+                  by := geti y 0;
+                  bx := geti x 0))
+        in
+        let observe () =
+          Printf.sprintf "ax=%d ay=%d by=%d bx=%d" !ax !ay !by !bx
+        in
+        { Explorer.main; observe });
+  }
+
+(* A read-only transaction observing a two-location invariant while a
+   writer updates both sides transactionally. Every backend must keep
+   the pair consistent; under mvcc the reader additionally commits
+   abort-free from its snapshot (asserted by the read-heavy stress
+   scenario, not here). *)
+let read_only_snapshot =
+  {
+    name = "ro-snapshot";
+    figure = "si";
+    group = "TXN-TR";
+    anomaly = "read-only transaction observed a torn (x, y) pair";
+    needs_granule = 1;
+    is_anomalous = (fun s -> scan2 s "rx=%d ry=%d" (fun a b -> a <> b));
+    build =
+      (fun h ->
+        let rx = ref 0 and ry = ref 0 in
+        let main () =
+          let x = Stm.alloc_public ~cls:"X" 1 in
+          let y = Stm.alloc_public ~cls:"Y" 1 in
+          init_int x 0 0;
+          init_int y 0 0;
+          race
+            (fun () ->
+              h.atomic (fun () ->
+                  seti x 0 (geti x 0 + 1);
+                  seti y 0 (geti y 0 + 1)))
+            (fun () ->
+              h.atomic (fun () ->
+                  rx := geti x 0;
+                  ry := geti y 0))
+        in
+        let observe () = Printf.sprintf "rx=%d ry=%d" !rx !ry in
+        { Explorer.main; observe });
+  }
+
 let fig6_rows =
   [
     non_repeatable_read;
@@ -428,5 +552,5 @@ let fig6_rows =
   ]
 
 let extras = [ write_read_nr; txn_dirty_read ]
-
-let all = fig6_rows @ [ privatization ] @ extras
+let si_rows = [ write_skew; long_fork; read_only_snapshot ]
+let all = fig6_rows @ [ privatization ] @ extras @ si_rows

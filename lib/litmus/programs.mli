@@ -53,8 +53,27 @@ val txn_dirty_read : t
     (an all-"no" row: transactional isolation holds even under weak
     atomicity). *)
 
+val write_skew : t
+(** Disjoint write sets guarded by reads of the other side: both
+    transactions commit under snapshot isolation (x = y = 1), while
+    every serializable backend forbids it. The signature SI litmus. *)
+
+val long_fork : t
+(** Two independent writers, two read-only observers seeing them in
+    opposite orders. Admitted by the SI oracle (PSI shape) but
+    unreachable at runtime: the global commit clock totally orders the
+    writers. An all-"no" row. *)
+
+val read_only_snapshot : t
+(** A read-only transaction must never observe a torn two-location
+    invariant, under any backend or isolation level. *)
+
 val extras : t list
 (** The two extra litmus programs above. *)
+
+val si_rows : t list
+(** The snapshot-isolation litmus programs: write skew, long fork,
+    read-only snapshot. *)
 
 val fig6_rows : t list
 (** The nine programs backing the nine Figure 6 anomaly rows, in the

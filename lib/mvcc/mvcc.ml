@@ -1,0 +1,133 @@
+open Stm_runtime
+
+(* Multi-version concurrency control for the simulated heap.
+
+   One instance owns the global commit clock and the registry of live
+   snapshots. Each granule (heap object) keeps a bounded version chain
+   (see {!Heap.push_version} and friends); this module decides *when*
+   versions are installed and *which* retired versions are still
+   reachable.
+
+   The protocol is first-committer-wins over whole objects:
+
+   - a transaction takes a snapshot timestamp at begin and reads every
+     object as of that timestamp, abort-free;
+   - writes are buffered; commit installs them at a fresh clock tick iff
+     no other committer installed a newer version of a written object
+     since the snapshot was taken;
+   - read-only transactions commit without any validation at all - their
+     serialization point is their snapshot point.
+
+   Installation is performed by the caller (the txn layer / the strong
+   write barrier) without a scheduler yield, so on the cooperative
+   scheduler a commit's write-back is atomic by construction: no reader
+   ever observes a half-installed commit. *)
+
+type stats = {
+  mutable installs : int;  (* versions installed (commits + nontxn writes) *)
+  mutable pruned : int;  (* past versions dropped by GC *)
+  mutable snapshot_reads : int;  (* reads served from a past version *)
+  mutable too_old : int;  (* reads that missed a pruned version *)
+  mutable ro_commits : int;  (* read-only commits (validation-free) *)
+}
+
+type t = {
+  mutable clock : int;  (* last issued commit timestamp *)
+  max_versions : int;  (* chain bound, current version included *)
+  active : (int, int) Hashtbl.t;  (* snapshot ts -> live-transaction count *)
+  stats : stats;
+}
+
+let default_max_versions = 8
+
+let create ?(max_versions = default_max_versions) () =
+  if max_versions < 1 then invalid_arg "Mvcc.create: max_versions must be >= 1";
+  {
+    clock = 0;
+    max_versions;
+    active = Hashtbl.create 32;
+    stats = { installs = 0; pruned = 0; snapshot_reads = 0; too_old = 0; ro_commits = 0 };
+  }
+
+let now t = t.clock
+let max_versions t = t.max_versions
+let stats t = t.stats
+
+let advance t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot registry                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let begin_snapshot t =
+  let ts = t.clock in
+  Hashtbl.replace t.active ts
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.active ts));
+  ts
+
+let end_snapshot t ts =
+  match Hashtbl.find_opt t.active ts with
+  | Some 1 -> Hashtbl.remove t.active ts
+  | Some n -> Hashtbl.replace t.active ts (n - 1)
+  | None -> ()
+
+(* The oldest snapshot any live transaction still reads at; when no
+   transaction is live, the clock itself - every retired version is then
+   unreachable. Live-transaction counts are small (one per simulated
+   thread), so the fold is cheap. *)
+let oldest_active t =
+  Hashtbl.fold (fun ts _ acc -> min ts acc) t.active t.clock
+
+(* ------------------------------------------------------------------ *)
+(* Reads                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Read [obj.(fld)] as of snapshot [snap]. [None] = the version was
+   pruned (snapshot too old); the caller turns that into an abort. *)
+let read t (obj : Heap.obj) fld ~snap =
+  if Heap.version_ts obj <= snap then Some (Heap.get obj fld)
+  else begin
+    match Heap.read_at obj fld ~ts:snap with
+    | Some _ as v ->
+        t.stats.snapshot_reads <- t.stats.snapshot_reads + 1;
+        v
+    | None ->
+        t.stats.too_old <- t.stats.too_old + 1;
+        None
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Installation + GC                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* First-committer-wins check for one written object: no version newer
+   than the writer's snapshot may have been installed. *)
+let fcw_ok (obj : Heap.obj) ~snap = Heap.version_ts obj <= snap
+
+(* Retire the current fields of [obj] into its chain, to be overwritten
+   by the caller with the version stamped [ts], then GC the chain: drop
+   whatever the oldest live snapshot can no longer reach, bounded by
+   [max_versions] overall. Must be called before the first store of the
+   installing commit touches [obj], and the whole install must run
+   without a scheduler yield. *)
+let install t (obj : Heap.obj) ~ts =
+  Heap.push_version obj;
+  Heap.set_version_ts obj ts;
+  t.stats.installs <- t.stats.installs + 1;
+  let dropped =
+    Heap.prune_past obj ~oldest:(oldest_active t) ~max_versions:t.max_versions
+  in
+  t.stats.pruned <- t.stats.pruned + dropped
+
+let note_ro_commit t = t.stats.ro_commits <- t.stats.ro_commits + 1
+
+let stats_to_assoc t =
+  [
+    ("mvcc_installs", t.stats.installs);
+    ("mvcc_pruned", t.stats.pruned);
+    ("mvcc_snapshot_reads", t.stats.snapshot_reads);
+    ("mvcc_too_old", t.stats.too_old);
+    ("mvcc_ro_commits", t.stats.ro_commits);
+  ]

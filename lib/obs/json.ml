@@ -66,8 +66,9 @@ let of_assoc kvs = Obj (List.map (fun (k, v) -> (k, Int v)) kvs)
 
 (* ------------------------------------------------------------------ *)
 (* Parser: recursive descent over the grammar the emitter above
-   produces (full JSON except unicode escapes beyond \uXXXX -> only
-   code points < 0x80 are decoded; others become '?').                 *)
+   produces (full JSON; \uXXXX escapes decode to UTF-8, with
+   surrogate pairs combined into their supplementary-plane code
+   point).                                                             *)
 (* ------------------------------------------------------------------ *)
 
 exception Parse_error of string
@@ -118,13 +119,35 @@ let of_string s =
           | Some 'f' -> Buffer.add_char buf '\012'; advance (); go ()
           | Some 'u' ->
               advance ();
-              if !pos + 4 > n then fail "truncated \\u escape";
-              let hex = String.sub s !pos 4 in
-              pos := !pos + 4;
-              (match int_of_string_opt ("0x" ^ hex) with
-              | Some c when c < 0x80 -> Buffer.add_char buf (Char.chr c)
-              | Some _ -> Buffer.add_char buf '?'
-              | None -> fail "bad \\u escape");
+              let hex4 () =
+                if !pos + 4 > n then fail "truncated \\u escape";
+                let hex = String.sub s !pos 4 in
+                pos := !pos + 4;
+                match int_of_string_opt ("0x" ^ hex) with
+                | Some c -> c
+                | None -> fail "bad \\u escape"
+              in
+              let u = hex4 () in
+              let cp =
+                if u >= 0xD800 && u <= 0xDBFF then begin
+                  (* high surrogate: the paired low surrogate must
+                     follow, and the two code units encode one
+                     supplementary-plane (non-BMP) code point *)
+                  if
+                    not
+                      (!pos + 2 <= n && s.[!pos] = '\\' && s.[!pos + 1] = 'u')
+                  then fail "unpaired high surrogate in \\u escape";
+                  pos := !pos + 2;
+                  let lo = hex4 () in
+                  if not (lo >= 0xDC00 && lo <= 0xDFFF) then
+                    fail "unpaired high surrogate in \\u escape";
+                  0x10000 + ((u - 0xD800) lsl 10) + (lo - 0xDC00)
+                end
+                else if u >= 0xDC00 && u <= 0xDFFF then
+                  fail "unpaired low surrogate in \\u escape"
+                else u
+              in
+              Buffer.add_utf_8_uchar buf (Uchar.of_int cp);
               go ()
           | _ -> fail "bad escape")
       | Some c ->

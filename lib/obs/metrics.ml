@@ -32,8 +32,9 @@ let cause_index = function
   | Trace.Cause_wounded -> 3
   | Trace.Cause_retry -> 4
   | Trace.Cause_exn -> 5
+  | Trace.Cause_snapshot -> 6
 
-let ncauses = 6
+let ncauses = 7
 
 let all_causes =
   [
@@ -43,6 +44,7 @@ let all_causes =
     Trace.Cause_wounded;
     Trace.Cause_retry;
     Trace.Cause_exn;
+    Trace.Cause_snapshot;
   ]
 
 let create () =

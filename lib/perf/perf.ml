@@ -7,7 +7,11 @@ type sample = {
   alloc_words_per_op : float;
 }
 
-type report = { quick : bool; samples : sample list }
+type report = {
+  quick : bool;
+  backend : Stm_core.Config.versioning;
+  samples : sample list;
+}
 
 (* ------------------------------------------------------------------ *)
 (* Benchmark bodies                                                    *)
@@ -20,13 +24,21 @@ type report = { quick : bool; samples : sample list }
 
 let cell = "PerfCell"
 
+(* The weak-atomicity configuration the backend-sensitive txn/diag
+   benches run under. The [lazy-write-commit] bench stays pinned to the
+   lazy backend as a fixed cross-backend reference point. *)
+let cfg_of_backend = function
+  | Stm_core.Config.Eager -> Stm_core.Config.eager_weak
+  | Stm_core.Config.Lazy -> Stm_core.Config.lazy_weak
+  | Stm_core.Config.Mvcc -> Stm_core.Config.mvcc_weak
+
 (* Re-read the same granule many times inside one transaction. Before the
    dedup-on-insert read set this grew the read set by one entry per read
    and made every periodic validation walk the whole list - the quadratic
    hot path this suite exists to ratchet. *)
-let revalidate () =
+let revalidate cfg () =
   ignore
-    (Stm_core.Stm.run ~cfg:Stm_core.Config.eager_weak (fun () ->
+    (Stm_core.Stm.run ~cfg (fun () ->
          let o = Stm_core.Stm.alloc ~cls:cell 1 in
          Stm_core.Stm.atomic (fun () ->
              for _ = 1 to 4096 do
@@ -34,9 +46,9 @@ let revalidate () =
              done)))
 
 (* Open-for-read of many distinct objects: read-set insertion cost. *)
-let read_distinct () =
+let read_distinct cfg () =
   ignore
-    (Stm_core.Stm.run ~cfg:Stm_core.Config.eager_weak (fun () ->
+    (Stm_core.Stm.run ~cfg (fun () ->
          let objs =
            Array.init 128 (fun _ -> Stm_core.Stm.alloc ~cls:cell 1)
          in
@@ -45,10 +57,11 @@ let read_distinct () =
                Array.iter (fun o -> ignore (Stm_core.Stm.read o 0)) objs)
          done))
 
-(* Open-for-write + undo log + commit-time release, eager versioning. *)
-let write_commit () =
+(* Open-for-write + commit-time release under the selected backend:
+   undo log (eager), write buffer (lazy), or version install (mvcc). *)
+let write_commit cfg () =
   ignore
-    (Stm_core.Stm.run ~cfg:Stm_core.Config.eager_weak (fun () ->
+    (Stm_core.Stm.run ~cfg (fun () ->
          let objs =
            Array.init 64 (fun _ -> Stm_core.Stm.alloc ~cls:cell 1)
          in
@@ -74,9 +87,9 @@ let lazy_write_commit () =
          done))
 
 (* Deliberate abort/retry churn: descriptor, table and log turnover. *)
-let abort_retry () =
+let abort_retry cfg () =
   ignore
-    (Stm_core.Stm.run ~cfg:Stm_core.Config.eager_weak (fun () ->
+    (Stm_core.Stm.run ~cfg (fun () ->
          let o = Stm_core.Stm.alloc ~cls:cell 1 in
          for _ = 1 to 32 do
            let tries = ref 0 in
@@ -127,9 +140,9 @@ let fuzz_campaign =
    a Debug sink - the difference is the live cost of [--diag]. The
    *disabled* cost (diag code merged but no sink installed) is what the
    [--diag-gate] ratchet bounds on the txn/fig6 benches. *)
-let diag_churn () =
+let diag_churn cfg () =
   ignore
-    (Stm_core.Stm.run ~cfg:Stm_core.Config.eager_weak (fun () ->
+    (Stm_core.Stm.run ~cfg (fun () ->
          let o = Stm_core.Stm.alloc_public ~cls:cell 1 in
          let worker () =
            for i = 1 to 64 do
@@ -142,20 +155,22 @@ let diag_churn () =
          worker ();
          Stm_runtime.Sched.join t))
 
-let diag_churn_on () =
+let diag_churn_on cfg () =
   let d = Stm_diag.Diag.create () in
   Stm_core.Trace.set_sink ~level:Stm_core.Trace.Debug
     (Some (Stm_diag.Diag.consumer d));
-  Fun.protect ~finally:(fun () -> Stm_core.Trace.set_sink None) diag_churn
+  Fun.protect ~finally:(fun () -> Stm_core.Trace.set_sink None)
+    (diag_churn cfg)
 
 (* End-to-end store engine runs (KV shards + YCSB-style clients + full
    STM protocol + Min_clock scheduler), sized to finish in host
    microseconds: host cost per simulated store operation. *)
-let store_bench profile =
+let store_bench mode profile =
   let p =
     {
       Stm_store.Engine.default with
       Stm_store.Engine.profile;
+      mode;
       shards = 4;
       clients = 4;
       keys = 256;
@@ -165,28 +180,30 @@ let store_bench profile =
   in
   fun () -> ignore (Stm_store.Engine.run p)
 
-let store_read_heavy = store_bench Stm_store.Profile.read_heavy
-let store_write_heavy = store_bench Stm_store.Profile.write_heavy
-let store_batch = store_bench Stm_store.Profile.batch_mix
-
-let bodies : (string * (unit -> unit)) list =
+let bodies backend : (string * (unit -> unit)) list =
+  let cfg = cfg_of_backend backend in
+  let store_mode =
+    match backend with
+    | Stm_core.Config.Mvcc -> Stm_store.Kv.Mvcc
+    | Stm_core.Config.Eager | Stm_core.Config.Lazy -> Stm_store.Kv.Strong
+  in
   [
-    ("txn/revalidate", revalidate);
-    ("txn/read-distinct", read_distinct);
-    ("txn/write-commit", write_commit);
+    ("txn/revalidate", revalidate cfg);
+    ("txn/read-distinct", read_distinct cfg);
+    ("txn/write-commit", write_commit cfg);
     ("txn/lazy-write-commit", lazy_write_commit);
-    ("txn/abort-retry", abort_retry);
+    ("txn/abort-retry", abort_retry cfg);
     ("fig6/explorer-cell", fig6_explorer);
     ("fig18/tsp-4t", fig18_tsp);
     ("fuzz/clean-campaign", fuzz_campaign);
-    ("diag/churn-off", diag_churn);
-    ("diag/churn-on", diag_churn_on);
-    ("store/read-heavy", store_read_heavy);
-    ("store/write-heavy", store_write_heavy);
-    ("store/batch", store_batch);
+    ("diag/churn-off", diag_churn cfg);
+    ("diag/churn-on", diag_churn_on cfg);
+    ("store/read-heavy", store_bench store_mode Stm_store.Profile.read_heavy);
+    ("store/write-heavy", store_bench store_mode Stm_store.Profile.write_heavy);
+    ("store/batch", store_bench store_mode Stm_store.Profile.batch_mix);
   ]
 
-let bench_names = List.map fst bodies
+let bench_names = List.map fst (bodies Stm_core.Config.Eager)
 
 (* ------------------------------------------------------------------ *)
 (* Measurement                                                         *)
@@ -205,7 +222,8 @@ let alloc_words_of f =
 
 let group_name = "perf"
 
-let suite ?(quick = false) () =
+let suite ?(quick = false) ?(backend = Stm_core.Config.Eager) () =
+  let bodies = bodies backend in
   let tests =
     Test.make_grouped ~name:group_name
       (List.map (fun (n, f) -> Test.make ~name:n (Staged.stage f)) bodies)
@@ -238,7 +256,7 @@ let suite ?(quick = false) () =
       bodies
     |> List.sort (fun a b -> compare a.name b.name)
   in
-  { quick; samples }
+  { quick; backend; samples }
 
 (* ------------------------------------------------------------------ *)
 (* JSON, baseline comparison                                           *)
@@ -250,6 +268,8 @@ let to_json r =
     [
       ("schema", Json.Str "stm-perf/1");
       ("quick", Json.Bool r.quick);
+      ( "backend",
+        Json.Str (Stm_core.Config.versioning_to_string r.backend) );
       ( "benches",
         Json.Obj
           (List.map

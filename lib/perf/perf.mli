@@ -20,15 +20,25 @@ type sample = {
 
 type report = {
   quick : bool;
+  backend : Stm_core.Config.versioning;  (** see {!suite} *)
   samples : sample list;  (** sorted by name *)
 }
 
 val bench_names : string list
 (** Every bench the suite runs, in definition order ([stm_bench --list]). *)
 
-val suite : ?quick:bool -> unit -> report
+val suite :
+  ?quick:bool -> ?backend:Stm_core.Config.versioning -> unit -> report
 (** Run every microbench and end-to-end bench. [quick] shrinks the
-    Bechamel quota for CI smoke runs (same operations, fewer samples). *)
+    Bechamel quota for CI smoke runs (same operations, fewer samples).
+    [backend] (default [Eager]) selects the versioning backend the
+    backend-sensitive benches run under — the txn/* and diag/* benches
+    switch their weak-atomicity configuration, the store/* benches run
+    the store's matching mode ([Kv.Mvcc] under mvcc, [Kv.Strong]
+    otherwise); [lazy-write-commit] and the end-to-end figure/fuzz units
+    keep their own fixed configurations. Reports for different backends
+    ratchet against different baseline files ([bench/baseline.json],
+    [bench/baseline-mvcc.json]). *)
 
 val to_json : report -> Stm_obs.Json.t
 

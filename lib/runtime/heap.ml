@@ -13,7 +13,18 @@ and obj = {
   kind : [ `Obj | `Arr | `Statics ];
   txrec : int Atomic.t;
   fields : value array;
+  (* Multi-version backend (mvcc): [fields] always holds the latest
+     committed version; [vts] is the commit timestamp it was installed
+     at (0 = initial state), and [past] chains the superseded versions,
+     newest first. Single-version backends never touch either field. *)
+  mutable vts : int;
+  mutable past : version list;
 }
+
+and version = { vfrom : int; vvals : value array }
+(* A superseded whole-object version: [vvals] were the object's fields
+   from commit timestamp [vfrom] (inclusive) until the next-newer
+   version's [vfrom] (exclusive). *)
 
 let counter = ref 0
 
@@ -33,6 +44,8 @@ let alloc ?(txrec = shared_txrec0) ~cls n =
     kind = `Obj;
     txrec = Atomic.make txrec;
     fields = Array.make n Vnull;
+    vts = 0;
+    past = [];
   }
 
 let alloc_array ?(txrec = shared_txrec0) n init =
@@ -42,6 +55,8 @@ let alloc_array ?(txrec = shared_txrec0) n init =
     kind = `Arr;
     txrec = Atomic.make txrec;
     fields = Array.make n init;
+    vts = 0;
+    past = [];
   }
 
 let alloc_statics ?(txrec = shared_txrec0) ~cls n =
@@ -51,6 +66,8 @@ let alloc_statics ?(txrec = shared_txrec0) ~cls n =
     kind = `Statics;
     txrec = Atomic.make txrec;
     fields = Array.make n Vnull;
+    vts = 0;
+    past = [];
   }
 
 (* Sentinel for unused slots of growable arrays of objects (the STM's
@@ -63,11 +80,66 @@ let dummy =
     kind = `Obj;
     txrec = Atomic.make shared_txrec0;
     fields = [||];
+    vts = 0;
+    past = [];
   }
 
 let get o i = o.fields.(i)
 let set o i v = o.fields.(i) <- v
 let nfields o = Array.length o.fields
+
+(* ------------------------------------------------------------------ *)
+(* Version chains (mvcc backend)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let version_ts o = o.vts
+let set_version_ts o ts = o.vts <- ts
+let past_versions o = o.past
+let chain_length o = 1 + List.length o.past
+
+(* Retire the current fields into the chain; the caller then overwrites
+   [fields] in place and stamps the new [vts]. *)
+let push_version o = o.past <- { vfrom = o.vts; vvals = Array.copy o.fields } :: o.past
+
+(* The value of field [fld] as of snapshot [ts]: the newest version whose
+   install timestamp is [<= ts]. [None] means the chain was pruned past
+   [ts] (snapshot too old). *)
+let read_at o fld ~ts =
+  if o.vts <= ts then Some o.fields.(fld)
+  else
+    let rec find = function
+      | [] -> None
+      | { vfrom; vvals } :: older ->
+          if vfrom <= ts then Some vvals.(fld) else find older
+    in
+    find o.past
+
+(* Drop chain entries no live snapshot can reach: walking newest-first,
+   every version installed at or before [oldest] except the first is
+   unreachable (the first still serves snapshot [oldest] itself). The
+   [max_versions] cap bounds the chain length regardless — dropping a
+   reachable version is then possible and surfaces to readers as a
+   snapshot-too-old miss. Returns the number of versions dropped. *)
+let prune_past o ~oldest ~max_versions =
+  let dropped = ref 0 in
+  let rec go n = function
+    | [] -> []
+    | ({ vfrom; _ } as v) :: older ->
+        (* [n] entries already kept (current fields included): admitting
+           [v] makes [n + 1], which must not exceed the cap *)
+        if n + 1 > max_versions then begin
+          dropped := !dropped + 1 + List.length older;
+          []
+        end
+        else if vfrom <= oldest then begin
+          (* [v] is the floor: everything older is unreachable *)
+          dropped := !dropped + List.length older;
+          [ v ]
+        end
+        else v :: go (n + 1) older
+  in
+  o.past <- go 1 o.past;
+  !dropped
 
 let value_equal a b =
   match (a, b) with

@@ -22,7 +22,16 @@ and obj = private {
   kind : [ `Obj | `Arr | `Statics ];
   txrec : int Atomic.t;  (** transaction record word (see {!Stm_core.Txrec}) *)
   fields : value array;
+  mutable vts : int;
+      (** mvcc backend: commit timestamp of the current [fields]
+          (0 = initial state). Single-version backends leave it at 0. *)
+  mutable past : version list;
+      (** mvcc backend: superseded versions, newest first. *)
 }
+
+and version = private { vfrom : int; vvals : value array }
+(** One superseded whole-object version: the fields that were current
+    from commit timestamp [vfrom] until the next-newer version's. *)
 
 val reset : unit -> unit
 (** Reset the object-id counter (call at the start of each simulated run
@@ -51,6 +60,38 @@ val set : obj -> int -> value -> unit
 (** Raw field store. *)
 
 val nfields : obj -> int
+
+(** {2 Version chains (mvcc backend)}
+
+    The heap only stores the chain; the commit clock, snapshot registry
+    and GC policy live in {!Stm_mvcc.Mvcc}. *)
+
+val version_ts : obj -> int
+(** Commit timestamp of the current fields. *)
+
+val set_version_ts : obj -> int -> unit
+
+val past_versions : obj -> version list
+(** Superseded versions, newest first. *)
+
+val chain_length : obj -> int
+(** [1 +] the number of retained past versions. *)
+
+val push_version : obj -> unit
+(** Retire the current fields (a copy) into the chain at the current
+    [version_ts]; the caller then updates [fields] in place and stamps
+    the new timestamp with {!set_version_ts}. *)
+
+val read_at : obj -> int -> ts:int -> value option
+(** [read_at o fld ~ts] is the value of [o.(fld)] as of snapshot [ts]:
+    the newest version installed at or before [ts]. [None] when the
+    chain was pruned past [ts] (snapshot too old). *)
+
+val prune_past : obj -> oldest:int -> max_versions:int -> int
+(** Drop past versions no snapshot [>= oldest] can reach, and bound the
+    whole chain to [max_versions] entries regardless (dropping reachable
+    versions then surfaces as {!read_at} misses). Returns the number of
+    versions dropped. *)
 
 val shared_txrec0 : int
 (** The transaction-record word for a public object with version 0:

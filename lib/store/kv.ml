@@ -1,22 +1,25 @@
 open Stm_runtime
 module Stm = Stm_core.Stm
 
-type mode = Strong | Weak | Lock
+type mode = Strong | Weak | Lock | Mvcc
 
 let mode_to_string = function
   | Strong -> "strong"
   | Weak -> "weak"
   | Lock -> "lock"
+  | Mvcc -> "mvcc"
 
 let mode_of_string = function
   | "strong" -> Some Strong
   | "weak" -> Some Weak
   | "lock" -> Some Lock
+  | "mvcc" -> Some Mvcc
   | _ -> None
 
 let config = function
   | Strong -> Stm_core.Config.eager_strong
   | Weak | Lock -> Stm_core.Config.eager_weak
+  | Mvcc -> Stm_core.Config.mvcc_strong
 
 (* Entry object layout: field 0 = key, field 1 = next link,
    fields 2 .. 2+value_size-1 = value words. *)
@@ -78,7 +81,7 @@ let create ?(buckets = 64) ?(value_size = 4) ~mode ~shards ~cost () =
     | Lock ->
         Array.init shards (fun s ->
             Sim_mutex.create ~name:(Printf.sprintf "shard-%d" s) cost)
-    | Strong | Weak -> [||]
+    | Strong | Weak | Mvcc -> [||]
   in
   {
     mode;
@@ -100,19 +103,19 @@ let create ?(buckets = 64) ?(value_size = 4) ~mode ~shards ~cost () =
 let rd t o f =
   match t.mode with
   | Lock -> Stm.read_nobarrier o f
-  | Strong | Weak -> Stm.read o f
+  | Strong | Weak | Mvcc -> Stm.read o f
 
 let wr t o f v =
   match t.mode with
   | Lock -> Stm.write_nobarrier o f v
-  | Strong | Weak -> Stm.write o f v
+  | Strong | Weak | Mvcc -> Stm.write o f v
 
 (* Run [f] atomically with respect to the given shards: an atomic block
    under the STM modes, the shard mutexes in ascending order under the
    lock baseline (total order on locks = no simulated deadlock). *)
 let atomically t shs f =
   match t.mode with
-  | Strong | Weak -> Stm.atomic f
+  | Strong | Weak | Mvcc -> Stm.atomic f
   | Lock ->
       let shs = List.sort_uniq compare shs in
       let rec go = function
@@ -125,7 +128,7 @@ let atomically t shs f =
    and run bare otherwise (that is the point of the mixed traffic). *)
 let nontxn t sh f =
   match t.mode with
-  | Strong | Weak -> f ()
+  | Strong | Weak | Mvcc -> f ()
   | Lock -> Sim_mutex.with_lock t.locks.(sh) f
 
 let register_entry t e k sh =
@@ -281,7 +284,7 @@ let shards_of_keys t ks =
 let read_headers t shs =
   match t.mode with
   | Lock -> ()  (* the locks are held; no snapshot validation needed *)
-  | Strong | Weak ->
+  | Strong | Weak | Mvcc ->
       List.iter (fun s -> ignore (rd t t.headers.(s) fld_seqno)) shs
 
 let multi_get t ks =

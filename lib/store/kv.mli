@@ -23,6 +23,13 @@
       mutex(es) (in ascending shard order for multi-shard operations)
       and accesses memory through the barrier-elided
       [read_nobarrier]/[write_nobarrier] path.
+    - [Mvcc]: the multi-version backend with strong-atomicity barriers
+      ([mvcc_strong]): transactions read consistent snapshots and
+      install versions first-committer-wins, non-transactional accesses
+      see (and produce) the latest committed version. Held to the same
+      exactness bar as [Strong] and [Lock] — the engine's update
+      deviation must be zero and recorded runs must certify
+      serializable.
 
     Mutating transactions first bump their shard's sequence number, so
     writers within one shard serialize on the header granule while
@@ -37,7 +44,7 @@
 
 open Stm_runtime
 
-type mode = Strong | Weak | Lock
+type mode = Strong | Weak | Lock | Mvcc
 
 val mode_to_string : mode -> string
 val mode_of_string : string -> mode option
@@ -45,7 +52,8 @@ val mode_of_string : string -> mode option
 val config : mode -> Stm_core.Config.t
 (** The STM configuration a mode runs under: [eager_strong] for
     [Strong], [eager_weak] for [Weak] and [Lock] (lock mode uses the
-    barrier-elided access path, so the atomicity flag is moot). *)
+    barrier-elided access path, so the atomicity flag is moot),
+    [mvcc_strong] for [Mvcc]. *)
 
 type t
 

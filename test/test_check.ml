@@ -40,26 +40,28 @@ let test_graph_serializable () =
   in
   check_anomaly "wr chain accepted" true (History.check_graph h = None)
 
+(* Write skew: each transaction reads the initial value of the cell the
+   other one writes. Both rw edges point opposite ways - the canonical
+   serializable/SI separator, shared by the graph and SI tests below. *)
+let write_skew_history =
+  {
+    History.init = [ (cell 0, vi 0); (cell 1, vi 0) ];
+    nodes =
+      [
+        node ~id:0 ~tid:0 ~stamp:0
+          ~reads:[ (cell 0, vi 0) ]
+          ~writes:[ (cell 1, vi 10) ]
+          ();
+        node ~id:1 ~tid:1 ~stamp:1
+          ~reads:[ (cell 1, vi 0) ]
+          ~writes:[ (cell 0, vi 20) ]
+          ();
+      ];
+    final = [ (cell 0, vi 20); (cell 1, vi 10) ];
+  }
+
 let test_graph_rw_cycle () =
-  (* Write skew: each transaction reads the initial value of the cell
-     the other one writes. Both rw edges point opposite ways. *)
-  let h =
-    {
-      History.init = [ (cell 0, vi 0); (cell 1, vi 0) ];
-      nodes =
-        [
-          node ~id:0 ~tid:0 ~stamp:0
-            ~reads:[ (cell 0, vi 0) ]
-            ~writes:[ (cell 1, vi 10) ]
-            ();
-          node ~id:1 ~tid:1 ~stamp:1
-            ~reads:[ (cell 1, vi 0) ]
-            ~writes:[ (cell 0, vi 20) ]
-            ();
-        ];
-      final = [ (cell 0, vi 20); (cell 1, vi 10) ];
-    }
-  in
+  let h = write_skew_history in
   match History.check_graph h with
   | Some (History.Cycle edges) ->
       Alcotest.(check bool) "cycle has >= 2 edges" true (List.length edges >= 2)
@@ -141,6 +143,169 @@ let test_graph_final_mismatch () =
     (match History.check_graph h with
     | Some (History.Final_mismatch _) -> true
     | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot-isolation certifier on hand-built histories                *)
+(* ------------------------------------------------------------------ *)
+
+(* The differential replay inside [certify] only runs once the graph
+   check passes; the hand-built anomalous histories never reach it, so
+   an empty program is enough. *)
+let dummy_prog = { Prog.ncells = 2; nslots = 0; threads = [] }
+
+let lost_update_history =
+  (* Both transactions read version 0 of c0; the second installs version
+     2 - the first committer's update is silently overwritten. *)
+  {
+    History.init = [ (cell 0, vi 0) ];
+    nodes =
+      [
+        node ~id:0 ~tid:0 ~stamp:0
+          ~reads:[ (cell 0, vi 0) ]
+          ~writes:[ (cell 0, vi 10) ]
+          ();
+        node ~id:1 ~tid:1 ~stamp:1
+          ~reads:[ (cell 0, vi 0) ]
+          ~writes:[ (cell 0, vi 20) ]
+          ();
+      ];
+    final = [ (cell 0, vi 20) ];
+  }
+
+let long_fork_history =
+  (* Two independent writers; each reader sees exactly one of the two
+     writes - the forked observers agree on no single prefix, but every
+     individual snapshot is causally consistent. *)
+  {
+    History.init = [ (cell 0, vi 0); (cell 1, vi 0) ];
+    nodes =
+      [
+        node ~id:0 ~tid:0 ~stamp:0 ~reads:[] ~writes:[ (cell 0, vi 10) ] ();
+        node ~id:1 ~tid:1 ~stamp:1
+          ~reads:[ (cell 0, vi 10); (cell 1, vi 0) ]
+          ~writes:[] ();
+        node ~id:2 ~tid:2 ~stamp:2 ~reads:[] ~writes:[ (cell 1, vi 20) ] ();
+        node ~id:3 ~tid:3 ~stamp:3
+          ~reads:[ (cell 1, vi 20); (cell 0, vi 0) ]
+          ~writes:[] ();
+      ];
+    final = [ (cell 0, vi 10); (cell 1, vi 20) ];
+  }
+
+let dirty_read_history =
+  {
+    History.init = [ (cell 0, vi 0) ];
+    nodes =
+      [ node ~id:0 ~tid:0 ~stamp:0 ~reads:[ (cell 0, vi 999) ] ~writes:[] () ];
+    final = [ (cell 0, vi 0) ];
+  }
+
+let test_si_admits_write_skew () =
+  check_anomaly "write skew passes SI" true
+    (History.check_si_graph write_skew_history = None);
+  check_anomaly "write skew fails serializability" true
+    (History.check_graph write_skew_history <> None)
+
+let test_si_admits_long_fork () =
+  check_anomaly "long fork passes SI" true
+    (History.check_si_graph long_fork_history = None);
+  check_anomaly "long fork fails serializability" true
+    (match History.check_graph long_fork_history with
+    | Some (History.Cycle _) -> true
+    | _ -> false)
+
+let test_si_rejects_lost_update () =
+  check_anomaly "lost update rejected under SI" true
+    (match History.check_si_graph lost_update_history with
+    | Some (History.Lost_update { read_idx = 0; write_idx = 2; _ }) -> true
+    | _ -> false)
+
+let test_si_rejects_dirty_read () =
+  check_anomaly "dirty read rejected under SI" true
+    (match History.check_si_graph dirty_read_history with
+    | Some (History.Dirty_read _) -> true
+    | _ -> false)
+
+let test_si_rejects_fractured_read () =
+  (* One transaction observes two committed versions of c0: no snapshot
+     contains both. *)
+  let h =
+    {
+      History.init = [ (cell 0, vi 0) ];
+      nodes =
+        [
+          node ~id:0 ~tid:0 ~stamp:0 ~reads:[] ~writes:[ (cell 0, vi 10) ] ();
+          node ~id:1 ~tid:1 ~stamp:1
+            ~reads:[ (cell 0, vi 0); (cell 0, vi 10) ]
+            ~writes:[] ();
+        ];
+      final = [ (cell 0, vi 10) ];
+    }
+  in
+  check_anomaly "fractured read rejected under SI" true
+    (match History.check_si_graph h with
+    | Some (History.Fractured_read _) -> true
+    | _ -> false)
+
+let test_certify_levels () =
+  (match History.certify dummy_prog write_skew_history with
+  | History.Cert_snapshot_only (History.Cycle _) -> ()
+  | c ->
+      Alcotest.failf "write skew certified %s"
+        (History.certification_to_string c));
+  (match History.certify dummy_prog lost_update_history with
+  | History.Cert_anomalous (History.Lost_update _) -> ()
+  | c ->
+      Alcotest.failf "lost update certified %s"
+        (History.certification_to_string c));
+  match History.certify dummy_prog dirty_read_history with
+  | History.Cert_anomalous (History.Dirty_read _) -> ()
+  | c ->
+      Alcotest.failf "dirty read certified %s"
+        (History.certification_to_string c)
+
+(* One witness per anomaly constructor: adding a constructor without
+   extending this list (and [all_anomaly_kinds]) fails the test, so the
+   classifier can never silently lag the type. *)
+let anomaly_witnesses =
+  [
+    History.Cycle [];
+    History.Dirty_read { node = 0; rloc = cell 0; seen = vi 1 };
+    History.Final_mismatch { floc = cell 0; expected = None; actual = None };
+    History.Divergence { dloc = cell 0; replayed = None; actual = None };
+    History.Control_divergence { thread = 0; step = 0; detail = "" };
+    History.Private_clobbered { thread = 0; step = 0; expected = 1; seen = vi 0 };
+    History.Exec_failure "boom";
+    History.Lost_update { node = 0; uloc = cell 0; read_idx = 0; write_idx = 2 };
+    History.Fractured_read { node = 0; floc = cell 0; first = vi 0; second = vi 1 };
+  ]
+
+let test_anomaly_kinds_exhaustive () =
+  let kinds = List.map History.anomaly_kind anomaly_witnesses in
+  Alcotest.(check (list string))
+    "every kind witnessed, no duplicates, order stable"
+    History.all_anomaly_kinds kinds;
+  Alcotest.(check int)
+    "kinds distinct"
+    (List.length kinds)
+    (List.length (List.sort_uniq compare kinds))
+
+let test_si_forbids_partition () =
+  let forbidden =
+    List.filter History.si_forbids anomaly_witnesses
+    |> List.map History.anomaly_kind
+  in
+  Alcotest.(check (list string))
+    "SI forbids exactly the single-snapshot violations"
+    [
+      "dirty-read";
+      "final-mismatch";
+      "private-clobbered";
+      "exec-failure";
+      "lost-update";
+      "fractured-read";
+    ]
+    forbidden
 
 (* ------------------------------------------------------------------ *)
 (* Shrinker                                                            *)
@@ -313,6 +478,7 @@ let sample_repro driver =
   {
     Repro.combo =
       { Combo.versioning = Stm_core.Config.Eager;
+        isolation = Stm_core.Config.Serializable;
         atomicity = Combo.Weak;
         cm = Stm_cm.Policy.Suicide };
     profile = "mixed";
@@ -368,7 +534,12 @@ let priv_race_prog =
   }
 
 let combo versioning atomicity =
-  { Combo.versioning; atomicity; cm = Stm_cm.Policy.Suicide }
+  {
+    Combo.versioning;
+    isolation = Stm_core.Config.Serializable;
+    atomicity;
+    cm = Stm_cm.Policy.Suicide;
+  }
 
 let test_replay_deterministic () =
   List.iter
@@ -410,6 +581,35 @@ let test_repro_replay_matches () =
     }
   in
   Alcotest.(check bool) "replay matches" true (Repro.matches r (Repro.replay r))
+
+(* ------------------------------------------------------------------ *)
+(* Cross-backend differential sweep (smoke slice)                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A small slice of the nightly grid: the same seeded txn-only programs
+   on eager, lazy, mvcc and mvcc-snapshot, certified at each combo's own
+   isolation level. Any anomalous member is a cross-backend divergence
+   and fails the build with a replayable repro. *)
+let test_differential_smoke () =
+  let budget =
+    {
+      Fuzz.default_budget with
+      Fuzz.programs = 6;
+      seeds = 2;
+      base_seed = 1;
+      max_steps = Exec.default_fuel;
+    }
+  in
+  let r = Fuzz.run_differential budget in
+  Alcotest.(check int)
+    "grid size" 4
+    (List.length r.Fuzz.diff_combos);
+  Alcotest.(check int)
+    "executions = programs x seeds x combos"
+    (6 * 2 * 4) r.Fuzz.diff_executions;
+  if not (Fuzz.differential_passed r) then
+    Alcotest.failf "cross-backend divergence: %s"
+      (Stm_obs.Json.to_string (Fuzz.differential_to_json r))
 
 (* ------------------------------------------------------------------ *)
 (* Quiescence / DEA privatization regression                           *)
@@ -495,6 +695,24 @@ let suite =
         Alcotest.test_case "lost update" `Quick test_graph_lost_update;
         Alcotest.test_case "dirty read" `Quick test_graph_dirty_read;
         Alcotest.test_case "final mismatch" `Quick test_graph_final_mismatch;
+      ] );
+    ( "check-si",
+      [
+        Alcotest.test_case "admits write skew" `Quick test_si_admits_write_skew;
+        Alcotest.test_case "admits long fork" `Quick test_si_admits_long_fork;
+        Alcotest.test_case "rejects lost update" `Quick test_si_rejects_lost_update;
+        Alcotest.test_case "rejects dirty read" `Quick test_si_rejects_dirty_read;
+        Alcotest.test_case "rejects fractured read" `Quick
+          test_si_rejects_fractured_read;
+        Alcotest.test_case "certify classifies levels" `Quick test_certify_levels;
+        Alcotest.test_case "anomaly kinds exhaustive" `Quick
+          test_anomaly_kinds_exhaustive;
+        Alcotest.test_case "si_forbids partition" `Quick test_si_forbids_partition;
+      ] );
+    ( "check-differential",
+      [
+        Alcotest.test_case "cross-backend smoke slice" `Quick
+          test_differential_smoke;
       ] );
     ( "check-shrink",
       [

@@ -65,15 +65,16 @@ let serialization_index (c : Trace.abort_cause) =
   | Trace.Cause_wounded -> 3
   | Trace.Cause_retry -> 4
   | Trace.Cause_exn -> 5
+  | Trace.Cause_snapshot -> 6
 
 let all_causes_exhaustive () =
-  check_int "all_causes covers every constructor" 6
+  check_int "all_causes covers every constructor" 7
     (List.length Metrics.all_causes);
   List.iteri
     (fun i c -> check_int "serialization order" i (serialization_index c))
     Metrics.all_causes;
   let strs = List.map Trace.string_of_cause Metrics.all_causes in
-  check_int "cause strings are distinct" 6
+  check_int "cause strings are distinct" 7
     (List.length (List.sort_uniq compare strs))
 
 let every_cause_counted () =

@@ -62,6 +62,33 @@ let json_of_assoc () =
   check_string "counters" {|{"x":1,"y":2}|}
     (Json.to_string (Json.of_assoc [ ("x", 1); ("y", 2) ]))
 
+let json_unicode_escapes () =
+  (* BMP code points decode to UTF-8 *)
+  (match Json.of_string {|"caf\u00e9"|} with
+  | Ok (Json.Str s) -> check_string "latin-1 supplement" "caf\xc3\xa9" s
+  | _ -> Alcotest.fail "BMP escape did not parse");
+  (match Json.of_string {|"\u2713"|} with
+  | Ok (Json.Str s) -> check_string "3-byte BMP" "\xe2\x9c\x93" s
+  | _ -> Alcotest.fail "U+2713 did not parse");
+  (* a surrogate pair is one supplementary-plane code point: U+1F600 *)
+  (match Json.of_string {|"\ud83d\ude00"|} with
+  | Ok (Json.Str s) -> check_string "surrogate pair" "\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "surrogate pair did not parse");
+  (* decoded non-BMP text round-trips: the emitter passes raw UTF-8 *)
+  (match Json.of_string {|"\ud83d\ude00"|} with
+  | Ok j -> (
+      match Json.of_string (Json.to_string j) with
+      | Ok j' -> check_string "round trip" (Json.to_string j) (Json.to_string j')
+      | Error e -> Alcotest.failf "re-parse failed: %s" e)
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  (* lone surrogates are rejected, not silently mangled *)
+  check_bool "lone high surrogate rejected" true
+    (Result.is_error (Json.of_string {|"\ud83d"|}));
+  check_bool "lone low surrogate rejected" true
+    (Result.is_error (Json.of_string {|"\ude00x"|}));
+  check_bool "high surrogate before non-escape rejected" true
+    (Result.is_error (Json.of_string {|"\ud83dZ"|}))
+
 (* ------------------------------------------------------------------ *)
 (* Ring                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -432,6 +459,7 @@ let suite =
         case "basics" json_basics;
         case "escaping" json_escaping;
         case "of_assoc" json_of_assoc;
+        case "unicode escapes incl. surrogate pairs" json_unicode_escapes;
       ] );
     ( "obs:ring",
       [ case "basics" ring_basics; case "wrap + dropped" ring_wraps ] );

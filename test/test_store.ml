@@ -225,7 +225,7 @@ let invariants_all_profiles () =
             (profile.Profile.pname ^ " runs every op")
             (p.Engine.clients * p.Engine.ops_per_client)
             r.Engine.r_total_ops)
-        [ Kv.Strong; Kv.Weak; Kv.Lock ])
+        [ Kv.Strong; Kv.Weak; Kv.Lock; Kv.Mvcc ])
     Profile.all
 
 (* ------------------------------------------------------------------ *)
@@ -254,7 +254,7 @@ let strong_exact () =
         (Kv.mode_to_string mode ^ " deviation")
         (Some 0) r.Engine.r_deviation;
       check_bool "increments happened" true (r.Engine.r_increments > 0))
-    [ Kv.Strong; Kv.Lock ]
+    [ Kv.Strong; Kv.Lock; Kv.Mvcc ]
 
 (* ------------------------------------------------------------------ *)
 (* Scaling and barrier overhead                                        *)
@@ -301,7 +301,7 @@ let oracle_certifies_strong () =
           Alcotest.failf "%s-mode store traffic rejected: %a"
             (Kv.mode_to_string mode) Stm_check.History.pp_verdict v
       | None -> Alcotest.fail "record run must produce a verdict")
-    [ Kv.Strong; Kv.Lock ]
+    [ Kv.Strong; Kv.Lock; Kv.Mvcc ]
 
 let oracle_rejects_weak () =
   let r = Engine.run (record_params Kv.Weak) in
@@ -339,14 +339,15 @@ let suite =
         case "kv: semantics (strong)" (kv_semantics Kv.Strong);
         case "kv: semantics (weak)" (kv_semantics Kv.Weak);
         case "kv: semantics (lock)" (kv_semantics Kv.Lock);
+        case "kv: semantics (mvcc)" (kv_semantics Kv.Mvcc);
         case "engine: deterministic per seed" engine_deterministic;
         case "engine: invariants across all profiles and modes"
           invariants_all_profiles;
         case "fig6: weak mode loses updates" weak_loses_updates;
-        case "fig6: strong and lock modes are exact" strong_exact;
+        case "fig6: strong, lock and mvcc modes are exact" strong_exact;
         case "perf: throughput scales with shard count" shard_scaling;
         case "perf: strong pays barriers on non-txn ops" barrier_overhead;
-        case "oracle: certifies strong and lock traffic"
+        case "oracle: certifies strong, lock and mvcc traffic"
           oracle_certifies_strong;
         case "oracle: rejects weak mixed traffic" oracle_rejects_weak;
         case "oracle: structural profiles are not recordable"
