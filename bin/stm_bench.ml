@@ -96,7 +96,8 @@ let stress_report_json (r : Stm_harness.Stress.report) =
           r.Stm_harness.Stress.metrics );
     ]
 
-let run_stress which versioning isolation cm seed fuel metrics_out diag_out =
+let run_stress which versioning isolation validation cm seed fuel metrics_out
+    diag_out =
   let scenarios =
     if which = "all" then Stm_harness.Stress.all_scenarios
     else
@@ -124,7 +125,7 @@ let run_stress which versioning isolation cm seed fuel metrics_out diag_out =
       (fun s ->
         let r =
           Stm_harness.Stress.run ?seed ?fuel ?consumer ~versioning ~isolation
-            ~cm s
+            ~validation ~cm s
         in
         Fmt.pr "%a@." Stm_harness.Stress.pp_report r;
         (match (diag, r.Stm_harness.Stress.starved) with
@@ -168,6 +169,9 @@ let run_stress which versioning isolation cm seed fuel metrics_out diag_out =
              ( "isolation",
                Stm_obs.Json.Str
                  (Stm_core.Config.isolation_to_string isolation) );
+             ( "validation",
+               Stm_obs.Json.Str
+                 (Stm_core.Config.validation_to_string validation) );
              ("seed", Stm_obs.Json.Int (Option.value ~default:0 seed));
              ( "threshold",
                Stm_obs.Json.Int Stm_harness.Stress.starvation_threshold );
@@ -193,7 +197,8 @@ let sanitize_name s =
     (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '.') as c -> c | _ -> '_')
     s
 
-let run_fuzz ~programs ~seeds ~driver ~dir ~seed ~fuel ~metrics_out ~diag_out =
+let run_fuzz ~programs ~seeds ~driver ~dir ~seed ~fuel ~validation ~metrics_out
+    ~diag_out =
   let open Stm_check in
   let budget =
     {
@@ -239,7 +244,11 @@ let run_fuzz ~programs ~seeds ~driver ~dir ~seed ~fuel ~metrics_out ~diag_out =
               Fmt.pr "    repro: %s@." (Repro.to_string repro)
         | None, _ -> ());
         r)
-      Fuzz.default_plan
+      (* --validation timestamp swaps in the timestamp certification
+         plan: expect-clean campaigns over the 24-combo timestamp grid *)
+      (match validation with
+      | Stm_core.Config.Incremental -> Fuzz.default_plan
+      | Stm_core.Config.Timestamp -> Fuzz.timestamp_plan)
   in
   let summary = Fuzz.summary_json budget results in
   Option.iter (fun path -> write_json path summary) metrics_out;
@@ -261,7 +270,8 @@ let run_fuzz ~programs ~seeds ~driver ~dir ~seed ~fuel ~metrics_out ~diag_out =
    certified serializable, plus mvcc-snapshot certified at snapshot
    isolation); any member certifying anomalous at its own level is a
    cross-backend divergence, saved as a replayable repro. *)
-let run_fuzz_differential ~programs ~seeds ~dir ~seed ~fuel ~metrics_out =
+let run_fuzz_differential ~programs ~seeds ~dir ~seed ~fuel ~validation
+    ~metrics_out =
   let open Stm_check in
   let budget =
     {
@@ -276,7 +286,14 @@ let run_fuzz_differential ~programs ~seeds ~dir ~seed ~fuel ~metrics_out =
     (fun d -> if not (Sys.file_exists d) then Sys.mkdir d 0o755)
     dir;
   let log msg = Fmt.pr "    %s@." msg in
-  let r = Fuzz.run_differential ~log budget in
+  (* --validation timestamp widens the grid with eager-ts and lazy-ts:
+     the same programs and schedules under both validation schemes *)
+  let combos =
+    match validation with
+    | Stm_core.Config.Incremental -> Fuzz.backend_grid
+    | Stm_core.Config.Timestamp -> Fuzz.timestamp_backend_grid
+  in
+  let r = Fuzz.run_differential ~log ~combos budget in
   Fmt.pr "backend grid:@.";
   List.iter
     (fun c -> Fmt.pr "  %s@." (Combo.name c))
@@ -333,19 +350,27 @@ let diag_gated c =
   in
   pre "txn/" || pre "fig6/"
 
-(* Each backend ratchets against its own checked-in baseline; an
-   explicit --perf-baseline overrides the choice. *)
-let default_baseline = function
-  | Stm_core.Config.Mvcc -> "bench/baseline-mvcc.json"
-  | Stm_core.Config.Eager | Stm_core.Config.Lazy -> "bench/baseline.json"
+(* Each backend (and validation scheme) ratchets against its own
+   checked-in baseline; an explicit --perf-baseline overrides the
+   choice. *)
+let default_baseline backend validation =
+  match (backend, validation) with
+  | Stm_core.Config.Mvcc, _ -> "bench/baseline-mvcc.json"
+  | ( (Stm_core.Config.Eager | Stm_core.Config.Lazy),
+      Stm_core.Config.Timestamp ) ->
+      "bench/baseline-timestamp.json"
+  | ( (Stm_core.Config.Eager | Stm_core.Config.Lazy),
+      Stm_core.Config.Incremental ) ->
+      "bench/baseline.json"
 
-let run_perf ~quick ~backend ~out ~baseline ~threshold ~diag_gate =
+let run_perf ~quick ~backend ~validation ~out ~baseline ~threshold ~diag_gate =
   let baseline =
-    Option.value baseline ~default:(default_baseline backend)
+    Option.value baseline ~default:(default_baseline backend validation)
   in
-  let report = Stm_perf.Perf.suite ~quick ~backend () in
-  Fmt.pr "backend: %s@."
-    (Stm_core.Config.versioning_to_string backend);
+  let report = Stm_perf.Perf.suite ~quick ~backend ~validation () in
+  Fmt.pr "backend: %s (%s validation)@."
+    (Stm_core.Config.versioning_to_string backend)
+    (Stm_core.Config.validation_to_string validation);
   Fmt.pr "%a" Stm_perf.Perf.pp_report report;
   write_json out (Stm_perf.Perf.to_json report);
   Fmt.pr "perf results written to %s@." out;
@@ -680,6 +705,23 @@ let run_list () =
   List.iter
     (fun c -> Fmt.pr "  %s@." (Stm_check.Fuzz.campaign_name c))
     Stm_check.Fuzz.default_plan;
+  Fmt.pr
+    "@.validation modes (--validation; selects the fuzz plan, the \
+     differential grid, stress/perf configs and the perf baseline):@.";
+  List.iter
+    (fun (v, descr) ->
+      Fmt.pr "  %-12s %s@." (Stm_core.Config.validation_to_string v) descr)
+    [
+      ( Stm_core.Config.Incremental,
+        "per-checkpoint read-set walk (the default)" );
+      ( Stm_core.Config.Timestamp,
+        "global commit clock: O(1) revalidation, timestamp extension, \
+         read-only fast-path commits" );
+    ];
+  Fmt.pr "@.timestamp fuzz campaigns (--fuzz --validation timestamp):@.";
+  List.iter
+    (fun c -> Fmt.pr "  %s@." (Stm_check.Fuzz.campaign_name c))
+    Stm_check.Fuzz.timestamp_plan;
   Fmt.pr "@.perf benches (--perf):@.";
   List.iter (fun n -> Fmt.pr "  %s@." n) Stm_perf.Perf.bench_names;
   0
@@ -688,10 +730,10 @@ let run_list () =
 (* Entry                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let main list store store_opts name scale threads backend isolation cm stress
-    seed fuel metrics_out diag_out fuzz fuzz_differential fuzz_programs
-    fuzz_seeds fuzz_driver fuzz_dir perf quick perf_out perf_baseline
-    perf_threshold diag_gate =
+let main list store store_opts name scale threads backend isolation validation
+    cm stress seed fuel metrics_out diag_out fuzz fuzz_differential
+    fuzz_programs fuzz_seeds fuzz_driver fuzz_dir perf quick perf_out
+    perf_baseline perf_threshold diag_gate =
   if list then run_list ()
   else
   match store with
@@ -701,11 +743,12 @@ let main list store store_opts name scale threads backend isolation cm stress
         Fmt.epr "%s@." m;
         exit 2)
   | None ->
-  if perf then run_perf ~quick ~backend ~out:perf_out ~baseline:perf_baseline
-      ~threshold:perf_threshold ~diag_gate
+  if perf then
+    run_perf ~quick ~backend ~validation ~out:perf_out
+      ~baseline:perf_baseline ~threshold:perf_threshold ~diag_gate
   else if fuzz_differential then
     run_fuzz_differential ~programs:fuzz_programs ~seeds:fuzz_seeds
-      ~dir:fuzz_dir ~seed ~fuel ~metrics_out
+      ~dir:fuzz_dir ~seed ~fuel ~validation ~metrics_out
   else if fuzz then
     let driver =
       match fuzz_driver with
@@ -716,11 +759,13 @@ let main list store store_opts name scale threads backend isolation cm stress
           exit 2
     in
     run_fuzz ~programs:fuzz_programs ~seeds:fuzz_seeds ~driver ~dir:fuzz_dir
-      ~seed ~fuel ~metrics_out ~diag_out
+      ~seed ~fuel ~validation ~metrics_out ~diag_out
   else
   match stress with
   | Some which -> (
-      try run_stress which backend isolation cm seed fuel metrics_out diag_out
+      try
+        run_stress which backend isolation validation cm seed fuel metrics_out
+          diag_out
       with Failure m ->
         Fmt.epr "%s@." m;
         exit 2)
@@ -846,6 +891,36 @@ let isolation_arg =
            (first-committer-wins only — write skew and long fork are \
            admitted). The single-version backends ignore it.")
 
+let validation_conv =
+  let parse s =
+    match Stm_core.Config.validation_of_string s with
+    | Some v -> Ok v
+    | None ->
+        Error
+          (`Msg
+            (Fmt.str "unknown validation scheme %s (expected incremental or \
+                      timestamp)" s))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf v -> Fmt.string ppf (Stm_core.Config.validation_to_string v) )
+
+let validation_arg =
+  Arg.(
+    value
+    & opt validation_conv Stm_core.Config.Incremental
+    & info [ "validation" ] ~docv:"SCHEME"
+        ~doc:
+          "Read-set validation scheme for the single-version backends: \
+           $(b,incremental) (walk the read set at every checkpoint, the \
+           default) or $(b,timestamp) (global commit clock: O(1) \
+           revalidation while the clock is unchanged, timestamp extension \
+           on reads past the snapshot, read-only fast-path commits). \
+           Applies to $(b,--stress) and $(b,--perf) configurations, swaps \
+           the $(b,--fuzz) plan for the timestamp certification grid, and \
+           widens $(b,--fuzz-differential) with the eager-ts/lazy-ts \
+           members. mvcc has its own commit clock and ignores it.")
+
 let cm_arg =
   Arg.(
     value
@@ -970,9 +1045,10 @@ let perf_baseline_arg =
         ~doc:
           "Baseline report to ratchet against (same schema as \
            $(b,--perf-out); refresh it by pointing $(b,--perf-out) here). \
-           Defaults to $(b,bench/baseline.json), or \
-           $(b,bench/baseline-mvcc.json) under $(b,--backend mvcc). \
-           Missing file skips the check.")
+           Defaults to $(b,bench/baseline.json), \
+           $(b,bench/baseline-mvcc.json) under $(b,--backend mvcc), or \
+           $(b,bench/baseline-timestamp.json) under $(b,--validation \
+           timestamp). Missing file skips the check.")
 
 let perf_threshold_arg =
   Arg.(
@@ -1137,8 +1213,8 @@ let cmd =
     (Cmd.info "stm_bench" ~doc)
     Term.(
       const main $ list_arg $ store_arg $ store_opts_term $ name_arg
-      $ scale_arg $ threads_arg $ backend_arg $ isolation_arg $ cm_arg
-      $ stress_arg $ seed_arg $ fuel_arg $ metrics_arg $ diag_out_arg
+      $ scale_arg $ threads_arg $ backend_arg $ isolation_arg $ validation_arg
+      $ cm_arg $ stress_arg $ seed_arg $ fuel_arg $ metrics_arg $ diag_out_arg
       $ fuzz_arg $ fuzz_differential_arg $ fuzz_programs_arg $ fuzz_seeds_arg
       $ fuzz_driver_arg $ fuzz_dir_arg $ perf_arg $ quick_arg $ perf_out_arg
       $ perf_baseline_arg $ perf_threshold_arg $ diag_gate_arg)

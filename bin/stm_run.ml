@@ -118,7 +118,8 @@ let write_trace_file path ~resolve recorder =
       (Stm_obs.Recorder.dropped recorder)
 
 let main repro file config opt nait params verbose detect_races granule cm seed
-    trace profile trace_out profile_barriers metrics_out diag explore pct =
+    validation trace profile trace_out profile_barriers metrics_out diag explore
+    pct =
   match repro with
   | Some path -> run_repro path
   | None ->
@@ -143,6 +144,11 @@ let main repro file config opt nait params verbose detect_races granule cm seed
       let cfg =
         match seed with
         | Some s -> { cfg with Stm_core.Config.cm_seed = s }
+        | None -> cfg
+      in
+      let cfg =
+        match validation with
+        | Some v -> Stm_core.Config.with_validation v cfg
         | None -> cfg
       in
       let policy = Option.map (fun s -> Stm_runtime.Sched.Random s) seed in
@@ -404,6 +410,31 @@ let granule_arg =
     value & opt int 1
     & info [ "granule" ] ~docv:"N" ~doc:"Versioning granularity (fields per granule).")
 
+let validation_conv =
+  let parse s =
+    match Stm_core.Config.validation_of_string s with
+    | Some v -> Ok v
+    | None ->
+        Error
+          (`Msg
+            (Fmt.str "unknown validation scheme %s (expected incremental or \
+                      timestamp)" s))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf v -> Fmt.string ppf (Stm_core.Config.validation_to_string v) )
+
+let validation_arg =
+  Arg.(
+    value
+    & opt (some validation_conv) None
+    & info [ "validation" ] ~docv:"SCHEME"
+        ~doc:
+          "Read-set validation scheme for the single-version configurations: \
+           $(b,incremental) (default) or $(b,timestamp) (global commit \
+           clock: O(1) revalidation, timestamp extension, read-only \
+           fast-path commits). The mvcc configurations ignore it.")
+
 let trace_out_arg =
   Arg.(
     value
@@ -452,7 +483,8 @@ let cmd =
   Cmd.v (Cmd.info "stm_run" ~doc)
     Term.(
       const main $ repro_arg $ file_arg $ config_arg $ opt_arg $ nait_arg $ params_arg
-      $ verbose_arg $ races_arg $ granule_arg $ cm_arg $ seed_arg $ trace_arg
+      $ verbose_arg $ races_arg $ granule_arg $ cm_arg $ seed_arg
+      $ validation_arg $ trace_arg
       $ profile_arg $ trace_out_arg $ profile_barriers_arg $ metrics_out_arg
       $ diag_arg $ explore_arg $ pct_arg)
 

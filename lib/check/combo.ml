@@ -8,6 +8,7 @@ type atomicity = Weak | Strong | Strong_dea | Quiesce
 type t = {
   versioning : Config.versioning;
   isolation : Config.isolation;
+  validation : Config.validation;
   atomicity : atomicity;
   cm : Stm_cm.Policy.t;
 }
@@ -31,11 +32,17 @@ let versioning_of_string = Config.versioning_of_string
 (* The isolation knob only distinguishes mvcc combos; it is silent in
    names and JSON for the single-version backends (and for mvcc at the
    default serializable level), so existing repro artifacts keep their
-   identity. *)
+   identity. The validation knob is likewise silent at the default
+   [Incremental]; timestamp-mode combos carry a "-ts" suffix. *)
 let backend_string t =
-  match (t.versioning, t.isolation) with
-  | Config.Mvcc, Config.Snapshot -> "mvcc-si"
-  | v, _ -> versioning_to_string v
+  let base =
+    match (t.versioning, t.isolation) with
+    | Config.Mvcc, Config.Snapshot -> "mvcc-si"
+    | v, _ -> versioning_to_string v
+  in
+  match t.validation with
+  | Config.Incremental -> base
+  | Config.Timestamp -> base ^ "-ts"
 
 let name t =
   Printf.sprintf "%s-%s/%s" (backend_string t)
@@ -63,6 +70,7 @@ let to_config ?(cm_seed = 0) t =
         Config.mvcc_weak
   in
   let base = Config.with_isolation t.isolation base in
+  let base = Config.with_validation t.validation base in
   { (Config.with_cm t.cm base) with Config.cm_seed }
 
 let all_atomicities = [ Weak; Strong; Strong_dea; Quiesce ]
@@ -80,7 +88,13 @@ let all =
         (fun a ->
           List.map
             (fun cm ->
-              { versioning = v; isolation = Config.Serializable; atomicity = a; cm })
+              {
+                versioning = v;
+                isolation = Config.Serializable;
+                validation = Config.Incremental;
+                atomicity = a;
+                cm;
+              })
             Stm_cm.Policy.all)
         all_atomicities)
     [ Config.Eager; Config.Lazy ]
@@ -91,11 +105,34 @@ let all =
             {
               versioning = Config.Mvcc;
               isolation;
+              validation = Config.Incremental;
               atomicity = a;
               cm = Stm_cm.Policy.Suicide;
             })
           [ Weak; Strong; Strong_dea ])
       [ Config.Serializable; Config.Snapshot ]
+
+(* The timestamp-mode certification grid: every single-version atomicity
+   flavor under a spread of contention managers — 24 points. Kept apart
+   from {!all} so default sweeps (and their artifacts) are unchanged. *)
+let timestamp_grid =
+  List.concat_map
+    (fun v ->
+      List.concat_map
+        (fun a ->
+          List.map
+            (fun cm ->
+              {
+                versioning = v;
+                isolation = Config.Serializable;
+                validation = Config.Timestamp;
+                atomicity = a;
+                cm;
+              })
+            [ Stm_cm.Policy.Suicide; Stm_cm.Policy.Wound_wait;
+              Stm_cm.Policy.Timestamp ])
+        all_atomicities)
+    [ Config.Eager; Config.Lazy ]
 
 open Stm_obs
 
@@ -106,11 +143,15 @@ let to_json t =
        ("atomicity", Json.Str (atomicity_to_string t.atomicity));
        ("cm", Json.Str (Stm_cm.Policy.to_string t.cm));
      ]
+    @ (match t.isolation with
+      | Config.Serializable -> []
+      | Config.Snapshot ->
+          [ ("isolation", Json.Str (Config.isolation_to_string t.isolation)) ])
     @
-    match t.isolation with
-    | Config.Serializable -> []
-    | Config.Snapshot ->
-        [ ("isolation", Json.Str (Config.isolation_to_string t.isolation)) ])
+    match t.validation with
+    | Config.Incremental -> []
+    | Config.Timestamp ->
+        [ ("validation", Json.Str (Config.validation_to_string t.validation)) ])
 
 let ( let* ) = Option.bind
 
@@ -127,4 +168,10 @@ let of_json j =
     | None -> Some Config.Serializable
     | Some s -> Config.isolation_of_string s
   in
-  Some { versioning = v; isolation; atomicity = a; cm }
+  (* absent validation member = incremental: pre-timestamp repro files *)
+  let* validation =
+    match Option.bind (Json.member "validation" j) Json.to_str_opt with
+    | None -> Some Config.Incremental
+    | Some s -> Config.validation_of_string s
+  in
+  Some { versioning = v; isolation; validation; atomicity = a; cm }

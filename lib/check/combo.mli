@@ -13,12 +13,16 @@ type t = {
   isolation : Stm_core.Config.isolation;
       (** [Snapshot] is only meaningful with [Mvcc]; the single-version
           backends are always serializable *)
+  validation : Stm_core.Config.validation;
+      (** [Timestamp] is only meaningful with the single-version
+          backends; mvcc ignores it *)
   atomicity : atomicity;
   cm : Stm_cm.Policy.t;
 }
 
 val name : t -> string
-(** E.g. ["eager-weak/suicide"], ["mvcc-si-weak/suicide"]. *)
+(** E.g. ["eager-weak/suicide"], ["mvcc-si-weak/suicide"],
+    ["eager-ts-weak/suicide"] (timestamp validation). *)
 
 val to_config : ?cm_seed:int -> t -> Stm_core.Config.t
 
@@ -28,6 +32,12 @@ val all : t list
     {serializable,snapshot} x {weak,strong,dea} x suicide (6 combos —
     mvcc transactions never contend for ownership, so the CM axis is
     degenerate there). *)
+
+val timestamp_grid : t list
+(** The timestamp-validation certification grid: {eager,lazy} x
+    {weak,strong,dea,quiesce} x {suicide,wound-wait,timestamp} (24
+    combos), every one expected serializable. Disjoint from {!all} so
+    the default sweep artifacts are byte-identical to the seed. *)
 
 val all_atomicities : atomicity list
 val all_versionings : Stm_core.Config.versioning list

@@ -88,6 +88,7 @@ let hunt_campaigns =
         {
           Combo.versioning;
           isolation = Stm_core.Config.Serializable;
+          validation = Stm_core.Config.Incremental;
           atomicity = Combo.Weak;
           cm = Stm_cm.Policy.Suicide;
         };
@@ -110,6 +111,21 @@ let hunt_campaigns =
   ]
 
 let default_plan = clean_campaigns @ hunt_campaigns
+
+(* Expect-clean campaigns over the timestamp-validation grid: every
+   combo point under every program profile its atomicity flavor admits.
+   A separate plan (selected by `stm_bench --fuzz --validation
+   timestamp`) so the default plan's artifacts stay byte-identical. *)
+let timestamp_campaigns =
+  List.concat_map
+    (fun combo ->
+      List.map
+        (fun profile ->
+          { combo; profile; expectation = Expect_clean; driver = None })
+        (profiles_for combo.Combo.atomicity))
+    Combo.timestamp_grid
+
+let timestamp_plan = timestamp_campaigns
 
 let campaign_name c =
   Printf.sprintf "%s:%s%s" (Combo.name c.combo)
@@ -255,6 +271,7 @@ let backend_grid =
       {
         Combo.versioning;
         isolation = Stm_core.Config.Serializable;
+        validation = Stm_core.Config.Incremental;
         atomicity = Combo.Weak;
         cm = Stm_cm.Policy.Suicide;
       })
@@ -263,10 +280,28 @@ let backend_grid =
       {
         Combo.versioning = Stm_core.Config.Mvcc;
         isolation = Stm_core.Config.Snapshot;
+        validation = Stm_core.Config.Incremental;
         atomicity = Combo.Weak;
         cm = Stm_cm.Policy.Suicide;
       };
     ]
+
+(* The differential grid for timestamp certification: both validation
+   schemes of both single-version backends side by side with the mvcc
+   members, on the same seeded programs and schedules. Zero divergence
+   here is the cross-scheme acceptance bar for timestamp mode. *)
+let timestamp_backend_grid =
+  backend_grid
+  @ List.map
+      (fun versioning ->
+        {
+          Combo.versioning;
+          isolation = Stm_core.Config.Serializable;
+          validation = Stm_core.Config.Timestamp;
+          atomicity = Combo.Weak;
+          cm = Stm_cm.Policy.Suicide;
+        })
+      [ Stm_core.Config.Eager; Stm_core.Config.Lazy ]
 
 type divergence = {
   div_prog_seed : int;

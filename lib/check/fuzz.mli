@@ -51,6 +51,14 @@ val profiles_for : Combo.atomicity -> Gen.profile list
 val clean_campaigns : campaign list
 val hunt_campaigns : campaign list
 val default_plan : campaign list
+
+val timestamp_campaigns : campaign list
+(** Expect-clean campaigns over {!Combo.timestamp_grid} (every profile
+    the flavor admits — the timestamp-validation certification sweep). *)
+
+val timestamp_plan : campaign list
+(** The plan behind [stm_bench --fuzz --validation timestamp]. *)
+
 val campaign_name : campaign -> string
 
 val set_anomaly_hook : (string -> unit) option -> unit
@@ -78,6 +86,11 @@ val summary_json : budget -> campaign_result list -> Stm_obs.Json.t
 val backend_grid : Combo.t list
 (** One weak/suicide combo per backend — eager, lazy, mvcc — certified
     serializable, plus mvcc at snapshot isolation. *)
+
+val timestamp_backend_grid : Combo.t list
+(** {!backend_grid} plus eager/lazy under timestamp validation: the
+    same programs and schedules across both validation schemes; any
+    divergence fails timestamp certification. *)
 
 type divergence = {
   div_prog_seed : int;

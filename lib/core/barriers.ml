@@ -117,7 +117,7 @@ let release_anon (cfg : Config.t) (obj : Heap.obj) w =
   end
 
 (* Figure 9b / 10b. *)
-let write (cfg : Config.t) (stats : Stats.t) (obj : Heap.obj) fld v =
+let write ?gvc (cfg : Config.t) (stats : Stats.t) (obj : Heap.obj) fld v =
   let cost = cfg.cost in
   stats.Stats.barrier_writes <- stats.Stats.barrier_writes + 1;
   emit_barrier Trace.Op_write Trace.Path_fired;
@@ -137,6 +137,15 @@ let write (cfg : Config.t) (stats : Stats.t) (obj : Heap.obj) fld v =
     Heap.set obj fld v;
     Sched.tick cost.Cost.plain_store;
     Sched.yield ();
+    (* under timestamp validation a strong non-transactional store is a
+       one-word commit: bump the global clock and stamp the granule —
+       atomically with the release, which is what makes the new value
+       visible to validation — so timestamp-mode readers walk (or
+       extend) instead of fast-passing over it *)
+    (match gvc with
+    | Some g when cfg.validation = Config.Timestamp ->
+        Heap.set_version_ts obj (Gvc.advance g)
+    | Some _ | None -> ());
     release_anon cfg obj w
   end
 
@@ -179,7 +188,7 @@ let write_versioned (cfg : Config.t) (stats : Stats.t) mv (obj : Heap.obj) fld
   else begin
     if cfg.dea then Dea.publish_value stats cost v;
     Sched.yield ();
-    Mvcc.install mv obj ~ts:(Mvcc.advance mv);
+    Mvcc.install ~tid:(Sched.self ()) mv obj ~ts:(Mvcc.advance mv);
     Heap.set obj fld v;
     Sched.tick cost.Cost.plain_store
   end

@@ -30,8 +30,12 @@ val read : Config.t -> Stats.t -> Heap.obj -> int -> Heap.value
 val read_ordering : Config.t -> Stats.t -> Heap.obj -> int -> Heap.value
 (** Ordering-only read barrier (Section 3.3). *)
 
-val write : Config.t -> Stats.t -> Heap.obj -> int -> Heap.value -> unit
-(** Isolation write barrier. *)
+val write :
+  ?gvc:Gvc.t -> Config.t -> Stats.t -> Heap.obj -> int -> Heap.value -> unit
+(** Isolation write barrier. Under [Config.Timestamp] validation, pass
+    the system's global commit clock: the barrier bumps it and stamps
+    the granule at release, so transactional readers cannot fast-pass a
+    validation over the non-transactional store. *)
 
 val read_latest : Config.t -> Stats.t -> Heap.obj -> int -> Heap.value
 (** Strong-atomicity read barrier for the mvcc backend: the latest

@@ -1,10 +1,12 @@
 type versioning = Eager | Lazy | Mvcc
 type isolation = Serializable | Snapshot
+type validation = Incremental | Timestamp
 type conflict_policy = Backoff | Raise_error
 
 type t = {
   versioning : versioning;
   isolation : isolation;
+  validation : validation;
   mvcc_max_versions : int;
   strong : bool;
   strong_reads : bool;
@@ -27,6 +29,7 @@ let base =
   {
     versioning = Eager;
     isolation = Serializable;
+    validation = Incremental;
     mvcc_max_versions = 8;
     strong = false;
     strong_reads = true;
@@ -58,6 +61,8 @@ let with_cm cm t = { t with cm }
 let with_wound_wait t = { t with cm = Stm_cm.Policy.Wound_wait }
 let with_isolation isolation t = { t with isolation }
 let with_snapshot_isolation t = { t with isolation = Snapshot }
+let with_validation validation t = { t with validation }
+let with_timestamp_validation t = { t with validation = Timestamp }
 
 let versioning_to_string = function
   | Eager -> "eager"
@@ -79,12 +84,22 @@ let isolation_of_string = function
   | "snapshot" | "si" -> Some Snapshot
   | _ -> None
 
+let validation_to_string = function
+  | Incremental -> "incremental"
+  | Timestamp -> "timestamp"
+
+let validation_of_string = function
+  | "incremental" | "inc" -> Some Incremental
+  | "timestamp" | "ts" -> Some Timestamp
+  | _ -> None
+
 let describe t =
   let b = Buffer.create 32 in
   Buffer.add_string b (versioning_to_string t.versioning);
   Buffer.add_string b (if t.strong then "+strong" else "+weak");
   if t.versioning = Mvcc && t.isolation = Snapshot then
     Buffer.add_string b "+si";
+  if t.validation = Timestamp then Buffer.add_string b "+ts";
   if t.strong && not t.strong_reads then Buffer.add_string b "(writes-only)";
   if t.strong && not t.strong_writes then Buffer.add_string b "(reads-only)";
   if t.dea then Buffer.add_string b "+dea";

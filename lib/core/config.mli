@@ -24,6 +24,21 @@ type isolation =
           admitted, dirty reads and lost updates are not. Meaningful only
           under {!Mvcc}; the single-version backends ignore it. *)
 
+type validation =
+  | Incremental
+      (** every validation walks the whole read set (the paper's
+          scheme); the seed-identical default *)
+  | Timestamp
+      (** TL2/TinySTM-style global-commit-clock validation for the
+          eager/lazy backends: transactions carry a read timestamp [rv]
+          and a [last_validated_at] watermark; a validation whose clock
+          observation matches the watermark is O(1), a read of a granule
+          stamped newer than [rv] attempts timestamp extension (one walk,
+          then advance [rv]) instead of aborting, and read-only
+          transactions commit without a validation walk, serializing at
+          [rv]. A no-op under {!Mvcc}, whose snapshot protocol already
+          draws from the same global clock. *)
+
 type conflict_policy =
   | Backoff  (** exponential back-off and retry (the paper's default) *)
   | Raise_error
@@ -33,6 +48,8 @@ type conflict_policy =
 type t = {
   versioning : versioning;
   isolation : isolation;  (** mvcc isolation level (default [Serializable]) *)
+  validation : validation;
+      (** read-set validation scheme (default [Incremental]) *)
   mvcc_max_versions : int;
       (** mvcc version-chain bound per granule, current version included;
           reads older than the retained chain abort snapshot-too-old *)
@@ -116,10 +133,17 @@ val with_isolation : isolation -> t -> t
 val with_snapshot_isolation : t -> t
 (** [with_isolation Snapshot]. *)
 
+val with_validation : validation -> t -> t
+
+val with_timestamp_validation : t -> t
+(** [with_validation Timestamp]. *)
+
 val versioning_to_string : versioning -> string
 val versioning_of_string : string -> versioning option
 val isolation_to_string : isolation -> string
 val isolation_of_string : string -> isolation option
+val validation_to_string : validation -> string
+val validation_of_string : string -> validation option
 
 val pp : Format.formatter -> t -> unit
 val describe : t -> string

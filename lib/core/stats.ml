@@ -10,6 +10,9 @@ type t = {
   mutable conflicts : int;
   mutable publishes : int;
   mutable validations : int;
+  mutable fast_validations : int;
+  mutable ts_extensions : int;
+  mutable ro_fast_commits : int;
   mutable retries : int;
   mutable wounds : int;
   mutable backoff_cycles : int;
@@ -29,6 +32,9 @@ let create () =
     conflicts = 0;
     publishes = 0;
     validations = 0;
+    fast_validations = 0;
+    ts_extensions = 0;
+    ro_fast_commits = 0;
     retries = 0;
     wounds = 0;
     backoff_cycles = 0;
@@ -47,6 +53,9 @@ let reset t =
   t.conflicts <- 0;
   t.publishes <- 0;
   t.validations <- 0;
+  t.fast_validations <- 0;
+  t.ts_extensions <- 0;
+  t.ro_fast_commits <- 0;
   t.retries <- 0;
   t.wounds <- 0;
   t.backoff_cycles <- 0;
@@ -64,6 +73,9 @@ let add acc t =
   acc.conflicts <- acc.conflicts + t.conflicts;
   acc.publishes <- acc.publishes + t.publishes;
   acc.validations <- acc.validations + t.validations;
+  acc.fast_validations <- acc.fast_validations + t.fast_validations;
+  acc.ts_extensions <- acc.ts_extensions + t.ts_extensions;
+  acc.ro_fast_commits <- acc.ro_fast_commits + t.ro_fast_commits;
   acc.retries <- acc.retries + t.retries;
   acc.wounds <- acc.wounds + t.wounds;
   acc.backoff_cycles <- acc.backoff_cycles + t.backoff_cycles;
@@ -82,6 +94,9 @@ let to_assoc t =
     ("conflicts", t.conflicts);
     ("publishes", t.publishes);
     ("validations", t.validations);
+    ("fast_validations", t.fast_validations);
+    ("ts_extensions", t.ts_extensions);
+    ("ro_fast_commits", t.ro_fast_commits);
     ("retries", t.retries);
     ("wounds", t.wounds);
     ("backoff_cycles", t.backoff_cycles);

@@ -18,6 +18,14 @@ type t = {
   mutable conflicts : int;  (** conflict-manager invocations *)
   mutable publishes : int;  (** objects marked public by publishObject *)
   mutable validations : int;
+  mutable fast_validations : int;
+      (** validations answered by the O(1) global-clock fast path
+          ([Config.Timestamp] only) *)
+  mutable ts_extensions : int;
+      (** successful read-timestamp extensions ([Config.Timestamp] only) *)
+  mutable ro_fast_commits : int;
+      (** read-only commits that skipped the commit-time validation walk
+          ([Config.Timestamp] only) *)
   mutable retries : int;  (** user-initiated retry operations *)
   mutable wounds : int;  (** contention-manager kills issued *)
   mutable backoff_cycles : int;

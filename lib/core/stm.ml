@@ -103,7 +103,8 @@ let nontxn_write sys (obj : Heap.obj) fld v =
   if cfg.strong && cfg.strong_writes then
     match cfg.versioning with
     | Config.Eager | Config.Lazy ->
-        Barriers.write cfg (Txn.stats sys.ctx) obj fld v
+        Barriers.write ~gvc:(Txn.gvc sys.ctx) cfg (Txn.stats sys.ctx) obj fld
+          v
     | Config.Mvcc ->
         Barriers.write_versioned cfg (Txn.stats sys.ctx) (Txn.mvcc sys.ctx)
           obj fld v

@@ -63,6 +63,14 @@ type t = {
   mutable part : Quiesce.participant option;
   flag : killed_flag;  (* set by a wounding (older) transaction *)
   mutable snap : int;  (* mvcc snapshot timestamp; -1 outside mvcc *)
+  (* timestamp validation (Config.Timestamp, eager/lazy only): the read
+     timestamp this transaction's reads are proven consistent at, and the
+     global-clock value observed by the last successful full walk. The
+     fast path in [validate] compares the clock against [lva]; a read of
+     a granule stamped newer than [rv] attempts extension. *)
+  mutable rv : int;
+  mutable lva : int;
+  mutable cts : int;  (* commit ts being installed by release_all; -1 = none *)
   mutable begin_ts : int;  (* cost clock at begin, for latency attribution *)
   mutable abort_cause : Trace.abort_cause;
   (* last losing contention point, for abort attribution: the granule and
@@ -79,7 +87,8 @@ type ctx = {
   stats : Stats.t;
   q : Quiesce.t;
   cm : Stm_cm.Cm.t;
-  mv : Mvcc.t;  (* commit clock + snapshot registry (mvcc versioning) *)
+  gvc : Gvc.t;  (* the global commit clock, shared with [mv] *)
+  mv : Mvcc.t;  (* snapshot registry (mvcc versioning) *)
   mutable next_id : int;
   registry : (int, killed_flag) Hashtbl.t;
       (* live transaction ids -> wound flag, for contention management *)
@@ -87,6 +96,7 @@ type ctx = {
 }
 
 let make_ctx (cfg : Config.t) =
+  let gvc = Gvc.create () in
   {
     cfg;
     stats = Stats.create ();
@@ -95,7 +105,8 @@ let make_ctx (cfg : Config.t) =
       Stm_cm.Cm.create ~seed:cfg.Config.cm_seed
         ~max_retries:cfg.Config.max_txn_retries ~cost:cfg.Config.cost
         cfg.Config.cm;
-    mv = Mvcc.create ~max_versions:cfg.Config.mvcc_max_versions ();
+    gvc;
+    mv = Mvcc.create ~gvc ~max_versions:cfg.Config.mvcc_max_versions ();
     next_id = 0;
     registry = Hashtbl.create 32;
     pool = [];
@@ -106,6 +117,14 @@ let stats ctx = ctx.stats
 let quiescer ctx = ctx.q
 let cm ctx = ctx.cm
 let mvcc ctx = ctx.mv
+let gvc ctx = ctx.gvc
+
+(* Timestamp validation is an eager/lazy scheme; the mvcc backend's
+   snapshot protocol already draws from the same clock and ignores it. *)
+let timestamped ctx =
+  match ctx.cfg.Config.versioning with
+  | Config.Mvcc -> false
+  | Config.Eager | Config.Lazy -> ctx.cfg.Config.validation = Config.Timestamp
 
 (* ------------------------------------------------------------------ *)
 (* Descriptor pool and arenas                                          *)
@@ -144,6 +163,9 @@ let fresh_descriptor () =
     part = None;
     flag = { killed = false; killed_by = -1; killed_by_tid = -1 };
     snap = -1;
+    rv = 0;
+    lva = 0;
+    cts = -1;
     begin_ts = 0;
     abort_cause = Trace.Cause_exn;
     last_oid = -1;
@@ -258,6 +280,7 @@ let recycle ctx t =
   t.nest_depth <- 0;
   t.parent <- None;
   t.part <- None;
+  t.cts <- -1;
   ctx.pool <- t :: ctx.pool
 
 (* ------------------------------------------------------------------ *)
@@ -285,6 +308,12 @@ let begin_txn ?parent ctx =
     (match ctx.cfg.versioning with
     | Config.Mvcc -> Mvcc.begin_snapshot ctx.mv
     | Config.Eager | Config.Lazy -> -1);
+  (* No commit has landed since this very instant, so the empty read set
+     is vacuously consistent here: an uncontended timestamp-mode
+     transaction never walks at all. *)
+  t.rv <- Gvc.now ctx.gvc;
+  t.lva <- t.rv;
+  t.cts <- -1;
   t.begin_ts <- Sched.time ();
   t.abort_cause <- Trace.Cause_exn;
   t.last_oid <- -1;
@@ -354,8 +383,11 @@ let mvcc_has_public t =
 (* mvcc read currency: every granule in the read set is still at the
    version the snapshot saw, i.e. no commit has installed a newer version
    since. Only serializable update transactions need this; snapshot reads
-   are internally consistent by construction. *)
-let mvcc_entries_ok t =
+   are internally consistent by construction. A failing entry is
+   attributed to the commit that installed the newer version (the same
+   aggressor edge [sv_entries_ok] reports for a live owner), as far as
+   the installer ring still remembers it. *)
+let mvcc_entries_ok ctx t =
   let rec go i =
     i >= t.nreads
     ||
@@ -363,16 +395,23 @@ let mvcc_entries_ok t =
     let ok = Heap.version_ts obj <= t.snap in
     if not ok then begin
       t.last_oid <- obj.Heap.oid;
-      t.last_aggr <- -1;
-      t.last_aggr_tid <- -1
+      match Mvcc.installer_of ctx.mv ~ts:(Heap.version_ts obj) with
+      | Some (txid, tid) ->
+          t.last_aggr <- txid;
+          t.last_aggr_tid <- tid
+      | None ->
+          t.last_aggr <- -1;
+          t.last_aggr_tid <- -1
     end;
     ok && go (i + 1)
   in
   go 0
 
-let validate ctx t =
-  ctx.stats.Stats.validations <- ctx.stats.Stats.validations + 1;
-  Sched.tick (ctx.cfg.cost.Cost.txn_per_read * max 1 t.reads_obs);
+(* The single-version read-currency walk: every granule in the read set
+   is still at its first-observed version (or is owned by this very
+   transaction at that prior version). Shared by commit/periodic
+   validation and by timestamp extension. *)
+let sv_entries_ok ctx t =
   let rec entries_ok i =
     i >= t.nreads
     ||
@@ -404,17 +443,82 @@ let validate ctx t =
     end;
     entry_ok && entries_ok (i + 1)
   in
+  entries_ok 0
+
+(* The walk's cycle charge, billed next to the walk it models — paths
+   that skip the walk (mvcc snapshot commits, the timestamp fast path)
+   no longer pay it. Observations, not distinct entries: the virtual
+   charge stays proportional to what the paper's cons-list walk cost. *)
+let charge_walk ctx t =
+  Sched.tick (ctx.cfg.cost.Cost.txn_per_read * max 1 t.reads_obs)
+
+let validate ctx t =
+  ctx.stats.Stats.validations <- ctx.stats.Stats.validations + 1;
   let ok =
     match ctx.cfg.versioning with
     | Config.Mvcc ->
         ctx.cfg.isolation = Config.Snapshot
         || (not (mvcc_has_public t))
-        || mvcc_entries_ok t
-    | Config.Eager | Config.Lazy -> entries_ok 0
+        || begin
+             charge_walk ctx t;
+             mvcc_entries_ok ctx t
+           end
+    | Config.Eager | Config.Lazy ->
+        if timestamped ctx then begin
+          let clock = Gvc.now ctx.gvc in
+          if clock = t.lva && not ctx.cfg.quiescence then begin
+            (* nothing committed since the last full walk proved the read
+               set consistent: O(1) revalidation. Not sound under
+               quiescence: a committer in [Quiesce.commit_epoch_wait]
+               holds its records Exclusive but bumps the clock only at
+               release, so an unchanged clock cannot witness the
+               in-flight acquisition - and a doomed transaction that
+               fast-passes here gets marked consistent while its stale
+               eager speculative state is still live across the
+               privatizer's handoff. Quiescing configurations always
+               walk; the walk fails conservatively on Exclusive owners. *)
+            ctx.stats.Stats.fast_validations <-
+              ctx.stats.Stats.fast_validations + 1;
+            Sched.tick ctx.cfg.cost.Cost.txn_validate_fast;
+            true
+          end
+          else begin
+            charge_walk ctx t;
+            let ok = sv_entries_ok ctx t in
+            (* the walk is yield-free, so on success the read set is
+               consistent at [clock] as observed above *)
+            if ok then begin
+              t.lva <- clock;
+              t.rv <- clock
+            end;
+            ok
+          end
+        end
+        else begin
+          charge_walk ctx t;
+          sv_entries_ok ctx t
+        end
   in
   Trace.emit ~level:Trace.Debug
     (lazy (Trace.Validation { txid = t.txid; tid = Sched.self (); ok }));
   ok
+
+(* Timestamp extension: a read observed a granule stamped newer than
+   [rv]. One full walk proves every first-observed version is still
+   current; the read set is then consistent at the clock as of the walk,
+   so [rv] advances instead of the transaction aborting. *)
+let extend_rv ctx t =
+  let clock = Gvc.now ctx.gvc in
+  charge_walk ctx t;
+  if sv_entries_ok ctx t then begin
+    ctx.stats.Stats.ts_extensions <- ctx.stats.Stats.ts_extensions + 1;
+    t.rv <- clock;
+    t.lva <- clock
+  end
+  else begin
+    t.abort_cause <- Trace.Cause_validation;
+    raise Abort_txn
+  end
 
 let check_wounded t =
   if t.flag.killed then begin
@@ -621,10 +725,22 @@ let eager_read ctx t (obj : Heap.obj) fld =
         v
     | Txrec.Shared ver ->
         note_read t obj ver;
+        if timestamped ctx && Heap.version_ts obj > t.rv then
+          (* stamped by a commit newer than our read timestamp: extend
+             [rv] (or abort) before using the value *)
+          extend_rv ctx t;
         Sched.yield ();
         let v = Heap.get obj fld in
         Sched.tick cost.Cost.plain_load;
-        v
+        if timestamped ctx && Atomic.get obj.Heap.txrec <> Txrec.shared ver
+        then
+          (* the record moved across the preemption point inside the read:
+             the value may be newer than [rv] without rv-consistency —
+             retake the whole read (TL2's post-read recheck). Read-only
+             transactions skip commit validation, so each read must be
+             individually proven consistent at [rv]. *)
+          go attempt
+        else v
     | Txrec.Exclusive _ when ancestor_owns t w -> raise Open_nest_conflict
     | Txrec.Exclusive _ | Txrec.Exclusive_anon _ ->
         cm_resolve ctx t ~attempt ~writer:false obj;
@@ -656,6 +772,8 @@ let lazy_slot ctx t (obj : Heap.obj) fld =
             match Txrec.decode w with
             | Txrec.Shared ver ->
                 note_read t obj ver;
+                if timestamped ctx && Heap.version_ts obj > t.rv then
+                  extend_rv ctx t;
                 ver
             | Txrec.Private -> -1
             | Txrec.Exclusive _ when ancestor_owns t w ->
@@ -824,9 +942,15 @@ let txn_write ctx t obj fld v =
   | Config.Mvcc -> mvcc_write ctx t obj fld v);
   emit_access ~txid:t.txid obj fld v ~write:true
 
+(* Release every owned record at the bumped version. Commit and abort
+   share this; under timestamp validation a committing transaction has
+   set [cts] and the released granules are additionally stamped with the
+   commit timestamp (an aborting one never is: rollback restored the
+   committed values, so the old stamp still describes them). *)
 let release_all ctx t =
   let cost = ctx.cfg.cost in
   for i = t.nowned - 1 downto 0 do
+    if t.cts >= 0 then Heap.set_version_ts t.owned_obj.(i) t.cts;
     Atomic.set t.owned_obj.(i).Heap.txrec
       (Txrec.shared (t.owned_prior.(i) + 1));
     Sched.tick cost.Cost.txn_per_write
@@ -844,7 +968,13 @@ let commit ctx t =
   Sched.tick cost.Cost.txn_commit;
   (match ctx.cfg.versioning with
   | Config.Eager ->
-      if not (validate ctx t) then begin
+      if timestamped ctx && not (has_writes t) then
+        (* read-only fast path: every read was individually proven
+           consistent at [rv] (read-time extension + post-read recheck),
+           so the transaction serializes at [rv] with no commit-time
+           walk — mirroring the mvcc abort-free read path *)
+        ctx.stats.Stats.ro_fast_commits <- ctx.stats.Stats.ro_fast_commits + 1
+      else if not (validate ctx t) then begin
         t.abort_cause <- Trace.Cause_validation;
         raise Abort_txn
       end;
@@ -858,7 +988,12 @@ let commit ctx t =
             Quiesce.commit_epoch_wait ctx.q p
         | None -> ()
       end;
-      release_all ctx t
+      (* the clock bump and the releases below run without a yield, so a
+         concurrent validator observes either the old clock with the old
+         records or the new clock with the new ones *)
+      if timestamped ctx && t.nowned > 0 then t.cts <- Gvc.advance ctx.gvc;
+      release_all ctx t;
+      t.cts <- -1
   | Config.Lazy ->
       (* Acquire every written record at its buffered version. The arena
          is flushed newest-slot-first: lazy STMs copy buffered values back
@@ -870,13 +1005,22 @@ let commit ctx t =
         if t.wbuf_prior.(i) >= 0 then
           ignore (acquire ctx t ~expect:t.wbuf_prior.(i) t.wbuf_obj.(i))
       done;
-      if not (validate ctx t) then begin
+      if timestamped ctx && not (has_writes t) then
+        (* read-only fast path: serialize at [rv], no commit-time walk *)
+        ctx.stats.Stats.ro_fast_commits <- ctx.stats.Stats.ro_fast_commits + 1
+      else if not (validate ctx t) then begin
         t.abort_cause <- Trace.Cause_validation;
         raise Abort_txn
       end;
       (* serialization point: the transaction is now committed, but its
          updates are still pending - the Section 2.3 window opens here *)
       emit_serialized t;
+      (* the clock bumps at the serialization point itself: the written
+         records stay exclusively owned across the write-back window, so
+         a validator that observes the new clock walks and sees either
+         our ownership (entry fails — we might rewrite its granule) or
+         untouched granules (entry passes) *)
+      if timestamped ctx && t.nowned > 0 then t.cts <- Gvc.advance ctx.gvc;
       (* The ticket must be drawn at the serialization point itself,
          before any yield: otherwise write-back order can invert
          serialization order, and a later-serialized privatizer
@@ -906,6 +1050,7 @@ let commit ctx t =
         done
       done;
       release_all ctx t;
+      t.cts <- -1;
       Option.iter (Quiesce.retire_ticket ctx.q) ticket
   | Config.Mvcc ->
       let update = mvcc_has_public t in
@@ -954,7 +1099,7 @@ let commit ctx t =
         let base = t.wbuf_base.(i) in
         let buf = t.wbuf_buf.(i) in
         if t.wbuf_prior.(i) >= 0 && Heap.version_ts obj <> ts then
-          Mvcc.install ctx.mv obj ~ts;
+          Mvcc.install ~txid:t.txid ~tid:(Sched.self ()) ctx.mv obj ~ts;
         for j = 0 to t.wbuf_len.(i) - 1 do
           publish_on_store ctx buf.(j);
           Heap.set obj (base + j) buf.(j);

@@ -47,9 +47,16 @@ val cm : ctx -> Stm_cm.Cm.t
     {!Stm.atomic} runner consults it for inter-attempt backoff. *)
 
 val mvcc : ctx -> Stm_mvcc.Mvcc.t
-(** The run's commit clock and snapshot registry (only advanced under
-    {!Config.Mvcc}; the non-transactional strong-atomicity write barrier
-    also installs versions through it). *)
+(** The run's snapshot registry (only used under {!Config.Mvcc}; the
+    non-transactional strong-atomicity write barrier also installs
+    versions through it). *)
+
+val gvc : ctx -> Gvc.t
+(** The run's global commit clock, shared between the mvcc machinery and
+    {!Config.Timestamp} validation. Advanced by mvcc update commits, by
+    eager/lazy update commits under [Timestamp], and by strong
+    non-transactional writes (versioned installs under mvcc, the
+    {!Barriers.write} release under [Timestamp]). *)
 
 type t
 (** A transaction descriptor. *)
@@ -84,7 +91,11 @@ val txn_write : ctx -> t -> Heap.obj -> int -> Heap.value -> unit
 (** Transactional store (open-for-write + write). May raise {!Abort_txn}. *)
 
 val validate : ctx -> t -> bool
-(** Re-check every read-set entry against the current records. *)
+(** Re-check every read-set entry against the current records. Under
+    {!Config.Timestamp} (eager/lazy) this is O(1) when the global commit
+    clock has not moved since the last successful full walk; otherwise
+    one walk runs and, on success, advances the transaction's read
+    timestamp to the observed clock. *)
 
 val commit : ctx -> t -> unit
 (** Validate, run the quiescence protocol if configured, write back (lazy)

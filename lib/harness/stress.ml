@@ -65,22 +65,23 @@ type report = {
 }
 
 let config ?(versioning = Config.Eager) ?(isolation = Config.Serializable)
-    ~cm ~seed () =
+    ?(validation = Config.Incremental) ~cm ~seed () =
   let base =
     match versioning with
     | Config.Eager -> Config.eager_weak
     | Config.Lazy -> Config.lazy_weak
     | Config.Mvcc -> Config.mvcc_weak
   in
-  Config.with_isolation isolation
-    {
-      base with
-      Config.cm;
-      cm_seed = seed;
-      cost = stress_cost;
-      max_txn_retries = 6;
-      validate_every = 16;
-    }
+  Config.with_validation validation
+    (Config.with_isolation isolation
+       {
+         base with
+         Config.cm;
+         cm_seed = seed;
+         cost = stress_cost;
+         max_txn_retries = 6;
+         validate_every = 16;
+       })
 
 (* ------------------------------------------------------------------ *)
 (* Scenario bodies (run inside Stm.run's main thread)                  *)
@@ -235,9 +236,9 @@ let body = function
 (* Runner                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(seed = 0) ?(fuel = 2_000_000) ?consumer ?versioning ?isolation ~cm
-    scenario =
-  let cfg = config ?versioning ?isolation ~cm ~seed () in
+let run ?(seed = 0) ?(fuel = 2_000_000) ?consumer ?versioning ?isolation
+    ?validation ~cm scenario =
+  let cfg = config ?versioning ?isolation ?validation ~cm ~seed () in
   let metrics = Stm_obs.Metrics.create () in
   (match consumer with
   | None -> Stm_obs.Metrics.install ~level:Trace.Info metrics

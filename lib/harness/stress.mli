@@ -44,6 +44,7 @@ val run :
   ?consumer:(Stm_core.Trace.event -> unit) ->
   ?versioning:Stm_core.Config.versioning ->
   ?isolation:Stm_core.Config.isolation ->
+  ?validation:Stm_core.Config.validation ->
   cm:Stm_cm.Policy.t ->
   scenario ->
   report
@@ -56,7 +57,8 @@ val run :
     reports identical counters with or without it. [versioning]
     (default eager) and [isolation] (default serializable) select the
     backend; under mvcc the {!Read_heavy} scanners must commit
-    abort-free. *)
+    abort-free. [validation] (default incremental) selects the read-set
+    validation scheme of the single-version backends. *)
 
 val passed : report -> bool
 (** Completed with zero starved threads. *)

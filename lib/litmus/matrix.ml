@@ -75,6 +75,14 @@ let expected_mvcc =
   ]
 
 let expectation program mode =
+  (* Timestamp validation is a performance scheme, not an isolation
+     change: its columns inherit the base modes' expectations. *)
+  let mode =
+    match mode with
+    | Modes.Weak_ts v -> Modes.Weak v
+    | Modes.Strong_ts v -> Modes.Strong v
+    | m -> m
+  in
   let lookup table modes =
     match List.assoc_opt program.Programs.name table with
     | Some row ->
@@ -93,7 +101,8 @@ let expectation program mode =
           | Modes.Weak Stm_core.Config.Mvcc -> false
           | Modes.Weak _ -> true
           | Modes.Locks | Modes.Strong _ | Modes.Weak_quiesce _
-          | Modes.Snapshot_weak | Modes.Snapshot_strong ->
+          | Modes.Snapshot_weak | Modes.Snapshot_strong | Modes.Weak_ts _
+          | Modes.Strong_ts _ ->
               false))
 
 let run_cell ?(preemption_bound = 2) ?(max_runs = 6000) ?granule_override ?cm
@@ -153,6 +162,15 @@ let mvcc_rows ?preemption_bound ?max_runs ?cm ?(programs = Programs.all) () =
       List.map
         (fun mode -> run_cell ?preemption_bound ?max_runs ?cm program mode)
         Modes.all_mvcc)
+    programs
+
+let timestamp_rows ?preemption_bound ?max_runs ?cm
+    ?(programs = Programs.fig6_rows) () =
+  List.concat_map
+    (fun program ->
+      List.map
+        (fun mode -> run_cell ?preemption_bound ?max_runs ?cm program mode)
+        Modes.all_timestamp)
     programs
 
 let privatization_row ?preemption_bound ?max_runs ?cm () =

@@ -72,5 +72,17 @@ val mvcc_rows :
 (** Every litmus program (or [programs]) under the four multi-version
     columns. *)
 
+val timestamp_rows :
+  ?preemption_bound:int ->
+  ?max_runs:int ->
+  ?cm:Stm_cm.Policy.t ->
+  ?programs:Programs.t list ->
+  unit ->
+  cell list
+(** The Figure 6 rows (or [programs]) under the four timestamp-validation
+    columns ({!Modes.all_timestamp}). Expectations are the corresponding
+    base columns' — global-commit-clock validation must never change a
+    litmus verdict. *)
+
 val all_match : cell list -> bool
 val pp_table : Format.formatter -> cell list -> unit

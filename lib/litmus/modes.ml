@@ -8,6 +8,8 @@ type t =
   | Weak_quiesce of Config.versioning
   | Snapshot_weak
   | Snapshot_strong
+  | Weak_ts of Config.versioning
+  | Strong_ts of Config.versioning
 
 let all_fig6 =
   [
@@ -24,6 +26,17 @@ let all_fig6 =
 let all_mvcc =
   [ Weak Config.Mvcc; Snapshot_weak; Strong Config.Mvcc; Snapshot_strong ]
 
+(* The timestamp-validation columns: the fig6 STM modes with
+   [Config.Timestamp] switched on. Expectations are the base modes' —
+   the scheme must change performance, never verdicts. *)
+let all_timestamp =
+  [
+    Weak_ts Config.Eager;
+    Weak_ts Config.Lazy;
+    Strong_ts Config.Eager;
+    Strong_ts Config.Lazy;
+  ]
+
 let vname = function
   | Config.Eager -> "eager"
   | Config.Lazy -> "lazy"
@@ -36,6 +49,8 @@ let name = function
   | Weak_quiesce v -> "quiesce-" ^ vname v
   | Snapshot_weak -> "weak-mvcc-si"
   | Snapshot_strong -> "strong-mvcc-si"
+  | Weak_ts v -> "weak-" ^ vname v ^ "-ts"
+  | Strong_ts v -> "strong-" ^ vname v ^ "-ts"
 
 let config ?(granule = 1) mode =
   let tune c =
@@ -62,6 +77,17 @@ let config ?(granule = 1) mode =
           isolation = Config.Snapshot;
           strong = true;
         }
+  | Weak_ts v ->
+      tune
+        { Config.base with versioning = v; validation = Config.Timestamp }
+  | Strong_ts v ->
+      tune
+        {
+          Config.base with
+          versioning = v;
+          validation = Config.Timestamp;
+          strong = true;
+        }
 
 type harness = {
   atomic : (unit -> unit) -> unit;
@@ -73,7 +99,8 @@ let harness mode (cfg : Config.t) =
   | Locks ->
       let lock = Sim_mutex.create ~name:"litmus" cfg.cost in
       { atomic = (fun f -> Sim_mutex.with_lock lock f); force_abort = (fun () -> ()) }
-  | Weak _ | Strong _ | Weak_quiesce _ | Snapshot_weak | Snapshot_strong ->
+  | Weak _ | Strong _ | Weak_quiesce _ | Snapshot_weak | Snapshot_strong
+  | Weak_ts _ | Strong_ts _ ->
       let fired = ref false in
       {
         atomic = (fun f -> Stm.atomic f);

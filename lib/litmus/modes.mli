@@ -11,6 +11,10 @@ type t =
       (** weak atomicity plus the quiescence commit protocol *)
   | Snapshot_weak  (** mvcc at snapshot isolation, weak barriers *)
   | Snapshot_strong  (** mvcc at snapshot isolation, strong barriers *)
+  | Weak_ts of Config.versioning
+      (** weak atomicity under global-commit-clock (timestamp) validation *)
+  | Strong_ts of Config.versioning
+      (** strong atomicity under timestamp validation *)
 
 val all_fig6 : t list
 (** The five Figure 6 columns: eager-weak, lazy-weak, locks, strong-eager,
@@ -19,6 +23,12 @@ val all_fig6 : t list
 val all_mvcc : t list
 (** The four multi-version columns, in expectation-table order:
     weak-mvcc, weak-mvcc-si, strong-mvcc, strong-mvcc-si. *)
+
+val all_timestamp : t list
+(** The four timestamp-validation columns: weak-eager-ts, weak-lazy-ts,
+    strong-eager-ts, strong-lazy-ts. Their expectations are exactly the
+    corresponding base columns' — the validation scheme must never
+    change a litmus verdict. *)
 
 val name : t -> string
 

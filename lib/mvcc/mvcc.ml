@@ -2,8 +2,9 @@ open Stm_runtime
 
 (* Multi-version concurrency control for the simulated heap.
 
-   One instance owns the global commit clock and the registry of live
-   snapshots. Each granule (heap object) keeps a bounded version chain
+   One instance holds a handle on the global commit clock (shared with
+   the single-version backends under timestamp validation) and the
+   registry of live snapshots. Each granule (heap object) keeps a bounded version chain
    (see {!Heap.push_version} and friends); this module decides *when*
    versions are installed and *which* retired versions are still
    reachable.
@@ -31,38 +32,49 @@ type stats = {
   mutable ro_commits : int;  (* read-only commits (validation-free) *)
 }
 
+(* Who installed the version stamped [ts], for abort attribution: a
+   direct-mapped ring keyed by the low bits of the timestamp. Entries for
+   old timestamps are evicted by newer installs that alias the slot;
+   lookups then return nothing, which degrades to the unattributed abort
+   the layer produced before the ring existed. *)
+let installer_ring = 256
+
 type t = {
-  mutable clock : int;  (* last issued commit timestamp *)
+  gvc : Gvc.t;  (* the commit clock — shared with the rest of the system *)
   max_versions : int;  (* chain bound, current version included *)
   active : (int, int) Hashtbl.t;  (* snapshot ts -> live-transaction count *)
+  inst_ts : int array;  (* ring slot -> timestamp, -1 = empty *)
+  inst_txid : int array;  (* installing txid, -1 = non-transactional *)
+  inst_tid : int array;  (* installing thread *)
   stats : stats;
 }
 
 let default_max_versions = 8
 
-let create ?(max_versions = default_max_versions) () =
+let create ?gvc ?(max_versions = default_max_versions) () =
   if max_versions < 1 then invalid_arg "Mvcc.create: max_versions must be >= 1";
   {
-    clock = 0;
+    gvc = (match gvc with Some g -> g | None -> Gvc.create ());
     max_versions;
     active = Hashtbl.create 32;
+    inst_ts = Array.make installer_ring (-1);
+    inst_txid = Array.make installer_ring (-1);
+    inst_tid = Array.make installer_ring (-1);
     stats = { installs = 0; pruned = 0; snapshot_reads = 0; too_old = 0; ro_commits = 0 };
   }
 
-let now t = t.clock
+let now t = Gvc.now t.gvc
+let gvc t = t.gvc
 let max_versions t = t.max_versions
 let stats t = t.stats
-
-let advance t =
-  t.clock <- t.clock + 1;
-  t.clock
+let advance t = Gvc.advance t.gvc
 
 (* ------------------------------------------------------------------ *)
 (* Snapshot registry                                                   *)
 (* ------------------------------------------------------------------ *)
 
 let begin_snapshot t =
-  let ts = t.clock in
+  let ts = Gvc.now t.gvc in
   Hashtbl.replace t.active ts
     (1 + Option.value ~default:0 (Hashtbl.find_opt t.active ts));
   ts
@@ -78,7 +90,7 @@ let end_snapshot t ts =
    unreachable. Live-transaction counts are small (one per simulated
    thread), so the fold is cheap. *)
 let oldest_active t =
-  Hashtbl.fold (fun ts _ acc -> min ts acc) t.active t.clock
+  Hashtbl.fold (fun ts _ acc -> min ts acc) t.active (Gvc.now t.gvc)
 
 (* ------------------------------------------------------------------ *)
 (* Reads                                                               *)
@@ -112,14 +124,26 @@ let fcw_ok (obj : Heap.obj) ~snap = Heap.version_ts obj <= snap
    [max_versions] overall. Must be called before the first store of the
    installing commit touches [obj], and the whole install must run
    without a scheduler yield. *)
-let install t (obj : Heap.obj) ~ts =
+let install ?(txid = -1) ?(tid = -1) t (obj : Heap.obj) ~ts =
   Heap.push_version obj;
   Heap.set_version_ts obj ts;
+  let slot = ts land (installer_ring - 1) in
+  t.inst_ts.(slot) <- ts;
+  t.inst_txid.(slot) <- txid;
+  t.inst_tid.(slot) <- tid;
   t.stats.installs <- t.stats.installs + 1;
   let dropped =
     Heap.prune_past obj ~oldest:(oldest_active t) ~max_versions:t.max_versions
   in
   t.stats.pruned <- t.stats.pruned + dropped
+
+(* (txid, tid) of the commit that installed the version stamped [ts];
+   [None] once the ring slot has been reused by a later install. *)
+let installer_of t ~ts =
+  let slot = ts land (installer_ring - 1) in
+  if ts >= 0 && t.inst_ts.(slot) = ts then
+    Some (t.inst_txid.(slot), t.inst_tid.(slot))
+  else None
 
 let note_ro_commit t = t.stats.ro_commits <- t.stats.ro_commits + 1
 

@@ -2,9 +2,10 @@
     version-chain GC.
 
     One instance per STM context. Granules (heap objects) carry their own
-    bounded version chains (see {!Stm_runtime.Heap}); this module owns the
-    global commit clock, tracks which snapshots are still read by live
-    transactions, and prunes chain entries nothing can reach.
+    bounded version chains (see {!Stm_runtime.Heap}); this module draws
+    commit timestamps from the system-wide {!Stm_runtime.Gvc} clock,
+    tracks which snapshots are still read by live transactions, and
+    prunes chain entries nothing can reach.
 
     The concurrency protocol built on top (in [Stm_core.Txn]) is
     first-committer-wins: update transactions install their buffered
@@ -28,8 +29,15 @@ type stats = {
 val default_max_versions : int
 (** [8] — current version plus up to seven retired ones per granule. *)
 
-val create : ?max_versions:int -> unit -> t
+val create : ?gvc:Gvc.t -> ?max_versions:int -> unit -> t
+(** [?gvc] shares an existing global commit clock (the txn layer passes
+    the system-wide one); a private clock is created when omitted. *)
+
 val now : t -> int
+
+val gvc : t -> Gvc.t
+(** The commit clock this instance draws timestamps from. *)
+
 val max_versions : t -> int
 val stats : t -> stats
 
@@ -53,12 +61,18 @@ val fcw_ok : Heap.obj -> snap:int -> bool
 (** First-committer-wins: true iff no version newer than [snap] has been
     installed on the object. *)
 
-val install : t -> Heap.obj -> ts:int -> unit
+val install : ?txid:int -> ?tid:int -> t -> Heap.obj -> ts:int -> unit
 (** Retire the object's current fields into its chain and stamp the new
     timestamp; the caller then overwrites the fields in place. Must run
     without a scheduler yield, before the first store touching the
     object. Prunes the chain against the oldest live snapshot and the
-    [max_versions] bound. *)
+    [max_versions] bound. [?txid]/[?tid] name the installing commit for
+    abort attribution (see {!installer_of}); they default to [-1]
+    (non-transactional / unknown). *)
+
+val installer_of : t -> ts:int -> (int * int) option
+(** [(txid, tid)] of the commit that installed the version stamped [ts],
+    or [None] when the attribution ring has since reused the slot. *)
 
 val note_ro_commit : t -> unit
 

@@ -10,6 +10,7 @@ type sample = {
 type report = {
   quick : bool;
   backend : Stm_core.Config.versioning;
+  validation : Stm_core.Config.validation;
   samples : sample list;
 }
 
@@ -44,6 +45,40 @@ let revalidate cfg () =
              for _ = 1 to 4096 do
                ignore (Stm_core.Stm.read o 0)
              done)))
+
+(* A large read set kept hot by re-reads: 1024 distinct granules, then
+   re-reads to 8192 total observations, with a tight validation cadence
+   (every 16 accesses, the knob a long-transaction workload would turn
+   up for opacity). Incremental validation walks all 1024 entries at
+   every periodic checkpoint — 512 full walks per run; the
+   global-commit-clock scheme answers each checkpoint in O(1) while the
+   clock is unchanged — the headline win of timestamp validation. *)
+let revalidate_heavy cfg () =
+  let cfg = { cfg with Stm_core.Config.validate_every = 16 } in
+  ignore
+    (Stm_core.Stm.run ~cfg (fun () ->
+         let objs =
+           Array.init 1024 (fun _ -> Stm_core.Stm.alloc ~cls:cell 1)
+         in
+         Stm_core.Stm.atomic (fun () ->
+             for round = 0 to 7 do
+               ignore round;
+               Array.iter (fun o -> ignore (Stm_core.Stm.read o 0)) objs
+             done)))
+
+(* Read-only transactions over a shared structure: under the timestamp
+   scheme each commit skips the commit-time validation walk entirely and
+   serializes at its begin snapshot. *)
+let read_only_commit cfg () =
+  ignore
+    (Stm_core.Stm.run ~cfg (fun () ->
+         let objs =
+           Array.init 512 (fun _ -> Stm_core.Stm.alloc ~cls:cell 1)
+         in
+         for _ = 1 to 8 do
+           Stm_core.Stm.atomic (fun () ->
+               Array.iter (fun o -> ignore (Stm_core.Stm.read o 0)) objs)
+         done))
 
 (* Open-for-read of many distinct objects: read-set insertion cost. *)
 let read_distinct cfg () =
@@ -180,8 +215,9 @@ let store_bench mode profile =
   in
   fun () -> ignore (Stm_store.Engine.run p)
 
-let bodies backend : (string * (unit -> unit)) list =
-  let cfg = cfg_of_backend backend in
+let bodies ?(validation = Stm_core.Config.Incremental) backend :
+    (string * (unit -> unit)) list =
+  let cfg = Stm_core.Config.with_validation validation (cfg_of_backend backend) in
   let store_mode =
     match backend with
     | Stm_core.Config.Mvcc -> Stm_store.Kv.Mvcc
@@ -189,6 +225,8 @@ let bodies backend : (string * (unit -> unit)) list =
   in
   [
     ("txn/revalidate", revalidate cfg);
+    ("txn/revalidate-heavy", revalidate_heavy cfg);
+    ("txn/read-only-commit", read_only_commit cfg);
     ("txn/read-distinct", read_distinct cfg);
     ("txn/write-commit", write_commit cfg);
     ("txn/lazy-write-commit", lazy_write_commit);
@@ -222,8 +260,9 @@ let alloc_words_of f =
 
 let group_name = "perf"
 
-let suite ?(quick = false) ?(backend = Stm_core.Config.Eager) () =
-  let bodies = bodies backend in
+let suite ?(quick = false) ?(backend = Stm_core.Config.Eager)
+    ?(validation = Stm_core.Config.Incremental) () =
+  let bodies = bodies ~validation backend in
   let tests =
     Test.make_grouped ~name:group_name
       (List.map (fun (n, f) -> Test.make ~name:n (Staged.stage f)) bodies)
@@ -256,7 +295,7 @@ let suite ?(quick = false) ?(backend = Stm_core.Config.Eager) () =
       bodies
     |> List.sort (fun a b -> compare a.name b.name)
   in
-  { quick; backend; samples }
+  { quick; backend; validation; samples }
 
 (* ------------------------------------------------------------------ *)
 (* JSON, baseline comparison                                           *)
@@ -270,6 +309,8 @@ let to_json r =
       ("quick", Json.Bool r.quick);
       ( "backend",
         Json.Str (Stm_core.Config.versioning_to_string r.backend) );
+      ( "validation",
+        Json.Str (Stm_core.Config.validation_to_string r.validation) );
       ( "benches",
         Json.Obj
           (List.map

@@ -21,6 +21,7 @@ type sample = {
 type report = {
   quick : bool;
   backend : Stm_core.Config.versioning;  (** see {!suite} *)
+  validation : Stm_core.Config.validation;  (** see {!suite} *)
   samples : sample list;  (** sorted by name *)
 }
 
@@ -28,7 +29,11 @@ val bench_names : string list
 (** Every bench the suite runs, in definition order ([stm_bench --list]). *)
 
 val suite :
-  ?quick:bool -> ?backend:Stm_core.Config.versioning -> unit -> report
+  ?quick:bool ->
+  ?backend:Stm_core.Config.versioning ->
+  ?validation:Stm_core.Config.validation ->
+  unit ->
+  report
 (** Run every microbench and end-to-end bench. [quick] shrinks the
     Bechamel quota for CI smoke runs (same operations, fewer samples).
     [backend] (default [Eager]) selects the versioning backend the
@@ -36,9 +41,13 @@ val suite :
     switch their weak-atomicity configuration, the store/* benches run
     the store's matching mode ([Kv.Mvcc] under mvcc, [Kv.Strong]
     otherwise); [lazy-write-commit] and the end-to-end figure/fuzz units
-    keep their own fixed configurations. Reports for different backends
-    ratchet against different baseline files ([bench/baseline.json],
-    [bench/baseline-mvcc.json]). *)
+    keep their own fixed configurations. [validation] (default
+    [Incremental]) switches the txn/* and diag/* configuration to the
+    global-commit-clock scheme; the revalidate-heavy and
+    read-only-commit benches are its showcase — see docs/PERFORMANCE.md.
+    Reports for different backends/validation schemes ratchet against
+    different baseline files ([bench/baseline.json],
+    [bench/baseline-mvcc.json], [bench/baseline-timestamp.json]). *)
 
 val to_json : report -> Stm_obs.Json.t
 

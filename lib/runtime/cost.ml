@@ -8,6 +8,7 @@ type t = {
   txn_commit : int;
   txn_per_read : int;
   txn_per_write : int;
+  txn_validate_fast : int;
   txn_abort : int;
   publish_base : int;
   publish_per_obj : int;
@@ -30,6 +31,7 @@ let default =
     txn_commit = 30;
     txn_per_read = 2;
     txn_per_write = 2;
+    txn_validate_fast = 2;
     txn_abort = 40;
     publish_base = 10;
     publish_per_obj = 5;
@@ -52,6 +54,7 @@ let free =
     txn_commit = 0;
     txn_per_read = 0;
     txn_per_write = 0;
+    txn_validate_fast = 0;
     txn_abort = 0;
     publish_base = 0;
     publish_per_obj = 0;

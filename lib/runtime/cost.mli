@@ -18,6 +18,9 @@ type t = {
   txn_commit : int;      (** commit fixed cost *)
   txn_per_read : int;    (** validating one read-set entry *)
   txn_per_write : int;   (** releasing one write-set entry *)
+  txn_validate_fast : int;
+      (** O(1) revalidation under [Config.Timestamp]: one global-clock
+          compare instead of a read-set walk *)
   txn_abort : int;       (** abort fixed cost (plus undo work) *)
   publish_base : int;    (** publishObject fixed cost *)
   publish_per_obj : int; (** per object marked public *)

@@ -1,0 +1,10 @@
+type t = { mutable clock : int }
+
+let create () = { clock = 0 }
+let now t = t.clock
+
+let advance t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let reset t = t.clock <- 0

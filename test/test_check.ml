@@ -472,13 +472,14 @@ let test_combo_json_roundtrip () =
       match Combo.of_json (Combo.to_json combo) with
       | Some combo' -> Alcotest.(check string) "combo" (Combo.name combo) (Combo.name combo')
       | None -> Alcotest.failf "combo of_json failed: %s" (Combo.name combo))
-    Combo.all
+    (Combo.all @ Combo.timestamp_grid)
 
 let sample_repro driver =
   {
     Repro.combo =
       { Combo.versioning = Stm_core.Config.Eager;
         isolation = Stm_core.Config.Serializable;
+        validation = Stm_core.Config.Incremental;
         atomicity = Combo.Weak;
         cm = Stm_cm.Policy.Suicide };
     profile = "mixed";
@@ -537,6 +538,7 @@ let combo versioning atomicity =
   {
     Combo.versioning;
     isolation = Stm_core.Config.Serializable;
+    validation = Stm_core.Config.Incremental;
     atomicity;
     cm = Stm_cm.Policy.Suicide;
   }

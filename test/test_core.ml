@@ -1116,3 +1116,246 @@ let suite =
           case "dedup keeps first version" reread_keeps_first_version;
         ] );
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Global-commit-clock (timestamp) validation                          *)
+(* ------------------------------------------------------------------ *)
+
+let ts_cfg v =
+  { Config.base with Config.versioning = v; validation = Config.Timestamp }
+
+(* An uncontended transaction never walks its read set: every explicit
+   validation hits the O(1) clock-unchanged fast path, and a read-only
+   body commits without the commit-time walk. *)
+let ts_fast_path_and_ro_commit versioning () =
+  with_stm ~cfg:(ts_cfg versioning) (fun () ->
+      let o = Stm.alloc_public ~cls:"C" 1 in
+      Stm.write o 0 (vi 7);
+      let v =
+        Stm.atomic (fun () ->
+            check_bool "valid (fast)" true (Stm.valid ());
+            check_bool "valid again (fast)" true (Stm.valid ());
+            geti o 0)
+      in
+      check_int "read committed value" 7 v;
+      let s = Stm.stats () in
+      check_bool "fast validations" true (s.Stats.fast_validations >= 2);
+      check_int "read-only fast commit" 1 s.Stats.ro_fast_commits;
+      (* a writing transaction must not take the read-only fast path *)
+      Stm.atomic (fun () -> Stm.write o 0 (vi 8));
+      let s = Stm.stats () in
+      check_int "writer not counted read-only" 1 s.Stats.ro_fast_commits)
+
+(* The timestamp counters stay silent under the default incremental
+   scheme — the opt-in gate for byte-identical seed behavior. *)
+let ts_counters_silent_under_incremental () =
+  with_stm ~cfg:Config.eager_weak (fun () ->
+      let o = Stm.alloc_public ~cls:"C" 1 in
+      Stm.atomic (fun () ->
+          ignore (Stm.read o 0);
+          check_bool "valid" true (Stm.valid ()));
+      let s = Stm.stats () in
+      check_int "no fast validations" 0 s.Stats.fast_validations;
+      check_int "no extensions" 0 s.Stats.ts_extensions;
+      check_int "no ro fast commits" 0 s.Stats.ro_fast_commits)
+
+(* Reading a version stamped after the transaction began triggers a
+   timestamp extension; when only disjoint granules committed in between
+   the extension succeeds and the read proceeds at the new snapshot. *)
+let ts_extension_succeeds versioning () =
+  with_stm ~cfg:(ts_cfg versioning) (fun () ->
+      let a = Stm.alloc_public ~cls:"C" 1 in
+      let b = Stm.alloc_public ~cls:"C" 1 in
+      Stm.write b 0 (vi 1);
+      let reader =
+        Sched.spawn (fun () ->
+            Stm.atomic (fun () ->
+                ignore (Stm.read a 0);
+                (* park past the writer's commit *)
+                Sched.pause 2000;
+                check_int "extended read sees committed value" 2 (geti b 0)))
+      in
+      let writer =
+        Sched.spawn (fun () ->
+            Sched.pause 100;
+            Stm.atomic (fun () -> Stm.write b 0 (vi 2)))
+      in
+      Sched.join reader;
+      Sched.join writer;
+      let s = Stm.stats () in
+      check_bool "extension fired" true (s.Stats.ts_extensions >= 1))
+
+(* When a granule already read HAS changed, the extension walk fails and
+   the transaction aborts and retries rather than read an inconsistent
+   snapshot. *)
+let ts_extension_failure_retries versioning () =
+  with_stm ~cfg:(ts_cfg versioning) (fun () ->
+      let a = Stm.alloc_public ~cls:"C" 1 in
+      let b = Stm.alloc_public ~cls:"C" 1 in
+      Stm.write a 0 (vi 0);
+      Stm.write b 0 (vi 0);
+      let attempts = ref 0 in
+      let reads = ref (0, 0) in
+      let reader =
+        Sched.spawn (fun () ->
+            Stm.atomic (fun () ->
+                incr attempts;
+                let va = geti a 0 in
+                Sched.pause 2000;
+                let vb = geti b 0 in
+                reads := (va, vb)))
+      in
+      let writer =
+        Sched.spawn (fun () ->
+            Sched.pause 100;
+            Stm.atomic (fun () ->
+                Stm.write a 0 (vi 9);
+                Stm.write b 0 (vi 9)))
+      in
+      Sched.join reader;
+      Sched.join writer;
+      check_bool "reader retried" true (!attempts >= 2);
+      check_bool "final snapshot consistent" true (!reads = (9, 9)))
+
+(* Strong non-transactional stores advance the commit clock at release:
+   a transaction that read the granule beforehand cannot fast-pass
+   validation over the store. The stale read-only transaction still
+   commits — it serializes at its begin snapshot, which the store
+   post-dates. *)
+let ts_strong_barrier_bumps_clock () =
+  with_stm
+    ~cfg:{ (ts_cfg Config.Eager) with Config.strong = true }
+    (fun () ->
+      let o = Stm.alloc_public ~cls:"C" 1 in
+      Stm.write o 0 (vi 1);
+      let attempts = ref 0 in
+      let first_valid = ref true in
+      let reader =
+        Sched.spawn (fun () ->
+            Stm.atomic (fun () ->
+                incr attempts;
+                ignore (Stm.read o 0);
+                Sched.pause 2000;
+                if !attempts = 1 then first_valid := Stm.valid ()))
+      in
+      let writer =
+        Sched.spawn (fun () ->
+            Sched.pause 100;
+            (* non-transactional store through the strong barrier *)
+            Stm.write o 0 (vi 2))
+      in
+      Sched.join reader;
+      Sched.join writer;
+      check_bool "validation saw the non-txn store" false !first_valid;
+      check_int "read-only txn still commits at its snapshot" 1 !attempts)
+
+(* Differential harness for the equivalence property: one reader running
+   a generated sequence of (granule, pause) reads against a set of
+   committed writer transactions at generated offsets. Records the
+   reader's first attempt — did it reach the end, and what did [valid]
+   say there — plus the final heap. *)
+let ts_run_interleaving ~validation ~versioning ops writers =
+  let cfg =
+    {
+      Config.base with
+      Config.versioning;
+      validation;
+      cost = Cost.free;
+      (* no periodic validation: the property observes [valid] at the
+         end of the first attempt, not mid-body aborts *)
+      validate_every = 1_000_000;
+    }
+  in
+  Heap.reset ();
+  Stm.install cfg;
+  Fun.protect ~finally:Stm.uninstall (fun () ->
+      let attempts = ref 0 in
+      let end_valid = ref None in
+      let finals = ref [] in
+      let r =
+        Sched.run (fun () ->
+            let objs = Array.init 3 (fun _ -> Stm.alloc_public ~cls:"Q" 1) in
+            Array.iter (fun o -> Stm.write o 0 (vi 0)) objs;
+            let reader =
+              Sched.spawn (fun () ->
+                  Stm.atomic (fun () ->
+                      incr attempts;
+                      List.iter
+                        (fun (i, d) ->
+                          ignore (Stm.read objs.(i) 0);
+                          if d > 0 then Sched.pause d)
+                        ops;
+                      if !attempts = 1 then end_valid := Some (Stm.valid ())))
+            in
+            let ws =
+              List.mapi
+                (fun j (i, off) ->
+                  Sched.spawn (fun () ->
+                      Sched.pause off;
+                      Stm.atomic (fun () -> Stm.write objs.(i) 0 (vi (100 + j)))))
+                writers
+            in
+            Sched.join reader;
+            List.iter Sched.join ws;
+            finals := Array.to_list (Array.map (fun o -> geti o 0) objs))
+      in
+      (match r.Sched.exns with
+      | [] -> ()
+      | (tid, e) :: _ ->
+          Alcotest.failf "thread %d raised %s" tid (Printexc.to_string e));
+      (!end_valid, !finals))
+
+(* Timestamp validation must agree with incremental validation on every
+   committed-write interleaving:
+   - identical final heaps (both schemes converge to the same commits);
+   - when the timestamp reader's first attempt reaches the end, [valid]
+     answers exactly as incremental's;
+   - when it aborts early (a failed extension — the one conservative
+     behavior incremental lacks), incremental must be invalid at the end
+     (or have aborted at the same contention point). *)
+let ts_equivalence_qcheck =
+  let open QCheck in
+  let op = pair (int_bound 2) (int_bound 300) in
+  let writer = pair (int_bound 2) (int_bound 400) in
+  let gen =
+    triple bool (list_of_size Gen.(1 -- 6) op) (list_of_size Gen.(0 -- 4) writer)
+  in
+  Test.make ~name:"timestamp == incremental on committed interleavings"
+    ~count:60 gen (fun (eager, ops, writers) ->
+      let versioning = if eager then Config.Eager else Config.Lazy in
+      let v_inc, f_inc =
+        ts_run_interleaving ~validation:Config.Incremental ~versioning ops
+          writers
+      in
+      let v_ts, f_ts =
+        ts_run_interleaving ~validation:Config.Timestamp ~versioning ops
+          writers
+      in
+      f_inc = f_ts
+      &&
+      match v_ts with
+      | Some b -> v_inc = Some b
+      | None -> v_inc = None || v_inc = Some false)
+
+let suite =
+  suite
+  @ [
+      ( "core:timestamp",
+        [
+          case "eager: fast path + ro commit"
+            (ts_fast_path_and_ro_commit Config.Eager);
+          case "lazy: fast path + ro commit"
+            (ts_fast_path_and_ro_commit Config.Lazy);
+          case "incremental keeps counters silent"
+            ts_counters_silent_under_incremental;
+          case "eager: extension succeeds"
+            (ts_extension_succeeds Config.Eager);
+          case "lazy: extension succeeds" (ts_extension_succeeds Config.Lazy);
+          case "eager: failed extension retries"
+            (ts_extension_failure_retries Config.Eager);
+          case "lazy: failed extension retries"
+            (ts_extension_failure_retries Config.Lazy);
+          case "strong barrier bumps the clock" ts_strong_barrier_bumps_clock;
+        ]
+        @ QCheck_alcotest.(List.map to_alcotest [ ts_equivalence_qcheck ]) );
+    ]

@@ -51,6 +51,14 @@ let mvcc_cases =
       List.map (cell_case ~preemption_bound:3 program) Modes.all_mvcc)
     (Programs.fig6_rows @ [ Programs.privatization ] @ Programs.extras)
 
+(* The four timestamp-validation columns over the Figure 6 rows plus the
+   extras: global-commit-clock validation is a performance scheme, so
+   every cell must match the corresponding base column verbatim. *)
+let timestamp_cases =
+  List.concat_map
+    (fun program -> List.map (cell_case program) Modes.all_timestamp)
+    (Programs.fig6_rows @ Programs.extras)
+
 (* The SI litmus programs under all nine columns: write skew must appear
    in the two snapshot-isolation columns and nowhere else; long fork and
    the read-only snapshot are all-"no" rows. *)
@@ -208,6 +216,7 @@ let suite =
     ("litmus:privatization", privatization_cases);
     ("litmus:extras", extras_cases);
     ("litmus:mvcc", mvcc_cases);
+    ("litmus:timestamp", timestamp_cases);
     ("litmus:si", si_cases);
     ("litmus:cm-golden", cm_golden_cases);
     ( "litmus:ablations",

@@ -165,7 +165,7 @@ let stats_to_assoc () =
   s.Stats.commits <- 3;
   s.Stats.conflicts <- 7;
   let a = Stats.to_assoc s in
-  check_int "15 counters" 15 (List.length a);
+  check_int "18 counters" 18 (List.length a);
   check_int "commits" 3 (List.assoc "commits" a);
   check_int "conflicts" 7 (List.assoc "conflicts" a);
   let j = Json.to_string (Json.of_assoc a) in

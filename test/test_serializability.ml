@@ -44,6 +44,76 @@ let clean_slice pred name =
 
 let is_atomicity a (c : Fuzz.campaign) = c.Fuzz.combo.Combo.atomicity = a
 
+(* The timestamp-validation sweep: the same clean expectations over
+   {!Combo.timestamp_grid}, on a reduced budget (24 combos). A fuller
+   pass runs in CI via [stm_bench --fuzz --validation timestamp]. *)
+let ts_budget =
+  { Fuzz.default_budget with Fuzz.programs = 8; seeds = 1; base_seed = 1 }
+
+let ts_clean_slice pred name =
+  Alcotest.test_case name `Quick (fun () ->
+      let plan = List.filter pred Fuzz.timestamp_campaigns in
+      let results = Fuzz.sweep ~plan ts_budget in
+      if not (Fuzz.passed results) then fail_results results)
+
+(* Cross-validation-scheme differential: the same programs and schedule
+   seeds on the incremental backend grid plus eager-ts/lazy-ts; a
+   timestamp member certifying anomalous where the incremental members
+   stay clean is a divergence and fails with a replayable repro. *)
+let test_timestamp_differential () =
+  let budget =
+    { Fuzz.default_budget with Fuzz.programs = 6; seeds = 2; base_seed = 1 }
+  in
+  let r = Fuzz.run_differential ~combos:Fuzz.timestamp_backend_grid budget in
+  Alcotest.(check int)
+    "grid size" 6
+    (List.length r.Fuzz.diff_combos);
+  if not (Fuzz.differential_passed r) then
+    Alcotest.failf "validation-scheme divergence: %s"
+      (Stm_obs.Json.to_string (Fuzz.differential_to_json r))
+
+(* Regression: the timestamp fast path must not run under quiescence. A
+   committer in commit_epoch_wait holds its records Exclusive but bumps
+   the commit clock only at release, so a doomed transaction whose O(1)
+   revalidation saw an unchanged clock was marked consistent while its
+   stale eager in-place state was still live across the privatizer's
+   handoff. This is the minimized sweep counterexample (prog_seed 9,
+   sched_seed 73720) replayed under every quiesce-grid CM policy. *)
+let test_quiesce_handoff_regression () =
+  let prog =
+    {
+      Prog.ncells = 2;
+      nslots = 2;
+      threads =
+        [
+          [ Prog.Publish 0 ];
+          [ Prog.Privatize 0 ];
+          [ Prog.Atomic [ Prog.Box_write 0 ] ];
+        ];
+    }
+  in
+  List.iter
+    (fun cm ->
+      let combo =
+        {
+          Combo.versioning = Stm_core.Config.Eager;
+          isolation = Stm_core.Config.Serializable;
+          atomicity = Combo.Quiesce;
+          cm;
+          validation = Stm_core.Config.Timestamp;
+        }
+      in
+      let v =
+        Repro.run_driver ~combo ~driver:(Repro.Random_sched 73720)
+          ~max_steps:Fuzz.default_budget.Fuzz.max_steps prog
+      in
+      match v with
+      | History.Serializable -> ()
+      | v ->
+          Alcotest.failf "%s: %s" (Combo.name combo)
+            (Stm_obs.Json.to_string (History.verdict_to_json v)))
+    [ Stm_cm.Policy.Suicide; Stm_cm.Policy.Wound_wait; Stm_cm.Policy.Timestamp ]
+
 let test_hunts_find_anomalies () =
   let results = Fuzz.sweep ~plan:Fuzz.hunt_campaigns budget in
   if not (Fuzz.passed results) then fail_results results;
@@ -71,5 +141,16 @@ let suite =
         clean_slice (is_atomicity Combo.Quiesce) "fuzz clean: quiesce / txn+handoff";
         Alcotest.test_case "hunts find+minimize the paper's anomalies" `Quick
           test_hunts_find_anomalies;
+        ts_clean_slice (is_atomicity Combo.Weak) "fuzz clean: weak / timestamp";
+        ts_clean_slice (is_atomicity Combo.Strong)
+          "fuzz clean: strong / timestamp";
+        ts_clean_slice (is_atomicity Combo.Strong_dea)
+          "fuzz clean: dea / timestamp";
+        ts_clean_slice (is_atomicity Combo.Quiesce)
+          "fuzz clean: quiesce / timestamp";
+        Alcotest.test_case "regression: quiesce handoff disables fast path"
+          `Quick test_quiesce_handoff_regression;
+        Alcotest.test_case "differential: timestamp vs incremental" `Quick
+          test_timestamp_differential;
       ] );
   ]
