@@ -722,9 +722,213 @@ let run_list () =
   List.iter
     (fun c -> Fmt.pr "  %s@." (Stm_check.Fuzz.campaign_name c))
     Stm_check.Fuzz.timestamp_plan;
+  Fmt.pr "@.exploration engines (--explore; re-derive the litmus matrix):@.";
+  List.iter
+    (fun (e, descr) -> Fmt.pr "  %-6s %s@." e descr)
+    [
+      ( "dpor",
+        "certification: race-reduced DPOR walk cross-checked against the \
+         enumerative DFS at the same preemption bound; verdict flips and \
+         incomplete \"no\" cells are fatal" );
+      ("enum", "enumerative preemption-bounded DFS, held to the paper");
+      ( "pct",
+        "probabilistic sampling; conclusive only for unexpected anomalies" );
+    ];
   Fmt.pr "@.perf benches (--perf):@.";
   List.iter (fun n -> Fmt.pr "  %s@." n) Stm_perf.Perf.bench_names;
   0
+
+(* ------------------------------------------------------------------ *)
+(* Exploration-engine certification mode                               *)
+(* ------------------------------------------------------------------ *)
+
+(* --explore ENGINE: re-derive the litmus matrix with a chosen schedule
+   engine. "dpor" is the certification mode: every cell is decided by
+   both the enumerative DFS and the race-reduced DPOR walk at the same
+   preemption bound, and a verdict flip — or a DPOR walk that fails to
+   complete where the enumerative baseline finished — is fatal. "enum"
+   re-derives the cells with the DFS alone; "pct" samples them with
+   probabilistic concurrency testing, where only an anomaly on an
+   expected-"no" cell is conclusive (a sampler's silence certifies
+   nothing, so missed "yes" cells are reported, not fatal). *)
+
+let explore_cells ~bound rows =
+  match rows with
+  | "fig6" ->
+      List.concat_map
+        (fun p -> List.map (fun m -> (p, m, bound)) Stm_litmus.Modes.all_fig6)
+        Stm_litmus.Programs.fig6_rows
+  | "all" -> Stm_litmus.Matrix.full_matrix ~bound ()
+  | other ->
+      Fmt.failwith "unknown --explore-rows %s (expected fig6 or all)" other
+
+let cell_json (c : Stm_litmus.Matrix.cell) =
+  let open Stm_obs in
+  [
+    ("program", Json.Str c.Stm_litmus.Matrix.program.Stm_litmus.Programs.name);
+    ("mode", Json.Str (Stm_litmus.Modes.name c.Stm_litmus.Matrix.mode));
+    ("expected", Json.Bool c.Stm_litmus.Matrix.expected);
+    ("observed", Json.Bool c.Stm_litmus.Matrix.observed);
+    ("runs", Json.Int c.Stm_litmus.Matrix.runs);
+    ("truncated", Json.Bool c.Stm_litmus.Matrix.truncated);
+  ]
+
+let run_explore_dpor ~bound ~max_runs ~rows ~cells_out =
+  let open Stm_obs in
+  let cells = explore_cells ~bound rows in
+  Fmt.pr "certifying %d cells at preemption bound %d (dpor vs enum)@."
+    (List.length cells) bound;
+  let results =
+    List.map
+      (fun (p, m, b) ->
+        let c =
+          Stm_litmus.Matrix.certify_cell ~preemption_bound:b ?max_runs p m
+        in
+        Fmt.pr "%a@." Stm_litmus.Matrix.pp_certified c;
+        c)
+      cells
+  in
+  let total f = List.fold_left (fun a c -> a + f c) 0 results in
+  let enum_total =
+    total (fun c -> c.Stm_litmus.Matrix.enum.Stm_litmus.Matrix.runs)
+  in
+  let dpor_total =
+    total (fun c -> c.Stm_litmus.Matrix.dpor.Stm_litmus.Matrix.runs)
+  in
+  let flips =
+    List.filter
+      (fun c ->
+        c.Stm_litmus.Matrix.dpor.Stm_litmus.Matrix.observed
+        <> c.Stm_litmus.Matrix.enum.Stm_litmus.Matrix.observed)
+      results
+  in
+  let incomplete =
+    List.filter (fun c -> not (Stm_litmus.Matrix.cell_certified c)) results
+  in
+  let mismatches =
+    List.filter
+      (fun c ->
+        c.Stm_litmus.Matrix.enum.Stm_litmus.Matrix.observed
+        <> c.Stm_litmus.Matrix.enum.Stm_litmus.Matrix.expected)
+      results
+  in
+  let ratio =
+    if dpor_total = 0 then 0.
+    else float_of_int enum_total /. float_of_int dpor_total
+  in
+  Fmt.pr
+    "total runs: enum %d, dpor %d (%.2fx reduction); %d verdict flips, %d \
+     uncertified, %d paper mismatches@."
+    enum_total dpor_total ratio (List.length flips) (List.length incomplete)
+    (List.length mismatches);
+  let ok = incomplete = [] && mismatches = [] in
+  Option.iter
+    (fun path ->
+      write_json path
+        (Json.Obj
+           [
+             ("engine", Json.Str "dpor");
+             ("preemption_bound", Json.Int bound);
+             ( "cells",
+               Json.List
+                 (List.map
+                    (fun c ->
+                      Json.Obj
+                        (cell_json c.Stm_litmus.Matrix.dpor
+                        @ [
+                            ( "enum_observed",
+                              Json.Bool
+                                c.Stm_litmus.Matrix.enum
+                                  .Stm_litmus.Matrix.observed );
+                            ( "enum_runs",
+                              Json.Int
+                                c.Stm_litmus.Matrix.enum.Stm_litmus.Matrix.runs
+                            );
+                            ("complete", Json.Bool c.Stm_litmus.Matrix.complete);
+                            ("races", Json.Int c.Stm_litmus.Matrix.races);
+                            ( "certified",
+                              Json.Bool (Stm_litmus.Matrix.cell_certified c) );
+                          ]))
+                    results) );
+             ("enum_runs_total", Json.Int enum_total);
+             ("dpor_runs_total", Json.Int dpor_total);
+             ("run_ratio", Json.Float ratio);
+             ("flips", Json.Int (List.length flips));
+             ("passed", Json.Bool ok);
+           ]))
+    cells_out;
+  if ok then 0 else 1
+
+let run_explore_cells ~engine ~bound ~runner ~rows ~cells_out =
+  let open Stm_obs in
+  let cells = explore_cells ~bound rows in
+  Fmt.pr "re-deriving %d cells with the %s engine@." (List.length cells) engine;
+  let results =
+    List.map
+      (fun (p, m, b) ->
+        let (c : Stm_litmus.Matrix.cell) = runner ~bound:b p m in
+        Fmt.pr "%-14s %-14s %s expected=%b runs=%d@."
+          c.Stm_litmus.Matrix.program.Stm_litmus.Programs.name
+          (Stm_litmus.Modes.name c.Stm_litmus.Matrix.mode)
+          (if c.Stm_litmus.Matrix.observed then "yes" else "no ")
+          c.Stm_litmus.Matrix.expected c.Stm_litmus.Matrix.runs;
+        c)
+      cells
+  in
+  let false_yes =
+    List.filter
+      (fun (c : Stm_litmus.Matrix.cell) ->
+        c.Stm_litmus.Matrix.observed && not c.Stm_litmus.Matrix.expected)
+      results
+  in
+  let missed =
+    List.filter
+      (fun (c : Stm_litmus.Matrix.cell) ->
+        c.Stm_litmus.Matrix.expected && not c.Stm_litmus.Matrix.observed)
+      results
+  in
+  (* The enumerative DFS at the standard bound must reproduce the paper
+     exactly; a sampler is only held to the one-sided check. *)
+  let ok =
+    match engine with
+    | "pct" ->
+        if missed <> [] then
+          Fmt.pr "note: %d expected-yes cells not reached by sampling@."
+            (List.length missed);
+        false_yes = []
+    | _ -> false_yes = [] && missed = []
+  in
+  Fmt.pr "%d cells, %d unexpected anomalies, %d missed witnesses: %s@."
+    (List.length results) (List.length false_yes) (List.length missed)
+    (if ok then "ok" else "FAIL");
+  Option.iter
+    (fun path ->
+      write_json path
+        (Json.Obj
+           [
+             ("engine", Json.Str engine);
+             ( "cells",
+               Json.List (List.map (fun c -> Json.Obj (cell_json c)) results)
+             );
+             ("passed", Json.Bool ok);
+           ]))
+    cells_out;
+  if ok then 0 else 1
+
+let run_explore ~engine ~bound ~max_runs ~rows ~cells_out =
+  match engine with
+  | "dpor" -> run_explore_dpor ~bound ~max_runs ~rows ~cells_out
+  | "enum" ->
+      run_explore_cells ~engine ~bound ~rows ~cells_out
+        ~runner:(fun ~bound p m ->
+          Stm_litmus.Matrix.run_cell ~preemption_bound:bound ?max_runs p m)
+  | "pct" ->
+      run_explore_cells ~engine ~bound ~rows ~cells_out
+        ~runner:(fun ~bound:_ p m ->
+          Stm_litmus.Matrix.run_cell_pct ?runs:max_runs p m)
+  | other ->
+      Fmt.failwith "unknown --explore engine %s (expected dpor, enum, or pct)"
+        other
 
 (* ------------------------------------------------------------------ *)
 (* Entry                                                               *)
@@ -732,14 +936,24 @@ let run_list () =
 
 let main list store store_opts name scale threads backend isolation validation
     cm stress seed fuel metrics_out diag_out fuzz fuzz_differential
-    fuzz_programs fuzz_seeds fuzz_driver fuzz_dir perf quick perf_out
-    perf_baseline perf_threshold diag_gate =
+    fuzz_programs fuzz_seeds fuzz_driver fuzz_dir explore explore_bound
+    explore_runs explore_rows cells_out perf quick perf_out perf_baseline
+    perf_threshold diag_gate =
   if list then run_list ()
   else
   match store with
   | Some which -> (
       try run_store which store_opts cm seed fuel metrics_out diag_out
       with Failure m | Invalid_argument m ->
+        Fmt.epr "%s@." m;
+        exit 2)
+  | None ->
+  match explore with
+  | Some engine -> (
+      try
+        run_explore ~engine ~bound:explore_bound ~max_runs:explore_runs
+          ~rows:explore_rows ~cells_out
+      with Failure m ->
         Fmt.epr "%s@." m;
         exit 2)
   | None ->
@@ -754,8 +968,10 @@ let main list store store_opts name scale threads backend isolation validation
       match fuzz_driver with
       | "random" -> Stm_check.Fuzz.Drv_random
       | "explore" -> Stm_check.Fuzz.Drv_explore
+      | "dpor" -> Stm_check.Fuzz.Drv_dpor
       | other ->
-          Fmt.epr "unknown fuzz driver %s (expected random or explore)@." other;
+          Fmt.epr "unknown fuzz driver %s (expected random, explore, or dpor)@."
+            other;
           exit 2
     in
     run_fuzz ~programs:fuzz_programs ~seeds:fuzz_seeds ~driver ~dir:fuzz_dir
@@ -1009,7 +1225,62 @@ let fuzz_driver_arg =
     value & opt string "random"
     & info [ "fuzz-driver" ] ~docv:"DRIVER"
         ~doc:
-          "Schedule source: $(b,random) (seeded random scheduler) or $(b,explore) (the litmus explorer's preemption-bounded DFS, one search per program).")
+          "Schedule source: $(b,random) (seeded random scheduler), \
+           $(b,explore) (the litmus explorer's preemption-bounded DFS, one \
+           search per program), or $(b,dpor) (the race-reduced DPOR walk, \
+           same bound, far fewer runs).")
+
+let explore_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "explore" ] ~docv:"ENGINE"
+        ~doc:
+          "Re-derive the litmus behaviour matrix with a schedule engine: \
+           $(b,dpor) (certification mode — every cell decided by both the \
+           race-reduced DPOR walk and the enumerative DFS at the same \
+           preemption bound; any verdict flip, or a DPOR walk less complete \
+           than a finished enumerative baseline, is a non-zero exit), \
+           $(b,enum) (enumerative DFS alone, held to the paper's \
+           expectations), or $(b,pct) (probabilistic sampling; only an \
+           anomaly on an expected-\"no\" cell is fatal). See also \
+           $(b,--explore-bound), $(b,--explore-runs), $(b,--explore-rows), \
+           $(b,--cells-out).")
+
+let explore_bound_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "explore-bound" ] ~docv:"N"
+        ~doc:"Preemption bound for --explore dpor and enum (default 2).")
+
+let explore_runs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "explore-runs" ] ~docv:"N"
+        ~doc:
+          "Run budget per cell: max explored schedules for $(b,dpor)/\
+           $(b,enum) (default 40000 resp. 6000), sampling quota for \
+           $(b,pct) (default 2000).")
+
+let explore_rows_arg =
+  Arg.(
+    value & opt string "all"
+    & info [ "explore-rows" ] ~docv:"ROWS"
+        ~doc:
+          "Cell set for --explore: $(b,all) (every matrix cell — Figure 6, \
+           extras, privatization, SI, mvcc and timestamp columns) or \
+           $(b,fig6) (the 45 Figure 6 cells, the CI smoke set).")
+
+let cells_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cells-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the per-cell --explore results (verdicts, run counts, \
+           completeness, races) as JSON to $(docv) — the nightly CI \
+           artifact.")
 
 let perf_arg =
   Arg.(
@@ -1216,7 +1487,9 @@ let cmd =
       $ scale_arg $ threads_arg $ backend_arg $ isolation_arg $ validation_arg
       $ cm_arg $ stress_arg $ seed_arg $ fuel_arg $ metrics_arg $ diag_out_arg
       $ fuzz_arg $ fuzz_differential_arg $ fuzz_programs_arg $ fuzz_seeds_arg
-      $ fuzz_driver_arg $ fuzz_dir_arg $ perf_arg $ quick_arg $ perf_out_arg
-      $ perf_baseline_arg $ perf_threshold_arg $ diag_gate_arg)
+      $ fuzz_driver_arg $ fuzz_dir_arg $ explore_arg $ explore_bound_arg
+      $ explore_runs_arg $ explore_rows_arg $ cells_out_arg $ perf_arg
+      $ quick_arg $ perf_out_arg $ perf_baseline_arg $ perf_threshold_arg
+      $ diag_gate_arg)
 
 let () = exit (Cmd.eval' cmd)

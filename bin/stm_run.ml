@@ -84,6 +84,9 @@ let run_repro path =
           Fmt.pr "driver   : random scheduler, seed %d@." seed
       | Stm_check.Repro.Explore { preemption_bound; max_runs } ->
           Fmt.pr "driver   : explorer DFS, preemption bound %d, max %d runs@."
+            preemption_bound max_runs
+      | Stm_check.Repro.Dpor { preemption_bound; max_runs } ->
+          Fmt.pr "driver   : DPOR explorer, preemption bound %d, max %d runs@."
             preemption_bound max_runs);
       Fmt.pr "program  : %s" (Stm_check.Prog.to_string r.Stm_check.Repro.prog);
       let v = Stm_check.Repro.replay r in

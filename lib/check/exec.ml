@@ -443,9 +443,7 @@ let run ?policy ?(max_steps = default_fuel) ?tee ~cfg prog =
 
 let anomalous_outcome s = String.length s > 0 && s.[0] = 'A'
 
-let explore ?preemption_bound ?max_runs ?(max_steps = 60_000) ~cfg prog =
-  let first = ref None in
-  let make () =
+let explore_make ~cfg ~first prog () =
     let ctx =
       {
         col = create_collector ();
@@ -480,8 +478,11 @@ let explore ?preemption_bound ?max_runs ?(max_steps = 60_000) ~cfg prog =
               | History.Serializable -> "S:"
               | History.Inconclusive _ -> "I:")
               ^ Stm_obs.Json.to_string (History.verdict_to_json v));
-    }
-  in
+  }
+
+let explore ?preemption_bound ?max_runs ?(max_steps = 60_000) ~cfg prog =
+  let first = ref None in
+  let make = explore_make ~cfg ~first prog in
   Fun.protect
     ~finally:(fun () -> Trace.set_sink None)
     (fun () ->
@@ -490,3 +491,15 @@ let explore ?preemption_bound ?max_runs ?(max_steps = 60_000) ~cfg prog =
           ~stop_when:anomalous_outcome ~cfg ~make ()
       in
       (!first, exploration))
+
+let explore_dpor ?preemption_bound ?max_runs ?(max_steps = 60_000) ~cfg prog =
+  let first = ref None in
+  let make = explore_make ~cfg ~first prog in
+  Fun.protect
+    ~finally:(fun () -> Trace.set_sink None)
+    (fun () ->
+      let d =
+        Stm_litmus.Explorer.explore_dpor ?preemption_bound ?max_runs ~max_steps
+          ~stop_when:anomalous_outcome ~cfg ~make ()
+      in
+      (!first, d))

@@ -37,3 +37,19 @@ val explore :
     DFS instead of a single random schedule. Each explored schedule's
     outcome is the verdict's JSON rendering; the search stops at the
     first anomalous outcome, which is also returned directly. *)
+
+val explore_dpor :
+  ?preemption_bound:int ->
+  ?max_runs:int ->
+  ?max_steps:int ->
+  cfg:Stm_core.Config.t ->
+  Prog.t ->
+  History.verdict option * Stm_litmus.Explorer.dpor
+(** As {!explore}, but through the race-reduced
+    {!Stm_litmus.Explorer.explore_dpor} walk: typically an order of
+    magnitude fewer runs at the same preemption bound, and the result
+    carries [complete] (the reduced schedule space was exhausted) and
+    [races] alongside the exploration counters. Omitting
+    [preemption_bound] makes the walk unbounded — exhaustive when it
+    terminates, but divergent for programs whose contention-manager
+    retry loops keep generating fresh races. *)

@@ -12,6 +12,9 @@ type expectation =
 type driver_kind =
   | Drv_random  (** one random schedule per (program, seed) pair *)
   | Drv_explore  (** preemption-bounded DFS per program *)
+  | Drv_dpor
+      (** race-reduced DPOR walk per program, same bound as
+          [Drv_explore] (see {!Stm_litmus.Explorer.explore_dpor}) *)
 
 type budget = {
   programs : int;
@@ -31,8 +34,8 @@ type campaign = {
   expectation : expectation;
   driver : driver_kind option;
       (** per-campaign override of the budget's schedule driver (the
-          handoff hunts use the explorer: the privatization window is
-          too narrow for random sampling) *)
+          handoff hunts use the DPOR explorer: the privatization window
+          is too narrow for random sampling) *)
 }
 
 type campaign_result = {

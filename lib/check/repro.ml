@@ -15,6 +15,7 @@ let format_version = 1
 type driver =
   | Random_sched of int  (* seed: Sched.Random schedule + cm_seed *)
   | Explore of { preemption_bound : int; max_runs : int }
+  | Dpor of { preemption_bound : int; max_runs : int }
 
 type t = {
   combo : Combo.t;
@@ -36,6 +37,13 @@ let driver_to_json = function
           ("preemption_bound", Json.Int preemption_bound);
           ("max_runs", Json.Int max_runs);
         ]
+  | Dpor { preemption_bound; max_runs } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "dpor");
+          ("preemption_bound", Json.Int preemption_bound);
+          ("max_runs", Json.Int max_runs);
+        ]
 
 let ( let* ) = Option.bind
 
@@ -49,6 +57,10 @@ let driver_of_json j =
       let* pb = Option.bind (Json.member "preemption_bound" j) Json.to_int_opt in
       let* mr = Option.bind (Json.member "max_runs" j) Json.to_int_opt in
       Some (Explore { preemption_bound = pb; max_runs = mr })
+  | "dpor" ->
+      let* pb = Option.bind (Json.member "preemption_bound" j) Json.to_int_opt in
+      let* mr = Option.bind (Json.member "max_runs" j) Json.to_int_opt in
+      Some (Dpor { preemption_bound = pb; max_runs = mr })
   | _ -> None
 
 let to_json t =
@@ -121,6 +133,11 @@ let run_driver ~combo ~driver ~max_steps prog =
   | Explore { preemption_bound; max_runs } -> (
       let cfg = Combo.to_config combo in
       match Exec.explore ~preemption_bound ~max_runs ~max_steps ~cfg prog with
+      | Some v, _ -> v
+      | None, _ -> History.Serializable)
+  | Dpor { preemption_bound; max_runs } -> (
+      let cfg = Combo.to_config combo in
+      match Exec.explore_dpor ~preemption_bound ~max_runs ~max_steps ~cfg prog with
       | Some v, _ -> v
       | None, _ -> History.Serializable)
 

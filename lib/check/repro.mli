@@ -12,6 +12,10 @@ type driver =
   | Explore of { preemption_bound : int; max_runs : int }
       (** the litmus explorer's preemption-bounded DFS; the verdict is
           the first anomalous outcome, or [Serializable] if none *)
+  | Dpor of { preemption_bound : int; max_runs : int }
+      (** the race-reduced {!Stm_litmus.Explorer.explore_dpor} walk at
+          the same bound: the same verdict contract as [Explore] from
+          far fewer runs *)
 
 type t = {
   combo : Combo.t;

@@ -17,6 +17,16 @@ let of_string = function
   | "timestamp" | "greedy" -> Some Timestamp
   | _ -> None
 
+(* Suicide's conflict decision reads only the asker's own retry budget
+   and a (tid, attempt)-jittered delay — never the txid, the owner's
+   identity, or any cross-transaction policy state — so neither the
+   order in which txids are handed out nor the order in which conflicts
+   reach the manager can change any decision. Every other policy
+   compares ages, priorities, or banked work across transactions. *)
+let order_sensitive = function
+  | Suicide -> false
+  | Wound_wait | Exp_backoff | Karma | Timestamp -> true
+
 let describe = function
   | Suicide ->
       "back off with deterministic jitter, abort self after the retry budget \

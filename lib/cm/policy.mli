@@ -35,6 +35,16 @@ val of_string : string -> t option
 (** Accepts the {!to_string} names plus common aliases
     ([wound_wait], [backoff]... and [greedy] for {!Timestamp}). *)
 
+val order_sensitive : t -> bool
+(** Does the policy's behavior depend on the relative order in which
+    transactions begin or reach the contention manager? [false] only
+    for {!Suicide}, whose decisions read nothing but the asker's own
+    retry budget. The DPOR explorer uses this to skip the txid-counter
+    and policy-state pseudo-granules ({!Stm_runtime.Footprint.oid_txid},
+    [oid_cm]) when they cannot influence behavior — without the gate,
+    every transaction begin conflicts with every other and the
+    reduction collapses to plain enumeration. *)
+
 val describe : t -> string
 (** One-line summary for [--help] output and docs. *)
 

@@ -10,6 +10,13 @@ let emit_barrier op path =
       (Trace.Barrier
          { tid = Sched.self (); site = Site.current (); op; path }))
 
+(* Same convention as [Txn.observe_blocked]: the first blocked record
+   observation in a retry loop is a plain read, later ones are futile
+   spin-wait re-reads; iterations that leave the loop report a plain
+   read. *)
+let observe_blocked ~attempt oid =
+  if attempt > 0 then Footprint.spin_read oid else Footprint.read oid
+
 (* Figure 9a / 10a. *)
 let read (cfg : Config.t) (stats : Stats.t) (obj : Heap.obj) fld =
   let cost = cfg.cost in
@@ -17,8 +24,17 @@ let read (cfg : Config.t) (stats : Stats.t) (obj : Heap.obj) fld =
   emit_barrier Trace.Op_read Trace.Path_fired;
   Sched.tick cost.Cost.barrier_entry;
   let rec loop attempt =
-    (* mov ecx, [TxRec] *)
-    let w1 = Atomic.get obj.Heap.txrec in
+    (* mov ecx, [TxRec] — whether this iteration will block is a
+       function of [w1] alone, so the observation is classified here,
+       in its own segment (the branch point is two yields away) *)
+    let w1 = Heap.txrec_peek obj in
+    let blocked =
+      (not (cfg.dea && cfg.read_privacy_check && Txrec.is_private w1))
+      && (not (Txrec.readable_bit w1)
+         || (cfg.detect_nontxn_races && not (Txrec.btr_acquirable w1)))
+    in
+    if blocked then observe_blocked ~attempt obj.Heap.oid
+    else Footprint.read obj.Heap.oid;
     Sched.tick cost.Cost.plain_load;
     Sched.yield ();
     (* mov eax, [addr] *)
@@ -45,7 +61,7 @@ let read (cfg : Config.t) (stats : Stats.t) (obj : Heap.obj) fld =
     end
     else begin
       (* cmp ecx, [TxRec] ; jne readConflict *)
-      let w2 = Atomic.get obj.Heap.txrec in
+      let w2 = Heap.txrec_get obj in
       Sched.tick cost.Cost.plain_load;
       if w2 <> w1 then begin
         Conflict.handle cfg stats ~attempt ~writer:false obj;
@@ -63,13 +79,15 @@ let read_ordering (cfg : Config.t) (stats : Stats.t) (obj : Heap.obj) fld =
   emit_barrier Trace.Op_read_ordering Trace.Path_fired;
   Sched.tick cost.Cost.barrier_entry;
   let rec loop attempt =
-    let w = Atomic.get obj.Heap.txrec in
+    let w = Heap.txrec_peek obj in
     Sched.tick cost.Cost.plain_load;
     if not (Txrec.readable_bit w) then begin
+      observe_blocked ~attempt obj.Heap.oid;
       Conflict.handle cfg stats ~attempt ~writer:false obj;
       loop (attempt + 1)
     end
     else begin
+      Footprint.read obj.Heap.oid;
       Sched.yield ();
       let v = Heap.get obj fld in
       Sched.tick cost.Cost.plain_load;
@@ -85,24 +103,27 @@ let acquire_anon ?(op = Trace.Op_write) (cfg : Config.t) (stats : Stats.t)
     (obj : Heap.obj) =
   let cost = cfg.cost in
   let rec loop attempt =
-    let w = Atomic.get obj.Heap.txrec in
+    let w = Heap.txrec_peek obj in
     Sched.tick cost.Cost.plain_load;
     (* cmp [TxRec], -1 ; jeq privateWrite *)
     if cfg.dea && Txrec.is_private w then begin
+      Footprint.read obj.Heap.oid;
       stats.Stats.barrier_private_hits <- stats.Stats.barrier_private_hits + 1;
       emit_barrier op Trace.Path_private;
       w
     end
     else if Txrec.btr_acquirable w then begin
+      Footprint.read obj.Heap.oid;
       (* lock btr [TxRec], 0 *)
       stats.Stats.atomic_ops <- stats.Stats.atomic_ops + 1;
       Sched.tick cost.Cost.atomic_rmw;
       Sched.yield ();
-      if Atomic.compare_and_set obj.Heap.txrec w (w - 1) then w - 1
+      if Heap.txrec_cas obj w (w - 1) then w - 1
       else loop attempt
     end
     else begin
       (* jnc writeConflict *)
+      observe_blocked ~attempt obj.Heap.oid;
       Conflict.handle cfg stats ~attempt ~writer:true obj;
       loop (attempt + 1)
     end
@@ -112,7 +133,7 @@ let acquire_anon ?(op = Trace.Op_write) (cfg : Config.t) (stats : Stats.t)
 let release_anon (cfg : Config.t) (obj : Heap.obj) w =
   if not (Txrec.is_private w) then begin
     (* add [TxRec], 9 *)
-    Atomic.set obj.Heap.txrec (w + Txrec.release_delta);
+    Heap.txrec_set obj (w + Txrec.release_delta);
     Sched.tick cfg.cost.Cost.plain_store
   end
 

@@ -1,6 +1,6 @@
 open Stm_runtime
 
-let is_private (o : Heap.obj) = Txrec.is_private (Atomic.get o.Heap.txrec)
+let is_private (o : Heap.obj) = Txrec.is_private (Heap.txrec_get o)
 
 (* publishObject, Figure 11. Objects are marked public *when first
    encountered* (before their slots are scanned) so cycles of private
@@ -10,7 +10,7 @@ let publish (stats : Stats.t) (cost : Cost.t) (root : Heap.obj) =
     Sched.tick cost.Cost.publish_base;
     let mark_stack = ref [] in
     let mark (o : Heap.obj) =
-      Atomic.set o.Heap.txrec (Txrec.shared 0);
+      Heap.txrec_set o (Txrec.shared 0);
       stats.Stats.publishes <- stats.Stats.publishes + 1;
       Trace.emit (lazy (Trace.Publish { oid = o.Heap.oid; cls = o.Heap.cls }));
       Sched.tick cost.Cost.publish_per_obj;

@@ -196,17 +196,30 @@ let wait_for_change cfg snap =
   match snap with
   | [] -> Sched.yield ()
   | _ ->
+      let checks = ref 0 in
       let changed () =
-        List.exists
-          (fun ((obj : Heap.obj), ver) ->
-            match cfg.Config.versioning with
-            | Config.Mvcc ->
-                (* mvcc read sets record version stamps, not record
-                   words: a change is a newer installed version *)
-                Heap.version_ts obj <> ver
-            | Config.Eager | Config.Lazy ->
-                Atomic.get obj.Heap.txrec <> Txrec.shared ver)
-          snap
+        (* the first failed sweep and the one that observes a change
+           report plain reads; sweeps in between are futile spin-wait
+           re-reads (see {!Stm_runtime.Footprint.kind}) *)
+        let hit =
+          List.exists
+            (fun ((obj : Heap.obj), ver) ->
+              match cfg.Config.versioning with
+              | Config.Mvcc ->
+                  (* mvcc read sets record version stamps, not record
+                     words: a change is a newer installed version *)
+                  Heap.version_ts_peek obj <> ver
+              | Config.Eager | Config.Lazy ->
+                  Heap.txrec_peek obj <> Txrec.shared ver)
+            snap
+        in
+        List.iter
+          (fun ((obj : Heap.obj), _) ->
+            if hit || !checks = 0 then Footprint.read obj.Heap.oid
+            else Footprint.spin_read obj.Heap.oid)
+          snap;
+        incr checks;
+        hit
       in
       while not (changed ()) do
         Sched.tick cfg.Config.cost.Cost.alu;

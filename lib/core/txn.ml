@@ -5,6 +5,17 @@ exception Abort_txn
 exception Retry_request
 exception Open_nest_conflict
 
+(* Footprint report for a blocked record observation in a conflict-retry
+   loop. The first one is a plain read — its reversal against the
+   owner's acquire is how the explorer discovers the no-contention
+   branch — but finding the record {e still} blocked on a later attempt
+   is a futile spin-wait re-read: reversing it against the eventual
+   release only changes how many times the waiter re-checks before the
+   same exit, so it is reported as {!Stm_runtime.Footprint.Spin_read}.
+   Iterations that leave the loop always report a plain read. *)
+let observe_blocked ~attempt oid =
+  if attempt > 0 then Footprint.spin_read oid else Footprint.read oid
+
 type killed_flag = {
   mutable killed : bool;
   (* who wounded us, recorded by the aggressor at wound time so the
@@ -288,6 +299,12 @@ let recycle ctx t =
 (* ------------------------------------------------------------------ *)
 
 let begin_txn ?parent ctx =
+  (* The txid counter orders transaction births. Under an
+     order-insensitive policy txids are pure identifiers — swapping two
+     begins renames them without changing any decision — so the counter
+     is only a dependency when the policy compares txids or ages. *)
+  if Stm_cm.Policy.order_sensitive ctx.cfg.cm then
+    Footprint.write Footprint.oid_txid;
   ctx.next_id <- ctx.next_id + 1;
   Sched.tick ctx.cfg.cost.Cost.txn_begin;
   let part = if ctx.cfg.quiescence then Some (Quiesce.register ctx.q) else None in
@@ -319,6 +336,7 @@ let begin_txn ?parent ctx =
   t.last_oid <- -1;
   t.last_aggr <- -1;
   t.last_aggr_tid <- -1;
+  Footprint.write (Footprint.flag_oid ctx.next_id);
   Hashtbl.replace ctx.registry ctx.next_id t.flag;
   Stm_cm.Cm.on_begin ctx.cm ~tid:(Sched.self ()) ~txid:ctx.next_id
     ~now:(Sched.time ());
@@ -417,7 +435,7 @@ let sv_entries_ok ctx t =
     ||
     let obj = t.read_objs.(i) in
     let ver = t.read_vers.(i) in
-    let w = Atomic.get obj.Heap.txrec in
+    let w = Heap.txrec_get obj in
     let dec = Txrec.decode w in
     let entry_ok =
       match dec with
@@ -521,6 +539,7 @@ let extend_rv ctx t =
   end
 
 let check_wounded t =
+  Footprint.read (Footprint.flag_oid t.txid);
   if t.flag.killed then begin
     t.abort_cause <- Trace.Cause_wounded;
     raise Abort_txn
@@ -529,6 +548,7 @@ let check_wounded t =
 (* Apply a Wound decision: mark the victim's flag; the victim notices it
    at its next pause or validation point and aborts. Idempotent. *)
 let wound ctx ~victim ~by =
+  Footprint.write (Footprint.flag_oid victim);
   match Hashtbl.find_opt ctx.registry victim with
   | Some flag when not flag.killed ->
       flag.killed <- true;
@@ -557,7 +577,16 @@ let conflict_pause ctx t ~attempt ~writer ~delay obj =
    (never returns normally) on a self-abort. *)
 let cm_resolve ctx t ~attempt ~writer obj =
   check_wounded t;
-  let w = Atomic.get obj.Heap.txrec in
+  (* Stateful contention-manager policies consult and mutate shared
+     policy state when resolving; fold all of it into one pseudo-granule
+     (conservative: more runs, never fewer behaviors). Order-insensitive
+     policies (Suicide) decide from the asker's own budget alone, so for
+     them the granule is skipped — reporting it would make every
+     conflict resolution race with every other. *)
+  if Stm_cm.Policy.order_sensitive ctx.cfg.cm then
+    Footprint.write Footprint.oid_cm;
+  observe_blocked ~attempt obj.Heap.oid;
+  let w = Heap.txrec_peek obj in
   let owner = if Txrec.is_exclusive w then Some (Txrec.owner w) else None in
   t.last_oid <- obj.Heap.oid;
   (match owner with
@@ -640,12 +669,14 @@ let save_undo ctx t (obj : Heap.obj) fld =
 let acquire ctx t ?expect (obj : Heap.obj) =
   let cost = ctx.cfg.cost in
   let rec go attempt =
-    let w = Atomic.get obj.Heap.txrec in
+    let w = Heap.txrec_peek obj in
     Sched.tick cost.Cost.plain_load;
     match Txrec.decode w with
     | Txrec.Exclusive o when o = t.txid ->
+        Footprint.read obj.Heap.oid;
         t.owned_prior.(Hashtbl.find t.owned obj.Heap.oid)
     | Txrec.Shared ver -> (
+        Footprint.read obj.Heap.oid;
         (match expect with
         | Some e when e <> ver ->
             (* a lazily buffered record changed version before commit-time
@@ -659,7 +690,7 @@ let acquire ctx t ?expect (obj : Heap.obj) =
         ctx.stats.Stats.atomic_ops <- ctx.stats.Stats.atomic_ops + 1;
         Sched.tick cost.Cost.atomic_rmw;
         Sched.yield ();
-        if Atomic.compare_and_set obj.Heap.txrec w (Txrec.exclusive t.txid)
+        if Heap.txrec_cas obj w (Txrec.exclusive t.txid)
         then begin
           ensure_owned_capacity t;
           Hashtbl.replace t.owned obj.Heap.oid t.nowned;
@@ -670,13 +701,17 @@ let acquire ctx t ?expect (obj : Heap.obj) =
           ver
         end
         else go attempt)
-    | Txrec.Exclusive _ when ancestor_owns t w -> raise Open_nest_conflict
+    | Txrec.Exclusive _ when ancestor_owns t w ->
+        Footprint.read obj.Heap.oid;
+        raise Open_nest_conflict
     | Txrec.Exclusive _ | Txrec.Exclusive_anon _ ->
+        observe_blocked ~attempt obj.Heap.oid;
         cm_resolve ctx t ~attempt ~writer:true obj;
         go (attempt + 1)
     | Txrec.Private ->
         (* The object was private when the caller checked and is being
            published concurrently - retry the whole access. *)
+        Footprint.read obj.Heap.oid;
         go attempt
   in
   go 0
@@ -712,18 +747,21 @@ let eager_write ctx t (obj : Heap.obj) fld v =
 let eager_read ctx t (obj : Heap.obj) fld =
   let cost = ctx.cfg.cost in
   let rec go attempt =
-    let w = Atomic.get obj.Heap.txrec in
+    let w = Heap.txrec_peek obj in
     Sched.tick cost.Cost.plain_load;
     match Txrec.decode w with
     | Txrec.Private ->
+        Footprint.read obj.Heap.oid;
         let v = Heap.get obj fld in
         Sched.tick cost.Cost.plain_load;
         v
     | Txrec.Exclusive o when o = t.txid ->
+        Footprint.read obj.Heap.oid;
         let v = Heap.get obj fld in
         Sched.tick cost.Cost.plain_load;
         v
     | Txrec.Shared ver ->
+        Footprint.read obj.Heap.oid;
         note_read t obj ver;
         if timestamped ctx && Heap.version_ts obj > t.rv then
           (* stamped by a commit newer than our read timestamp: extend
@@ -732,7 +770,7 @@ let eager_read ctx t (obj : Heap.obj) fld =
         Sched.yield ();
         let v = Heap.get obj fld in
         Sched.tick cost.Cost.plain_load;
-        if timestamped ctx && Atomic.get obj.Heap.txrec <> Txrec.shared ver
+        if timestamped ctx && Heap.txrec_get obj <> Txrec.shared ver
         then
           (* the record moved across the preemption point inside the read:
              the value may be newer than [rv] without rv-consistency —
@@ -741,8 +779,11 @@ let eager_read ctx t (obj : Heap.obj) fld =
              individually proven consistent at [rv]. *)
           go attempt
         else v
-    | Txrec.Exclusive _ when ancestor_owns t w -> raise Open_nest_conflict
+    | Txrec.Exclusive _ when ancestor_owns t w ->
+        Footprint.read obj.Heap.oid;
+        raise Open_nest_conflict
     | Txrec.Exclusive _ | Txrec.Exclusive_anon _ ->
+        observe_blocked ~attempt obj.Heap.oid;
         cm_resolve ctx t ~attempt ~writer:false obj;
         go (attempt + 1)
   in
@@ -767,18 +808,23 @@ let lazy_slot ctx t (obj : Heap.obj) fld =
         if ctx.cfg.dea && Dea.is_private obj then -1
         else begin
           let rec observe attempt =
-            let w = Atomic.get obj.Heap.txrec in
+            let w = Heap.txrec_peek obj in
             Sched.tick cost.Cost.plain_load;
             match Txrec.decode w with
             | Txrec.Shared ver ->
+                Footprint.read obj.Heap.oid;
                 note_read t obj ver;
                 if timestamped ctx && Heap.version_ts obj > t.rv then
                   extend_rv ctx t;
                 ver
-            | Txrec.Private -> -1
+            | Txrec.Private ->
+                Footprint.read obj.Heap.oid;
+                -1
             | Txrec.Exclusive _ when ancestor_owns t w ->
+                Footprint.read obj.Heap.oid;
                 raise Open_nest_conflict
             | Txrec.Exclusive _ | Txrec.Exclusive_anon _ ->
+                observe_blocked ~attempt obj.Heap.oid;
                 cm_resolve ctx t ~attempt ~writer:true obj;
                 observe (attempt + 1)
           in
@@ -951,8 +997,7 @@ let release_all ctx t =
   let cost = ctx.cfg.cost in
   for i = t.nowned - 1 downto 0 do
     if t.cts >= 0 then Heap.set_version_ts t.owned_obj.(i) t.cts;
-    Atomic.set t.owned_obj.(i).Heap.txrec
-      (Txrec.shared (t.owned_prior.(i) + 1));
+    Heap.txrec_set t.owned_obj.(i) (Txrec.shared (t.owned_prior.(i) + 1));
     Sched.tick cost.Cost.txn_per_write
   done;
   t.nowned <- 0;
@@ -1108,6 +1153,7 @@ let commit ctx t =
       done;
       mvcc_end_snapshot ctx t);
   Option.iter (Quiesce.deregister ctx.q) t.part;
+  Footprint.write (Footprint.flag_oid t.txid);
   Hashtbl.remove ctx.registry t.txid;
   Stm_cm.Cm.on_commit ctx.cm ~txid:t.txid;
   Trace.emit
@@ -1145,6 +1191,7 @@ let abort ?(restart = true) ctx t =
   t.nwbuf <- 0;
   release_all ctx t;
   Option.iter (Quiesce.deregister ctx.q) t.part;
+  Footprint.write (Footprint.flag_oid t.txid);
   Hashtbl.remove ctx.registry t.txid;
   Stm_cm.Cm.on_abort ctx.cm ~txid:t.txid ~restart ~wounded:t.flag.killed
     ~work:t.naccesses;

@@ -27,6 +27,10 @@ type state = {
 
 exception Search_done
 
+let record_outcome tbl outcome =
+  Hashtbl.replace tbl outcome
+    (1 + Option.value ~default:0 (Hashtbl.find_opt tbl outcome))
+
 (* Execute one schedule. [prefix] forces the first choices; afterwards the
    default policy applies (stay on the current thread, rotate after the
    fairness window). Returns the decision trace and the outcome string. *)
@@ -81,12 +85,16 @@ let execute st ~max_steps ~fairness_window ~cfg ~make prefix =
     | Sched.Deadlock _ -> "<deadlock>"
     | Sched.Fuel_exhausted -> "<livelock>"
   in
+  (* A fuel-exhausted schedule is accounted in [livelocks] only: it has
+     no final state, so recording "<livelock>" as an outcome would break
+     [runs = livelocks + sum of outcome counts]. Deadlocks do reach a
+     final (stuck) state and stay in the outcome table. *)
   (match sched_result.Sched.status with
-  | Sched.Deadlock _ -> st.deadlocks <- st.deadlocks + 1
+  | Sched.Deadlock _ ->
+      st.deadlocks <- st.deadlocks + 1;
+      record_outcome st.outcome_tbl outcome
   | Sched.Fuel_exhausted -> st.livelocks <- st.livelocks + 1
-  | Sched.Completed -> ());
-  let tbl = st.outcome_tbl in
-  Hashtbl.replace tbl outcome (1 + Option.value ~default:0 (Hashtbl.find_opt tbl outcome));
+  | Sched.Completed -> record_outcome st.outcome_tbl outcome);
   (Array.of_list (List.rev !trace), outcome)
 
 let explore ?(preemption_bound = 2) ?(max_runs = 40_000) ?(max_steps = 60_000)
@@ -138,6 +146,516 @@ let explore ?(preemption_bound = 2) ?(max_runs = 40_000) ?(max_steps = 60_000)
   }
 
 let observed e pred = List.exists (fun (o, _) -> pred o) e.outcomes
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic partial-order reduction                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Backtracking at races instead of at every decision (Flanagan &
+   Godefroid, POPL 2005), with sleep sets pruning the redundant
+   interleavings that race-directed backtracking still generates.
+
+   The unit of reordering is the {e scheduler segment}: everything one
+   thread executes between two consecutive scheduling decisions. The
+   runtime reports every access to cross-thread-visible state through
+   {!Stm_runtime.Footprint}; the engine aggregates them into one
+   footprint per segment. Two segments are dependent when they belong
+   to the same thread, share a granule at least one of them writes, or
+   one enables the other (a thread becomes runnable right after a
+   segment: spawn, join completion, lock hand-off, quiescence wake).
+   For each executed schedule the engine computes the happens-before
+   relation with vector clocks; every pair of conflicting segments not
+   already ordered through intermediaries is a race, and the reversal
+   is scheduled by inserting the racing thread into the backtrack set
+   of the earlier segment's pre-state. *)
+
+type dpor = { exploration : exploration; complete : bool; races : int }
+
+(* A segment footprint: granule id -> strongest access level.
+   2 = write, 1 = read, 0 = futile spin-wait re-read
+   ({!Stm_runtime.Footprint.Spin_read}). A write is {e dependent} on all
+   three (it must be ordered against them for the happens-before pass),
+   but only write/write and write/read pairs are {e races} worth
+   reversing: flipping a write against a futile spin iteration merely
+   changes how often the waiter re-checks before the same exit — the
+   spin-assume reduction of await loops. *)
+type fp = (int, int) Hashtbl.t
+
+let level = function
+  | Footprint.Spin_read -> 0
+  | Footprint.Read -> 1
+  | Footprint.Write -> 2
+
+let fp_add (f : fp) oid lv =
+  match Hashtbl.find_opt f oid with
+  | None -> Hashtbl.add f oid lv
+  | Some l -> if lv > l then Hashtbl.replace f oid lv
+
+(* Dependency: a shared granule at least one side writes (spin reads
+   included — ordering matters even where reversal is pointless). *)
+let fp_conflicts (a : fp) (b : fp) =
+  let small, big =
+    if Hashtbl.length a <= Hashtbl.length b then (a, b) else (b, a)
+  in
+  try
+    Hashtbl.iter
+      (fun oid lv ->
+        match Hashtbl.find_opt big oid with
+        | Some lv' when lv = 2 || lv' = 2 -> raise Exit
+        | Some _ | None -> ())
+      small;
+    false
+  with Exit -> true
+
+(* One node of the schedule tree: the pre-state of segment [i], i.e.
+   the state in which scheduling decision [i] is taken. Determinism of
+   the simulation means the prefix of choices identifies the state, so
+   the node can cache what every visit re-derives identically. *)
+type node = {
+  n_runnables : Sched.tid list;
+  n_default : Sched.tid;  (* what the default policy picks here *)
+  mutable n_chosen : Sched.tid;  (* choice of the branch being explored *)
+  n_done : (Sched.tid, fp) Hashtbl.t;
+      (* explored choices -> first-segment footprint of that choice *)
+  mutable n_backtrack : Sched.tid list;  (* pending race reversals *)
+  n_sleep : (Sched.tid * fp) list;
+      (* threads whose next segment (with that footprint) is already
+         covered by a sibling branch of an ancestor *)
+  n_preemptions : int;  (* non-default choices among strict ancestors *)
+}
+
+(* Per-run record of one decision, before it has a node. *)
+type rdec = {
+  r_chosen : Sched.tid;
+  r_default : Sched.tid;
+  r_runnables : Sched.tid list;
+  r_sleep : (Sched.tid * fp) list;  (* entry sleep set at this decision *)
+}
+
+(* Execute one schedule under the footprint sink. [prefix] replays the
+   current branch; free decisions follow the same default policy as
+   [execute] (stay, rotate after the fairness window), except that with
+   sleep sets on, a default whose next step is asleep is swapped for a
+   non-sleeping runnable. Returns the decisions (capped at [horizon]),
+   their footprints, the scheduler status and the outcome. *)
+let execute_dpor st ~max_steps ~fairness_window ~cfg ~make ~use_sleep
+    ~(nodes : node array) ~nnodes ~horizon prefix =
+  if st.runs >= st.max_runs then begin
+    st.truncated <- true;
+    raise Search_done
+  end;
+  st.runs <- st.runs + 1;
+  Sim_mutex.reset_ids ();
+  let inst = make () in
+  let decs = ref [] in
+  let fps = ref [] in
+  let ndecisions = ref 0 in
+  let consecutive = ref 0 in
+  let last_default = ref (-1) in
+  let cur_fp = ref (Hashtbl.create 8 : fp) in
+  let cur_sleep = ref [] in
+  let recording = ref true in
+  let choose current runnables =
+    let i = !ndecisions in
+    incr ndecisions;
+    if i >= horizon then begin
+      (* beyond the analysis horizon: stop recording (and sleeping) and
+         let the plain default policy finish or burn out the run *)
+      if !recording then begin
+        recording := false;
+        (* close the last recorded segment so decisions and footprints
+           stay in lockstep *)
+        fps := !cur_fp :: !fps;
+        cur_sleep := []
+      end;
+      let default =
+        if List.mem current runnables then
+          if !last_default = current && !consecutive >= fairness_window then
+            match List.filter (fun t -> t > current) runnables with
+            | t :: _ -> t
+            | [] -> List.hd runnables
+          else current
+        else List.hd runnables
+      in
+      if default = !last_default then incr consecutive
+      else begin
+        last_default := default;
+        consecutive := 1
+      end;
+      default
+    end
+    else begin
+      (* close the previous segment; the pre-first-decision preamble is
+         discarded (it is a fixed prefix of every schedule) *)
+      let prev_fp = !cur_fp in
+      if i > 0 then fps := prev_fp :: !fps;
+      cur_fp := Hashtbl.create 8;
+      (* wake sleepers whose pending step conflicts with the segment
+         that just ran *)
+      if use_sleep && i > 0 then
+        cur_sleep :=
+          List.filter (fun (_, f) -> not (fp_conflicts f prev_fp)) !cur_sleep;
+      let entry_sleep = !cur_sleep in
+      let default =
+        let policy_default =
+          if List.mem current runnables then
+            if !last_default = current && !consecutive >= fairness_window
+            then
+              match List.filter (fun t -> t > current) runnables with
+              | t :: _ -> t
+              | [] -> List.hd runnables
+            else current
+          else List.hd runnables
+        in
+        if use_sleep && List.mem_assoc policy_default entry_sleep then
+          (* the policy default's next step is covered by an explored
+             sibling: divert to a non-sleeping runnable. The divert is
+             the effective default — it is not a preemption the search
+             chose, so it is not charged against the bound. *)
+          match
+            List.filter
+              (fun t -> not (List.mem_assoc t entry_sleep))
+              runnables
+          with
+          | t :: _ -> t
+          | [] -> policy_default
+        else policy_default
+      in
+      let chosen = if i < Array.length prefix then prefix.(i) else default in
+      if chosen = !last_default then incr consecutive
+      else begin
+        last_default := chosen;
+        consecutive := 1
+      end;
+      (* siblings explored earlier from this node go to sleep for the
+         branch below [chosen] *)
+      if use_sleep then begin
+        let fresh =
+          if i < nnodes then
+            Hashtbl.fold
+              (fun t f acc ->
+                if t <> chosen && not (List.mem_assoc t entry_sleep) then
+                  (t, f) :: acc
+                else acc)
+              nodes.(i).n_done []
+          else []
+        in
+        cur_sleep :=
+          fresh @ List.filter (fun (t, _) -> t <> chosen) entry_sleep
+      end;
+      decs :=
+        {
+          r_chosen = chosen;
+          r_default = default;
+          r_runnables = runnables;
+          r_sleep = entry_sleep;
+        }
+        :: !decs;
+      chosen
+    end
+  in
+  Footprint.set_sink
+    (Some (fun oid k -> if !recording then fp_add !cur_fp oid (level k)));
+  let result =
+    Fun.protect
+      ~finally:(fun () -> Footprint.set_sink None)
+      (fun () ->
+        Stm_core.Stm.run ~policy:(Sched.Controlled choose) ~max_steps ~cfg
+          inst.main)
+  in
+  (* close the final segment *)
+  if !ndecisions > 0 && !recording then fps := !cur_fp :: !fps;
+  let sched_result = fst result in
+  let outcome =
+    match sched_result.Sched.status with
+    | Sched.Completed -> (
+        match sched_result.Sched.exns with
+        | [] -> inst.observe ()
+        | (_, ex) :: _ -> "<exn:" ^ Printexc.to_string ex ^ ">")
+    | Sched.Deadlock _ -> "<deadlock>"
+    | Sched.Fuel_exhausted -> "<livelock>"
+  in
+  (match sched_result.Sched.status with
+  | Sched.Deadlock _ ->
+      st.deadlocks <- st.deadlocks + 1;
+      record_outcome st.outcome_tbl outcome
+  | Sched.Fuel_exhausted -> st.livelocks <- st.livelocks + 1
+  | Sched.Completed -> record_outcome st.outcome_tbl outcome);
+  ( Array.of_list (List.rev !decs),
+    Array.of_list (List.rev !fps),
+    sched_result.Sched.status,
+    !ndecisions,
+    outcome )
+
+let explore_dpor ?preemption_bound ?(max_runs = 40_000) ?(max_steps = 60_000)
+    ?(fairness_window = 64) ?(analysis_horizon = 2_000) ?stop_when ~cfg ~make
+    () =
+  let st =
+    {
+      outcome_tbl = Hashtbl.create 16;
+      runs = 0;
+      livelocks = 0;
+      deadlocks = 0;
+      max_runs;
+      truncated = false;
+    }
+  in
+  (* Sleep sets prune the sibling redundancy that race-directed
+     backtracking still generates. Combining any partial-order pruning
+     with a preemption bound can in principle drop a behavior whose
+     reduced-tree representative is over budget (the BPOR pitfall, cf.
+     Coons et al., OOPSLA 2013) — which is why certification always
+     cross-checks bounded-DPOR verdicts against the enumerative
+     baseline (see Matrix.certify and the CI gate). *)
+  let use_sleep = true in
+  let races = ref 0 in
+  let complete = ref true in
+  (* growable stack of schedule-tree nodes along the current branch *)
+  let nodes = ref [||] in
+  let nnodes = ref 0 in
+  let push_node nd =
+    if !nnodes = Array.length !nodes then begin
+      let bigger = Array.make (max 64 (2 * Array.length !nodes)) nd in
+      Array.blit !nodes 0 bigger 0 !nnodes;
+      nodes := bigger
+    end;
+    !nodes.(!nnodes) <- nd;
+    incr nnodes
+  in
+  let bound_ok nd t =
+    match preemption_bound with
+    | None -> true
+    | Some b ->
+        nd.n_preemptions + (if t <> nd.n_default then 1 else 0) <= b
+  in
+  (* Insert the reversal of race (i, j): schedule [tid j] at node [i] if
+     it is enabled there, otherwise try every enabled thread. Choices
+     already explored, pending, or asleep at [i] are covered. *)
+  let insert_backtrack (decs : rdec array) i j =
+    let nd = !nodes.(i) in
+    let covered t =
+      Hashtbl.mem nd.n_done t
+      || List.mem t nd.n_backtrack
+      || List.mem_assoc t nd.n_sleep
+    in
+    let add t = if not (covered t) then nd.n_backtrack <- t :: nd.n_backtrack in
+    let tj = decs.(j).r_chosen in
+    if List.mem tj nd.n_runnables then add tj
+    else List.iter add nd.n_runnables
+  in
+  (* Vector-clock pass over one run's segments. Dependent = same thread
+     (program order), enabledness edge, or footprint conflict; each
+     conflicting pair not already ordered is an immediate race. Races
+     are counted and reversed only for [j >= start]: earlier pairs were
+     analyzed when their segments first executed. *)
+  let analyze (decs : rdec array) (fps : fp array) ~start =
+    let m = Array.length decs in
+    if m > 0 then begin
+      let nt =
+        1
+        + Array.fold_left
+            (fun acc d ->
+              List.fold_left (fun a t -> max a t) (max acc d.r_chosen)
+                d.r_runnables)
+            0 decs
+      in
+      (* enabledness edges: a thread runnable at decision [i+1] but not
+         at [i] was enabled by segment [i]; the edge targets that
+         thread's next segment *)
+      let segs_of = Array.make nt [] in
+      for j = m - 1 downto 0 do
+        segs_of.(decs.(j).r_chosen) <- j :: segs_of.(decs.(j).r_chosen)
+      done;
+      let cursor = Array.copy segs_of in
+      let edges_into = Array.make m [] in
+      for i = 0 to m - 2 do
+        List.iter
+          (fun t ->
+            if not (List.mem t decs.(i).r_runnables) then begin
+              let rec adv = function
+                | s :: rest when s <= i -> adv rest
+                | l -> l
+              in
+              cursor.(t) <- adv cursor.(t);
+              match cursor.(t) with
+              | s :: _ -> edges_into.(s) <- i :: edges_into.(s)
+              | [] -> ()
+            end)
+          decs.(i + 1).r_runnables
+      done;
+      (* per-segment local index within its thread (1-based) *)
+      let local = Array.make m 0 in
+      let tindex = Array.make nt 0 in
+      for j = 0 to m - 1 do
+        let t = decs.(j).r_chosen in
+        tindex.(t) <- tindex.(t) + 1;
+        local.(j) <- tindex.(t)
+      done;
+      (* conflict candidates via a per-granule access index *)
+      let by_oid : (int, (int * int) list ref) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      let clocks = Array.make m [||] in
+      let last_seg = Array.make nt (-1) in
+      for j = 0 to m - 1 do
+        let t = decs.(j).r_chosen in
+        let c = Array.make nt 0 in
+        let join src =
+          Array.iteri (fun u v -> if v > c.(u) then c.(u) <- v) clocks.(src)
+        in
+        if last_seg.(t) >= 0 then join last_seg.(t);
+        List.iter join edges_into.(j);
+        (* conflicting earlier segments, nearest first so that a chain
+           through a later conflict orders the earlier ones before they
+           are tested (only immediate races get reversed) *)
+        (* candidate -> is the pair a reversible race (write/write or
+           write/read on some shared granule) rather than merely
+           ordering-relevant (write/spin-read)? *)
+        let cands = Hashtbl.create 8 in
+        Hashtbl.iter
+          (fun oid lv ->
+            match Hashtbl.find_opt by_oid oid with
+            | None -> ()
+            | Some l ->
+                List.iter
+                  (fun (i, lvi) ->
+                    if lv = 2 || lvi = 2 then
+                      let race = lv + lvi >= 3 in
+                      match Hashtbl.find_opt cands i with
+                      | Some true -> ()
+                      | Some false ->
+                          if race then Hashtbl.replace cands i true
+                      | None -> Hashtbl.add cands i race)
+                  !l)
+          fps.(j);
+        let sorted =
+          Hashtbl.fold (fun i race acc -> (i, race) :: acc) cands []
+          |> List.sort (fun (a, _) (b, _) -> compare b a)
+        in
+        List.iter
+          (fun (i, race) ->
+            if race && c.(decs.(i).r_chosen) < local.(i) && j >= start
+            then begin
+              (* unordered reversible pair: an immediate race *)
+              incr races;
+              insert_backtrack decs i j
+            end;
+            join i)
+          sorted;
+        c.(t) <- local.(j);
+        clocks.(j) <- c;
+        last_seg.(t) <- j;
+        Hashtbl.iter
+          (fun oid lv ->
+            match Hashtbl.find_opt by_oid oid with
+            | Some l -> l := (j, lv) :: !l
+            | None -> Hashtbl.add by_oid oid (ref [ (j, lv) ]))
+          fps.(j)
+      done
+    end
+  in
+  let run_branch prefix =
+    let decs, fps, status, ndec, outcome =
+      execute_dpor st ~max_steps ~fairness_window ~cfg ~make ~use_sleep
+        ~nodes:!nodes ~nnodes:!nnodes ~horizon:analysis_horizon prefix
+    in
+    let m = Array.length decs in
+    (* a completed run outrunning the horizon leaves races unanalyzed;
+       a fuel-exhausted one is an unfair spin whose suffix adds no new
+       final state (documented caveat) *)
+    if status = Sched.Completed && ndec > m then complete := false;
+    let base = !nnodes in
+    (* the flipped node's new branch enters its done set *)
+    if base > 0 && m >= base then begin
+      let k = base - 1 in
+      Hashtbl.replace !nodes.(k).n_done decs.(k).r_chosen fps.(k)
+    end;
+    for i = base to m - 1 do
+      let d = decs.(i) in
+      let preempt =
+        if i = 0 then 0
+        else
+          let p = !nodes.(i - 1) in
+          p.n_preemptions + (if p.n_chosen <> p.n_default then 1 else 0)
+      in
+      push_node
+        {
+          n_runnables = d.r_runnables;
+          n_default = d.r_default;
+          n_chosen = d.r_chosen;
+          n_done =
+            (let h = Hashtbl.create 4 in
+             Hashtbl.add h d.r_chosen fps.(i);
+             h);
+          n_backtrack = [];
+          n_sleep = d.r_sleep;
+          n_preemptions = preempt;
+        }
+    done;
+    analyze decs fps ~start:(max 0 (base - 1));
+    match stop_when with
+    | Some pred when pred outcome ->
+        complete := false;
+        raise Search_done
+    | Some _ | None -> ()
+  in
+  (* pick the deepest node with a usable pending reversal; covered or
+     over-budget candidates are dropped for good (they can never become
+     eligible: a node's sleep, done-by-then and preemption count are
+     fixed) *)
+  let rec select i =
+    if i < 0 then None
+    else
+      let nd = !nodes.(i) in
+      let rec pick = function
+        | [] ->
+            nd.n_backtrack <- [];
+            None
+        | t :: rest ->
+            if
+              Hashtbl.mem nd.n_done t
+              || List.mem_assoc t nd.n_sleep
+              || not (bound_ok nd t)
+            then pick rest
+            else begin
+              nd.n_backtrack <- rest;
+              Some t
+            end
+      in
+      match pick nd.n_backtrack with
+      | Some t -> Some (i, t)
+      | None -> select (i - 1)
+  in
+  (try
+     run_branch [||];
+     let rec loop () =
+       match select (!nnodes - 1) with
+       | None -> ()
+       | Some (i, c) ->
+           nnodes := i + 1;
+           !nodes.(i).n_chosen <- c;
+           let prefix = Array.init (i + 1) (fun j -> !nodes.(j).n_chosen) in
+           run_branch prefix;
+           loop ()
+     in
+     loop ()
+   with Search_done -> ());
+  let outcomes =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.outcome_tbl []
+    |> List.sort compare
+  in
+  {
+    exploration =
+      {
+        outcomes;
+        runs = st.runs;
+        truncated = st.truncated;
+        livelocks = st.livelocks;
+        deadlocks = st.deadlocks;
+      };
+    complete = !complete && not st.truncated;
+    races = !races;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Probabilistic concurrency testing                                   *)
@@ -222,8 +740,10 @@ let explore_pct ?(runs = 2000) ?(depth = 3) ?(max_steps = 60_000) ?(seed = 1)
            incr livelocks;
            "<livelock>"
      in
-     Hashtbl.replace outcome_tbl outcome
-       (1 + Option.value ~default:0 (Hashtbl.find_opt outcome_tbl outcome));
+     (* fuel exhaustion is not a final state: livelocks count separately
+        from outcomes (same accounting as [explore]) *)
+     if result.Stm_runtime.Sched.status <> Stm_runtime.Sched.Fuel_exhausted
+     then record_outcome outcome_tbl outcome;
      (* steady-state estimate of the run length in scheduling steps *)
      if result.Stm_runtime.Sched.status = Stm_runtime.Sched.Completed then
        horizon := max 32 (min !step 4096);
@@ -244,7 +764,12 @@ let explore_pct ?(runs = 2000) ?(depth = 3) ?(max_steps = 60_000) ?(seed = 1)
       Hashtbl.fold (fun k v acc -> (k, v) :: acc) outcome_tbl []
       |> List.sort compare;
     runs = !performed;
-    truncated = (not !stopped) && !performed >= runs;
+    (* A sampler's quota is its definition of the search, not a budget
+       that cut an exhaustive walk short: completing [runs] samples
+       without hitting [stop_when] is the search finishing, so it never
+       reports [truncated]. (Cf. [explore], where [truncated] means
+       [max_runs] stopped the DFS before the bounded tree was done.) *)
+    truncated = false;
     livelocks = !livelocks;
     deadlocks = !deadlocks;
   }

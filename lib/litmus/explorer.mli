@@ -17,9 +17,17 @@
 type exploration = {
   outcomes : (string * int) list;
       (** distinct observed outcomes with the number of schedules that
-          produced each, sorted by outcome string *)
+          produced each, sorted by outcome string. Fuel-exhausted
+          executions have no final state and are accounted in
+          [livelocks] only, so [runs = livelocks + sum of counts]. *)
   runs : int;  (** number of executions performed *)
-  truncated : bool;  (** true if [max_runs] stopped the search *)
+  truncated : bool;
+      (** [explore]/[explore_dpor]: [max_runs] stopped the walk before
+          the (bounded, resp. race-reduced) schedule tree was
+          exhausted — the search is incomplete. [explore_pct] never
+          sets it: a sampler's quota {e is} its search, so completing
+          [runs] samples without a [stop_when] hit is the search
+          finishing, not a truncation. *)
   livelocks : int;  (** executions that ran out of scheduler fuel *)
   deadlocks : int;
 }
@@ -49,6 +57,75 @@ val explore :
 val observed : exploration -> (string -> bool) -> bool
 (** Did any schedule produce an outcome satisfying the predicate? *)
 
+type dpor = {
+  exploration : exploration;
+  complete : bool;
+      (** The race-reduced schedule space was walked to the end: no
+          [max_runs] truncation, no [stop_when] early exit, and no
+          completed run outgrew [analysis_horizon]. With no
+          [preemption_bound] this certifies that {e every} schedule is
+          outcome-equivalent to an explored one — subject to the
+          caveats below. *)
+  races : int;
+      (** conflicting, unordered (immediately racing) segment pairs
+          found across all runs; each seeded a backtrack point *)
+}
+
+val explore_dpor :
+  ?preemption_bound:int ->
+  ?max_runs:int ->
+  ?max_steps:int ->
+  ?fairness_window:int ->
+  ?analysis_horizon:int ->
+  ?stop_when:(string -> bool) ->
+  cfg:Stm_core.Config.t ->
+  make:(unit -> instance) ->
+  unit ->
+  dpor
+(** Dynamic partial-order reduction (Flanagan-Godefroid race-directed
+    backtracking with sleep sets) over the same deterministic scheduler
+    as {!explore}. Every access to cross-thread-visible state is traced
+    through {!Stm_runtime.Footprint}; per-segment footprints give the
+    happens-before relation of each run, and only racing segment pairs
+    seed alternative schedules, instead of flipping every decision.
+    Futile spin-wait re-reads ({!Stm_runtime.Footprint.Spin_read}) join
+    happens-before but seed no reversals — the spin-assume reduction of
+    await loops, without which a blocked retry loop degenerates the
+    reduction to plain enumeration.
+
+    By default the search is {e unbounded} (full reduction, exhaustive
+    when [complete = true]); this terminates for lock-based and weak
+    STM cells but diverges on programs whose contention-manager
+    abort/retry loops make the trace space infinite (each reversal
+    forces a retry that races anew). Passing [preemption_bound] prunes
+    branches whose deviation count exceeds the bound; sleep sets stay
+    on, and a default choice whose next step is asleep is diverted to a
+    non-sleeping runnable {e without} charging the bound (the divert is
+    the effective default). Combining any partial-order pruning with a
+    preemption bound can in principle drop a behavior whose
+    reduced-tree representative is over budget (the BPOR pitfall,
+    Coons et al., OOPSLA 2013), which is why certification always
+    cross-checks bounded-DPOR verdicts against the enumerative baseline
+    at the same bound (see {!Matrix.certify} and the CI gate).
+
+    Completeness caveats (see docs/TESTING.md):
+    - programs must confine cross-thread communication to the simulated
+      heap and runtime primitives; plain shared OCaml refs are
+      invisible to the dependency analysis;
+    - fuel-exhausted (livelocked) runs are analyzed only up to
+      [analysis_horizon] segments ([2_000] by default) on the premise
+      that an unfair spin's suffix reaches no new final state; a
+      {e completed} run outgrowing the horizon clears [complete];
+    - stateful contention managers fold all policy state into one
+      pseudo-granule, which is exact for the stateless default
+      policies and conservative (more runs, never fewer behaviors)
+      otherwise; order-insensitive policies (Suicide) skip both that
+      granule and the txid counter, whose orders cannot change their
+      decisions.
+
+    Defaults as {!explore} otherwise: [max_runs = 40_000],
+    [max_steps = 60_000], [fairness_window = 64]. *)
+
 val explore_pct :
   ?runs:int ->
   ?depth:int ->
@@ -67,4 +144,5 @@ val explore_pct :
     finds it with probability at least [1/(n * k^(d-1))] — an independent
     method of deciding the Figure 6 cells, complementing the
     preemption-bounded DFS. Defaults: [runs = 2000], [depth = 3],
-    [seed = 1]. *)
+    [seed = 1]. The result's [truncated] is always [false]: the quota
+    defines the search rather than cutting an exhaustive one short. *)

@@ -184,7 +184,131 @@ let privatization_row ?preemption_bound ?max_runs ?cm () =
       run_cell ?preemption_bound ?max_runs ?cm Programs.privatization mode)
     modes
 
+let run_cell_pct ?(runs = 2000) ?(depth = 3) ?(seed = 1) ?granule_override ?cm
+    program mode =
+  let granule =
+    match granule_override with
+    | Some g -> g
+    | None -> program.Programs.needs_granule
+  in
+  let cfg = Modes.config ~granule mode in
+  let cfg =
+    match cm with None -> cfg | Some p -> Stm_core.Config.with_cm p cfg
+  in
+  let make () = program.Programs.build (Modes.harness mode cfg) in
+  let e =
+    Explorer.explore_pct ~runs ~depth ~seed
+      ~stop_when:program.Programs.is_anomalous ~cfg ~make ()
+  in
+  {
+    program;
+    mode;
+    expected = expectation program mode;
+    observed = Explorer.observed e program.Programs.is_anomalous;
+    runs = e.Explorer.runs;
+    truncated = e.Explorer.truncated;
+  }
+
 let all_match cells = List.for_all (fun c -> c.expected = c.observed) cells
+
+(* ------------------------------------------------------------------ *)
+(* DPOR certification                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type certified = {
+  enum : cell;
+  dpor : cell;
+  complete : bool;
+  races : int;
+}
+
+let certify_cell ?(preemption_bound = 2) ?(max_runs = 40_000) ?granule_override
+    ?cm program mode =
+  let granule =
+    match granule_override with
+    | Some g -> g
+    | None -> program.Programs.needs_granule
+  in
+  let cfg = Modes.config ~granule mode in
+  let cfg =
+    match cm with None -> cfg | Some p -> Stm_core.Config.with_cm p cfg
+  in
+  let make () = program.Programs.build (Modes.harness mode cfg) in
+  let mk (e : Explorer.exploration) =
+    {
+      program;
+      mode;
+      expected = expectation program mode;
+      observed = Explorer.observed e program.Programs.is_anomalous;
+      runs = e.Explorer.runs;
+      truncated = e.Explorer.truncated;
+    }
+  in
+  let enum_e =
+    Explorer.explore ~preemption_bound ~max_runs
+      ~stop_when:program.Programs.is_anomalous ~cfg ~make ()
+  in
+  let d =
+    Explorer.explore_dpor ~preemption_bound ~max_runs
+      ~stop_when:program.Programs.is_anomalous ~cfg ~make ()
+  in
+  {
+    enum = mk enum_e;
+    dpor = mk d.Explorer.exploration;
+    complete = d.Explorer.complete;
+    races = d.Explorer.races;
+  }
+
+(* A cell certifies when the two engines agree on the verdict and the
+   certification is as strong as the enumerative baseline's: a "yes" is
+   witness-based (completeness immaterial), a "no" must come from a
+   complete DPOR walk whenever the baseline's own walk finished (the
+   BPOR cross-check: any behavior the bounded reduction could drop would
+   surface here as a flip or as an incompleteness the baseline lacks). *)
+let cell_certified c =
+  c.dpor.observed = c.enum.observed
+  && (c.dpor.observed || c.complete || c.enum.truncated)
+
+let all_certified cs = List.for_all cell_certified cs
+
+(* Every cell the matrix suites cover, in suite order, each paired with
+   the preemption bound its expected witness needs: [bound] everywhere
+   except the multi-version columns, whose snapshot-isolation
+   privatization race takes three preemptions (park the racing committer
+   mid-transaction, run the privatizer through its first plain read, let
+   the commit land between the two reads). The full certification sweep
+   of [stm_bench --explore dpor] and the nightly CI job re-derive each
+   cell with both engines at its listed bound. *)
+let full_matrix ?(bound = 2) () =
+  let pairs b programs modes =
+    List.concat_map
+      (fun program -> List.map (fun mode -> (program, mode, b)) modes)
+      programs
+  in
+  let mvcc_bound = max bound 3 in
+  pairs bound Programs.fig6_rows Modes.all_fig6
+  @ pairs bound Programs.extras Modes.all_fig6
+  @ pairs bound
+      [ Programs.privatization ]
+      (Modes.all_fig6
+      @ [
+          Modes.Weak_quiesce Stm_core.Config.Eager;
+          Modes.Weak_quiesce Stm_core.Config.Lazy;
+        ])
+  @ pairs bound Programs.si_rows Modes.all_fig6
+  @ pairs mvcc_bound Programs.si_rows Modes.all_mvcc
+  @ pairs mvcc_bound Programs.all Modes.all_mvcc
+  @ pairs bound Programs.fig6_rows Modes.all_timestamp
+
+let pp_certified ppf c =
+  let verdict b = if b then "yes" else "no" in
+  Fmt.pf ppf "%-14s %-14s enum=%-3s/%-6d dpor=%-3s/%-6d %s races=%d%s"
+    c.enum.program.Programs.name
+    (Modes.name c.enum.mode)
+    (verdict c.enum.observed) c.enum.runs (verdict c.dpor.observed) c.dpor.runs
+    (if c.complete then "complete" else "bounded ")
+    c.races
+    (if cell_certified c then "" else "  FLIP")
 
 let pp_cell ppf c =
   let mark = if c.observed then "yes" else "no " in

@@ -30,6 +30,21 @@ val run_cell :
     configuration; the expectation is unchanged, because contention
     management must not affect which anomalies are expressible. *)
 
+val run_cell_pct :
+  ?runs:int ->
+  ?depth:int ->
+  ?seed:int ->
+  ?granule_override:int ->
+  ?cm:Stm_cm.Policy.t ->
+  Programs.t ->
+  Modes.t ->
+  cell
+(** Decide a cell by probabilistic sampling ({!Explorer.explore_pct})
+    instead of the bounded DFS: an independent check of the "yes" cells.
+    A sampled "no" is never a certificate — a quiet cell may just have
+    been missed, so only an anomaly on an expected-"no" cell is
+    conclusive. Defaults: [runs = 2000], [depth = 3], [seed = 1]. *)
+
 val fig6 :
   ?preemption_bound:int -> ?max_runs:int -> ?cm:Stm_cm.Policy.t -> unit ->
   cell list
@@ -86,3 +101,53 @@ val timestamp_rows :
 
 val all_match : cell list -> bool
 val pp_table : Format.formatter -> cell list -> unit
+
+(** {2 DPOR certification}
+
+    Every cell re-derived by two independent engines: the enumerative
+    preemption-bounded DFS and the race-reduced DPOR walk, at the same
+    bound. Agreement plus a complete DPOR walk upgrades a sampled "no"
+    into a certified one; disagreement (a {e verdict flip}) or a DPOR
+    walk less complete than the finished baseline fails certification
+    (the BPOR cross-check, see {!Explorer.explore_dpor}). *)
+
+type certified = {
+  enum : cell;  (** the enumerative baseline's verdict for the cell *)
+  dpor : cell;  (** the DPOR engine's verdict, same preemption bound *)
+  complete : bool;
+      (** the DPOR walk exhausted its race-reduced schedule space *)
+  races : int;  (** racing segment pairs found across the DPOR walk *)
+}
+
+val certify_cell :
+  ?preemption_bound:int ->
+  ?max_runs:int ->
+  ?granule_override:int ->
+  ?cm:Stm_cm.Policy.t ->
+  Programs.t ->
+  Modes.t ->
+  certified
+(** Run both engines on one cell. Defaults: [preemption_bound = 2],
+    [max_runs = 40_000]. *)
+
+val cell_certified : certified -> bool
+(** No verdict flip, and the "no" verdict (if that is the verdict) rests
+    on a complete DPOR walk whenever the enumerative walk itself
+    finished. A "yes" is witness-based and needs no completeness. *)
+
+val all_certified : certified list -> bool
+
+val full_matrix : ?bound:int -> unit -> (Programs.t * Modes.t * int) list
+(** Every (program, mode) cell covered by the matrix suites — the
+    Figure 6 grid, the extra rows, privatization (with the quiescence
+    columns), the SI rows, every program under the multi-version
+    columns, and the Figure 6 rows under the timestamp-validation
+    columns — each paired with the preemption bound its expected witness
+    needs: [bound] (default 2) everywhere except the multi-version
+    columns, which get [max bound 3] (the snapshot-isolation
+    privatization race takes three preemptions). *)
+
+val pp_certified : Format.formatter -> certified -> unit
+(** One line per cell: both engines' verdicts and run counts, DPOR
+    completeness and race count, and a trailing [FLIP] marker when
+    {!cell_certified} fails. *)

@@ -74,12 +74,14 @@ let advance t = Gvc.advance t.gvc
 (* ------------------------------------------------------------------ *)
 
 let begin_snapshot t =
+  Footprint.write Footprint.oid_mvcc;
   let ts = Gvc.now t.gvc in
   Hashtbl.replace t.active ts
     (1 + Option.value ~default:0 (Hashtbl.find_opt t.active ts));
   ts
 
 let end_snapshot t ts =
+  Footprint.write Footprint.oid_mvcc;
   match Hashtbl.find_opt t.active ts with
   | Some 1 -> Hashtbl.remove t.active ts
   | Some n -> Hashtbl.replace t.active ts (n - 1)
@@ -90,6 +92,7 @@ let end_snapshot t ts =
    unreachable. Live-transaction counts are small (one per simulated
    thread), so the fold is cheap. *)
 let oldest_active t =
+  Footprint.read Footprint.oid_mvcc;
   Hashtbl.fold (fun ts _ acc -> min ts acc) t.active (Gvc.now t.gvc)
 
 (* ------------------------------------------------------------------ *)
@@ -125,6 +128,7 @@ let fcw_ok (obj : Heap.obj) ~snap = Heap.version_ts obj <= snap
    installing commit touches [obj], and the whole install must run
    without a scheduler yield. *)
 let install ?(txid = -1) ?(tid = -1) t (obj : Heap.obj) ~ts =
+  Footprint.write Footprint.oid_mvcc;
   Heap.push_version obj;
   Heap.set_version_ts obj ts;
   let slot = ts land (installer_ring - 1) in
@@ -140,6 +144,7 @@ let install ?(txid = -1) ?(tid = -1) t (obj : Heap.obj) ~ts =
 (* (txid, tid) of the commit that installed the version stamped [ts];
    [None] once the ring slot has been reused by a later install. *)
 let installer_of t ~ts =
+  Footprint.read Footprint.oid_mvcc;
   let slot = ts land (installer_ring - 1) in
   if ts >= 0 && t.inst_ts.(slot) = ts then
     Some (t.inst_txid.(slot), t.inst_tid.(slot))

@@ -68,17 +68,25 @@ let clear t =
   t.vmin <- max_int;
   t.vmax <- min_int
 
-(* Approximate quantile from bucket boundaries (upper bound of the bucket
-   containing the q-th sample). *)
+(* Approximate quantile from bucket boundaries: upper bound of the bucket
+   containing the q-th sample, clamped into [min_value, max_value] so the
+   bucket granularity never produces a value outside the observed range
+   (a single sample of 5 lands in the (4, 8] bucket; every quantile of
+   that histogram must still read 5, not 8). An empty histogram reads 0,
+   and [q >= 1.0] is exactly the maximum — including for samples past the
+   top bucket's boundary, where the bucket bound alone would under-report. *)
 let quantile t q =
   if t.count = 0 then 0
+  else if q >= 1.0 then max_value t
   else begin
     let rank = max 1 (int_of_float (Float.of_int t.count *. q +. 0.5)) in
     let rec go i seen =
       if i >= nbuckets then max_value t
       else
         let seen = seen + t.buckets.(i) in
-        if seen >= rank then min (bucket_le i) (max_value t) else go (i + 1) seen
+        if seen >= rank then
+          max (min_value t) (min (bucket_le i) (max_value t))
+        else go (i + 1) seen
     in
     go 0 0
   end

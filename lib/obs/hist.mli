@@ -13,8 +13,10 @@ val min_value : t -> int
 val max_value : t -> int
 
 val quantile : t -> float -> int
-(** Approximate quantile (inclusive upper bound of the bucket holding the
-    q-th sample). *)
+(** Approximate quantile: inclusive upper bound of the bucket holding the
+    q-th sample, clamped into [[min_value t, max_value t]]. An empty
+    histogram reads [0]; [q >= 1.0] reads exactly [max_value t] (even
+    when the maximum exceeds the top bucket's nominal bound). *)
 
 val copy : t -> t
 

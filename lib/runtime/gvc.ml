@@ -1,9 +1,13 @@
 type t = { mutable clock : int }
 
 let create () = { clock = 0 }
-let now t = t.clock
+
+let now t =
+  Footprint.read Footprint.oid_gvc;
+  t.clock
 
 let advance t =
+  Footprint.write Footprint.oid_gvc;
   t.clock <- t.clock + 1;
   t.clock
 

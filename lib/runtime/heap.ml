@@ -34,6 +34,8 @@ let shared_txrec0 = 0b011
 let private_txrec = -1
 
 let fresh_oid () =
+  (* Allocation order is shared state: object identity flows from it. *)
+  Footprint.write Footprint.oid_alloc;
   incr counter;
   !counter
 
@@ -84,27 +86,62 @@ let dummy =
     past = [];
   }
 
-let get o i = o.fields.(i)
-let set o i v = o.fields.(i) <- v
+let get o i =
+  Footprint.read o.oid;
+  o.fields.(i)
+
+let set o i v =
+  Footprint.write o.oid;
+  o.fields.(i) <- v
+
 let nfields o = Array.length o.fields
+
+(* Transaction-record accesses report against the object's own oid: the
+   txrec word orders with the fields it guards, so folding both into one
+   granule is the accurate conflict relation, not just a safe
+   over-approximation. *)
+
+let txrec_peek o = Atomic.get o.txrec
+
+let txrec_get o =
+  Footprint.read o.oid;
+  Atomic.get o.txrec
+
+let txrec_set o w =
+  Footprint.write o.oid;
+  Atomic.set o.txrec w
+
+let txrec_cas o old w =
+  Footprint.write o.oid;
+  Atomic.compare_and_set o.txrec old w
 
 (* ------------------------------------------------------------------ *)
 (* Version chains (mvcc backend)                                       *)
 (* ------------------------------------------------------------------ *)
 
-let version_ts o = o.vts
-let set_version_ts o ts = o.vts <- ts
+let version_ts o =
+  Footprint.read o.oid;
+  o.vts
+
+let version_ts_peek o = o.vts
+
+let set_version_ts o ts =
+  Footprint.write o.oid;
+  o.vts <- ts
 let past_versions o = o.past
 let chain_length o = 1 + List.length o.past
 
 (* Retire the current fields into the chain; the caller then overwrites
    [fields] in place and stamps the new [vts]. *)
-let push_version o = o.past <- { vfrom = o.vts; vvals = Array.copy o.fields } :: o.past
+let push_version o =
+  Footprint.write o.oid;
+  o.past <- { vfrom = o.vts; vvals = Array.copy o.fields } :: o.past
 
 (* The value of field [fld] as of snapshot [ts]: the newest version whose
    install timestamp is [<= ts]. [None] means the chain was pruned past
    [ts] (snapshot too old). *)
 let read_at o fld ~ts =
+  Footprint.read o.oid;
   if o.vts <= ts then Some o.fields.(fld)
   else
     let rec find = function
@@ -121,6 +158,7 @@ let read_at o fld ~ts =
    reachable version is then possible and surfaces to readers as a
    snapshot-too-old miss. Returns the number of versions dropped. *)
 let prune_past o ~oldest ~max_versions =
+  Footprint.write o.oid;
   let dropped = ref 0 in
   let rec go n = function
     | [] -> []

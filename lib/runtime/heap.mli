@@ -61,6 +61,28 @@ val set : obj -> int -> value -> unit
 
 val nfields : obj -> int
 
+(** {2 Transaction-record accesses}
+
+    Footprint-reporting wrappers around the [txrec] atomic. The word is
+    reported against the object's own oid: it orders with the fields it
+    guards, so both live in one conflict granule. All barrier-layer and
+    STM-internal txrec traffic goes through these so the DPOR explorer
+    sees it (see {!Footprint}). *)
+
+val txrec_get : obj -> int
+val txrec_set : obj -> int -> unit
+
+val txrec_peek : obj -> int
+(** Raw [txrec] load with no footprint report. For conflict-retry
+    loops that classify the observation themselves: a blocked retry
+    reports {!Stm_runtime.Footprint.spin_read}, any other iteration a
+    plain read (see {!Stm_runtime.Footprint.kind}). *)
+
+val txrec_cas : obj -> int -> int -> bool
+(** [txrec_cas o old w] compare-and-sets the record from [old] to [w];
+    reported as a write whether or not it succeeds (a failed acquire
+    still raced with the holder). *)
+
 (** {2 Version chains (mvcc backend)}
 
     The heap only stores the chain; the commit clock, snapshot registry
@@ -68,6 +90,10 @@ val nfields : obj -> int
 
 val version_ts : obj -> int
 (** Commit timestamp of the current fields. *)
+
+val version_ts_peek : obj -> int
+(** Raw [version_ts] with no footprint report, for retry loops that
+    classify the observation themselves (see {!txrec_peek}). *)
 
 val set_version_ts : obj -> int -> unit
 

@@ -1,4 +1,5 @@
 type t = {
+  id : int;
   name : string;
   cost : Cost.t;
   mutable owner : Sched.tid option;
@@ -6,10 +7,26 @@ type t = {
   waiters : Sched.tid Queue.t;
 }
 
+(* Deterministic per-run ids: the DPOR explorer compares lock footprints
+   across runs, so the same mutex must report the same pseudo-oid in
+   every replay. Explorers call [reset_ids] before each run's [make]. *)
+let next_id = ref 0
+
+let reset_ids () = next_id := 0
+
 let create ?(name = "lock") cost =
-  { name; cost; owner = None; holds = 0; waiters = Queue.create () }
+  incr next_id;
+  {
+    id = !next_id;
+    name;
+    cost;
+    owner = None;
+    holds = 0;
+    waiters = Queue.create ();
+  }
 
 let rec lock t =
+  Footprint.write (Footprint.mutex_oid t.id);
   Sched.tick t.cost.Cost.lock_acquire;
   match t.owner with
   | None ->
@@ -24,6 +41,7 @@ let rec lock t =
       lock t
 
 let unlock t =
+  Footprint.write (Footprint.mutex_oid t.id);
   (match t.owner with
   | Some o when o = Sched.self () -> ()
   | _ -> invalid_arg ("Sim_mutex.unlock: not the holder of " ^ t.name));
@@ -46,4 +64,6 @@ let with_lock t f =
       unlock t;
       raise ex
 
-let held t = t.owner <> None
+let held t =
+  Footprint.read (Footprint.mutex_oid t.id);
+  t.owner <> None

@@ -11,6 +11,11 @@ type t
 
 val create : ?name:string -> Cost.t -> t
 
+val reset_ids : unit -> unit
+(** Reset the deterministic mutex-id counter. Controlled explorers call
+    this before each run's setup so that a given mutex reports the same
+    {!Footprint.mutex_oid} in every replay. *)
+
 val lock : t -> unit
 (** Blocks until the lock is available. Reentrant acquisition by the
     holding thread increments a hold count. *)

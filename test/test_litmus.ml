@@ -277,6 +277,249 @@ let pct_cases =
       (pct_cell Programs.granular_lost_update (Modes.Weak Stm_core.Config.Eager) true);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* DPOR certification                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let check_int = Alcotest.(check int)
+
+(* Every Figure 6 cell re-derived by both engines at the same bound:
+   the verdicts must agree with each other and with the paper, every
+   "no" must rest on a complete race-reduced walk, and the reduction
+   must pay for itself. The >= 5x run-ratio is asserted over the whole
+   grid, not per cell — a cell whose enumerative tree already sits near
+   the Mazurkiewicz optimum leaves the DPOR walk nothing to prune. *)
+let dpor_certifies_fig6 () =
+  let enum_runs = ref 0 and dpor_runs = ref 0 in
+  List.iter
+    (fun program ->
+      List.iter
+        (fun mode ->
+          let name =
+            Printf.sprintf "%s [%s]" program.Programs.name (Modes.name mode)
+          in
+          let c = Matrix.certify_cell program mode in
+          if not (Matrix.cell_certified c) then
+            Alcotest.failf "%s: enum=%b dpor=%b complete=%b" name
+              c.Matrix.enum.Matrix.observed c.Matrix.dpor.Matrix.observed
+              c.Matrix.complete;
+          if c.Matrix.dpor.Matrix.observed <> c.Matrix.dpor.Matrix.expected
+          then
+            Alcotest.failf "%s: paper says %b, certified %b" name
+              c.Matrix.dpor.Matrix.expected c.Matrix.dpor.Matrix.observed;
+          (* a "no" verdict must be a certificate, not a timeout *)
+          if not c.Matrix.dpor.Matrix.observed then
+            check_bool (name ^ ": no-cell walk complete") true
+              c.Matrix.complete;
+          enum_runs := !enum_runs + c.Matrix.enum.Matrix.runs;
+          dpor_runs := !dpor_runs + c.Matrix.dpor.Matrix.runs)
+        Modes.all_fig6)
+    Programs.fig6_rows;
+  check_bool
+    (Printf.sprintf "aggregate reduction >= 5x (enum=%d dpor=%d)" !enum_runs
+       !dpor_runs)
+    true
+    (!enum_runs >= 5 * !dpor_runs)
+
+(* The engine is deterministic: identical inputs walk an identical
+   backtrack tree, run for run. *)
+let dpor_deterministic () =
+  let program = Programs.speculative_lost_update in
+  let mode = Modes.Weak Stm_core.Config.Eager in
+  let cfg = Modes.config ~granule:program.Programs.needs_granule mode in
+  let once () =
+    Explorer.explore_dpor ~preemption_bound:2 ~cfg
+      ~make:(fun () -> program.Programs.build (Modes.harness mode cfg))
+      ()
+  in
+  let a = once () in
+  let b = once () in
+  check_int "same runs" a.Explorer.exploration.Explorer.runs
+    b.Explorer.exploration.Explorer.runs;
+  check_int "same races" a.Explorer.races b.Explorer.races;
+  check_bool "same completeness" a.Explorer.complete b.Explorer.complete;
+  Alcotest.(check (list (pair string int)))
+    "same outcome table" a.Explorer.exploration.Explorer.outcomes
+    b.Explorer.exploration.Explorer.outcomes
+
+(* Fuel-exhausted schedules are accounted in [livelocks] only, never
+   double-counted as outcomes. The conditional infinite spin makes both
+   completing and spinning schedules reachable, so the books must
+   balance with both sides non-zero. *)
+let spin_make () =
+  let xr = ref None in
+  let main () =
+    let x = Stm_core.Stm.alloc_public ~cls:"X" 1 in
+    Stm_runtime.Heap.set x 0 (Stm_runtime.Heap.Vint 0);
+    xr := Some x;
+    let setter =
+      Stm_runtime.Sched.spawn (fun () ->
+          Stm_core.Stm.write x 0 (Stm_core.Stm.vint 1))
+    in
+    let reader =
+      Stm_runtime.Sched.spawn (fun () ->
+          if Stm_core.Stm.to_int (Stm_core.Stm.read x 0) = 0 then
+            while true do
+              Stm_runtime.Sched.yield ()
+            done)
+    in
+    Stm_runtime.Sched.join setter;
+    Stm_runtime.Sched.join reader
+  in
+  let observe () =
+    "x="
+    ^ string_of_int
+        (match Stm_runtime.Heap.get (Option.get !xr) 0 with
+        | Stm_runtime.Heap.Vint n -> n
+        | _ -> min_int)
+  in
+  { Explorer.main; observe }
+
+let outcome_total (e : Explorer.exploration) =
+  List.fold_left (fun acc (_, n) -> acc + n) 0 e.Explorer.outcomes
+
+let explore_accounts_livelocks () =
+  let e =
+    Explorer.explore ~preemption_bound:2 ~max_runs:2_000 ~max_steps:200
+      ~cfg:Stm_core.Config.eager_weak ~make:spin_make ()
+  in
+  check_bool "some schedules complete" true (e.Explorer.outcomes <> []);
+  check_bool "some schedules spin out" true (e.Explorer.livelocks > 0);
+  check_int "runs = livelocks + outcome counts" e.Explorer.runs
+    (e.Explorer.livelocks + outcome_total e)
+
+let explore_dpor_accounts_livelocks () =
+  let d =
+    Explorer.explore_dpor ~preemption_bound:2 ~max_runs:2_000 ~max_steps:200
+      ~cfg:Stm_core.Config.eager_weak ~make:spin_make ()
+  in
+  let e = d.Explorer.exploration in
+  check_bool "some schedules complete" true (e.Explorer.outcomes <> []);
+  check_bool "some schedules spin out" true (e.Explorer.livelocks > 0);
+  check_int "runs = livelocks + outcome counts" e.Explorer.runs
+    (e.Explorer.livelocks + outcome_total e)
+
+(* Random micro-programs: 2-3 threads of reads/writes (at most one
+   wrapped in a transaction) over two shared fields. At preemption
+   bound 8 — effectively unbounded for programs this small, every
+   Mazurkiewicz class has a representative within the bound — the DPOR
+   walk and the enumerative DFS must observe identical outcome {e sets}
+   (counts differ by design: DPOR visits each class once). At small
+   equal bounds the sets can legitimately differ, because the reduced
+   tree's representative of a class may need more preemptions than the
+   enumerative one — the BPOR pitfall the certification cross-check
+   exists for. Cross-thread state lives in the simulated heap only:
+   plain OCaml refs are invisible to the footprint sink, so the
+   reduction is only sound for heap-mediated communication. *)
+type qop = Q_read of int | Q_write of int * int
+
+let qop_run x logs i = function
+  | Q_read f ->
+      logs.(i) <- Stm_core.Stm.to_int (Stm_core.Stm.read x f) :: logs.(i)
+  | Q_write (f, v) -> Stm_core.Stm.write x f (Stm_core.Stm.vint v)
+
+let qprog_make threads () =
+  let logs = Array.make (List.length threads) [] in
+  let xr = ref None in
+  let main () =
+    let x = Stm_core.Stm.alloc_public ~cls:"Q" 2 in
+    Stm_runtime.Heap.set x 0 (Stm_runtime.Heap.Vint 0);
+    Stm_runtime.Heap.set x 1 (Stm_runtime.Heap.Vint 0);
+    xr := Some x;
+    let handles =
+      List.mapi
+        (fun i (tx, ops) ->
+          Stm_runtime.Sched.spawn (fun () ->
+              let body () = List.iter (qop_run x logs i) ops in
+              if tx then Stm_core.Stm.atomic body else body ()))
+        threads
+    in
+    List.iter Stm_runtime.Sched.join handles
+  in
+  let observe () =
+    let x = Option.get !xr in
+    let fld f =
+      match Stm_runtime.Heap.get x f with
+      | Stm_runtime.Heap.Vint n -> n
+      | _ -> min_int
+    in
+    Printf.sprintf "x=%d,%d logs=%s" (fld 0) (fld 1)
+      (String.concat ";"
+         (Array.to_list
+            (Array.map
+               (fun l -> String.concat "," (List.rev_map string_of_int l))
+               logs)))
+  in
+  { Explorer.main; observe }
+
+let qprog_gen =
+  let open QCheck.Gen in
+  let op =
+    oneof
+      [
+        map (fun f -> Q_read f) (int_bound 1);
+        map2 (fun f v -> Q_write (f, v + 1)) (int_bound 1) (int_bound 2);
+      ]
+  in
+  let thread = pair bool (list_size (int_range 1 2) op) in
+  (* two conflicting transactions explode the enumerative baseline (CM
+     retries), so only the first atomic flag survives *)
+  let at_most_one_atomic threads =
+    let seen = ref false in
+    List.map
+      (fun (tx, ops) ->
+        let tx = tx && not !seen in
+        if tx then seen := true;
+        (tx, ops))
+      threads
+  in
+  map at_most_one_atomic (list_size (int_range 2 3) thread)
+
+let qprog_print threads =
+  String.concat " || "
+    (List.map
+       (fun (tx, ops) ->
+         (if tx then "atomic " else "")
+         ^ String.concat ";"
+             (List.map
+                (function
+                  | Q_read f -> Printf.sprintf "r%d" f
+                  | Q_write (f, v) -> Printf.sprintf "w%d=%d" f v)
+                ops))
+       threads)
+
+let dpor_equiv_qcheck =
+  let open QCheck in
+  let arb = make ~print:qprog_print qprog_gen in
+  [
+    Test.make ~name:"dpor: outcome set matches enumerative explore" ~count:25
+      arb (fun threads ->
+        let cfg = Stm_core.Config.eager_weak in
+        let e =
+          Explorer.explore ~preemption_bound:8 ~cfg ~make:(qprog_make threads)
+            ()
+        in
+        let d =
+          Explorer.explore_dpor ~preemption_bound:8 ~cfg
+            ~make:(qprog_make threads) ()
+        in
+        let keys ex = List.map fst ex.Explorer.outcomes in
+        (* a truncated baseline decides nothing *)
+        e.Explorer.truncated
+        || keys e = keys d.Explorer.exploration
+           && d.Explorer.complete);
+  ]
+
+let dpor_cases =
+  [
+    case "fig6 certified with >= 5x fewer runs" dpor_certifies_fig6;
+    case "deterministic backtrack tree" dpor_deterministic;
+    case "explore: runs = livelocks + outcomes" explore_accounts_livelocks;
+    case "explore_dpor: runs = livelocks + outcomes"
+      explore_dpor_accounts_livelocks;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest dpor_equiv_qcheck
+
 (* quiescence orders write-backs but does not close the 4a read window *)
 let quiesce_does_not_fix_mi_rw () =
   let cell =
@@ -290,6 +533,7 @@ let suite =
   suite
   @ [
       ("litmus:pct", pct_cases);
+      ("litmus:dpor", dpor_cases);
       ( "litmus:quiesce-limits",
         [
           Alcotest.test_case "quiescence does not fix mi-rw" `Quick

@@ -126,6 +126,34 @@ let hist_basics () =
   check_bool "p50 bounds the median sample" true (Hist.quantile h 0.5 >= 3);
   check_bool "p100 covers max" true (Hist.quantile h 1.0 >= 1000)
 
+let hist_quantile_empty () =
+  let h = Hist.create () in
+  check_int "empty p50" 0 (Hist.quantile h 0.5);
+  check_int "empty p100" 0 (Hist.quantile h 1.0);
+  check_int "empty p0" 0 (Hist.quantile h 0.0)
+
+let hist_quantile_single_sample () =
+  (* 5 lands in the (4, 8] bucket; without the min/max clamp every
+     quantile would read the bucket bound 8. *)
+  let h = Hist.create () in
+  Hist.add h 5;
+  List.iter
+    (fun q ->
+      check_int (Printf.sprintf "single-sample q=%.2f" q) 5 (Hist.quantile h q))
+    [ 0.0; 0.5; 0.99; 1.0 ]
+
+let hist_quantile_saturated_top_bucket () =
+  (* Samples past the top bucket's nominal power-of-two bound all land in
+     the last bucket; [q = 1.0] must still read the true maximum, not the
+     capped bucket bound. *)
+  let h = Hist.create () in
+  let huge = max_int / 2 in
+  List.iter (Hist.add h) [ 1; huge ];
+  check_int "p100 is the true max" huge (Hist.quantile h 1.0);
+  check_int "p25 is the low sample" 1 (Hist.quantile h 0.25);
+  check_bool "p50 within observed range" true
+    (Hist.quantile h 0.5 >= 1 && Hist.quantile h 0.5 <= huge)
+
 let hist_sub () =
   let h = Hist.create () in
   List.iter (Hist.add h) [ 10; 20 ];
@@ -464,7 +492,13 @@ let suite =
     ( "obs:ring",
       [ case "basics" ring_basics; case "wrap + dropped" ring_wraps ] );
     ( "obs:hist",
-      [ case "basics" hist_basics; case "snapshot sub" hist_sub ] );
+      [
+        case "basics" hist_basics;
+        case "quantile: empty" hist_quantile_empty;
+        case "quantile: single sample" hist_quantile_single_sample;
+        case "quantile: saturated top bucket" hist_quantile_saturated_top_bucket;
+        case "snapshot sub" hist_sub;
+      ] );
     ( "obs:trace-levels",
       [ case "info sink never forces debug payloads" level_filter_no_force ] );
     ( "obs:stats",
